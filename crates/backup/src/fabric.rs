@@ -1,0 +1,126 @@
+//! The Service Fabric property store substitute.
+//!
+//! The scheduling algorithm "stores the start time of this window as a
+//! service fabric property of respective PostgreSQL and MySQL database
+//! instances. This property is used by the backup service to schedule
+//! backups" (Section 2.3). Properties here are string key/values per server
+//! instance, exactly like fabric properties.
+
+use parking_lot::RwLock;
+use seagull_telemetry::server::ServerId;
+use seagull_timeseries::Timestamp;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The property the backup service reads: minutes-since-epoch of the chosen
+/// backup window start.
+pub const BACKUP_WINDOW_START_PROPERTY: &str = "seagull.backupWindowStart";
+
+#[derive(Default)]
+struct Inner {
+    properties: HashMap<ServerId, HashMap<String, String>>,
+}
+
+/// Thread-safe per-server property map.
+#[derive(Clone, Default)]
+pub struct FabricPropertyStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl FabricPropertyStore {
+    /// Creates an empty store.
+    pub fn new() -> FabricPropertyStore {
+        FabricPropertyStore::default()
+    }
+
+    /// Sets a property on a server instance.
+    pub fn set(&self, server: ServerId, key: &str, value: impl Into<String>) {
+        self.inner
+            .write()
+            .properties
+            .entry(server)
+            .or_default()
+            .insert(key.to_string(), value.into());
+    }
+
+    /// Reads a property.
+    pub fn get(&self, server: ServerId, key: &str) -> Option<String> {
+        self.inner.read().properties.get(&server)?.get(key).cloned()
+    }
+
+    /// Removes a property; returns whether it existed.
+    pub fn remove(&self, server: ServerId, key: &str) -> bool {
+        self.inner
+            .write()
+            .properties
+            .get_mut(&server)
+            .is_some_and(|p| p.remove(key).is_some())
+    }
+
+    /// Convenience: write the backup-window start timestamp.
+    pub fn set_backup_window_start(&self, server: ServerId, start: Timestamp) {
+        self.set(
+            server,
+            BACKUP_WINDOW_START_PROPERTY,
+            start.minutes().to_string(),
+        );
+    }
+
+    /// Convenience: read the backup-window start timestamp, if set and valid.
+    pub fn backup_window_start(&self, server: ServerId) -> Option<Timestamp> {
+        self.get(server, BACKUP_WINDOW_START_PROPERTY)?
+            .parse::<i64>()
+            .ok()
+            .map(Timestamp::from_minutes)
+    }
+
+    /// Number of servers holding at least one property.
+    pub fn server_count(&self) -> usize {
+        self.inner.read().properties.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let store = FabricPropertyStore::new();
+        let s = ServerId(7);
+        assert!(store.get(s, "k").is_none());
+        store.set(s, "k", "v1");
+        store.set(s, "k", "v2");
+        assert_eq!(store.get(s, "k").as_deref(), Some("v2"));
+        assert!(store.remove(s, "k"));
+        assert!(!store.remove(s, "k"));
+        assert!(store.get(s, "k").is_none());
+    }
+
+    #[test]
+    fn backup_window_round_trip() {
+        let store = FabricPropertyStore::new();
+        let s = ServerId(1);
+        let t = Timestamp::from_minutes(123_456);
+        store.set_backup_window_start(s, t);
+        assert_eq!(store.backup_window_start(s), Some(t));
+        assert_eq!(store.server_count(), 1);
+    }
+
+    #[test]
+    fn malformed_property_reads_as_none() {
+        let store = FabricPropertyStore::new();
+        let s = ServerId(2);
+        store.set(s, BACKUP_WINDOW_START_PROPERTY, "not-a-number");
+        assert!(store.backup_window_start(s).is_none());
+    }
+
+    #[test]
+    fn properties_are_per_server() {
+        let store = FabricPropertyStore::new();
+        store.set(ServerId(1), "k", "a");
+        store.set(ServerId(2), "k", "b");
+        assert_eq!(store.get(ServerId(1), "k").as_deref(), Some("a"));
+        assert_eq!(store.get(ServerId(2), "k").as_deref(), Some("b"));
+    }
+}

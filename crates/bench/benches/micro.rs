@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the Seagull hot paths: the metric kernels
+//! (bucket ratio, LL-window search), model fitting, classification, the
+//! document store, and the parallel executor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seagull_core::classify::{classify_series, ClassifyConfig};
+use seagull_core::docstore::DocStore;
+use seagull_core::metrics::{bucket_ratio, evaluate_low_load, AccuracyConfig, ErrorBound};
+use seagull_core::par::parallel_map;
+use seagull_forecast::additive::FitMethod;
+use seagull_forecast::{
+    AdditiveConfig, AdditiveForecaster, FeedForwardConfig, FeedForwardForecaster, Forecaster,
+    PersistentForecast, SsaForecaster,
+};
+use seagull_telemetry::record::RecordBatch;
+use seagull_timeseries::{decompose, min_mean_window, TimeSeries, Timestamp};
+use std::hint::black_box;
+
+fn day_series(seed: u64) -> TimeSeries {
+    TimeSeries::from_fn(Timestamp::from_days(100), 5, 288, |t| {
+        let m = t.minute_of_day() as f64;
+        30.0 + 20.0 * (2.0 * std::f64::consts::PI * (m + seed as f64) / 1440.0).sin()
+    })
+    .unwrap()
+}
+
+fn week_series(seed: u64) -> TimeSeries {
+    TimeSeries::from_fn(Timestamp::from_days(100), 5, 7 * 288, |t| {
+        let m = t.minute_of_day() as f64;
+        30.0 + 20.0 * (2.0 * std::f64::consts::PI * (m + seed as f64) / 1440.0).sin()
+    })
+    .unwrap()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let truth = day_series(0);
+    let pred = day_series(30);
+    let bound = ErrorBound::default();
+    c.bench_function("bucket_ratio/288pts", |b| {
+        b.iter(|| bucket_ratio(black_box(pred.values()), black_box(truth.values()), &bound))
+    });
+    c.bench_function("min_mean_window/288pts", |b| {
+        b.iter(|| min_mean_window(black_box(truth.values()), 24))
+    });
+    let cfg = AccuracyConfig::default();
+    c.bench_function("evaluate_low_load/288pts", |b| {
+        b.iter(|| evaluate_low_load(black_box(&truth), black_box(&pred), 120, &cfg))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let week = week_series(0);
+    c.bench_function("persistent_prev_day/fit_predict_week", |b| {
+        let model = PersistentForecast::previous_day();
+        b.iter(|| model.fit_predict(black_box(&week), 288).unwrap())
+    });
+    c.bench_function("ssa/fit_week", |b| {
+        let model = SsaForecaster::default();
+        b.iter(|| model.fit(black_box(&week)).unwrap())
+    });
+    c.bench_function("additive_exact/fit_week", |b| {
+        let model = AdditiveForecaster::new(AdditiveConfig {
+            fit: FitMethod::Exact,
+            ..AdditiveConfig::default()
+        });
+        b.iter(|| model.fit(black_box(&week)).unwrap())
+    });
+    c.bench_function("feedforward_small/fit_week", |b| {
+        let model = FeedForwardForecaster::new(FeedForwardConfig {
+            hidden: vec![8],
+            epochs: 2,
+            stride: 8,
+            ..FeedForwardConfig::default()
+        });
+        b.iter(|| model.fit(black_box(&week)).unwrap())
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use seagull_telemetry::record::LoadRecord;
+    use seagull_telemetry::server::ServerId;
+    let batch = RecordBatch::new(
+        (0..2000)
+            .map(|i| LoadRecord {
+                server_id: ServerId(i % 20),
+                timestamp_min: (i as i64) * 5,
+                avg_cpu: (i % 100) as f64,
+                default_backup_start: 0,
+                default_backup_end: 60,
+            })
+            .collect(),
+    );
+    let blob = batch.to_csv();
+    c.bench_function("csv/encode_2k_rows", |b| {
+        b.iter(|| black_box(&batch).to_csv())
+    });
+    c.bench_function("csv/decode_2k_rows", |b| {
+        b.iter(|| RecordBatch::from_csv(black_box(&blob)).unwrap())
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let week = week_series(0);
+    c.bench_function("decompose/week_daily_period", |b| {
+        b.iter(|| decompose(black_box(&week), 288).unwrap())
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let week = week_series(0);
+    let cfg = ClassifyConfig::default();
+    c.bench_function("classify_series/week", |b| {
+        b.iter(|| classify_series(black_box(&week), &cfg))
+    });
+}
+
+fn bench_docstore(c: &mut Criterion) {
+    c.bench_function("docstore/upsert_get", |b| {
+        let store = DocStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = format!("doc-{}", i % 1000);
+            store.upsert("bench", &id, &(i as f64)).unwrap();
+            let _: f64 = store.get("bench", &id).unwrap();
+        })
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let items: Vec<u64> = (0..256).collect();
+    let work = |x: &u64| -> u64 {
+        // A few microseconds of arithmetic per item.
+        let mut acc = *x;
+        for _ in 0..2000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("parallel_map/256items");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || items.clone(),
+                    |items| parallel_map(&items, threads, work),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metrics,
+    bench_models,
+    bench_classification,
+    bench_codec,
+    bench_decompose,
+    bench_docstore,
+    bench_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Figures 4–7 — One representative server per class, with the bucket
+//! ratios the paper quotes.
+//!
+//! * Fig. 4: a stable server — weekly average predicts it (paper: 99 %).
+//! * Fig. 5: a daily-pattern server — previous day predicts it (paper: 95 %).
+//! * Fig. 6: a weekly-pattern server — previous equivalent day > 90 %, but
+//!   previous day only 1 %.
+//! * Fig. 7: a server with no pattern — previous day 20 %, previous
+//!   equivalent day 72 %; neither passes.
+
+use seagull_bench::{emit_json, fleets, Table};
+use seagull_core::metrics::{bucket_ratio, ErrorBound};
+use seagull_telemetry::fleet::ServerTelemetry;
+use seagull_telemetry::server::GeneratedClass;
+use serde_json::json;
+
+/// Bucket ratio of predicting `day` by the day `lag_days` earlier.
+fn lag_ratio(server: &ServerTelemetry, day: i64, lag_days: i64, bound: &ErrorBound) -> Option<f64> {
+    let today = server.series.day_values(day)?;
+    let earlier = server.series.day_values(day - lag_days)?;
+    bucket_ratio(earlier, today, bound)
+}
+
+/// Bucket ratio of predicting a week by its own average (stability check).
+fn avg_ratio(server: &ServerTelemetry, bound: &ErrorBound) -> Option<f64> {
+    let vals = server.series.values();
+    let mean = seagull_timeseries::mean(vals);
+    let constant = vec![mean; vals.len()];
+    bucket_ratio(&constant, vals, bound)
+}
+
+fn main() {
+    let (fleet, spec) = fleets::classification_fleet(42);
+    let bound = ErrorBound::default();
+    // Pick the first long-lived exemplar of each class; evaluate on the
+    // second Sunday-ish day of the window so a previous equivalent day exists.
+    let day = spec.start_day + 10;
+    let pick = |class: GeneratedClass| {
+        fleet
+            .iter()
+            .find(|s| s.meta.class == class && s.meta.deleted_day.is_none())
+            .unwrap_or_else(|| panic!("no {class:?} exemplar in fleet"))
+    };
+
+    let stable = pick(GeneratedClass::Stable);
+    let daily = pick(GeneratedClass::DailyPattern);
+    let weekly = pick(GeneratedClass::WeeklyPattern);
+    let unstable = pick(GeneratedClass::Unstable);
+
+    println!("Figures 4-7: per-class exemplars, bucket ratios under +10/-5\n");
+    let mut t = Table::new([
+        "figure",
+        "server class",
+        "predictor",
+        "bucket ratio",
+        "paper",
+    ]);
+    let stable_avg = avg_ratio(stable, &bound).unwrap();
+    t.row([
+        "4".into(),
+        "stable".into(),
+        "week average".into(),
+        format!("{stable_avg:.1}%"),
+        "99%".to_string(),
+    ]);
+    let daily_prev = lag_ratio(daily, day, 1, &bound).unwrap();
+    t.row([
+        "5".into(),
+        "daily pattern".into(),
+        "previous day".into(),
+        format!("{daily_prev:.1}%"),
+        "95%".to_string(),
+    ]);
+    let weekly_eq = lag_ratio(weekly, day, 7, &bound).unwrap();
+    let weekly_prev = lag_ratio(weekly, day, 1, &bound).unwrap();
+    t.row([
+        "6".into(),
+        "weekly pattern".into(),
+        "previous equivalent day".into(),
+        format!("{weekly_eq:.1}%"),
+        ">90%".to_string(),
+    ]);
+    t.row([
+        "6".into(),
+        "weekly pattern".into(),
+        "previous day (boundary)".into(),
+        format!("{weekly_prev:.1}%"),
+        "1%".to_string(),
+    ]);
+    let unstable_prev = lag_ratio(unstable, day, 1, &bound).unwrap();
+    let unstable_eq = lag_ratio(unstable, day, 7, &bound).unwrap();
+    t.row([
+        "7".into(),
+        "no pattern".into(),
+        "previous day".into(),
+        format!("{unstable_prev:.1}%"),
+        "20%".to_string(),
+    ]);
+    t.row([
+        "7".into(),
+        "no pattern".into(),
+        "previous equivalent day".into(),
+        format!("{unstable_eq:.1}%"),
+        "72%".to_string(),
+    ]);
+    t.print();
+
+    // For the weekly server, find a day where the weekday/weekend boundary
+    // breaks the daily predictor (the paper's Sunday example).
+    let mut boundary_prev = weekly_prev;
+    let mut boundary_eq = weekly_eq;
+    for d in spec.start_day + 7..spec.start_day + 21 {
+        if let (Some(p), Some(e)) = (
+            lag_ratio(weekly, d, 1, &bound),
+            lag_ratio(weekly, d, 7, &bound),
+        ) {
+            if p < boundary_prev {
+                boundary_prev = p;
+                boundary_eq = e;
+            }
+        }
+    }
+    println!(
+        "\nweekly-pattern server, worst weekday-boundary day: prev-day {boundary_prev:.1}% \
+         vs prev-equivalent-day {boundary_eq:.1}% (paper: 1% vs >90%)"
+    );
+
+    emit_json(
+        "fig04_07_patterns",
+        &json!({
+            "stable_week_avg": stable_avg,
+            "daily_prev_day": daily_prev,
+            "weekly_prev_eq_day": weekly_eq,
+            "weekly_prev_day_boundary": boundary_prev,
+            "weekly_prev_eq_day_boundary": boundary_eq,
+            "unstable_prev_day": unstable_prev,
+            "unstable_prev_eq_day": unstable_eq,
+        }),
+    );
+
+    assert!(stable_avg >= 90.0, "stable exemplar must be stable");
+    assert!(daily_prev >= 90.0, "daily exemplar must repeat daily");
+    assert!(
+        boundary_eq >= 90.0 && boundary_prev < 90.0,
+        "weekly exemplar shape"
+    );
+}

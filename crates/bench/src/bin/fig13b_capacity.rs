@@ -1,0 +1,40 @@
+//! Figure 13(b) — Percentage of servers per maximal CPU load.
+//!
+//! Paper: "Only 3.7 % of servers reach their CPU capacity per week, i.e.,
+//! for 96.3 % of servers resources could be saved." This motivates the
+//! auto-scale follow-up (Appendix A).
+
+use seagull_backup::capacity_histogram;
+use seagull_bench::{emit_json, fleets, Table};
+
+fn main() {
+    let (fleet, _) = fleets::classification_fleet(42);
+    let hist = capacity_histogram(&fleet, 10.0, 97.0);
+
+    println!(
+        "Figure 13(b): servers per maximal weekly CPU load ({} servers)\n",
+        hist.servers
+    );
+    let mut t = Table::new(["max CPU bucket", "% of servers"]);
+    for (i, pct) in hist.buckets.iter().enumerate() {
+        let lo = i as f64 * hist.bucket_width;
+        let hi = lo + hist.bucket_width;
+        t.row([format!("{lo:>3.0}-{hi:<3.0}%"), format!("{pct:.2}")]);
+    }
+    t.print();
+    println!(
+        "\nreaching capacity (>= {:.0}%): {:.2}% of servers [paper: 3.7%]",
+        hist.capacity_threshold, hist.reaching_capacity_pct
+    );
+    println!(
+        "headroom exists on {:.2}% of servers [paper: 96.3%]",
+        100.0 - hist.reaching_capacity_pct
+    );
+
+    emit_json("fig13b_capacity", &hist);
+
+    assert!(
+        hist.reaching_capacity_pct < 15.0,
+        "capacity-reaching share should be a small minority"
+    );
+}

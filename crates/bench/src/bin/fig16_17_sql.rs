@@ -1,0 +1,98 @@
+//! Figures 16 & 17 — Appendix A: SQL database load prediction.
+//!
+//! 24-hour-ahead CPU forecasts on 15-minute telemetry, compared across
+//! persistent forecast (previous day), a neural network (our GluonTS
+//! feed-forward substitute), and auto-ARIMA; accuracy by Mean NRMSE and MASE
+//! (Figure 16) and training/inference/accuracy-evaluation runtime
+//! (Figure 17). Paper conclusion: "for SQL databases persistent forecast
+//! also finds the middle ground between accuracy and computational
+//! overhead."
+
+use seagull_autoscale::{evaluate_models, sql_fleet_spec};
+use seagull_bench::{emit_json, scale, Scale, Table};
+use seagull_core::par::default_threads;
+use seagull_forecast::{
+    ArimaConfig, ArimaForecaster, FeedForwardConfig, FeedForwardForecaster, Forecaster,
+    PersistentForecast,
+};
+use seagull_telemetry::fleet::FleetGenerator;
+use serde_json::json;
+
+fn main() {
+    let (databases, arima_databases) = match scale() {
+        Scale::Small => (60, 8),
+        Scale::Paper => (600, 30),
+    };
+    let spec = sql_fleet_spec(33, databases);
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(2);
+    let target_day = start + 8;
+    let threads = default_threads();
+
+    let pf = PersistentForecast::previous_day();
+    let nn = FeedForwardForecaster::new(FeedForwardConfig {
+        context_len: 96, // one day at 15-minute granularity
+        prediction_len: 96,
+        ..FeedForwardConfig::default()
+    });
+    // ARIMA with the seasonal grid at the SQL period (96/day). As on the
+    // paper's HDI cluster, it runs on a reduced sample because of its cost.
+    let arima = ArimaForecaster::new(ArimaConfig {
+        period: 96,
+        ..ArimaConfig::default()
+    });
+
+    let fast_models: Vec<(&str, &dyn Forecaster)> =
+        vec![("persistent-prev-day", &pf), ("neural-net (gluon-ff)", &nn)];
+    let mut rows = evaluate_models(&fleet, &fast_models, target_day, 7, threads);
+    let arima_rows = evaluate_models(
+        &fleet[..arima_databases.min(fleet.len())],
+        &[("arima (sampled)", &arima)],
+        target_day,
+        7,
+        threads,
+    );
+    rows.extend(arima_rows);
+
+    println!(
+        "Figures 16-17: SQL auto-scale model comparison ({databases} databases, \
+         15-min grid, 24h horizon)\n"
+    );
+    let mut t = Table::new([
+        "model",
+        "forecasts",
+        "Mean NRMSE",
+        "MASE",
+        "train (s)",
+        "infer (s)",
+        "eval (s)",
+    ]);
+    for r in &rows {
+        t.row([
+            r.model.clone(),
+            r.forecasts.to_string(),
+            format!("{:.3}", r.mean_nrmse),
+            format!("{:.3}", r.mase),
+            format!("{:.3}", r.train_time.as_secs_f64()),
+            format!("{:.3}", r.infer_time.as_secs_f64()),
+            format!("{:.3}", r.eval_time.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper shape: persistent forecast competitive on both error metrics at \
+         near-zero training cost; ARIMA training cost not comparable to the others"
+    );
+
+    emit_json("fig16_17_sql", &json!({ "rows": rows }));
+
+    // Shape assertions (per-database training cost ordering).
+    let per_db = |m: &str| {
+        rows.iter()
+            .find(|r| r.model.starts_with(m))
+            .map(|r| r.train_time.as_secs_f64() / r.forecasts.max(1) as f64)
+            .unwrap_or(f64::NAN)
+    };
+    assert!(per_db("persistent-prev-day") < per_db("neural-net"));
+    assert!(per_db("neural-net") < per_db("arima"));
+}

@@ -1,0 +1,104 @@
+//! Standard experiment fleets and the scale knob.
+
+use seagull_telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+
+/// Experiment scale, from the `SEAGULL_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per experiment (default).
+    Small,
+    /// Population sizes closer to the paper's (minutes per experiment).
+    Paper,
+}
+
+/// Reads the scale knob (`small` unless `SEAGULL_SCALE=paper`).
+pub fn scale() -> Scale {
+    match std::env::var("SEAGULL_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Small,
+    }
+}
+
+impl Scale {
+    /// Multiplier applied to base population sizes.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Paper => 10,
+        }
+    }
+}
+
+/// The classification-experiment fleet: one month (4+ weeks) of four regions
+/// mixing the Figure 3 population (the paper samples "several tens of
+/// thousands of servers from four regions during one month in 2019").
+pub fn classification_fleet(seed: u64) -> (Vec<ServerTelemetry>, FleetSpec) {
+    let spec = FleetSpec::four_regions(seed, 40 * scale().factor());
+    let fleet = FleetGenerator::new(spec.clone()).generate_weeks(4);
+    (fleet, spec)
+}
+
+/// A single-region fleet of `servers` servers over `weeks` weeks.
+pub fn region_fleet(seed: u64, servers: usize, weeks: usize) -> (Vec<ServerTelemetry>, FleetSpec) {
+    let mut spec = FleetSpec::small_region(seed);
+    spec.regions[0].servers = servers;
+    let fleet = FleetGenerator::new(spec.clone()).generate_weeks(weeks);
+    (fleet, spec)
+}
+
+/// Only the long-lived *unstable* servers of a fleet — the population the
+/// Figure 11 model comparison targets ("we apply ML models to such servers").
+pub fn unstable_pool(seed: u64, count: usize, weeks: usize) -> (Vec<ServerTelemetry>, i64) {
+    use seagull_telemetry::fleet::{ClassMix, RegionSpec};
+    let spec = FleetSpec {
+        seed,
+        regions: vec![RegionSpec {
+            name: "unstable-pool".into(),
+            servers: count,
+        }],
+        start_day: 17_997,
+        grid_min: 5,
+        mix: ClassMix {
+            short_lived: 0.0,
+            stable: 0.0,
+            daily: 0.0,
+            weekly: 0.0,
+            unstable: 1.0,
+        },
+        capacity_reaching: 0.037,
+    };
+    let start = spec.start_day;
+    (FleetGenerator::new(spec).generate_weeks(weeks), start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_telemetry::server::GeneratedClass;
+
+    #[test]
+    fn unstable_pool_is_all_unstable() {
+        let (fleet, _) = unstable_pool(3, 25, 2);
+        assert_eq!(fleet.len(), 25);
+        assert!(fleet
+            .iter()
+            .all(|s| s.meta.class == GeneratedClass::Unstable));
+        assert!(fleet.iter().all(|s| s.meta.deleted_day.is_none()));
+    }
+
+    #[test]
+    fn region_fleet_sizes() {
+        let (fleet, spec) = region_fleet(1, 12, 1);
+        assert_eq!(fleet.len(), 12);
+        assert_eq!(spec.regions[0].servers, 12);
+    }
+
+    #[test]
+    fn default_scale_is_small() {
+        // The test environment does not set SEAGULL_SCALE.
+        if std::env::var("SEAGULL_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Small);
+            assert_eq!(scale().factor(), 1);
+        }
+    }
+}

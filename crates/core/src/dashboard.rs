@@ -1,0 +1,219 @@
+//! The Application Insights substitute: run monitoring and summaries.
+//!
+//! "Application Insights Dashboard provides summarized view of the pipeline
+//! runs to facilitate real-time monitoring and incident management"
+//! (Section 2.2).
+
+use crate::incident::{IncidentManager, Severity};
+use crate::pipeline::PipelineRunReport;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregated view over recorded runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DashboardSummary {
+    pub runs: usize,
+    pub blocked_runs: usize,
+    pub total_predictions: usize,
+    pub total_evaluations: usize,
+    /// Mean stage duration across runs, by stage name.
+    pub mean_stage_duration: Vec<(String, Duration)>,
+    /// Latest accuracy per region: (region, window-correct %, load-accurate %).
+    pub latest_accuracy: Vec<(String, f64, f64)>,
+    pub open_warnings: usize,
+    pub open_criticals: usize,
+}
+
+/// Collects run reports and renders operator summaries.
+#[derive(Clone, Default)]
+pub struct Dashboard {
+    runs: Arc<RwLock<Vec<PipelineRunReport>>>,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    pub fn new() -> Dashboard {
+        Dashboard::default()
+    }
+
+    /// Records one run.
+    pub fn record(&self, report: PipelineRunReport) {
+        self.runs.write().push(report);
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.read().len()
+    }
+
+    /// True if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.runs.read().is_empty()
+    }
+
+    /// Builds the aggregate summary (joining the incident log for the alert
+    /// counters).
+    pub fn summary(&self, incidents: &IncidentManager) -> DashboardSummary {
+        let runs = self.runs.read();
+        let mut stage_totals: BTreeMap<String, (Duration, u32)> = BTreeMap::new();
+        let mut latest: BTreeMap<String, (i64, f64, f64)> = BTreeMap::new();
+        let mut blocked = 0usize;
+        let mut predictions = 0usize;
+        let mut evaluations = 0usize;
+        for r in runs.iter() {
+            if r.blocked {
+                blocked += 1;
+            }
+            predictions += r.predictions_written;
+            evaluations += r.evaluations;
+            for s in &r.stages {
+                let entry = stage_totals
+                    .entry(s.stage.clone())
+                    .or_insert((Duration::ZERO, 0));
+                entry.0 += s.duration;
+                entry.1 += 1;
+            }
+            if let Some(acc) = &r.accuracy {
+                let entry = latest
+                    .entry(r.region.clone())
+                    .or_insert((i64::MIN, 0.0, 0.0));
+                if r.week_start_day > entry.0 {
+                    *entry = (
+                        r.week_start_day,
+                        acc.window_correct_pct,
+                        acc.load_accurate_pct,
+                    );
+                }
+            }
+        }
+        DashboardSummary {
+            runs: runs.len(),
+            blocked_runs: blocked,
+            total_predictions: predictions,
+            total_evaluations: evaluations,
+            mean_stage_duration: stage_totals
+                .into_iter()
+                .map(|(k, (total, n))| (k, total / n.max(1)))
+                .collect(),
+            latest_accuracy: latest
+                .into_iter()
+                .map(|(region, (_, w, l))| (region, w, l))
+                .collect(),
+            open_warnings: incidents.open_count(Severity::Warning),
+            open_criticals: incidents.open_count(Severity::Critical),
+        }
+    }
+
+    /// Renders a plain-text operator view.
+    pub fn render(&self, incidents: &IncidentManager) -> String {
+        let s = self.summary(incidents);
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Seagull pipeline dashboard ===");
+        let _ = writeln!(
+            out,
+            "runs: {} ({} blocked) | predictions: {} | evaluations: {}",
+            s.runs, s.blocked_runs, s.total_predictions, s.total_evaluations
+        );
+        let _ = writeln!(
+            out,
+            "open incidents: {} critical, {} warning",
+            s.open_criticals, s.open_warnings
+        );
+        let _ = writeln!(out, "mean stage runtime:");
+        for (stage, d) in &s.mean_stage_duration {
+            let _ = writeln!(out, "  {stage:<14} {:>10.3} ms", d.as_secs_f64() * 1e3);
+        }
+        let _ = writeln!(out, "latest accuracy per region:");
+        for (region, w, l) in &s.latest_accuracy {
+            let _ = writeln!(
+                out,
+                "  {region:<14} LL windows {w:>6.2}% | in-window load {l:>6.2}%"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::AccuracySummary;
+    use crate::pipeline::StageTiming;
+
+    fn run(region: &str, week: i64, blocked: bool, acc: Option<(f64, f64)>) -> PipelineRunReport {
+        PipelineRunReport {
+            region: region.into(),
+            week_start_day: week,
+            input_bytes: 10,
+            stages: vec![
+                StageTiming {
+                    stage: "ingestion".into(),
+                    duration: Duration::from_millis(10),
+                },
+                StageTiming {
+                    stage: "validation".into(),
+                    duration: Duration::from_millis(30),
+                },
+            ],
+            servers: 5,
+            anomalies: 0,
+            blocked,
+            predictions_written: 5,
+            evaluations: if acc.is_some() { 5 } else { 0 },
+            accuracy: acc.map(|(w, l)| AccuracySummary {
+                servers: 5,
+                evaluated: 5,
+                window_correct_pct: w,
+                load_accurate_pct: l,
+            }),
+            deployed_version: Some(1),
+        }
+    }
+
+    #[test]
+    fn aggregates_runs() {
+        let d = Dashboard::new();
+        let inc = IncidentManager::new();
+        assert!(d.is_empty());
+        d.record(run("west", 100, false, None));
+        d.record(run("west", 107, false, Some((99.0, 96.0))));
+        d.record(run("east", 100, true, None));
+        let s = d.summary(&inc);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.blocked_runs, 1);
+        assert_eq!(s.total_predictions, 15);
+        assert_eq!(s.total_evaluations, 5);
+        // Mean of three 10 ms ingestion stages.
+        let (stage, dur) = &s.mean_stage_duration[0];
+        assert_eq!(stage, "ingestion");
+        assert_eq!(*dur, Duration::from_millis(10));
+        assert_eq!(s.latest_accuracy, vec![("west".to_string(), 99.0, 96.0)]);
+    }
+
+    #[test]
+    fn latest_accuracy_wins_by_week() {
+        let d = Dashboard::new();
+        let inc = IncidentManager::new();
+        d.record(run("west", 107, false, Some((90.0, 90.0))));
+        d.record(run("west", 100, false, Some((50.0, 50.0))));
+        let s = d.summary(&inc);
+        assert_eq!(s.latest_accuracy[0].1, 90.0);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let d = Dashboard::new();
+        let inc = IncidentManager::new();
+        inc.raise(Severity::Warning, "validation", "west", "x");
+        d.record(run("west", 100, false, Some((99.0, 96.0))));
+        let text = d.render(&inc);
+        assert!(text.contains("Seagull pipeline dashboard"));
+        assert!(text.contains("1 warning"));
+        assert!(text.contains("west"));
+        assert!(text.contains("99.00%"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The Cosmos DB substitute: an embedded, thread-safe JSON document store.
+//!
+//! "Results are stored in Cosmos DB, globally distributed and highly
+//! available database service" (Section 2.2). The pipeline writes prediction
+//! and accuracy documents here; the backup scheduler queries them. This
+//! substitute keeps the same shape — named collections of JSON documents with
+//! string ids, upsert semantics, and filtered scans — in-process.
+
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the document store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocStoreError {
+    /// Serialization or deserialization failed.
+    Codec(String),
+    /// Document not found.
+    NotFound { collection: String, id: String },
+}
+
+impl fmt::Display for DocStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocStoreError::Codec(m) => write!(f, "codec error: {m}"),
+            DocStoreError::NotFound { collection, id } => {
+                write!(f, "document {collection}/{id} not found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocStoreError {}
+
+#[derive(Default)]
+struct Inner {
+    collections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+/// A shared handle to the store (cheaply cloneable).
+///
+/// ```
+/// use seagull_core::docstore::DocStore;
+/// let store = DocStore::new();
+/// store.upsert("scores", "a", &42.0).unwrap();
+/// let v: f64 = store.get("scores", "a").unwrap();
+/// assert_eq!(v, 42.0);
+/// assert_eq!(store.count("scores"), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct DocStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl DocStore {
+    /// Creates an empty store.
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    /// Inserts or replaces a document.
+    pub fn upsert<T: Serialize>(
+        &self,
+        collection: &str,
+        id: &str,
+        doc: &T,
+    ) -> Result<(), DocStoreError> {
+        let value = serde_json::to_value(doc).map_err(|e| DocStoreError::Codec(e.to_string()))?;
+        self.inner
+            .write()
+            .collections
+            .entry(collection.to_string())
+            .or_default()
+            .insert(id.to_string(), value);
+        Ok(())
+    }
+
+    /// Fetches and decodes a document.
+    pub fn get<T: DeserializeOwned>(&self, collection: &str, id: &str) -> Result<T, DocStoreError> {
+        let guard = self.inner.read();
+        let value = guard
+            .collections
+            .get(collection)
+            .and_then(|c| c.get(id))
+            .ok_or_else(|| DocStoreError::NotFound {
+                collection: collection.to_string(),
+                id: id.to_string(),
+            })?;
+        serde_json::from_value(value.clone()).map_err(|e| DocStoreError::Codec(e.to_string()))
+    }
+
+    /// True if the document exists.
+    pub fn contains(&self, collection: &str, id: &str) -> bool {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .is_some_and(|c| c.contains_key(id))
+    }
+
+    /// Deletes a document; returns whether it existed.
+    pub fn delete(&self, collection: &str, id: &str) -> bool {
+        self.inner
+            .write()
+            .collections
+            .get_mut(collection)
+            .is_some_and(|c| c.remove(id).is_some())
+    }
+
+    /// Decodes every document in a collection (id-sorted).
+    pub fn scan<T: DeserializeOwned>(&self, collection: &str) -> Result<Vec<T>, DocStoreError> {
+        let guard = self.inner.read();
+        let Some(coll) = guard.collections.get(collection) else {
+            return Ok(Vec::new());
+        };
+        coll.values()
+            .map(|v| {
+                serde_json::from_value(v.clone()).map_err(|e| DocStoreError::Codec(e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Decodes documents whose raw JSON passes `filter` (id-sorted).
+    pub fn query<T: DeserializeOwned>(
+        &self,
+        collection: &str,
+        filter: impl Fn(&Value) -> bool,
+    ) -> Result<Vec<T>, DocStoreError> {
+        let guard = self.inner.read();
+        let Some(coll) = guard.collections.get(collection) else {
+            return Ok(Vec::new());
+        };
+        coll.values()
+            .filter(|v| filter(v))
+            .map(|v| {
+                serde_json::from_value(v.clone()).map_err(|e| DocStoreError::Codec(e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Ids in a collection (sorted).
+    pub fn ids(&self, collection: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map(|c| c.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of documents in a collection.
+    pub fn count(&self, collection: &str) -> usize {
+        self.inner
+            .read()
+            .collections
+            .get(collection)
+            .map_or(0, |c| c.len())
+    }
+
+    /// Names of all collections.
+    pub fn collections(&self) -> Vec<String> {
+        self.inner.read().collections.keys().cloned().collect()
+    }
+
+    /// Serializes the entire store to pretty JSON (the durability primitive:
+    /// Cosmos DB persists; this substitute snapshots).
+    pub fn snapshot_json(&self) -> Result<String, DocStoreError> {
+        let guard = self.inner.read();
+        serde_json::to_string_pretty(&guard.collections)
+            .map_err(|e| DocStoreError::Codec(e.to_string()))
+    }
+
+    /// Restores a store from a [`DocStore::snapshot_json`] payload.
+    pub fn from_snapshot_json(json: &str) -> Result<DocStore, DocStoreError> {
+        let collections: BTreeMap<String, BTreeMap<String, Value>> =
+            serde_json::from_str(json).map_err(|e| DocStoreError::Codec(e.to_string()))?;
+        Ok(DocStore {
+            inner: Arc::new(RwLock::new(Inner { collections })),
+        })
+    }
+
+    /// Writes a snapshot to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), DocStoreError> {
+        let json = self.snapshot_json()?;
+        std::fs::write(path, json).map_err(|e| DocStoreError::Codec(e.to_string()))
+    }
+
+    /// Loads a store from a snapshot file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<DocStore, DocStoreError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| DocStoreError::Codec(e.to_string()))?;
+        Self::from_snapshot_json(&json)
+    }
+}
+
+impl fmt::Debug for DocStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let guard = self.inner.read();
+        f.debug_map()
+            .entries(guard.collections.iter().map(|(k, v)| (k, v.len())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        region: String,
+        score: f64,
+    }
+
+    fn doc(region: &str, score: f64) -> Doc {
+        Doc {
+            region: region.into(),
+            score,
+        }
+    }
+
+    #[test]
+    fn upsert_get_round_trip() {
+        let store = DocStore::new();
+        store.upsert("results", "a", &doc("west", 1.0)).unwrap();
+        let got: Doc = store.get("results", "a").unwrap();
+        assert_eq!(got, doc("west", 1.0));
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let store = DocStore::new();
+        store.upsert("r", "a", &doc("west", 1.0)).unwrap();
+        store.upsert("r", "a", &doc("west", 2.0)).unwrap();
+        let got: Doc = store.get("r", "a").unwrap();
+        assert_eq!(got.score, 2.0);
+        assert_eq!(store.count("r"), 1);
+    }
+
+    #[test]
+    fn missing_document_errors() {
+        let store = DocStore::new();
+        let err = store.get::<Doc>("r", "nope").unwrap_err();
+        assert!(matches!(err, DocStoreError::NotFound { .. }));
+        assert!(!store.contains("r", "nope"));
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let store = DocStore::new();
+        store.upsert("r", "a", &doc("w", 1.0)).unwrap();
+        assert!(store.delete("r", "a"));
+        assert!(!store.delete("r", "a"));
+        assert!(!store.contains("r", "a"));
+    }
+
+    #[test]
+    fn scan_and_query() {
+        let store = DocStore::new();
+        store.upsert("r", "a", &doc("west", 1.0)).unwrap();
+        store.upsert("r", "b", &doc("east", 2.0)).unwrap();
+        store.upsert("r", "c", &doc("west", 3.0)).unwrap();
+        let all: Vec<Doc> = store.scan("r").unwrap();
+        assert_eq!(all.len(), 3);
+        let west: Vec<Doc> = store.query("r", |v| v["region"] == "west").unwrap();
+        assert_eq!(west.len(), 2);
+        assert!(west.iter().all(|d| d.region == "west"));
+        let none: Vec<Doc> = store.scan("empty").unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn ids_and_collections() {
+        let store = DocStore::new();
+        store.upsert("beta", "2", &doc("e", 0.0)).unwrap();
+        store.upsert("alpha", "1", &doc("w", 0.0)).unwrap();
+        assert_eq!(store.collections(), vec!["alpha", "beta"]);
+        assert_eq!(store.ids("beta"), vec!["2"]);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let store = DocStore::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        store
+                            .upsert("c", &format!("{t}-{i}"), &doc("r", i as f64))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.count("c"), 400);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let store = DocStore::new();
+        store.upsert("r", "a", &doc("west", 1.0)).unwrap();
+        store.upsert("s", "b", &doc("east", 2.0)).unwrap();
+        let json = store.snapshot_json().unwrap();
+        let restored = DocStore::from_snapshot_json(&json).unwrap();
+        let got: Doc = restored.get("r", "a").unwrap();
+        assert_eq!(got, doc("west", 1.0));
+        assert_eq!(restored.count("s"), 1);
+        assert_eq!(restored.collections(), store.collections());
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "seagull-docstore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let store = DocStore::new();
+        store.upsert("r", "a", &doc("w", 7.0)).unwrap();
+        store.save(&path).unwrap();
+        let restored = DocStore::load(&path).unwrap();
+        let got: Doc = restored.get("r", "a").unwrap();
+        assert_eq!(got.score, 7.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(DocStore::load("/nonexistent/snapshot.json").is_err());
+        assert!(DocStore::from_snapshot_json("not json").is_err());
+    }
+
+    #[test]
+    fn wrong_shape_decodes_to_codec_error() {
+        let store = DocStore::new();
+        store.upsert("r", "a", &"just a string").unwrap();
+        let err = store.get::<Doc>("r", "a").unwrap_err();
+        assert!(matches!(err, DocStoreError::Codec(_)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Incident management.
+//!
+//! "Examples of incidents include missing or invalid input data, errors or
+//! exceptions in any step of the pipeline, and failed model deployment"
+//! (Section 2.2). Incidents raised here feed the dashboard and, in
+//! production, the paging system.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Incident severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    Info,
+    Warning,
+    Critical,
+}
+
+/// Incident lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentState {
+    Open,
+    Resolved,
+}
+
+/// One incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    pub id: u64,
+    pub severity: Severity,
+    /// The component that raised it (e.g. `"validation"`, `"deployment"`).
+    pub source: String,
+    /// Region the run belonged to.
+    pub region: String,
+    pub message: String,
+    pub state: IncidentState,
+}
+
+#[derive(Default)]
+struct Inner {
+    incidents: Vec<Incident>,
+    next_id: u64,
+}
+
+/// Thread-safe incident log shared across pipeline components.
+#[derive(Clone, Default)]
+pub struct IncidentManager {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl IncidentManager {
+    /// Creates an empty manager.
+    pub fn new() -> IncidentManager {
+        IncidentManager::default()
+    }
+
+    /// Raises an incident, returning its id.
+    pub fn raise(
+        &self,
+        severity: Severity,
+        source: &str,
+        region: &str,
+        message: impl Into<String>,
+    ) -> u64 {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.incidents.push(Incident {
+            id,
+            severity,
+            source: source.to_string(),
+            region: region.to_string(),
+            message: message.into(),
+            state: IncidentState::Open,
+        });
+        id
+    }
+
+    /// Resolves an incident; returns whether it existed and was open.
+    pub fn resolve(&self, id: u64) -> bool {
+        let mut inner = self.inner.write();
+        match inner.incidents.iter_mut().find(|i| i.id == id) {
+            Some(i) if i.state == IncidentState::Open => {
+                i.state = IncidentState::Resolved;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All incidents (snapshot).
+    pub fn all(&self) -> Vec<Incident> {
+        self.inner.read().incidents.clone()
+    }
+
+    /// Open incidents (snapshot).
+    pub fn open(&self) -> Vec<Incident> {
+        self.inner
+            .read()
+            .incidents
+            .iter()
+            .filter(|i| i.state == IncidentState::Open)
+            .cloned()
+            .collect()
+    }
+
+    /// Count by severity, open incidents only.
+    pub fn open_count(&self, severity: Severity) -> usize {
+        self.inner
+            .read()
+            .incidents
+            .iter()
+            .filter(|i| i.state == IncidentState::Open && i.severity == severity)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_list() {
+        let m = IncidentManager::new();
+        let a = m.raise(Severity::Warning, "validation", "west", "bound anomaly");
+        let b = m.raise(Severity::Critical, "deployment", "west", "deploy failed");
+        assert_ne!(a, b);
+        assert_eq!(m.all().len(), 2);
+        assert_eq!(m.open_count(Severity::Critical), 1);
+        assert_eq!(m.open_count(Severity::Warning), 1);
+        assert_eq!(m.open_count(Severity::Info), 0);
+    }
+
+    #[test]
+    fn resolve_lifecycle() {
+        let m = IncidentManager::new();
+        let id = m.raise(Severity::Info, "x", "r", "msg");
+        assert!(m.resolve(id));
+        assert!(!m.resolve(id), "double resolve is a no-op");
+        assert!(!m.resolve(999), "unknown id");
+        assert!(m.open().is_empty());
+        assert_eq!(m.all().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_raises_get_unique_ids() {
+        let m = IncidentManager::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        m.raise(Severity::Info, "t", "r", "m");
+                    }
+                });
+            }
+        });
+        let mut ids: Vec<u64> = m.all().iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+}

@@ -1,0 +1,58 @@
+//! # seagull-core
+//!
+//! The Seagull infrastructure itself — the paper's primary contribution
+//! (Sections 2–4): the use-case-agnostic pipeline that consumes load,
+//! validates it, extracts features, trains/deploys forecasting models,
+//! performs inference, evaluates low-load prediction accuracy, stores
+//! results, and monitors itself.
+//!
+//! * [`metrics`] — Definitions 1–9: the asymmetric error bound, bucket
+//!   ratio, lowest-load windows, and the combined evaluation; plus the
+//!   Appendix A NRMSE/MASE metrics.
+//! * [`classify`] — Definitions 3–6 server classification (Figure 3).
+//! * [`validation`] — the Data Validation module (schema/bound anomalies).
+//! * [`features`] — the Feature Extraction module.
+//! * [`evaluate`] — the Accuracy Evaluation module: backup-day evaluation
+//!   and the three-week predictability gate (Definition 9), serial or
+//!   parallel.
+//! * [`pipeline`] — the AML-pipeline substitute orchestrating all stages,
+//!   with per-stage timing (Figure 12(a)).
+//! * [`registry`] — model version tracking, deployment endpoints, and the
+//!   last-known-good fallback rule.
+//! * [`docstore`] — the Cosmos DB substitute where results land.
+//! * [`incident`] / [`dashboard`] — alerting and the Application Insights
+//!   substitute.
+//! * [`par`] — the Dask substitute: a from-scratch parallel map used by the
+//!   per-server stages (Figure 12(b)).
+
+pub mod classify;
+pub mod clock;
+pub mod dashboard;
+pub mod docstore;
+pub mod evaluate;
+pub mod features;
+pub mod incident;
+pub mod metrics;
+pub mod par;
+pub mod pipeline;
+pub mod registry;
+pub mod validation;
+
+pub use classify::{classify_fleet, classify_fleet_with, ClassificationReport, ServerClass};
+pub use clock::{JobRun, JobScheduler, RecurringJob};
+pub use dashboard::{Dashboard, DashboardSummary};
+pub use docstore::{DocStore, DocStoreError};
+pub use evaluate::{
+    evaluate_backup_day, evaluate_fleet_week, predictability, predictability_fleet,
+    AccuracySummary, EvaluationConfig,
+};
+pub use features::{extract_features, ServerFeatures};
+pub use incident::{Incident, IncidentManager, Severity};
+pub use metrics::{
+    bucket_ratio, evaluate_low_load, is_accurate, lowest_load_window, AccuracyConfig, ErrorBound,
+    LowLoadEvaluation, LowLoadWindow,
+};
+pub use par::{default_threads, parallel_map};
+pub use pipeline::{AmlPipeline, PipelineConfig, PipelineRunReport};
+pub use registry::{EndpointSet, ModelAccuracy, ModelRegistry};
+pub use validation::{validate_batch, validate_servers, Anomaly, DataProfile, ValidationReport};

@@ -1,0 +1,128 @@
+//! The Dask substitute: a from-scratch data-parallel executor.
+//!
+//! The paper partitions input "per server and processes servers in parallel"
+//! with Dask, winning 3–4.6× over single-threaded execution (Figure 12(b)).
+//! This module provides the same partition-per-item parallel map: worker
+//! threads pull indices from a shared atomic counter (work stealing at
+//! item granularity), results flow back over a crossbeam channel, and order
+//! is restored at the end. `std::thread::scope` keeps it all borrow-checked
+//! with zero `unsafe`.
+
+use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map preserving input order.
+///
+/// ```
+/// use seagull_core::par::parallel_map;
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// Spawns `threads` workers (at least one; one means serial-on-this-thread).
+/// `f` runs once per item; panics in workers propagate after all workers
+/// finish their current items.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // A send can only fail if the receiver was dropped, which
+                // cannot happen while this scope is alive.
+                let _ = tx.send((i, f(&items[i])));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly one result"))
+            .collect()
+    })
+}
+
+/// The default worker count: available parallelism, as Dask defaults to the
+/// machine's cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equals_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_map(&items, threads, |x| x * x + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7], 16, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn order_preserved_with_skewed_work() {
+        // Earlier items take longer: completion order inverts input order,
+        // the result must not.
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            if x < 5 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, 4, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The Data Validation module.
+//!
+//! "Since data validation is a well-studied topic, we implemented existing
+//! rules such as detection of schema and bound anomalies" (Section 2.2), and
+//! from Section 2.4: "we automatically deduce schema and other data
+//! properties (e.g., min and max values of numeric attribute values) from the
+//! input data. The schema and data properties are stored in a file. After the
+//! file has been verified by a domain expert, it is used to detect schema and
+//! bound anomalies."
+//!
+//! [`DataProfile::deduce`] is that deduction step; [`validate_batch`] applies
+//! a (verified) profile to fresh input and reports anomalies, which the
+//! pipeline converts into incidents.
+
+use seagull_telemetry::extract::ExtractedServer;
+use seagull_telemetry::record::RecordBatch;
+use serde::{Deserialize, Serialize};
+
+/// Deduced (and expert-verified) data properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataProfile {
+    /// Inclusive load bounds; CPU percentages are `[0, 100]` but the profile
+    /// is deduced, not assumed.
+    pub min_load: f64,
+    pub max_load: f64,
+    /// Expected grid step in minutes.
+    pub grid_min: u32,
+    /// Maximum tolerated fraction of missing buckets per server before an
+    /// anomaly fires.
+    pub max_missing_fraction: f64,
+    /// Slack added to deduced bounds when validating fresh data, as a
+    /// fraction of the deduced range (new weeks legitimately exceed old
+    /// extremes slightly).
+    pub bound_slack: f64,
+}
+
+impl DataProfile {
+    /// Deduces a profile from a reference batch (Section 2.4's "automatically
+    /// deduce ... from the input data"). The result is meant to be reviewed
+    /// before use; [`DataProfile::standard`] is the reviewed production
+    /// profile.
+    pub fn deduce(batch: &RecordBatch, grid_min: u32) -> DataProfile {
+        let mut min_load = f64::INFINITY;
+        let mut max_load = f64::NEG_INFINITY;
+        for r in &batch.records {
+            if r.avg_cpu.is_finite() {
+                min_load = min_load.min(r.avg_cpu);
+                max_load = max_load.max(r.avg_cpu);
+            }
+        }
+        if !min_load.is_finite() {
+            min_load = 0.0;
+            max_load = 100.0;
+        }
+        DataProfile {
+            min_load,
+            max_load,
+            grid_min,
+            max_missing_fraction: 0.25,
+            bound_slack: 0.05,
+        }
+    }
+
+    /// The expert-verified profile used in production: loads are CPU
+    /// percentages.
+    pub fn standard(grid_min: u32) -> DataProfile {
+        DataProfile {
+            min_load: 0.0,
+            max_load: 100.0,
+            grid_min,
+            max_missing_fraction: 0.25,
+            bound_slack: 0.0,
+        }
+    }
+
+    fn lower(&self) -> f64 {
+        self.min_load - self.bound_slack * (self.max_load - self.min_load)
+    }
+
+    fn upper(&self) -> f64 {
+        self.max_load + self.bound_slack * (self.max_load - self.min_load)
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// The batch contained no rows at all.
+    EmptyInput,
+    /// A load value outside the (slack-widened) deduced bounds.
+    BoundViolation {
+        server_id: u64,
+        timestamp_min: i64,
+        value: f64,
+    },
+    /// A non-finite load value.
+    NonFiniteValue { server_id: u64, timestamp_min: i64 },
+    /// A row off the expected grid.
+    OffGridTimestamp { server_id: u64, timestamp_min: i64 },
+    /// Two rows for the same (server, timestamp).
+    DuplicateRow { server_id: u64, timestamp_min: i64 },
+    /// A default backup window with non-positive length.
+    InvalidBackupWindow { server_id: u64 },
+    /// A server whose missing-bucket fraction exceeds the profile threshold.
+    ExcessiveMissingData { server_id: u64, fraction: f64 },
+}
+
+impl Anomaly {
+    /// True for anomalies that should block the pipeline rather than just
+    /// alert (empty input means nothing downstream can run).
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Anomaly::EmptyInput)
+    }
+}
+
+/// Validation output.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ValidationReport {
+    pub anomalies: Vec<Anomaly>,
+    /// Rows inspected.
+    pub rows: usize,
+    /// Distinct servers seen.
+    pub servers: usize,
+}
+
+impl ValidationReport {
+    /// True when no anomaly at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// True when a blocking anomaly was found.
+    pub fn is_blocked(&self) -> bool {
+        self.anomalies.iter().any(Anomaly::is_blocking)
+    }
+}
+
+/// Validates a raw batch against a profile: bounds, grid, duplicates, backup
+/// windows. Reported anomalies are capped at `max_reports` per kind so a
+/// systematically broken file cannot flood the incident store.
+pub fn validate_batch(
+    batch: &RecordBatch,
+    profile: &DataProfile,
+    max_reports: usize,
+) -> ValidationReport {
+    let mut report = ValidationReport {
+        rows: batch.len(),
+        ..ValidationReport::default()
+    };
+    if batch.is_empty() {
+        report.anomalies.push(Anomaly::EmptyInput);
+        return report;
+    }
+    let mut bound_hits = 0usize;
+    let mut grid_hits = 0usize;
+    let mut dup_hits = 0usize;
+    let mut window_hits = 0usize;
+    let mut nonfinite_hits = 0usize;
+    let mut seen: std::collections::HashSet<(u64, i64)> = std::collections::HashSet::new();
+    let mut servers: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let (lo, hi) = (profile.lower(), profile.upper());
+    for r in &batch.records {
+        servers.insert(r.server_id.0);
+        if !r.avg_cpu.is_finite() {
+            nonfinite_hits += 1;
+            if nonfinite_hits <= max_reports {
+                report.anomalies.push(Anomaly::NonFiniteValue {
+                    server_id: r.server_id.0,
+                    timestamp_min: r.timestamp_min,
+                });
+            }
+        } else if r.avg_cpu < lo || r.avg_cpu > hi {
+            bound_hits += 1;
+            if bound_hits <= max_reports {
+                report.anomalies.push(Anomaly::BoundViolation {
+                    server_id: r.server_id.0,
+                    timestamp_min: r.timestamp_min,
+                    value: r.avg_cpu,
+                });
+            }
+        }
+        if r.timestamp_min.rem_euclid(profile.grid_min as i64) != 0 {
+            grid_hits += 1;
+            if grid_hits <= max_reports {
+                report.anomalies.push(Anomaly::OffGridTimestamp {
+                    server_id: r.server_id.0,
+                    timestamp_min: r.timestamp_min,
+                });
+            }
+        }
+        if !seen.insert((r.server_id.0, r.timestamp_min)) {
+            dup_hits += 1;
+            if dup_hits <= max_reports {
+                report.anomalies.push(Anomaly::DuplicateRow {
+                    server_id: r.server_id.0,
+                    timestamp_min: r.timestamp_min,
+                });
+            }
+        }
+        if r.default_backup_end <= r.default_backup_start {
+            window_hits += 1;
+            if window_hits <= max_reports {
+                report.anomalies.push(Anomaly::InvalidBackupWindow {
+                    server_id: r.server_id.0,
+                });
+            }
+        }
+    }
+    report.servers = servers.len();
+    report
+}
+
+/// Validates reassembled per-server series for missing-data density.
+pub fn validate_servers(servers: &[ExtractedServer], profile: &DataProfile) -> ValidationReport {
+    let mut report = ValidationReport {
+        servers: servers.len(),
+        ..ValidationReport::default()
+    };
+    if servers.is_empty() {
+        report.anomalies.push(Anomaly::EmptyInput);
+        return report;
+    }
+    for s in servers {
+        report.rows += s.series.len();
+        if s.series.is_empty() {
+            continue;
+        }
+        let fraction = s.series.missing_count() as f64 / s.series.len() as f64;
+        if fraction > profile.max_missing_fraction {
+            report.anomalies.push(Anomaly::ExcessiveMissingData {
+                server_id: s.id.0,
+                fraction,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_telemetry::record::LoadRecord;
+    use seagull_telemetry::server::ServerId;
+    use seagull_timeseries::{TimeSeries, Timestamp};
+
+    fn rec(server: u64, ts: i64, cpu: f64) -> LoadRecord {
+        LoadRecord {
+            server_id: ServerId(server),
+            timestamp_min: ts,
+            avg_cpu: cpu,
+            default_backup_start: 0,
+            default_backup_end: 60,
+        }
+    }
+
+    #[test]
+    fn clean_batch_passes() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 10.0), rec(1, 5, 20.0), rec(2, 0, 30.0)]);
+        let report = validate_batch(&batch, &DataProfile::standard(5), 10);
+        assert!(report.is_clean());
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.servers, 2);
+    }
+
+    #[test]
+    fn empty_input_blocks() {
+        let report = validate_batch(&RecordBatch::default(), &DataProfile::standard(5), 10);
+        assert!(report.is_blocked());
+        assert_eq!(report.anomalies, vec![Anomaly::EmptyInput]);
+    }
+
+    #[test]
+    fn bound_violations_detected() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 120.0), rec(1, 5, -3.0)]);
+        let report = validate_batch(&batch, &DataProfile::standard(5), 10);
+        assert_eq!(
+            report
+                .anomalies
+                .iter()
+                .filter(|a| matches!(a, Anomaly::BoundViolation { .. }))
+                .count(),
+            2
+        );
+        assert!(!report.is_blocked());
+    }
+
+    #[test]
+    fn nonfinite_detected_separately() {
+        let batch = RecordBatch::new(vec![rec(1, 0, f64::NAN)]);
+        let report = validate_batch(&batch, &DataProfile::standard(5), 10);
+        assert!(matches!(
+            report.anomalies[0],
+            Anomaly::NonFiniteValue { server_id: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn grid_duplicates_and_windows() {
+        let mut bad_window = rec(3, 10, 1.0);
+        bad_window.default_backup_end = bad_window.default_backup_start;
+        let batch = RecordBatch::new(vec![
+            rec(1, 3, 10.0), // off grid
+            rec(2, 5, 10.0),
+            rec(2, 5, 11.0), // duplicate
+            bad_window,
+        ]);
+        let report = validate_batch(&batch, &DataProfile::standard(5), 10);
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::OffGridTimestamp { server_id: 1, .. })));
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::DuplicateRow { server_id: 2, .. })));
+        assert!(report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::InvalidBackupWindow { server_id: 3 })));
+    }
+
+    #[test]
+    fn report_flood_is_capped() {
+        let records: Vec<LoadRecord> = (0..100).map(|i| rec(1, i * 5, 500.0)).collect();
+        let report = validate_batch(&RecordBatch::new(records), &DataProfile::standard(5), 3);
+        assert_eq!(report.anomalies.len(), 3);
+    }
+
+    #[test]
+    fn deduced_profile_brackets_data() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 5.0), rec(1, 5, 95.0)]);
+        let p = DataProfile::deduce(&batch, 5);
+        assert_eq!(p.min_load, 5.0);
+        assert_eq!(p.max_load, 95.0);
+        // Slack admits slightly-out-of-range fresh data.
+        let fresh = RecordBatch::new(vec![rec(1, 0, 97.0)]);
+        assert!(validate_batch(&fresh, &p, 10).is_clean());
+        let way_out = RecordBatch::new(vec![rec(1, 0, 120.0)]);
+        assert!(!validate_batch(&way_out, &p, 10).is_clean());
+    }
+
+    #[test]
+    fn deduce_from_empty_defaults() {
+        let p = DataProfile::deduce(&RecordBatch::default(), 5);
+        assert_eq!((p.min_load, p.max_load), (0.0, 100.0));
+    }
+
+    #[test]
+    fn missing_data_per_server() {
+        let dense = ExtractedServer {
+            id: ServerId(1),
+            series: TimeSeries::new(Timestamp::EPOCH, 5, vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            default_backup_start: Timestamp::EPOCH,
+            default_backup_end: Timestamp::EPOCH + 60,
+        };
+        let sparse = ExtractedServer {
+            id: ServerId(2),
+            series: TimeSeries::new(Timestamp::EPOCH, 5, vec![1.0, f64::NAN, f64::NAN, f64::NAN])
+                .unwrap(),
+            default_backup_start: Timestamp::EPOCH,
+            default_backup_end: Timestamp::EPOCH + 60,
+        };
+        let report = validate_servers(&[dense, sparse], &DataProfile::standard(5));
+        assert_eq!(report.anomalies.len(), 1);
+        assert!(matches!(
+            report.anomalies[0],
+            Anomaly::ExcessiveMissingData { server_id: 2, .. }
+        ));
+        let empty = validate_servers(&[], &DataProfile::standard(5));
+        assert!(empty.is_blocked());
+    }
+}

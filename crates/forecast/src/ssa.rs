@@ -1,0 +1,300 @@
+//! Singular Spectrum Analysis with recurrent forecasting.
+//!
+//! This is the algorithm behind NimbusML/ML.NET's `SsaForecaster`, which the
+//! paper applies to unstable servers: "Specifically, we use Singular Spectrum
+//! Analysis to transform forecasts" (Section 5.1).
+//!
+//! The implementation follows the classical Basic SSA + R-forecasting recipe
+//! (Golyandina et al.):
+//!
+//! 1. embed the series into an `L × K` Hankel trajectory matrix;
+//! 2. take its SVD and keep the leading eigentriples covering an energy
+//!    fraction (the *signal subspace*);
+//! 3. reconstruct the smoothed signal by diagonal averaging;
+//! 4. derive the linear recurrence relation (LRR) from the signal subspace
+//!    and iterate it to produce the forecast.
+
+use crate::{check_history, FittedModel, ForecastError, Forecaster};
+use seagull_linalg::{hankel_matrix, hankelize, thin_svd, Matrix};
+use seagull_timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// SSA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsaConfig {
+    /// Embedding window length `L`. The classical guidance is `n/2 ≥ L ≥
+    /// period`; for 5-minute telemetry a few hours works well and keeps the
+    /// `L × L` eigenproblem cheap.
+    pub window: usize,
+    /// Keep the smallest set of leading components whose squared singular
+    /// values cover this energy fraction.
+    pub energy: f64,
+    /// Hard cap on the number of retained components.
+    pub max_rank: usize,
+}
+
+impl Default for SsaConfig {
+    fn default() -> Self {
+        SsaConfig {
+            window: 72, // 6 hours at 5-minute granularity
+            energy: 0.92,
+            max_rank: 12,
+        }
+    }
+}
+
+/// The SSA forecaster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsaForecaster {
+    config: SsaConfig,
+}
+
+impl SsaForecaster {
+    /// Creates a forecaster with the given configuration.
+    pub fn new(config: SsaConfig) -> SsaForecaster {
+        SsaForecaster { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SsaConfig {
+        &self.config
+    }
+}
+
+impl Default for SsaForecaster {
+    fn default() -> Self {
+        SsaForecaster::new(SsaConfig::default())
+    }
+}
+
+impl Forecaster for SsaForecaster {
+    fn name(&self) -> &'static str {
+        "ssa"
+    }
+
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let l = self.config.window;
+        if l < 2 {
+            return Err(ForecastError::Numerical(
+                "SSA window must be at least 2".into(),
+            ));
+        }
+        // Need at least 2L points so that K = n - L + 1 > L (a proper
+        // trajectory matrix) and the LRR has data to run on.
+        check_history(history, 2 * l)?;
+        // No centering: the DC level is captured by the leading eigentriple,
+        // keeping the linear recurrence valid on the raw signal.
+        let traj = hankel_matrix(history.values(), l);
+        let svd = thin_svd(&traj)?;
+
+        // Pick the signal subspace by cumulative energy.
+        let total: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        let mut rank = 0;
+        let mut acc = 0.0;
+        for s in &svd.sigma {
+            if rank >= self.config.max_rank {
+                break;
+            }
+            rank += 1;
+            acc += s * s;
+            if total > 0.0 && acc / total >= self.config.energy {
+                break;
+            }
+        }
+        let rank = rank.max(1);
+
+        // The LRR needs the verticality coefficient v² = Σ π_i² < 1 where
+        // π_i is the last coordinate of the i-th left singular vector.
+        let mut v2 = 0.0;
+        for c in 0..rank {
+            let pi = svd.u[(l - 1, c)];
+            v2 += pi * pi;
+        }
+        if v2 >= 1.0 - 1e-9 {
+            return Err(ForecastError::Numerical(
+                "SSA series is non-forecastable (vertical signal subspace)".into(),
+            ));
+        }
+        // R_j = (1/(1-v²)) Σ_i π_i · U_i[j], j = 0..L-1.
+        let mut lrr = vec![0.0f64; l - 1];
+        for c in 0..rank {
+            let pi = svd.u[(l - 1, c)];
+            if pi == 0.0 {
+                continue;
+            }
+            for (j, r) in lrr.iter_mut().enumerate() {
+                *r += pi * svd.u[(j, c)];
+            }
+        }
+        for r in &mut lrr {
+            *r /= 1.0 - v2;
+        }
+
+        // Reconstruct the smoothed signal (rank-r approximation of the
+        // trajectory matrix, diagonally averaged) to seed the recurrence with
+        // denoised values.
+        let approx: Matrix = {
+            // U_r diag(sigma_r) V_rᵀ done column block at a time.
+            let mut m = Matrix::zeros(l, traj.cols());
+            for c in 0..rank {
+                let s = svd.sigma[c];
+                for i in 0..l {
+                    let us = svd.u[(i, c)] * s;
+                    if us == 0.0 {
+                        continue;
+                    }
+                    let row = m.row_mut(i);
+                    for (j, r) in row.iter_mut().enumerate() {
+                        *r += us * svd.v[(j, c)];
+                    }
+                }
+            }
+            m
+        };
+        let signal = hankelize(&approx);
+
+        Ok(Box::new(FittedSsa {
+            signal,
+            lrr,
+            template: history.clone(),
+        }))
+    }
+}
+
+struct FittedSsa {
+    /// Denoised history (same length as the input).
+    signal: Vec<f64>,
+    /// Linear recurrence coefficients, length `L-1`.
+    lrr: Vec<f64>,
+    template: TimeSeries,
+}
+
+impl FittedModel for FittedSsa {
+    fn predict(&self, horizon: usize) -> Result<TimeSeries, ForecastError> {
+        let l1 = self.lrr.len();
+        let mut buf = self.signal.clone();
+        buf.reserve(horizon);
+        for _ in 0..horizon {
+            let n = buf.len();
+            let next: f64 = self
+                .lrr
+                .iter()
+                .zip(&buf[n - l1..])
+                .map(|(r, z)| r * z)
+                .sum();
+            // Load is a percentage; clamp forecasts into the physical range
+            // so a marginally unstable LRR cannot run away over long horizons.
+            buf.push(next.clamp(0.0, 100.0));
+        }
+        Ok(TimeSeries::new(
+            self.template.end(),
+            self.template.step_min(),
+            buf[self.signal.len()..].to_vec(),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{daily_sine, rmse};
+    use seagull_timeseries::{TimeSeries, Timestamp};
+
+    #[test]
+    fn forecasts_pure_sine_accurately() {
+        let hist = daily_sine(3, 15); // 96/day, 288 points
+        let model = SsaForecaster::new(SsaConfig {
+            window: 48,
+            energy: 0.999,
+            max_rank: 8,
+        });
+        let pred = model.fit_predict(&hist, 96).unwrap();
+        let truth = daily_sine(4, 15);
+        let expect = truth.slice(hist.end(), hist.end() + 1440).unwrap();
+        let err = rmse(&pred, &expect);
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let hist = TimeSeries::from_fn(Timestamp::from_days(5), 5, 600, |_| 42.0).unwrap();
+        let pred = SsaForecaster::default().fit_predict(&hist, 50).unwrap();
+        for v in pred.values() {
+            assert!((v - 42.0).abs() < 0.5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn linear_trend_continues() {
+        let hist = TimeSeries::from_fn(Timestamp::from_days(5), 5, 400, |t| {
+            20.0 + 0.01 * (t.minutes() - 5 * 1440) as f64 / 5.0
+        })
+        .unwrap();
+        let model = SsaForecaster::new(SsaConfig {
+            window: 30,
+            energy: 0.9999,
+            max_rank: 4,
+        });
+        let pred = model.fit_predict(&hist, 20).unwrap();
+        // The trend should keep rising.
+        let last_hist = hist.values()[hist.len() - 1];
+        assert!(pred.values()[19] > last_hist, "trend should continue");
+        // And roughly linearly.
+        let expect = last_hist + 0.01 * 20.0;
+        assert!((pred.values()[19] - expect).abs() < 0.5);
+    }
+
+    #[test]
+    fn insufficient_history_rejected() {
+        let hist = TimeSeries::from_fn(Timestamp::from_days(5), 5, 100, |_| 1.0).unwrap();
+        let model = SsaForecaster::default(); // window 72 needs 144 points
+        assert!(matches!(
+            model.fit(&hist),
+            Err(ForecastError::InsufficientHistory { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_history_rejected() {
+        let mut hist = daily_sine(2, 5);
+        hist.values_mut()[3] = f64::NAN;
+        assert!(matches!(
+            SsaForecaster::default().fit(&hist),
+            Err(ForecastError::NonFiniteHistory)
+        ));
+    }
+
+    #[test]
+    fn forecast_grid_follows_history() {
+        let hist = daily_sine(2, 5);
+        let pred = SsaForecaster::default().fit_predict(&hist, 12).unwrap();
+        assert_eq!(pred.start(), hist.end());
+        assert_eq!(pred.step_min(), 5);
+        assert_eq!(pred.len(), 12);
+    }
+
+    #[test]
+    fn forecasts_stay_in_percentage_range() {
+        // A noisy-ish deterministic series that could excite instability.
+        let hist = TimeSeries::from_fn(Timestamp::from_days(5), 5, 500, |t| {
+            let x = t.minutes() as f64;
+            50.0 + 30.0 * (x / 97.0).sin() + 15.0 * (x / 13.0).cos()
+        })
+        .unwrap();
+        let pred = SsaForecaster::default().fit_predict(&hist, 1000).unwrap();
+        for v in pred.values() {
+            assert!((0.0..=100.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn tiny_window_rejected() {
+        let hist = daily_sine(2, 5);
+        let model = SsaForecaster::new(SsaConfig {
+            window: 1,
+            energy: 0.9,
+            max_rank: 3,
+        });
+        assert!(model.fit(&hist).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+
+use crate::matrix::{LinalgError, Matrix};
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix, with
+/// eigenvalues sorted in descending order and eigenvectors as the *columns*
+/// of `vectors`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi rotation method.
+///
+/// Jacobi is quadratic per sweep but converges in a handful of sweeps and is
+/// unconditionally stable — exactly right for the ≤ few-hundred-column Gram
+/// matrices that SSA produces. Symmetry of the input is assumed (only the
+/// upper triangle is trusted); asymmetric input gives the decomposition of
+/// its symmetric part.
+pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch {
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    // Work on the symmetrized copy to be robust to tiny asymmetries from
+    // accumulated floating-point error in Gram computations.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        return Ok(SymmetricEigen {
+            values: (0..n).map(|i| m[(i, i)]).collect(),
+            vectors: v,
+        });
+    }
+
+    let eps = 1e-12 * m.frobenius_norm().max(1e-300);
+    for _sweep in 0..max_sweeps {
+        // Sum of squares of the off-diagonal: the convergence measure.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= eps {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= eps / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable computation of the rotation (Golub & Van Loan).
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // One final convergence check after the last sweep.
+    let mut off = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            off += m[(i, j)] * m[(i, j)];
+        }
+    }
+    if off.sqrt() <= eps * 1e3 {
+        Ok(finish(m, v))
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+        })
+    }
+}
+
+fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        m[(b, b)]
+            .partial_cmp(&m[(a, a)])
+            .expect("finite eigenvalues")
+    });
+    let values = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        let n = e.values.len();
+        let lambda = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        e.vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&a, 30).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a, 30).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        // A pseudo-random symmetric matrix.
+        let n = 8;
+        let raw = Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17) % 13) as f64) / 3.0 - 2.0);
+        let a = Matrix::from_fn(n, n, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        let e = symmetric_eigen(&a, 60).unwrap();
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-8);
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+        // Sorted descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 2.0, 1.0, 5.0, 0.5, 2.0, 0.5, 6.0]);
+        let e = symmetric_eigen(&a, 50).unwrap();
+        let trace = 4.0 + 5.0 + 6.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let a = Matrix::from_rows(1, 1, vec![7.0]);
+        let e = symmetric_eigen(&a, 10).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+        let z = Matrix::zeros(0, 0);
+        assert!(symmetric_eigen(&z, 10).unwrap().values.is_empty());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(symmetric_eigen(&a, 10).is_err());
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_eigenvalues() {
+        let b = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let g = b.gram();
+        let e = symmetric_eigen(&g, 60).unwrap();
+        for v in &e.values {
+            assert!(*v > -1e-9, "eigenvalue {v} should be nonnegative");
+        }
+    }
+}

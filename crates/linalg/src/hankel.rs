@@ -1,0 +1,94 @@
+//! Hankel (trajectory) matrices for singular spectrum analysis.
+
+use crate::matrix::Matrix;
+
+/// Builds the SSA trajectory matrix of a series: an `L × K` Hankel matrix
+/// whose column `k` is the window `series[k .. k+L]`, with `K = n - L + 1`.
+///
+/// Panics if `window == 0` or `window > series.len()` — SSA callers validate
+/// the window against the history length before embedding.
+pub fn hankel_matrix(series: &[f64], window: usize) -> Matrix {
+    assert!(
+        window > 0 && window <= series.len(),
+        "SSA window {} out of range for series of length {}",
+        window,
+        series.len()
+    );
+    let l = window;
+    let k = series.len() - window + 1;
+    Matrix::from_fn(l, k, |i, j| series[i + j])
+}
+
+/// Inverse of the Hankel embedding: averages the anti-diagonals of an
+/// `L × K` matrix back into a series of length `L + K - 1`.
+///
+/// For a matrix that is exactly Hankel this reproduces the original series;
+/// for the low-rank approximations SSA produces it is the diagonal-averaging
+/// (hankelization) step of the algorithm.
+pub fn hankelize(m: &Matrix) -> Vec<f64> {
+    let (l, k) = m.shape();
+    if l == 0 || k == 0 {
+        return Vec::new();
+    }
+    let n = l + k - 1;
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0u32; n];
+    for i in 0..l {
+        let row = m.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            sums[i + j] += v;
+            counts[i + j] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| s / c as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_shape_and_content() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let h = hankel_matrix(&s, 3);
+        assert_eq!(h.shape(), (3, 3));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(h.row(1), &[2.0, 3.0, 4.0]);
+        assert_eq!(h.row(2), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn hankelize_inverts_embedding() {
+        let s: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin()).collect();
+        for window in [1, 2, 5, 10, 20] {
+            let h = hankel_matrix(&s, window);
+            let back = hankelize(&h);
+            assert_eq!(back.len(), s.len());
+            for (a, b) in back.iter().zip(&s) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hankelize_averages_antidiagonals() {
+        // A non-Hankel matrix: check explicit averaging.
+        let m = Matrix::from_rows(2, 2, vec![1.0, 3.0, 5.0, 7.0]);
+        let s = hankelize(&m);
+        assert_eq!(s, vec![1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_matrix_hankelizes_to_empty() {
+        assert!(hankelize(&Matrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_window_panics() {
+        hankel_matrix(&[1.0, 2.0], 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! # seagull-linalg
+//!
+//! Small dense linear-algebra substrate for the Seagull forecasting models.
+//!
+//! The paper's model zoo leans on numerical kernels that its Python stack got
+//! for free (ML.NET's SSA decomposition, Prophet's penalized regression,
+//! ARIMA's least-squares fits). This crate provides the from-scratch
+//! equivalents: a row-major dense [`Matrix`], Cholesky and QR solvers, ridge
+//! regression, a cyclic-Jacobi symmetric eigendecomposition, a thin SVD built
+//! on it, and Hankel-matrix helpers for singular spectrum analysis.
+//!
+//! Matrices here are small (SSA windows are ≤ a few hundred columns), so the
+//! implementations favor clarity and numerical robustness over blocking or
+//! SIMD; all hot paths are still allocation-free inner loops over contiguous
+//! rows.
+
+pub mod eigen;
+pub mod hankel;
+pub mod matrix;
+pub mod solve;
+pub mod svd;
+
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use hankel::{hankel_matrix, hankelize};
+pub use matrix::{LinalgError, Matrix};
+pub use solve::{cholesky_solve, least_squares, ridge_regression};
+pub use svd::{thin_svd, ThinSvd};

@@ -1,0 +1,257 @@
+//! Linear solvers: Cholesky, Householder QR least squares, ridge regression.
+
+use crate::matrix::{LinalgError, Matrix};
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
+/// factorization (`A = L Lᵀ`).
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    // Factorize into a lower triangle stored densely.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ||A x - b||₂` for a tall matrix
+/// (`rows >= cols`) via Householder QR with implicit Q application.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    if m < n {
+        return Err(LinalgError::RankDeficient);
+    }
+    let mut r = a.clone();
+    let mut rhs = b.to_vec();
+    // Householder triangularization, applying each reflector to rhs as we go.
+    for k in 0..n {
+        // Compute the norm of the k-th column below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-14 {
+            return Err(LinalgError::RankDeficient);
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha * e_k, normalized implicitly through vtv.
+        let mut v = vec![0.0f64; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in k + 1..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv < 1e-300 {
+            continue; // Column already triangular.
+        }
+        // Apply H = I - 2 v vᵀ / vᵀv to the remaining columns of R.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let scale = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= scale * v[i - k];
+            }
+        }
+        // And to the right-hand side.
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * rhs[i];
+        }
+        let scale = 2.0 * dot / vtv;
+        for i in k..m {
+            rhs[i] -= scale * v[i - k];
+        }
+    }
+    // Back substitution on the n×n upper triangle.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = rhs[i];
+        for j in i + 1..n {
+            sum -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-12 {
+            return Err(LinalgError::RankDeficient);
+        }
+        x[i] = sum / d;
+    }
+    Ok(x)
+}
+
+/// Ridge regression: solves `min ||A x - b||² + lambda ||x||²` via the normal
+/// equations `(AᵀA + λI) x = Aᵀ b`, which are positive definite for λ > 0.
+///
+/// This is the fitting backend for the Prophet-style additive model, where the
+/// Fourier design matrix can be nearly collinear and the paper's original uses
+/// a penalized fit.
+pub fn ridge_regression(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut gram = a.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    // Aᵀ b without materializing the transpose.
+    let n = a.cols();
+    let mut atb = vec![0.0f64; n];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            atb[j] += v * bi;
+        }
+    }
+    cholesky_solve(&gram, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = cholesky_solve(&a, &[10.0, 9.0]).unwrap();
+        assert_close(&x, &[1.5, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            cholesky_solve(&a, &[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn cholesky_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_err());
+        let b = Matrix::identity(2);
+        assert!(cholesky_solve(&b, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_exact_square() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let x = least_squares(&a, &[2.0, 8.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_line_fit() {
+        // Fit y = 1 + 2 t through noisy-free points: exact recovery.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: the LS solution must satisfy the normal
+        // equations Aᵀ(Ax - b) = 0.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 1.0, 2.0, 1.0, 3.0]);
+        let b = [1.0, 2.0, 2.0];
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let at_r = a.transpose().matvec(&resid).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_detects_rank_deficiency() {
+        // Two identical columns.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        assert!(least_squares(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_underdetermined_rejected() {
+        let a = Matrix::zeros(1, 2);
+        assert!(least_squares(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let x0 = ridge_regression(&a, &b, 1e-9).unwrap();
+        assert_close(&x0, &[1.0, 2.0], 1e-5);
+        let x_big = ridge_regression(&a, &b, 1e6).unwrap();
+        assert!(x_big[1].abs() < 0.1);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        // Identical columns break plain LS but ridge stays solvable.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let x = ridge_regression(&a, &[2.0, 4.0, 6.0], 1e-6).unwrap();
+        // Symmetric solution splits the weight.
+        assert!((x[0] - x[1]).abs() < 1e-6);
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Thin singular value decomposition via the Gram-matrix eigenproblem.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::{LinalgError, Matrix};
+
+/// A thin SVD `A ≈ U diag(σ) Vᵀ` with `k = min(rows, cols)` retained
+/// components, singular values descending.
+#[derive(Debug, Clone)]
+pub struct ThinSvd {
+    /// Left singular vectors, `rows × k`, one per column.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `cols × k`, one per column.
+    pub v: Matrix,
+}
+
+impl ThinSvd {
+    /// Number of singular values above `tol` relative to the largest.
+    pub fn effective_rank(&self, tol: f64) -> usize {
+        let s0 = self.sigma.first().copied().unwrap_or(0.0);
+        if s0 <= 0.0 {
+            return 0;
+        }
+        self.sigma.iter().filter(|&&s| s > tol * s0).count()
+    }
+
+    /// Reconstructs `A` from the leading `k` components.
+    pub fn reconstruct(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let rows = self.u.rows();
+        let cols = self.v.rows();
+        let mut out = Matrix::zeros(rows, cols);
+        for c in 0..k {
+            let s = self.sigma[c];
+            for i in 0..rows {
+                let us = self.u[(i, c)] * s;
+                if us == 0.0 {
+                    continue;
+                }
+                for j in 0..cols {
+                    out[(i, j)] += us * self.v[(j, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes a thin SVD by eigendecomposing whichever Gram matrix
+/// (`AᵀA` or `AAᵀ`) is smaller, then recovering the other factor.
+///
+/// Accuracy for small singular values is limited to ~sqrt(machine epsilon)
+/// because of the squaring — ample for SSA signal-subspace extraction, where
+/// only the dominant components are kept.
+pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    if k == 0 {
+        return Ok(ThinSvd {
+            u: Matrix::zeros(m, 0),
+            sigma: Vec::new(),
+            v: Matrix::zeros(n, 0),
+        });
+    }
+    if n <= m {
+        // Eigen of AᵀA (n×n): V and sigma, then U = A V / sigma.
+        let eig = symmetric_eigen(&a.gram(), 100)?;
+        let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.vectors; // n×n, columns are right singular vectors.
+        let mut u = Matrix::zeros(m, k);
+        for c in 0..k {
+            let vc = v.col(c);
+            let av = a.matvec(&vc)?;
+            let s = sigma[c];
+            if s > 1e-300 {
+                for i in 0..m {
+                    u[(i, c)] = av[i] / s;
+                }
+            }
+        }
+        let v_thin = Matrix::from_fn(n, k, |i, j| v[(i, j)]);
+        Ok(ThinSvd {
+            u,
+            sigma: sigma[..k].to_vec(),
+            v: v_thin,
+        })
+    } else {
+        // Eigen of AAᵀ (m×m): U and sigma, then V = Aᵀ U / sigma.
+        let aat = a.transpose().gram(); // (Aᵀ)ᵀ(Aᵀ) = A Aᵀ, m×m.
+        let eig = symmetric_eigen(&aat, 100)?;
+        let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let u = eig.vectors; // m×m.
+        let at = a.transpose();
+        let mut v = Matrix::zeros(n, k);
+        for c in 0..k {
+            let uc = u.col(c);
+            let atu = at.matvec(&uc)?;
+            let s = sigma[c];
+            if s > 1e-300 {
+                for i in 0..n {
+                    v[(i, c)] = atu[i] / s;
+                }
+            }
+        }
+        let u_thin = Matrix::from_fn(m, k, |i, j| u[(i, j)]);
+        Ok(ThinSvd {
+            u: u_thin,
+            sigma: sigma[..k].to_vec(),
+            v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.sigma[0] - 4.0).abs() < 1e-9);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_reconstruction_tall() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.reconstruct(3).max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn full_reconstruction_wide() {
+        let a = Matrix::from_fn(3, 6, |i, j| ((i * 7 + j * 2) % 9) as f64 - 4.0);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.reconstruct(3).max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // Outer product u vᵀ has exactly one nonzero singular value.
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 1) as f64 * (j + 1) as f64);
+        let svd = thin_svd(&a).unwrap();
+        assert_eq!(svd.effective_rank(1e-8), 1);
+        assert!(svd.reconstruct(1).max_abs_diff(&a) < 1e-7);
+    }
+
+    #[test]
+    fn truncated_reconstruction_is_best_approx() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i * 5 + j * 3) % 7) as f64);
+        let svd = thin_svd(&a).unwrap();
+        // Error of the rank-k truncation equals sqrt(sum of discarded σ²).
+        let r2 = svd.reconstruct(2);
+        let mut err = 0.0;
+        for i in 0..5 {
+            for j in 0..4 {
+                let d = r2[(i, j)] - a[(i, j)];
+                err += d * d;
+            }
+        }
+        let expect: f64 = svd.sigma[2..].iter().map(|s| s * s).sum();
+        assert!((err - expect).abs() < 1e-6, "err={err} expect={expect}");
+    }
+
+    #[test]
+    fn singular_vectors_orthonormal() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 2 + j * 7) % 5) as f64 - 2.0);
+        let svd = thin_svd(&a).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(4)) < 1e-6);
+        assert!(vtv.max_abs_diff(&Matrix::identity(4)) < 1e-6);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::zeros(0, 3);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.sigma.is_empty());
+    }
+}

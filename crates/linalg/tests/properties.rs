@@ -1,0 +1,136 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use seagull_linalg::{
+    cholesky_solve, hankel_matrix, hankelize, least_squares, ridge_regression, symmetric_eigen,
+    thin_svd, Matrix,
+};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    small_vec(rows * cols).prop_map(move |data| Matrix::from_rows(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-9);
+    }
+
+    /// Gram matrices are symmetric positive semidefinite (checked via eigen).
+    #[test]
+    fn gram_is_psd(a in matrix(5, 3)) {
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+        let eig = symmetric_eigen(&g, 100).unwrap();
+        for v in &eig.values {
+            prop_assert!(*v > -1e-7, "eigenvalue {v}");
+        }
+    }
+
+    /// Cholesky solutions actually solve the system.
+    #[test]
+    fn cholesky_solution_verifies(a in matrix(6, 4), b in small_vec(4)) {
+        // A'A + I is SPD.
+        let mut spd = a.gram();
+        for i in 0..4 {
+            spd[(i, i)] += 1.0;
+        }
+        let x = cholesky_solve(&spd, &b).unwrap();
+        let ax = spd.matvec(&x).unwrap();
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+        }
+    }
+
+    /// Least squares satisfies the normal equations Aᵀ(Ax − b) = 0.
+    #[test]
+    fn least_squares_normal_equations(a in matrix(8, 3), b in small_vec(8)) {
+        // Make the matrix well-conditioned by adding identity rows.
+        let mut rows = a.data().to_vec();
+        for i in 0..3 {
+            let mut unit = vec![0.0; 3];
+            unit[i] = 3.0;
+            rows.extend_from_slice(&unit);
+        }
+        let a = Matrix::from_rows(11, 3, rows);
+        let mut b = b;
+        b.extend_from_slice(&[0.0, 0.0, 0.0]);
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let atr = a.transpose().matvec(&resid).unwrap();
+        for v in atr {
+            prop_assert!(v.abs() < 1e-6, "normal equations violated: {v}");
+        }
+    }
+
+    /// Ridge with a tiny lambda agrees with exact least squares on a
+    /// well-conditioned system.
+    #[test]
+    fn ridge_approaches_least_squares(b in small_vec(6)) {
+        let a = Matrix::from_fn(6, 2, |i, j| {
+            if j == 0 { 1.0 } else { i as f64 }
+        });
+        let exact = least_squares(&a, &b).unwrap();
+        let ridge = ridge_regression(&a, &b, 1e-10).unwrap();
+        for (x, y) in exact.iter().zip(&ridge) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Eigendecomposition reconstructs the matrix and preserves the trace.
+    #[test]
+    fn eigen_reconstructs(a in matrix(4, 4)) {
+        let sym = Matrix::from_fn(4, 4, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let e = symmetric_eigen(&sym, 100).unwrap();
+        let lambda = Matrix::from_fn(4, 4, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = e
+            .vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        prop_assert!(rec.max_abs_diff(&sym) < 1e-7);
+        let trace: f64 = (0..4).map(|i| sym[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    /// Thin SVD reconstructs the matrix at full rank and its singular values
+    /// are nonnegative and sorted.
+    #[test]
+    fn svd_reconstructs(a in matrix(5, 3)) {
+        let svd = thin_svd(&a).unwrap();
+        prop_assert!(svd.reconstruct(3).max_abs_diff(&a) < 1e-6);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for s in &svd.sigma {
+            prop_assert!(*s >= -1e-9);
+        }
+    }
+
+    /// Hankel embedding followed by diagonal averaging is the identity.
+    #[test]
+    fn hankel_round_trip(series in small_vec(24), window in 1usize..24) {
+        let h = hankel_matrix(&series, window);
+        let back = hankelize(&h);
+        prop_assert_eq!(back.len(), series.len());
+        for (x, y) in back.iter().zip(&series) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

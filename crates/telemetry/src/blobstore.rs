@@ -1,0 +1,262 @@
+//! The Azure Data Lake Store substitute.
+//!
+//! The Load Extraction module "stores this data in Azure Data Lake Store
+//! (ADLS). These files are input to the AML pipeline" (Section 2.2). Here the
+//! store is a trait with two backends: an in-memory map (tests, examples) and
+//! an on-disk directory tree (benchmarks that need realistic file-size-driven
+//! I/O behaviour for the Fig. 12 runtime experiments).
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A partition key: one blob per `(region, week)` as in production, plus a
+/// free-form kind (raw telemetry vs extracted pipeline input).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlobKey {
+    pub kind: String,
+    pub region: String,
+    /// Week index: `start_day / 7` of the week the blob covers.
+    pub week: i64,
+}
+
+impl BlobKey {
+    /// Key for extracted pipeline input.
+    pub fn extracted(region: &str, week: i64) -> BlobKey {
+        BlobKey {
+            kind: "extracted".into(),
+            region: region.into(),
+            week,
+        }
+    }
+
+    /// Key for raw telemetry.
+    pub fn raw(region: &str, week: i64) -> BlobKey {
+        BlobKey {
+            kind: "raw".into(),
+            region: region.into(),
+            week,
+        }
+    }
+
+    fn as_path(&self) -> PathBuf {
+        PathBuf::from(&self.kind)
+            .join(&self.region)
+            .join(format!("week-{}.csv", self.week))
+    }
+}
+
+impl fmt::Display for BlobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/week-{}", self.kind, self.region, self.week)
+    }
+}
+
+/// Blob storage abstraction.
+pub trait BlobStore: Send + Sync {
+    /// Writes (or replaces) a blob.
+    fn put(&self, key: &BlobKey, data: Bytes) -> io::Result<()>;
+    /// Reads a blob; `NotFound` if absent.
+    fn get(&self, key: &BlobKey) -> io::Result<Bytes>;
+    /// Blob size in bytes without reading it; `NotFound` if absent.
+    fn size(&self, key: &BlobKey) -> io::Result<u64>;
+    /// Lists keys with the given kind, sorted.
+    fn list(&self, kind: &str) -> io::Result<Vec<BlobKey>>;
+    /// Deletes a blob if present; returns whether it existed.
+    fn delete(&self, key: &BlobKey) -> io::Result<bool>;
+}
+
+/// In-memory blob store.
+#[derive(Debug, Default)]
+pub struct MemoryBlobStore {
+    blobs: RwLock<BTreeMap<BlobKey, Bytes>>,
+}
+
+impl MemoryBlobStore {
+    /// Creates an empty store.
+    pub fn new() -> MemoryBlobStore {
+        MemoryBlobStore::default()
+    }
+
+    /// Number of blobs held.
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// True when no blobs are held.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+}
+
+impl BlobStore for MemoryBlobStore {
+    fn put(&self, key: &BlobKey, data: Bytes) -> io::Result<()> {
+        self.blobs.write().insert(key.clone(), data);
+        Ok(())
+    }
+
+    fn get(&self, key: &BlobKey) -> io::Result<Bytes> {
+        self.blobs
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {key}")))
+    }
+
+    fn size(&self, key: &BlobKey) -> io::Result<u64> {
+        self.blobs
+            .read()
+            .get(key)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {key}")))
+    }
+
+    fn list(&self, kind: &str) -> io::Result<Vec<BlobKey>> {
+        Ok(self
+            .blobs
+            .read()
+            .keys()
+            .filter(|k| k.kind == kind)
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, key: &BlobKey) -> io::Result<bool> {
+        Ok(self.blobs.write().remove(key).is_some())
+    }
+}
+
+/// On-disk blob store rooted at a directory.
+#[derive(Debug)]
+pub struct DiskBlobStore {
+    root: PathBuf,
+}
+
+impl DiskBlobStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskBlobStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskBlobStore { root })
+    }
+
+    fn path_for(&self, key: &BlobKey) -> PathBuf {
+        self.root.join(key.as_path())
+    }
+}
+
+impl BlobStore for DiskBlobStore {
+    fn put(&self, key: &BlobKey, data: Bytes) -> io::Result<()> {
+        let path = self.path_for(key);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &data)
+    }
+
+    fn get(&self, key: &BlobKey) -> io::Result<Bytes> {
+        std::fs::read(self.path_for(key)).map(Bytes::from)
+    }
+
+    fn size(&self, key: &BlobKey) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.path_for(key))?.len())
+    }
+
+    fn list(&self, kind: &str) -> io::Result<Vec<BlobKey>> {
+        let mut keys = Vec::new();
+        let kind_dir = self.root.join(kind);
+        if !kind_dir.exists() {
+            return Ok(keys);
+        }
+        for region_entry in std::fs::read_dir(&kind_dir)? {
+            let region_entry = region_entry?;
+            let region = region_entry.file_name().to_string_lossy().into_owned();
+            for file in std::fs::read_dir(region_entry.path())? {
+                let name = file?.file_name().to_string_lossy().into_owned();
+                if let Some(week) = name
+                    .strip_prefix("week-")
+                    .and_then(|s| s.strip_suffix(".csv"))
+                    .and_then(|s| s.parse::<i64>().ok())
+                {
+                    keys.push(BlobKey {
+                        kind: kind.to_string(),
+                        region: region.clone(),
+                        week,
+                    });
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn delete(&self, key: &BlobKey) -> io::Result<bool> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn BlobStore) {
+        let k1 = BlobKey::extracted("west", 100);
+        let k2 = BlobKey::extracted("east", 100);
+        let k3 = BlobKey::raw("west", 100);
+
+        assert!(store.get(&k1).is_err());
+        store.put(&k1, Bytes::from_static(b"hello")).unwrap();
+        store.put(&k2, Bytes::from_static(b"world!")).unwrap();
+        store.put(&k3, Bytes::from_static(b"raw")).unwrap();
+
+        assert_eq!(&store.get(&k1).unwrap()[..], b"hello");
+        assert_eq!(store.size(&k2).unwrap(), 6);
+
+        let extracted = store.list("extracted").unwrap();
+        assert_eq!(extracted.len(), 2);
+        assert!(extracted.contains(&k1) && extracted.contains(&k2));
+        assert_eq!(store.list("raw").unwrap(), vec![k3.clone()]);
+        assert!(store.list("nothing").unwrap().is_empty());
+
+        // Overwrite.
+        store.put(&k1, Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(store.size(&k1).unwrap(), 2);
+
+        assert!(store.delete(&k1).unwrap());
+        assert!(!store.delete(&k1).unwrap());
+        assert!(store.get(&k1).is_err());
+    }
+
+    #[test]
+    fn memory_store() {
+        let store = MemoryBlobStore::new();
+        exercise(&store);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn disk_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "seagull-blob-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskBlobStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_display_and_path() {
+        let k = BlobKey::extracted("west-us", 2600);
+        assert_eq!(k.to_string(), "extracted/west-us/week-2600");
+    }
+}

@@ -1,0 +1,38 @@
+//! # seagull-telemetry
+//!
+//! Telemetry substrate for the Seagull reproduction: everything the paper's
+//! production deployment obtained from Azure is rebuilt here.
+//!
+//! * [`server`] — server identities, lifecycle metadata, and per-server
+//!   telemetry bundles.
+//! * [`shape`] — per-class load-shape models (stable, daily pattern, weekly
+//!   pattern, unstable) that generate the average-customer-CPU-per-5-minutes
+//!   signal the paper forecasts.
+//! * [`fleet`] — the seeded fleet generator. Population mix defaults to the
+//!   measured Azure distribution of the paper's Figure 3 (42.1 % short-lived,
+//!   53.5 % stable, 0.2 % daily/weekly pattern, 4.2 % unstable).
+//! * [`record`] — the raw telemetry record schema and CSV codec (the paper's
+//!   per-region input files: `server id, timestamp in minutes, average user
+//!   CPU load percentage per five minutes, default backup start and end`).
+//! * [`blobstore`] — the Azure Data Lake Store substitute: partitioned blobs
+//!   keyed by `(region, week)` with in-memory and on-disk backends.
+//! * [`extract`] — the Load Extraction module: the recurring query that
+//!   reduces raw telemetry to per-region weekly input files.
+
+pub mod blobstore;
+pub mod extract;
+pub mod fleet;
+pub mod record;
+pub mod server;
+pub mod shape;
+pub mod signals;
+pub mod wide;
+
+pub use blobstore::{BlobKey, BlobStore, DiskBlobStore, MemoryBlobStore};
+pub use extract::{parse_region_week, LoadExtraction};
+pub use fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
+pub use record::{LoadRecord, RecordBatch};
+pub use server::{BackupConfig, GeneratedClass, ServerId, ServerMeta};
+pub use shape::{LoadShape, ShapeParams};
+pub use signals::{SignalGenerator, SignalKind};
+pub use wide::{extract_wide_week, parse_wide_signal, WideBatch, WideRecord};

@@ -1,0 +1,233 @@
+//! Raw telemetry records and the CSV codec.
+//!
+//! The paper's per-region input files "are in csv format. They contain server
+//! identifier, timestamp in minutes, average user CPU load percentage per
+//! five minutes, default backup start and end timestamps" (Section 5.3.1).
+//! [`LoadRecord`] is that row; [`RecordBatch`] encodes/decodes a blob of them.
+
+use crate::server::ServerId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One telemetry row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadRecord {
+    pub server_id: ServerId,
+    /// Timestamp in minutes since the epoch.
+    pub timestamp_min: i64,
+    /// Average user CPU load percentage over the grid bucket.
+    pub avg_cpu: f64,
+    /// Default backup window start (minutes since epoch) on the server's
+    /// next backup day.
+    pub default_backup_start: i64,
+    /// Default backup window end (minutes since epoch).
+    pub default_backup_end: i64,
+}
+
+/// The canonical CSV header.
+pub const CSV_HEADER: &str =
+    "server_id,timestamp_min,avg_cpu_5min,default_backup_start,default_backup_end";
+
+/// A decoded batch of rows plus helpers to move between rows and blobs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecordBatch {
+    pub records: Vec<LoadRecord>,
+}
+
+/// A CSV parse failure with its line number (1-based, counting the header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl RecordBatch {
+    /// Wraps rows in a batch.
+    pub fn new(records: Vec<LoadRecord>) -> RecordBatch {
+        RecordBatch { records }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Encodes the batch as a CSV blob (header + one line per record).
+    pub fn to_csv(&self) -> Bytes {
+        // ~48 bytes per row is a good initial estimate for this schema.
+        let mut out = String::with_capacity(CSV_HEADER.len() + 1 + self.records.len() * 48);
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for r in &self.records {
+            // Loads are percentages; two decimals keeps blobs compact without
+            // observable metric impact (grid values are already averaged).
+            let _ = writeln!(
+                out,
+                "{},{},{:.2},{},{}",
+                r.server_id.0,
+                r.timestamp_min,
+                r.avg_cpu,
+                r.default_backup_start,
+                r.default_backup_end
+            );
+        }
+        Bytes::from(out)
+    }
+
+    /// Decodes a CSV blob produced by [`RecordBatch::to_csv`]. The header is
+    /// verified so schema drift is caught at the boundary (the Data
+    /// Validation module re-checks semantics downstream).
+    pub fn from_csv(blob: &[u8]) -> Result<RecordBatch, CsvError> {
+        let text = std::str::from_utf8(blob).map_err(|e| CsvError {
+            line: 0,
+            message: format!("not utf-8: {e}"),
+        })?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == CSV_HEADER => {}
+            Some((_, header)) => {
+                return Err(CsvError {
+                    line: 1,
+                    message: format!("unexpected header {header:?}"),
+                })
+            }
+            None => {
+                return Err(CsvError {
+                    line: 1,
+                    message: "empty blob".into(),
+                })
+            }
+        }
+        let mut records = Vec::new();
+        for (idx, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let mut next = |name: &str| {
+                fields.next().ok_or(CsvError {
+                    line: idx + 1,
+                    message: format!("missing field {name}"),
+                })
+            };
+            let server_id: u64 = parse(next("server_id")?, idx + 1)?;
+            let timestamp_min: i64 = parse(next("timestamp_min")?, idx + 1)?;
+            let avg_cpu: f64 = parse(next("avg_cpu_5min")?, idx + 1)?;
+            let start: i64 = parse(next("default_backup_start")?, idx + 1)?;
+            let end: i64 = parse(next("default_backup_end")?, idx + 1)?;
+            if fields.next().is_some() {
+                return Err(CsvError {
+                    line: idx + 1,
+                    message: "too many fields".into(),
+                });
+            }
+            records.push(LoadRecord {
+                server_id: ServerId(server_id),
+                timestamp_min,
+                avg_cpu,
+                default_backup_start: start,
+                default_backup_end: end,
+            });
+        }
+        Ok(RecordBatch { records })
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, CsvError>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| CsvError {
+        line,
+        message: format!("bad value {s:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RecordBatch {
+        RecordBatch::new(vec![
+            LoadRecord {
+                server_id: ServerId(1),
+                timestamp_min: 100,
+                avg_cpu: 12.34,
+                default_backup_start: 5000,
+                default_backup_end: 5060,
+            },
+            LoadRecord {
+                server_id: ServerId(2),
+                timestamp_min: 105,
+                avg_cpu: 0.0,
+                default_backup_start: 6000,
+                default_backup_end: 6120,
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let batch = sample();
+        let blob = batch.to_csv();
+        let back = RecordBatch::from_csv(&blob).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let blob = RecordBatch::default().to_csv();
+        let back = RecordBatch::from_csv(&blob).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn header_verified() {
+        let err = RecordBatch::from_csv(b"wrong,header\n1,2,3,4,5\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(RecordBatch::from_csv(b"").is_err());
+    }
+
+    #[test]
+    fn bad_field_reported_with_line() {
+        let blob = format!("{CSV_HEADER}\n1,100,not_a_number,0,0\n");
+        let err = RecordBatch::from_csv(blob.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("not_a_number"));
+    }
+
+    #[test]
+    fn field_count_enforced() {
+        let short = format!("{CSV_HEADER}\n1,100,2.0,0\n");
+        assert!(RecordBatch::from_csv(short.as_bytes()).is_err());
+        let long = format!("{CSV_HEADER}\n1,100,2.0,0,0,99\n");
+        assert!(RecordBatch::from_csv(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let blob = format!("{CSV_HEADER}\n\n1,100,2.00,0,60\n\n");
+        let back = RecordBatch::from_csv(blob.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        assert!(RecordBatch::from_csv(&[0xff, 0xfe, 0x00]).is_err());
+    }
+}

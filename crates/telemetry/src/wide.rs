@@ -1,0 +1,279 @@
+//! Multi-signal ("wide") extraction — the Section 2.4 adaptation path.
+//!
+//! "Other forecast signals (CPU, memory, disk, I/O, etc.) and features
+//! (subscriber identifier, number of active connections, etc.) may be needed
+//! for other scenarios" — adapting Load Extraction to a new scenario means a
+//! new schema. This module is that adaptation, fully built: a wide record
+//! carrying all four signals of [`crate::signals`], its CSV codec, the
+//! extraction query, and the parser back into per-signal series.
+
+use crate::fleet::ServerTelemetry;
+use crate::server::ServerId;
+use crate::signals::{SignalGenerator, SignalKind};
+use bytes::Bytes;
+use seagull_timeseries::{TimeSeries, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One wide telemetry row: every signal for one (server, bucket).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideRecord {
+    pub server_id: ServerId,
+    pub timestamp_min: i64,
+    pub avg_cpu: f64,
+    pub avg_memory: f64,
+    pub active_connections: f64,
+    pub disk_io_mb_min: f64,
+}
+
+impl WideRecord {
+    /// The value of one signal.
+    pub fn signal(&self, kind: SignalKind) -> f64 {
+        match kind {
+            SignalKind::Cpu => self.avg_cpu,
+            SignalKind::Memory => self.avg_memory,
+            SignalKind::Connections => self.active_connections,
+            SignalKind::DiskIo => self.disk_io_mb_min,
+        }
+    }
+}
+
+/// The wide CSV header.
+pub const WIDE_CSV_HEADER: &str =
+    "server_id,timestamp_min,avg_cpu,avg_memory,active_connections,disk_io_mb_min";
+
+/// A batch of wide rows with its CSV codec.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WideBatch {
+    pub records: Vec<WideRecord>,
+}
+
+impl WideBatch {
+    /// Encodes as CSV.
+    pub fn to_csv(&self) -> Bytes {
+        let mut out = String::with_capacity(WIDE_CSV_HEADER.len() + 1 + self.records.len() * 64);
+        out.push_str(WIDE_CSV_HEADER);
+        out.push('\n');
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{:.2},{:.2},{:.0},{:.2}",
+                r.server_id.0,
+                r.timestamp_min,
+                r.avg_cpu,
+                r.avg_memory,
+                r.active_connections,
+                r.disk_io_mb_min
+            );
+        }
+        Bytes::from(out)
+    }
+
+    /// Decodes a CSV blob, verifying the header.
+    pub fn from_csv(blob: &[u8]) -> Result<WideBatch, String> {
+        let text = std::str::from_utf8(blob).map_err(|e| format!("not utf-8: {e}"))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == WIDE_CSV_HEADER => {}
+            other => return Err(format!("unexpected header {other:?}")),
+        }
+        let mut records = Vec::new();
+        for (idx, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 6 {
+                return Err(format!("line {}: expected 6 fields", idx + 2));
+            }
+            let parse = |s: &str| -> Result<f64, String> {
+                s.parse().map_err(|e| format!("line {}: {e}", idx + 2))
+            };
+            records.push(WideRecord {
+                server_id: ServerId(
+                    fields[0]
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", idx + 2))?,
+                ),
+                timestamp_min: fields[1]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", idx + 2))?,
+                avg_cpu: parse(fields[2])?,
+                avg_memory: parse(fields[3])?,
+                active_connections: parse(fields[4])?,
+                disk_io_mb_min: parse(fields[5])?,
+            });
+        }
+        Ok(WideBatch { records })
+    }
+}
+
+/// Extracts one region-week of wide telemetry: every signal regenerated from
+/// each server's ground-truth shape.
+pub fn extract_wide_week(
+    fleet: &[ServerTelemetry],
+    region: &str,
+    week_start_day: i64,
+    grid_min: u32,
+) -> WideBatch {
+    let from = Timestamp::from_days(week_start_day);
+    let to = Timestamp::from_days(week_start_day + 7);
+    let mut records = Vec::new();
+    for server in fleet.iter().filter(|s| s.meta.region == region) {
+        let lo = server.series.start().max(from);
+        let hi = if server.series.end() < to {
+            server.series.end()
+        } else {
+            to
+        };
+        if lo >= hi {
+            continue;
+        }
+        let generator = SignalGenerator::new(server.shape, server.meta.id.0);
+        let step = grid_min as i64;
+        let mut t = lo;
+        while t < hi {
+            records.push(WideRecord {
+                server_id: server.meta.id,
+                timestamp_min: t.minutes(),
+                avg_cpu: generator.value(SignalKind::Cpu, t),
+                avg_memory: generator.value(SignalKind::Memory, t),
+                active_connections: generator.value(SignalKind::Connections, t),
+                disk_io_mb_min: generator.value(SignalKind::DiskIo, t),
+            });
+            t += step;
+        }
+    }
+    WideBatch { records }
+}
+
+/// Reassembles one signal's per-server series from a wide batch.
+pub fn parse_wide_signal(
+    batch: &WideBatch,
+    kind: SignalKind,
+    grid_min: u32,
+) -> Vec<(ServerId, TimeSeries)> {
+    let mut by_server: BTreeMap<ServerId, Vec<(i64, f64)>> = BTreeMap::new();
+    let step = grid_min as i64;
+    for r in &batch.records {
+        if r.timestamp_min.rem_euclid(step) != 0 {
+            continue;
+        }
+        by_server
+            .entry(r.server_id)
+            .or_default()
+            .push((r.timestamp_min, r.signal(kind)));
+    }
+    by_server
+        .into_iter()
+        .filter_map(|(id, mut points)| {
+            points.sort_by_key(|(t, _)| *t);
+            let (min_ts, max_ts) = (points.first()?.0, points.last()?.0);
+            let n = ((max_ts - min_ts) / step) as usize + 1;
+            let mut values = vec![f64::NAN; n];
+            for (t, v) in points {
+                values[((t - min_ts) / step) as usize] = v;
+            }
+            TimeSeries::new(Timestamp::from_minutes(min_ts), grid_min, values)
+                .ok()
+                .map(|s| (id, s))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetGenerator, FleetSpec};
+
+    fn wide_fixture() -> (Vec<ServerTelemetry>, WideBatch, i64) {
+        let mut spec = FleetSpec::small_region(19);
+        spec.regions[0].servers = 8;
+        let start = spec.start_day;
+        let fleet = FleetGenerator::new(spec).generate_weeks(1);
+        let batch = extract_wide_week(&fleet, "region-a", start, 5);
+        (fleet, batch, start)
+    }
+
+    #[test]
+    fn wide_extraction_covers_all_signals() {
+        let (fleet, batch, _) = wide_fixture();
+        assert!(!batch.records.is_empty());
+        // Every record carries plausible values for every signal.
+        for r in &batch.records {
+            assert!((0.0..=100.0).contains(&r.avg_cpu));
+            assert!((0.0..=100.0).contains(&r.avg_memory));
+            assert!(r.active_connections >= 3.0);
+            assert!(r.disk_io_mb_min >= 0.0);
+        }
+        // CPU matches the stored narrow telemetry.
+        let first = &fleet
+            .iter()
+            .find(|s| !s.series.is_empty())
+            .expect("nonempty fleet");
+        let rec = batch
+            .records
+            .iter()
+            .find(|r| r.server_id == first.meta.id)
+            .expect("server present in batch");
+        let expect = first
+            .series
+            .value_at(Timestamp::from_minutes(rec.timestamp_min))
+            .unwrap();
+        assert!((rec.avg_cpu - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_csv_round_trips() {
+        let (_, batch, _) = wide_fixture();
+        let decoded = WideBatch::from_csv(&batch.to_csv()).unwrap();
+        assert_eq!(decoded.records.len(), batch.records.len());
+        for (a, b) in decoded.records.iter().zip(&batch.records) {
+            assert_eq!(a.server_id, b.server_id);
+            assert_eq!(a.timestamp_min, b.timestamp_min);
+            // Two-decimal codec tolerance.
+            assert!((a.avg_cpu - b.avg_cpu).abs() <= 0.005 + 1e-9);
+            assert!((a.avg_memory - b.avg_memory).abs() <= 0.005 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_csv_rejects_malformed() {
+        assert!(WideBatch::from_csv(b"wrong header\n").is_err());
+        let short = format!("{WIDE_CSV_HEADER}\n1,2,3\n");
+        assert!(WideBatch::from_csv(short.as_bytes()).is_err());
+        let bad = format!("{WIDE_CSV_HEADER}\n1,2,x,4,5,6\n");
+        assert!(WideBatch::from_csv(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn per_signal_parse_reassembles_series() {
+        let (_, batch, start) = wide_fixture();
+        for kind in SignalKind::ALL {
+            let series = parse_wide_signal(&batch, kind, 5);
+            assert!(!series.is_empty());
+            for (_, s) in &series {
+                assert_eq!(s.step_min(), 5);
+                assert!(s.start() >= Timestamp::from_days(start));
+                assert_eq!(s.missing_count(), 0, "contiguous week has no gaps");
+            }
+        }
+        // Memory series differ from CPU series (they are distinct signals).
+        let cpu = parse_wide_signal(&batch, SignalKind::Cpu, 5);
+        let mem = parse_wide_signal(&batch, SignalKind::Memory, 5);
+        assert_ne!(cpu[0].1.values(), mem[0].1.values());
+    }
+
+    #[test]
+    fn signals_can_feed_forecasters() {
+        use seagull_timeseries::fill_gaps;
+        let (_, batch, _) = wide_fixture();
+        let mem = parse_wide_signal(&batch, SignalKind::Memory, 5);
+        let (_, mut series) = mem.into_iter().next().unwrap();
+        fill_gaps(&mut series, seagull_timeseries::GapFill::Linear);
+        // A memory series is a valid forecasting target on the same grid.
+        assert_eq!(series.points_per_day(), 288);
+        assert!(series.check_finite().is_ok());
+    }
+}

@@ -1,0 +1,189 @@
+//! Classical seasonal–trend decomposition.
+//!
+//! Used by the Feature Extraction module to quantify *how* seasonal a
+//! server's load is (the paper separates servers with daily/weekly patterns
+//! from pattern-free ones; seasonal strength is the continuous version of
+//! that distinction, one of the "other features to improve accuracy" the
+//! paper plans to add).
+//!
+//! The method is the classical additive decomposition: trend by centered
+//! moving average over one period, seasonal component by per-phase means of
+//! the detrended series, residual as what remains.
+
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// An additive decomposition `value = trend + seasonal + residual`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Period in grid points.
+    pub period: usize,
+    /// Trend component (same length as the input; edges extended).
+    pub trend: Vec<f64>,
+    /// Seasonal component (repeats with `period`; zero-mean).
+    pub seasonal: Vec<f64>,
+    /// Residual.
+    pub residual: Vec<f64>,
+}
+
+impl Decomposition {
+    /// Seasonal strength in `[0, 1]`: `max(0, 1 - var(resid)/var(seasonal +
+    /// resid))` (Hyndman's definition). Near 1 for strongly periodic load,
+    /// near 0 for pattern-free load.
+    pub fn seasonal_strength(&self) -> f64 {
+        let var = |xs: &[f64]| {
+            let m = crate::stats::mean(xs);
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len().max(1) as f64
+        };
+        let detrended: Vec<f64> = self
+            .seasonal
+            .iter()
+            .zip(&self.residual)
+            .map(|(s, r)| s + r)
+            .collect();
+        let denom = var(&detrended);
+        if denom <= 1e-12 {
+            return 0.0;
+        }
+        (1.0 - var(&self.residual) / denom).max(0.0)
+    }
+
+    /// Trend strength in `[0, 1]`, analogous to seasonal strength.
+    pub fn trend_strength(&self) -> f64 {
+        let var = |xs: &[f64]| {
+            let m = crate::stats::mean(xs);
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len().max(1) as f64
+        };
+        let deseasonalized: Vec<f64> = self
+            .trend
+            .iter()
+            .zip(&self.residual)
+            .map(|(t, r)| t + r)
+            .collect();
+        let denom = var(&deseasonalized);
+        if denom <= 1e-12 {
+            return 0.0;
+        }
+        (1.0 - var(&self.residual) / denom).max(0.0)
+    }
+}
+
+/// Decomposes a series with the given period (in grid points).
+///
+/// Returns `None` when the series is shorter than two periods, contains
+/// NaNs, or `period < 2` — the decomposition would be meaningless.
+pub fn decompose(series: &TimeSeries, period: usize) -> Option<Decomposition> {
+    let n = series.len();
+    if period < 2 || n < 2 * period || series.values().iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let values = series.values();
+
+    // Trend: centered moving average of one period (even periods use the
+    // standard half-weight endpoints).
+    let half = period / 2;
+    let trend: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(n - 1);
+            // Edge windows shrink; interior windows are exactly one period.
+            crate::stats::mean(&values[lo..=hi])
+        })
+        .collect();
+
+    // Seasonal: per-phase mean of the detrended series, centered to zero.
+    let mut phase_sum = vec![0.0f64; period];
+    let mut phase_cnt = vec![0usize; period];
+    for i in 0..n {
+        let phase = i % period;
+        phase_sum[phase] += values[i] - trend[i];
+        phase_cnt[phase] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_cnt)
+        .map(|(s, c)| s / (*c).max(1) as f64)
+        .collect();
+    let grand = crate::stats::mean(&phase_mean);
+    for p in &mut phase_mean {
+        *p -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % period]).collect();
+    let residual: Vec<f64> = (0..n).map(|i| values[i] - trend[i] - seasonal[i]).collect();
+    Some(Decomposition {
+        period,
+        trend,
+        seasonal,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn series(n: usize, f: impl Fn(usize) -> f64) -> TimeSeries {
+        TimeSeries::new(Timestamp::from_days(10), 5, (0..n).map(f).collect()).unwrap()
+    }
+
+    #[test]
+    fn pure_sine_has_high_seasonal_strength() {
+        let period = 48;
+        let s = series(480, |i| {
+            20.0 + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin()
+        });
+        let d = decompose(&s, period).unwrap();
+        assert!(d.seasonal_strength() > 0.95, "{}", d.seasonal_strength());
+        // Components sum back to the signal.
+        for i in 0..s.len() {
+            let sum = d.trend[i] + d.seasonal[i] + d.residual[i];
+            assert!((sum - s.values()[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_series_has_no_seasonality() {
+        let s = series(200, |_| 42.0);
+        let d = decompose(&s, 20).unwrap();
+        assert_eq!(d.seasonal_strength(), 0.0);
+        assert!(d.seasonal.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn noise_has_low_seasonal_strength() {
+        // Deterministic pseudo-noise with no period-48 structure.
+        let s = series(480, |i| {
+            ((i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / 1e5
+        });
+        let d = decompose(&s, 48).unwrap();
+        assert!(d.seasonal_strength() < 0.4, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn trend_strength_detects_slopes() {
+        let s = series(300, |i| i as f64 * 0.1);
+        let d = decompose(&s, 30).unwrap();
+        assert!(d.trend_strength() > 0.95, "{}", d.trend_strength());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let s = series(30, |i| i as f64);
+        assert!(decompose(&s, 1).is_none());
+        assert!(decompose(&s, 20).is_none(), "needs two full periods");
+        let mut nan = series(100, |i| i as f64);
+        nan.values_mut()[5] = f64::NAN;
+        assert!(decompose(&nan, 10).is_none());
+    }
+
+    #[test]
+    fn seasonal_component_is_periodic() {
+        let s = series(400, |i| (i % 40) as f64);
+        let d = decompose(&s, 40).unwrap();
+        for i in 0..s.len() - 40 {
+            assert!((d.seasonal[i] - d.seasonal[i + 40]).abs() < 1e-12);
+        }
+    }
+}

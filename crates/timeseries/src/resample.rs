@@ -1,0 +1,226 @@
+//! Resampling raw telemetry onto a regular grid, and gap filling.
+//!
+//! Production telemetry arrives as irregular per-event samples; the Load
+//! Extraction module (paper Section 2.2) aggregates them to "average customer
+//! CPU load percentage per five minutes". [`resample_mean`] performs that
+//! aggregation; [`fill_gaps`] repairs the missing buckets that the Data
+//! Validation module tolerates below its alert threshold.
+
+use crate::series::{TimeSeries, TimeSeriesError};
+use crate::time::Timestamp;
+
+/// One raw telemetry sample before gridding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawPoint {
+    pub at: Timestamp,
+    pub value: f64,
+}
+
+/// Buckets raw points onto a `step_min` grid spanning `[start, end)` and
+/// averages within each bucket. Buckets without samples become NaN (missing).
+///
+/// `start` must be aligned to the grid; points outside the range are ignored.
+pub fn resample_mean(
+    points: &[RawPoint],
+    start: Timestamp,
+    end: Timestamp,
+    step_min: u32,
+) -> Result<TimeSeries, TimeSeriesError> {
+    let span = end - start;
+    if span < 0 || span % step_min as i64 != 0 {
+        return Err(TimeSeriesError::MisalignedStart {
+            start: end,
+            step_min,
+        });
+    }
+    let n = (span / step_min as i64) as usize;
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0u32; n];
+    for p in points {
+        let delta = p.at - start;
+        if delta < 0 || delta >= span {
+            continue;
+        }
+        let idx = (delta / step_min as i64) as usize;
+        sums[idx] += p.value;
+        counts[idx] += 1;
+    }
+    let values = sums
+        .into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { f64::NAN } else { s / c as f64 })
+        .collect();
+    TimeSeries::new(start, step_min, values)
+}
+
+/// Strategy for repairing missing (NaN) samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapFill {
+    /// Linear interpolation between the nearest present neighbors; edges are
+    /// extended from the nearest present value.
+    Linear,
+    /// Carry the previous present value forward; a leading gap is filled
+    /// backward from the first present value.
+    Forward,
+    /// Replace every gap with a constant.
+    Constant(u32),
+}
+
+/// Fills NaN gaps in-place according to the strategy. A series with *no*
+/// present values is left untouched (the validation module rejects it
+/// upstream).
+pub fn fill_gaps(series: &mut TimeSeries, strategy: GapFill) {
+    let values = series.values_mut();
+    let first_present = match values.iter().position(|v| !v.is_nan()) {
+        Some(i) => i,
+        None => return,
+    };
+    match strategy {
+        GapFill::Constant(c) => {
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = c as f64;
+                }
+            }
+        }
+        GapFill::Forward => {
+            let head = values[first_present];
+            for v in values[..first_present].iter_mut() {
+                *v = head;
+            }
+            let mut last = head;
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = last;
+                } else {
+                    last = *v;
+                }
+            }
+        }
+        GapFill::Linear => {
+            let head = values[first_present];
+            for v in values[..first_present].iter_mut() {
+                *v = head;
+            }
+            let mut i = first_present;
+            while i < values.len() {
+                if !values[i].is_nan() {
+                    i += 1;
+                    continue;
+                }
+                // `i` starts a gap; find the next present value.
+                let gap_start = i;
+                let left = values[gap_start - 1];
+                let right_idx = values[gap_start..].iter().position(|v| !v.is_nan());
+                match right_idx {
+                    Some(off) => {
+                        let right_idx = gap_start + off;
+                        let right = values[right_idx];
+                        let span = (right_idx - (gap_start - 1)) as f64;
+                        for (k, v) in values[gap_start..right_idx].iter_mut().enumerate() {
+                            let frac = (k + 1) as f64 / span;
+                            *v = left * (1.0 - frac) + right * frac;
+                        }
+                        i = right_idx;
+                    }
+                    None => {
+                        // Trailing gap: extend the last present value.
+                        for v in values[gap_start..].iter_mut() {
+                            *v = left;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(min: i64, v: f64) -> RawPoint {
+        RawPoint {
+            at: Timestamp::from_minutes(min),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn resample_averages_buckets() {
+        let pts = [pt(0, 2.0), pt(1, 4.0), pt(5, 10.0), pt(14, 20.0)];
+        let s = resample_mean(&pts, Timestamp::EPOCH, Timestamp::from_minutes(15), 5).unwrap();
+        assert_eq!(s.values()[0], 3.0);
+        assert_eq!(s.values()[1], 10.0);
+        assert_eq!(s.values()[2], 20.0);
+    }
+
+    #[test]
+    fn resample_marks_empty_buckets_missing() {
+        let pts = [pt(0, 1.0)];
+        let s = resample_mean(&pts, Timestamp::EPOCH, Timestamp::from_minutes(10), 5).unwrap();
+        assert_eq!(s.values()[0], 1.0);
+        assert!(s.values()[1].is_nan());
+    }
+
+    #[test]
+    fn resample_ignores_out_of_range() {
+        let pts = [pt(-1, 100.0), pt(10, 100.0), pt(5, 7.0)];
+        let s = resample_mean(&pts, Timestamp::EPOCH, Timestamp::from_minutes(10), 5).unwrap();
+        assert!(s.values()[0].is_nan());
+        assert_eq!(s.values()[1], 7.0);
+    }
+
+    #[test]
+    fn resample_rejects_bad_range() {
+        assert!(resample_mean(&[], Timestamp::EPOCH, Timestamp::from_minutes(-5), 5).is_err());
+        assert!(resample_mean(&[], Timestamp::EPOCH, Timestamp::from_minutes(7), 5).is_err());
+    }
+
+    fn series_with(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(Timestamp::EPOCH, 5, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn linear_fill_interpolates() {
+        let mut s = series_with(&[1.0, f64::NAN, f64::NAN, 4.0]);
+        fill_gaps(&mut s, GapFill::Linear);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_fill_extends_edges() {
+        let mut s = series_with(&[f64::NAN, 2.0, f64::NAN]);
+        fill_gaps(&mut s, GapFill::Linear);
+        assert_eq!(s.values(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_fill() {
+        let mut s = series_with(&[f64::NAN, 2.0, f64::NAN, 5.0, f64::NAN]);
+        fill_gaps(&mut s, GapFill::Forward);
+        assert_eq!(s.values(), &[2.0, 2.0, 2.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn constant_fill() {
+        let mut s = series_with(&[f64::NAN, 2.0]);
+        fill_gaps(&mut s, GapFill::Constant(0));
+        assert_eq!(s.values(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn all_missing_untouched() {
+        let mut s = series_with(&[f64::NAN, f64::NAN]);
+        fill_gaps(&mut s, GapFill::Linear);
+        assert_eq!(s.missing_count(), 2);
+    }
+
+    #[test]
+    fn no_gaps_is_noop() {
+        let mut s = series_with(&[1.0, 2.0]);
+        fill_gaps(&mut s, GapFill::Linear);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+}

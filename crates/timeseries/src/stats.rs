@@ -1,0 +1,146 @@
+//! Summary statistics over value slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns NaN for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation. Returns NaN for an empty slice.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Minimum, ignoring NaN. Returns NaN if the slice is empty or all-NaN.
+pub fn min(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(
+            f64::NAN,
+            |acc, v| if acc.is_nan() || v < acc { v } else { acc },
+        )
+}
+
+/// Maximum, ignoring NaN. Returns NaN if the slice is empty or all-NaN.
+pub fn max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(
+            f64::NAN,
+            |acc, v| if acc.is_nan() || v > acc { v } else { acc },
+        )
+}
+
+/// Quantile via linear interpolation on sorted data, `q` in `[0, 1]`.
+/// Returns NaN for an empty slice. NaNs in the input are ignored.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A bundle of summary statistics computed in one pass (plus a sort for the
+/// quantiles). Used by the feature-extraction module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    pub count: usize,
+    pub missing: usize,
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over `values`, treating NaN as missing.
+    pub fn compute(values: &[f64]) -> SummaryStats {
+        let present: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        SummaryStats {
+            count: values.len(),
+            missing: values.len() - present.len(),
+            mean: mean(&present),
+            stddev: stddev(&present),
+            min: min(&present),
+            max: max(&present),
+            p50: quantile(&present, 0.5),
+            p95: quantile(&present, 0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        assert_eq!(min(&[3.0, f64::NAN, 1.0]), 1.0);
+        assert_eq!(max(&[3.0, f64::NAN, 1.0]), 3.0);
+        assert!(min(&[]).is_nan());
+        assert!(max(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+        assert!(quantile(&[], 0.5).is_nan());
+        // Out-of-range q is clamped.
+        assert_eq!(quantile(&v, 2.0), 4.0);
+        assert_eq!(quantile(&v, -1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.5), 2.5);
+    }
+
+    #[test]
+    fn summary_counts_missing() {
+        let s = SummaryStats::compute(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.missing, 1);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

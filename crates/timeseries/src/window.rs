@@ -1,0 +1,155 @@
+//! Sliding-window primitives.
+//!
+//! The lowest-load window search (paper Definition 7) is a minimum-mean
+//! fixed-length window over a day of load samples; [`min_mean_window`] is the
+//! O(n) prefix-sum implementation used by `seagull-core::metrics`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a window scan: the starting index of the chosen window and the
+/// mean of the values inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStat {
+    /// Index of the first point in the window.
+    pub start_index: usize,
+    /// Mean of the `len` values starting at `start_index`.
+    pub mean: f64,
+}
+
+/// Finds the contiguous window of `len` points with the minimal mean.
+///
+/// Ties are broken in favor of the earliest window, which makes the search
+/// deterministic. Returns `None` when `len` is zero or exceeds the slice.
+/// NaN values poison any window containing them (such windows never win),
+/// so callers must gap-fill first if they want those regions considered.
+pub fn min_mean_window(values: &[f64], len: usize) -> Option<WindowStat> {
+    if len == 0 || len > values.len() {
+        return None;
+    }
+    // Prefix sums give O(n) scanning. NaNs (missing samples) are tracked in a
+    // separate count prefix so a single gap does not poison every window that
+    // follows it; windows containing any NaN are skipped.
+    let mut prefix = Vec::with_capacity(values.len() + 1);
+    let mut nan_prefix = Vec::with_capacity(values.len() + 1);
+    prefix.push(0.0);
+    nan_prefix.push(0usize);
+    let mut acc = 0.0;
+    let mut nans = 0usize;
+    for &v in values {
+        if v.is_nan() {
+            nans += 1;
+        } else {
+            acc += v;
+        }
+        prefix.push(acc);
+        nan_prefix.push(nans);
+    }
+    let mut best: Option<WindowStat> = None;
+    for start in 0..=(values.len() - len) {
+        if nan_prefix[start + len] - nan_prefix[start] > 0 {
+            continue;
+        }
+        let sum = prefix[start + len] - prefix[start];
+        let mean = sum / len as f64;
+        match best {
+            Some(b) if b.mean <= mean => {}
+            _ => {
+                best = Some(WindowStat {
+                    start_index: start,
+                    mean,
+                })
+            }
+        }
+    }
+    best
+}
+
+/// Rolling mean with a centered-less window: output `i` is the mean of
+/// `values[i..i+len]`; the output has `values.len() - len + 1` entries.
+/// Returns an empty vector when `len` is zero or exceeds the input.
+pub fn rolling_mean(values: &[f64], len: usize) -> Vec<f64> {
+    if len == 0 || len > values.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(values.len() - len + 1);
+    let mut sum: f64 = values[..len].iter().sum();
+    out.push(sum / len as f64);
+    for i in len..values.len() {
+        sum += values[i] - values[i - len];
+        out.push(sum / len as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimum_mean() {
+        let v = [5.0, 1.0, 1.0, 5.0, 0.0, 0.5];
+        let w = min_mean_window(&v, 2).unwrap();
+        assert_eq!(w.start_index, 4);
+        assert!((w.mean - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaks_earliest() {
+        let v = [1.0, 1.0, 2.0, 1.0, 1.0];
+        let w = min_mean_window(&v, 2).unwrap();
+        assert_eq!(w.start_index, 0);
+    }
+
+    #[test]
+    fn window_length_equals_input() {
+        let v = [2.0, 4.0];
+        let w = min_mean_window(&v, 2).unwrap();
+        assert_eq!(w.start_index, 0);
+        assert_eq!(w.mean, 3.0);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(min_mean_window(&[1.0], 0).is_none());
+        assert!(min_mean_window(&[1.0], 2).is_none());
+        assert!(min_mean_window(&[], 1).is_none());
+    }
+
+    #[test]
+    fn nan_windows_are_skipped() {
+        let v = [f64::NAN, 5.0, 1.0, 1.0];
+        let w = min_mean_window(&v, 2).unwrap();
+        assert_eq!(w.start_index, 2);
+    }
+
+    #[test]
+    fn all_nan_returns_none() {
+        let v = [f64::NAN, f64::NAN];
+        assert!(min_mean_window(&v, 1).is_none());
+    }
+
+    #[test]
+    fn rolling_mean_matches_naive() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = rolling_mean(&v, 3);
+        assert_eq!(r, vec![2.0, 3.0, 4.0]);
+        assert!(rolling_mean(&v, 0).is_empty());
+        assert!(rolling_mean(&v, 6).is_empty());
+    }
+
+    #[test]
+    fn min_mean_window_agrees_with_rolling_mean() {
+        let v: Vec<f64> = (0..50).map(|i| ((i * 37) % 17) as f64).collect();
+        for len in 1..=10 {
+            let w = min_mean_window(&v, len).unwrap();
+            let roll = rolling_mean(&v, len);
+            let (bi, bv) = roll
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                .unwrap();
+            assert_eq!(w.start_index, bi);
+            assert!((w.mean - bv).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end backup scheduling: telemetry → load extraction → AML pipeline
+//! → backup scheduler → runner service → impact analysis.
+//!
+//! This is the paper's production deployment in miniature (Sections 2, 2.3,
+//! 6.2). Run with `cargo run --release --example backup_scheduling`.
+
+use seagull::backup::{
+    analyze_impact, BackupScheduler, FabricPropertyStore, RunnerService, SchedulerConfig,
+};
+use seagull::core::metrics::ErrorBound;
+use seagull::core::pipeline::{AmlPipeline, PipelineConfig};
+use seagull::forecast::PersistentForecast;
+use seagull::telemetry::blobstore::MemoryBlobStore;
+use seagull::telemetry::extract::LoadExtraction;
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec};
+use std::sync::Arc;
+
+fn main() {
+    // --- Telemetry: five weeks for one region -----------------------------
+    let mut spec = FleetSpec::small_region(11);
+    spec.regions[0].servers = 200;
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(5);
+    println!("fleet: {} servers in {region}", fleet.len());
+
+    // --- Load extraction: the recurring query into the blob store ----------
+    let store = Arc::new(MemoryBlobStore::new());
+    let weeks: Vec<i64> = (0..5).map(|w| start + 7 * w).collect();
+    let keys = LoadExtraction::default()
+        .run(
+            &fleet,
+            std::slice::from_ref(&region),
+            &weeks,
+            store.as_ref(),
+        )
+        .expect("extraction succeeds");
+    println!("extracted {} weekly blobs", keys.len());
+
+    // --- The weekly AML pipeline -------------------------------------------
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let reports = pipeline.run_schedule(std::slice::from_ref(&region), &weeks);
+    for r in &reports {
+        println!(
+            "pipeline week {}: {} servers, {} predictions, {} evaluations{}",
+            r.week_start_day,
+            r.servers,
+            r.predictions_written,
+            r.evaluations,
+            r.accuracy
+                .map(|a| format!(
+                    " (LL correct {:.1}%, accurate {:.1}%)",
+                    a.window_correct_pct, a.load_accurate_pct
+                ))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "deployed model: {:?} v{}",
+        pipeline.config.forecaster.name(),
+        pipeline
+            .registry
+            .deployed(&region)
+            .map(|v| v.version)
+            .unwrap_or(0)
+    );
+
+    // --- The runner service schedules the next week's backups --------------
+    let runner = RunnerService::new(
+        BackupScheduler::new(SchedulerConfig::default()),
+        4, // clusters
+    );
+    let fabric = FabricPropertyStore::new();
+    let model = PersistentForecast::previous_day();
+    let mut all_backups = Vec::new();
+    for offset in 0..7 {
+        let report = runner.run_day(&fleet, start + 28 + offset, &model, &fabric);
+        println!(
+            "runner day {}: {} due, availability {:.1}%",
+            report.day,
+            report.backups.len(),
+            report.availability() * 100.0
+        );
+        all_backups.extend(report.backups);
+    }
+
+    // --- Impact (Figure 13(a)) ----------------------------------------------
+    let impact = analyze_impact(&fleet, &all_backups, &ErrorBound::default(), 60.0);
+    println!(
+        "\nimpact: {} backups | moved {:.1}% | already-optimal {:.1}% | \
+         incorrect {:.1}% | kept default {:.1}% | {:.1} hours improved",
+        impact.overall.total,
+        impact.overall.moved_pct(),
+        impact.overall.already_optimal_pct(),
+        impact.overall.incorrect_pct(),
+        impact.overall.kept_default_pct(),
+        impact.hours_improved,
+    );
+}

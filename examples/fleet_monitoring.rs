@@ -1,0 +1,87 @@
+//! Monitoring and self-healing: the dashboard, incident management, and the
+//! last-known-good model fallback — including injected failures.
+//!
+//! Demonstrates Section 1's "SEAGULL continually re-evaluates accuracy of
+//! predictions, fallback to previously known good models and triggers alerts
+//! as appropriate". Run with `cargo run --release --example fleet_monitoring`.
+
+use bytes::Bytes;
+use seagull::core::dashboard::Dashboard;
+use seagull::core::pipeline::{AmlPipeline, PipelineConfig};
+use seagull::core::registry::ModelAccuracy;
+use seagull::core::Severity;
+use seagull::telemetry::blobstore::{BlobKey, BlobStore, MemoryBlobStore};
+use seagull::telemetry::extract::LoadExtraction;
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec};
+use std::sync::Arc;
+
+fn main() {
+    let mut spec = FleetSpec::small_region(23);
+    spec.regions[0].servers = 60;
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(3);
+
+    let store = Arc::new(MemoryBlobStore::new());
+    let weeks: Vec<i64> = (0..3).map(|w| start + 7 * w).collect();
+    LoadExtraction::default()
+        .run(
+            &fleet,
+            std::slice::from_ref(&region),
+            &weeks,
+            store.as_ref(),
+        )
+        .expect("extraction succeeds");
+
+    // Corrupt week 3's blob: schema drift that ingestion must catch.
+    store
+        .put(
+            &BlobKey::extracted(&region, weeks[2]),
+            Bytes::from_static(b"totally,not,the,expected,schema\n1,2,3,4,5\n"),
+        )
+        .expect("store accepts the bad blob");
+
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let dashboard = Dashboard::new();
+
+    for &week in &weeks {
+        let report = pipeline.run_region_week(&region, week);
+        println!(
+            "week {week}: blocked={} servers={} anomalies={} predictions={}",
+            report.blocked, report.servers, report.anomalies, report.predictions_written
+        );
+        dashboard.record(report);
+    }
+    // A pipeline run over a region with no data at all.
+    dashboard.record(pipeline.run_region_week("ghost-region", weeks[0]));
+
+    // Inject an accuracy regression to exercise the fallback rule: pretend a
+    // freshly deployed model scored far below the last known good one.
+    let v_bad = pipeline
+        .registry
+        .deploy(&region, "experimental-model", weeks[2]);
+    pipeline.registry.record_accuracy(
+        &region,
+        v_bad,
+        ModelAccuracy {
+            window_correct_pct: 41.0,
+            load_accurate_pct: 38.0,
+            predictable_pct: 12.0,
+        },
+    );
+    if let Some(v) = pipeline
+        .registry
+        .maybe_fallback(&region, 10.0, &pipeline.incidents)
+    {
+        println!("\nfallback fired: rolled back to version {v}");
+    }
+
+    // The operator view.
+    println!("\n{}", dashboard.render(&pipeline.incidents));
+    println!("open critical incidents:");
+    for i in pipeline.incidents.open() {
+        if i.severity == Severity::Critical {
+            println!("  #{} [{}] {}: {}", i.id, i.region, i.source, i.message);
+        }
+    }
+}

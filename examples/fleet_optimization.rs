@@ -1,0 +1,130 @@
+//! The Section 6 optimization extensions working together: cross-day backup
+//! moves (§6.1), customer-window advice (§6.2), and preemptive auto-scale
+//! sizing (Appendix A / Fig. 13(b) headroom).
+//!
+//! Run with `cargo run --release --example fleet_optimization`.
+
+use seagull::autoscale::{evaluate_policy, sql_fleet_spec, AutoscalePolicy, SizingMode, SkuLadder};
+use seagull::backup::{
+    Advice, BackupScheduler, CustomerWindow, SchedulerConfig, WeekdayConfig, WeekdayOptimizer,
+    WindowAdvisor,
+};
+use seagull::forecast::PersistentForecast;
+use seagull::telemetry::fleet::{ClassMix, FleetGenerator, FleetSpec, RegionSpec};
+
+fn main() {
+    // A pattern-heavy fleet: the population where optimization pays.
+    let spec = FleetSpec {
+        seed: 2024,
+        regions: vec![RegionSpec {
+            name: "opt".into(),
+            servers: 120,
+        }],
+        start_day: 17_997,
+        grid_min: 5,
+        mix: ClassMix {
+            short_lived: 0.0,
+            stable: 0.4,
+            daily: 0.3,
+            weekly: 0.2,
+            unstable: 0.1,
+        },
+        capacity_reaching: 0.03,
+    };
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(6);
+    let model = PersistentForecast::previous_day();
+    let scheduler = BackupScheduler::new(SchedulerConfig {
+        threads: 2,
+        ..SchedulerConfig::default()
+    });
+
+    // --- §6.1: move backups to a better weekday -----------------------------
+    let optimizer = WeekdayOptimizer::new(scheduler, WeekdayConfig::default());
+    let plans = optimizer.plan_week(&fleet, start + 35, &model, 2);
+    let moved: Vec<_> = plans.iter().filter(|p| p.moved()).collect();
+    println!(
+        "weekday optimizer: {} of {} backups moved to a quieter day",
+        moved.len(),
+        plans.len()
+    );
+    let improvement: f64 = moved
+        .iter()
+        .filter_map(|p| Some(p.due_window_load? - p.chosen_window_load?))
+        .sum::<f64>()
+        / moved.len().max(1) as f64;
+    println!("  mean predicted window-load improvement: {improvement:.1} CPU points");
+
+    // --- §6.2: advise customers who picked their own windows ----------------
+    let advisor = WindowAdvisor::new(scheduler);
+    let mut suggested = 0;
+    let mut kept = 0;
+    let mut skipped = 0;
+    for server in &fleet {
+        // Every customer picked 10:00 — right in most diurnal ramps.
+        let advice = advisor.advise(
+            server,
+            CustomerWindow {
+                server_id: server.meta.id.0,
+                start_minute: 600,
+            },
+            start + 36,
+            &model,
+        );
+        match advice.advice {
+            Advice::Suggest {
+                predicted_improvement,
+                window,
+                ..
+            } => {
+                suggested += 1;
+                if suggested <= 3 {
+                    println!(
+                        "  suggest server {}: move 10:00 window to {} \
+                         (predicted {predicted_improvement:.1} points lower)",
+                        server.meta.id, window.start
+                    );
+                }
+            }
+            Advice::KeepCurrent { .. } => kept += 1,
+            _ => skipped += 1,
+        }
+    }
+    println!(
+        "window advisor: {suggested} suggestions, {kept} already fine, \
+         {skipped} not advisable"
+    );
+
+    // --- Appendix A: preemptive auto-scale ----------------------------------
+    let sql_spec = sql_fleet_spec(9, 150);
+    let sql_start = sql_spec.start_day;
+    let sql_fleet = FleetGenerator::new(sql_spec).generate_weeks(2);
+    let policy = AutoscalePolicy::default();
+    let ladder = SkuLadder::default();
+    println!("\npreemptive auto-scale (150 SQL databases, 24h ahead):");
+    for (label, mode) in [
+        ("static max SKU", SizingMode::StaticMax),
+        ("reactive (yesterday)", SizingMode::Reactive),
+        ("preemptive (forecast)", SizingMode::Preemptive),
+    ] {
+        let s = evaluate_policy(
+            &sql_fleet,
+            sql_start + 8,
+            mode,
+            &policy,
+            &ladder,
+            &model,
+            7,
+            2,
+        );
+        println!(
+            "  {label:<22} mean capacity {:>5.1} | throttled DBs {:>5.1}% | \
+             wasted {:>7.1} %·h/day",
+            s.mean_capacity, s.violation_rate_pct, s.mean_waste_pct_hours
+        );
+    }
+    println!(
+        "\nFig. 13(b) said 96.3% of servers never reach capacity — the preemptive \
+         sizer turns that headroom into reclaimed capacity at bounded risk"
+    );
+}

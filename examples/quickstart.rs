@@ -1,0 +1,70 @@
+//! Quickstart: generate a fleet, classify it, forecast a server's backup
+//! day, and find its lowest-load window.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use seagull::core::classify::{classify_fleet_with, ClassifyConfig, ServerClass};
+use seagull::core::metrics::{evaluate_low_load, lowest_load_window, AccuracyConfig};
+use seagull::forecast::{Forecaster, PersistentForecast};
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec};
+use seagull::timeseries::Timestamp;
+
+fn main() {
+    // 1. A month of 5-minute telemetry for a small region. Everything is
+    //    seeded: rerunning reproduces the same fleet bit-for-bit.
+    let spec = FleetSpec::small_region(7);
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(4);
+    println!("generated {} servers over 4 weeks", fleet.len());
+
+    // 2. Classify the fleet per the paper's Definitions 3-6 (Figure 3).
+    let report = classify_fleet_with(&fleet, start + 28, &ClassifyConfig::default());
+    println!("\nclassification:");
+    for class in [
+        ServerClass::ShortLived,
+        ServerClass::Stable,
+        ServerClass::DailyPattern,
+        ServerClass::WeeklyPattern,
+        ServerClass::NoPattern,
+    ] {
+        println!("  {:<14} {:>6.2}%", class.label(), report.percentage(class));
+    }
+
+    // 3. Pick a long-lived server and predict its next day with the
+    //    production model (persistent forecast, previous day).
+    let server = fleet
+        .iter()
+        .find(|s| s.meta.deleted_day.is_none())
+        .expect("a long-lived server exists");
+    let backup_day = start + 21;
+    let history = server
+        .series
+        .slice(
+            Timestamp::from_days(backup_day - 7),
+            Timestamp::from_days(backup_day),
+        )
+        .expect("one week of history");
+    let model = PersistentForecast::previous_day();
+    let predicted = model
+        .fit_predict(&history, history.points_per_day())
+        .expect("forecast succeeds");
+
+    // 4. Find the predicted lowest-load window for this server's backup.
+    let duration = server.meta.backup.duration_min;
+    let window = lowest_load_window(&predicted, duration).expect("window fits in a day");
+    println!(
+        "\nserver {}: predicted lowest-load window on day {backup_day} \
+         starts at {} ({} min, predicted mean load {:.1}%)",
+        server.meta.id, window.start, duration, window.mean_load
+    );
+
+    // 5. Score the prediction against the true load (Definitions 2 and 8).
+    let truth = server.series.day(backup_day).expect("truth available");
+    let eval = evaluate_low_load(&truth, &predicted, duration, &AccuracyConfig::default())
+        .expect("evaluable");
+    println!(
+        "window chosen correctly: {} | in-window load accurate: {} \
+         (bucket ratio {:.1}%)",
+        eval.window_correct, eval.load_accurate, eval.window_bucket_ratio
+    );
+}

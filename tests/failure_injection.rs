@@ -1,0 +1,199 @@
+//! Failure-injection integration tests: the robustness properties Section 1
+//! claims ("SEAGULL continually re-evaluates accuracy of predictions,
+//! fallback to previously known good models and triggers alerts as
+//! appropriate") exercised under adversarial input.
+
+use bytes::Bytes;
+use seagull::core::pipeline::{collections, AmlPipeline, PipelineConfig};
+use seagull::core::Severity;
+use seagull::forecast::{FittedModel, ForecastError, Forecaster};
+use seagull::telemetry::blobstore::{BlobKey, BlobStore, MemoryBlobStore};
+use seagull::telemetry::extract::LoadExtraction;
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+use seagull::telemetry::record::{LoadRecord, RecordBatch};
+use seagull::telemetry::server::ServerId;
+use seagull::timeseries::TimeSeries;
+use std::sync::Arc;
+
+fn fleet_and_store(
+    servers: usize,
+    weeks: usize,
+    seed: u64,
+) -> (Vec<ServerTelemetry>, Arc<MemoryBlobStore>, String, i64) {
+    let mut spec = FleetSpec::small_region(seed);
+    spec.regions[0].servers = servers;
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(weeks);
+    let store = Arc::new(MemoryBlobStore::new());
+    let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+    LoadExtraction::default()
+        .run(
+            &fleet,
+            std::slice::from_ref(&region),
+            &week_days,
+            store.as_ref(),
+        )
+        .unwrap();
+    (fleet, store, region, start)
+}
+
+#[test]
+fn nan_telemetry_raises_warnings_but_does_not_block() {
+    let (_, store, region, start) = fleet_and_store(20, 1, 10);
+    // Inject NaN rows into the blob.
+    let key = BlobKey::extracted(&region, start);
+    let blob = store.get(&key).unwrap();
+    let mut batch = RecordBatch::from_csv(&blob).unwrap();
+    for r in batch.records.iter_mut().take(5) {
+        r.avg_cpu = f64::NAN;
+    }
+    store.put(&key, batch.to_csv()).unwrap();
+
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let report = pipeline.run_region_week(&region, start);
+    assert!(!report.blocked, "NaNs are repairable, not blocking");
+    assert!(report.anomalies > 0);
+    assert!(pipeline.incidents.open_count(Severity::Warning) > 0);
+    assert!(report.predictions_written > 0, "pipeline still predicts");
+}
+
+#[test]
+fn out_of_bound_values_are_flagged() {
+    let (_, store, region, start) = fleet_and_store(10, 1, 11);
+    let key = BlobKey::extracted(&region, start);
+    let blob = store.get(&key).unwrap();
+    let mut batch = RecordBatch::from_csv(&blob).unwrap();
+    batch.records[0].avg_cpu = 250.0; // impossible CPU percentage
+    batch.records[1].avg_cpu = -40.0;
+    store.put(&key, batch.to_csv()).unwrap();
+
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let report = pipeline.run_region_week(&region, start);
+    assert!(report.anomalies >= 2);
+    assert!(!report.blocked);
+}
+
+#[test]
+fn duplicate_and_invalid_window_rows_are_flagged() {
+    let store = Arc::new(MemoryBlobStore::new());
+    let region = "inj";
+    let start = 18_004i64;
+    let mk = |ts: i64, cpu: f64, bstart: i64, bend: i64| LoadRecord {
+        server_id: ServerId(1),
+        timestamp_min: ts,
+        avg_cpu: cpu,
+        default_backup_start: bstart,
+        default_backup_end: bend,
+    };
+    let base = start * 1440;
+    let batch = RecordBatch::new(vec![
+        mk(base, 10.0, base, base + 60),
+        mk(base, 11.0, base, base + 60),     // duplicate timestamp
+        mk(base + 5, 12.0, base + 60, base), // inverted backup window
+    ]);
+    store
+        .put(&BlobKey::extracted(region, start), batch.to_csv())
+        .unwrap();
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let report = pipeline.run_region_week(region, start);
+    assert!(report.anomalies >= 2, "anomalies {}", report.anomalies);
+}
+
+/// A forecaster that always fails: the pipeline must degrade gracefully
+/// (no predictions, no panic) rather than crash the run.
+struct BrokenModel;
+
+impl Forecaster for BrokenModel {
+    fn name(&self) -> &'static str {
+        "broken"
+    }
+    fn fit(&self, _history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        Err(ForecastError::Numerical("injected failure".into()))
+    }
+}
+
+#[test]
+fn failing_model_degrades_gracefully() {
+    let (_, store, region, start) = fleet_and_store(15, 1, 12);
+    let config = PipelineConfig {
+        forecaster: Arc::new(BrokenModel),
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(config, store);
+    let report = pipeline.run_region_week(&region, start);
+    assert!(!report.blocked, "a broken model is not a blocked run");
+    assert_eq!(report.predictions_written, 0);
+    // The run is still recorded and a version is still tracked (it will
+    // never accumulate accuracy and so can never displace a good model).
+    assert_eq!(pipeline.docs.count(collections::RUNS), 1);
+    assert!(pipeline.registry.deployed(&region).is_some());
+}
+
+#[test]
+fn header_only_blob_blocks_with_empty_input_anomaly() {
+    let store = Arc::new(MemoryBlobStore::new());
+    let region = "empty";
+    let start = 18_004i64;
+    store
+        .put(
+            &BlobKey::extracted(region, start),
+            RecordBatch::default().to_csv(),
+        )
+        .unwrap();
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let report = pipeline.run_region_week(region, start);
+    assert!(report.blocked);
+    assert!(pipeline.incidents.open_count(Severity::Critical) >= 1);
+}
+
+#[test]
+fn truncated_blob_blocks_at_ingestion() {
+    let store = Arc::new(MemoryBlobStore::new());
+    let region = "garbled";
+    let start = 18_004i64;
+    store
+        .put(
+            &BlobKey::extracted(region, start),
+            Bytes::from_static(&[0xff, 0x00, 0x12]),
+        )
+        .unwrap();
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    let report = pipeline.run_region_week(region, start);
+    assert!(report.blocked);
+    assert_eq!(report.servers, 0);
+}
+
+#[test]
+fn accuracy_regression_triggers_fallback_and_alert() {
+    let (_, store, region, start) = fleet_and_store(40, 3, 13);
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    // Two healthy weeks establish a last-known-good version with accuracy.
+    pipeline.run_region_week(&region, start);
+    pipeline.run_region_week(&region, start + 7);
+    let good = pipeline.registry.deployed(&region).unwrap();
+    assert!(good.accuracy.is_some());
+
+    // Deploy an "experimental" version and record terrible accuracy.
+    let bad = pipeline
+        .registry
+        .deploy(&region, "experimental", start + 14);
+    pipeline.registry.record_accuracy(
+        &region,
+        bad,
+        seagull::core::registry::ModelAccuracy {
+            window_correct_pct: 20.0,
+            load_accurate_pct: 15.0,
+            predictable_pct: 5.0,
+        },
+    );
+    let rolled = pipeline
+        .registry
+        .maybe_fallback(&region, 10.0, &pipeline.incidents);
+    assert_eq!(rolled, Some(good.version));
+    assert_eq!(
+        pipeline.registry.deployed(&region).unwrap().version,
+        good.version
+    );
+    assert!(pipeline.incidents.open_count(Severity::Critical) >= 1);
+}

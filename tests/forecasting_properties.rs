@@ -1,0 +1,88 @@
+//! Property-based integration tests: invariants of the metric and forecast
+//! layers under randomized inputs.
+
+use proptest::prelude::*;
+use seagull::core::metrics::{
+    bucket_ratio, evaluate_low_load, lowest_load_window, AccuracyConfig, ErrorBound,
+};
+use seagull::forecast::{Forecaster, PersistentForecast};
+use seagull::timeseries::{min_mean_window, TimeSeries, Timestamp};
+
+fn load_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket ratio is always a percentage, and 100 for a perfect forecast.
+    #[test]
+    fn bucket_ratio_bounds(truth in load_vec(96), noise in load_vec(96)) {
+        let bound = ErrorBound::default();
+        let r = bucket_ratio(&noise, &truth, &bound).unwrap();
+        prop_assert!((0.0..=100.0).contains(&r));
+        let perfect = bucket_ratio(&truth, &truth, &bound).unwrap();
+        prop_assert_eq!(perfect, 100.0);
+    }
+
+    /// The LL window is the argmin over every same-length window.
+    #[test]
+    fn ll_window_is_global_minimum(values in load_vec(288), len_units in 1usize..48) {
+        let day = TimeSeries::new(Timestamp::from_days(10), 5, values).unwrap();
+        let duration = (len_units * 5) as u32;
+        let w = lowest_load_window(&day, duration).unwrap();
+        for start in 0..=(day.len() - len_units) {
+            let mean = seagull::timeseries::mean(
+                &day.values()[start..start + len_units],
+            );
+            prop_assert!(w.mean_load <= mean + 1e-9);
+        }
+    }
+
+    /// min_mean_window and lowest_load_window agree.
+    #[test]
+    fn window_search_consistency(values in load_vec(96), len_units in 1usize..24) {
+        let day = TimeSeries::new(Timestamp::from_days(3), 15, values.clone()).unwrap();
+        let w = lowest_load_window(&day, (len_units * 15) as u32).unwrap();
+        let m = min_mean_window(&values, len_units).unwrap();
+        prop_assert_eq!(w.start, day.timestamp_at(m.start_index));
+        prop_assert!((w.mean_load - m.mean).abs() < 1e-9);
+    }
+
+    /// A forecast identical to the truth always scores a correct window and
+    /// accurate load.
+    #[test]
+    fn perfect_forecast_always_wins(values in load_vec(288), len_units in 1usize..48) {
+        let day = TimeSeries::new(Timestamp::from_days(10), 5, values).unwrap();
+        let cfg = AccuracyConfig::default();
+        let eval = evaluate_low_load(&day, &day, (len_units * 5) as u32, &cfg).unwrap();
+        prop_assert!(eval.window_correct);
+        prop_assert!(eval.load_accurate);
+        prop_assert_eq!(eval.window_bucket_ratio, 100.0);
+    }
+
+    /// Persistent forecast of an exactly daily-periodic series is exact, so
+    /// it always evaluates as correct and accurate.
+    #[test]
+    fn persistent_forecast_exact_on_periodic(day_shape in load_vec(288)) {
+        let mut values = day_shape.clone();
+        for _ in 0..6 {
+            values.extend_from_slice(&day_shape);
+        }
+        let week = TimeSeries::new(Timestamp::from_days(700), 5, values).unwrap();
+        let model = PersistentForecast::previous_day();
+        let pred = model.fit_predict(&week, 288).unwrap();
+        prop_assert_eq!(pred.values(), &day_shape[..]);
+    }
+
+    /// Widening the error bound never flips an accurate prediction to
+    /// inaccurate (monotonicity).
+    #[test]
+    fn wider_bound_is_monotone(truth in load_vec(96), pred in load_vec(96)) {
+        let narrow = ErrorBound { over: 5.0, under: 2.5 };
+        let wide = ErrorBound { over: 10.0, under: 5.0 };
+        let rn = bucket_ratio(&pred, &truth, &narrow).unwrap();
+        let rw = bucket_ratio(&pred, &truth, &wide).unwrap();
+        prop_assert!(rw >= rn);
+    }
+}
