@@ -7,18 +7,28 @@
 //! instance, exactly like fabric properties.
 
 use parking_lot::RwLock;
+use seagull_telemetry::chaos::DetRng;
 use seagull_telemetry::server::ServerId;
 use seagull_timeseries::Timestamp;
 use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
 
 /// The property the backup service reads: minutes-since-epoch of the chosen
 /// backup window start.
 pub const BACKUP_WINDOW_START_PROPERTY: &str = "seagull.backupWindowStart";
 
+/// Seeded write-fault injection state (tests).
+struct ChaosRoll {
+    prob: f64,
+    rng: DetRng,
+}
+
 #[derive(Default)]
 struct Inner {
     properties: HashMap<ServerId, HashMap<String, String>>,
+    chaos: Option<ChaosRoll>,
+    injected_faults: u64,
 }
 
 /// Thread-safe per-server property map.
@@ -33,7 +43,22 @@ impl FabricPropertyStore {
         FabricPropertyStore::default()
     }
 
-    /// Sets a property on a server instance.
+    /// Enables seeded write-fault injection: each [`FabricPropertyStore::try_set`]
+    /// fails with the given probability, deterministically per seed.
+    pub fn inject_write_faults(&self, seed: u64, prob: f64) {
+        self.inner.write().chaos = Some(ChaosRoll {
+            prob,
+            rng: DetRng::new(seed),
+        });
+    }
+
+    /// Write faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.inner.read().injected_faults
+    }
+
+    /// Sets a property on a server instance (infallible; bypasses fault
+    /// injection).
     pub fn set(&self, server: ServerId, key: &str, value: impl Into<String>) {
         self.inner
             .write()
@@ -41,6 +66,29 @@ impl FabricPropertyStore {
             .entry(server)
             .or_default()
             .insert(key.to_string(), value.into());
+    }
+
+    /// Fault-aware property write: rolls the injected write-fault dice (a
+    /// no-op in production, where no chaos is configured), then writes.
+    pub fn try_set(&self, server: ServerId, key: &str, value: impl Into<String>) -> io::Result<()> {
+        let mut inner = self.inner.write();
+        let fail = match inner.chaos.as_mut() {
+            Some(roll) => roll.prob > 0.0 && roll.rng.next_f64() < roll.prob,
+            None => false,
+        };
+        if fail {
+            inner.injected_faults += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("injected fabric write fault for server {}", server.0),
+            ));
+        }
+        inner
+            .properties
+            .entry(server)
+            .or_default()
+            .insert(key.to_string(), value.into());
+        Ok(())
     }
 
     /// Reads a property.
@@ -57,13 +105,26 @@ impl FabricPropertyStore {
             .is_some_and(|p| p.remove(key).is_some())
     }
 
-    /// Convenience: write the backup-window start timestamp.
+    /// Convenience: write the backup-window start timestamp (infallible).
     pub fn set_backup_window_start(&self, server: ServerId, start: Timestamp) {
         self.set(
             server,
             BACKUP_WINDOW_START_PROPERTY,
             start.minutes().to_string(),
         );
+    }
+
+    /// Convenience: fault-aware write of the backup-window start timestamp.
+    pub fn try_set_backup_window_start(
+        &self,
+        server: ServerId,
+        start: Timestamp,
+    ) -> io::Result<()> {
+        self.try_set(
+            server,
+            BACKUP_WINDOW_START_PROPERTY,
+            start.minutes().to_string(),
+        )
     }
 
     /// Convenience: read the backup-window start timestamp, if set and valid.
@@ -113,6 +174,33 @@ mod tests {
         let s = ServerId(2);
         store.set(s, BACKUP_WINDOW_START_PROPERTY, "not-a-number");
         assert!(store.backup_window_start(s).is_none());
+    }
+
+    #[test]
+    fn injected_write_faults_are_deterministic() {
+        let run = || {
+            let store = FabricPropertyStore::new();
+            store.inject_write_faults(9, 0.5);
+            let outcomes: Vec<bool> = (0..40)
+                .map(|i| store.try_set(ServerId(i), "k", "v").is_ok())
+                .collect();
+            (outcomes, store.injected_faults())
+        };
+        let (a, faults_a) = run();
+        let (b, faults_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a > 0, "50% fault rate over 40 writes must fire");
+        assert!(a.iter().any(|ok| *ok), "and some writes must succeed");
+    }
+
+    #[test]
+    fn try_set_without_chaos_always_succeeds() {
+        let store = FabricPropertyStore::new();
+        let t = Timestamp::from_minutes(99);
+        store.try_set_backup_window_start(ServerId(5), t).unwrap();
+        assert_eq!(store.backup_window_start(ServerId(5)), Some(t));
+        assert_eq!(store.injected_faults(), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use advisor::{Advice, CustomerWindow, WindowAdvice, WindowAdvisor};
 pub use duration::BackupDurationModel;
 pub use fabric::{FabricPropertyStore, BACKUP_WINDOW_START_PROPERTY};
 pub use impact::{analyze_impact, capacity_histogram, CapacityHistogram, ImpactReport};
-pub use runner::{RunnerReport, RunnerService};
+pub use runner::{ClusterReport, RunnerReport, RunnerService};
 pub use scheduler::{
     BackupScheduler, DefaultReason, ScheduleDecision, ScheduledBackup, SchedulerConfig,
 };

@@ -15,6 +15,7 @@ use seagull_core::metrics::{lowest_load_window, LowLoadWindow};
 use seagull_core::par::parallel_map;
 use seagull_forecast::Forecaster;
 use seagull_telemetry::fleet::ServerTelemetry;
+use seagull_telemetry::server::ServerId;
 use seagull_timeseries::{DayOfWeek, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -162,8 +163,9 @@ impl BackupScheduler {
             self.schedule_server(server, backup_day, forecaster)
         });
         for b in &scheduled {
-            fabric
-                .set_backup_window_start(seagull_telemetry::server::ServerId(b.server_id), b.start);
+            // Fault-aware write: a dropped write is repaired by the runner's
+            // verify-and-retry pass, so scheduling itself never aborts.
+            let _ = fabric.try_set_backup_window_start(ServerId(b.server_id), b.start);
         }
         scheduled
     }

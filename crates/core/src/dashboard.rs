@@ -171,6 +171,7 @@ mod tests {
                 load_accurate_pct: l,
             }),
             deployed_version: Some(1),
+            degraded: None,
         }
     }
 

@@ -4,6 +4,13 @@
 //! exceptions in any step of the pipeline, and failed model deployment"
 //! (Section 2.2). Incidents raised here feed the dashboard and, in
 //! production, the paging system.
+//!
+//! Raises are fingerprinted: a repeat of the same open
+//! `(severity, source, region, message-key)` increments a count on the
+//! existing incident instead of appending a duplicate row, so retry loops
+//! cannot flood the log. The key defaults to the full message
+//! ([`IncidentManager::raise`]); components with varying detail text pass a
+//! stable key via [`IncidentManager::raise_keyed`].
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -24,6 +31,10 @@ pub enum IncidentState {
     Resolved,
 }
 
+fn default_count() -> u32 {
+    1
+}
+
 /// One incident.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Incident {
@@ -34,6 +45,13 @@ pub struct Incident {
     /// Region the run belonged to.
     pub region: String,
     pub message: String,
+    /// Dedup fingerprint within `(severity, source, region)`; defaults to
+    /// the message.
+    #[serde(default)]
+    pub message_key: String,
+    /// How many times this incident was raised while open.
+    #[serde(default = "default_count")]
+    pub count: u32,
     pub state: IncidentState,
 }
 
@@ -55,7 +73,8 @@ impl IncidentManager {
         IncidentManager::default()
     }
 
-    /// Raises an incident, returning its id.
+    /// Raises an incident, returning its id. The message doubles as the
+    /// dedup key: an identical open incident gains a count instead of a row.
     pub fn raise(
         &self,
         severity: Severity,
@@ -63,7 +82,46 @@ impl IncidentManager {
         region: &str,
         message: impl Into<String>,
     ) -> u64 {
+        let message = message.into();
+        let key = message.clone();
+        self.raise_with_key(severity, source, region, key, message)
+    }
+
+    /// Raises an incident with an explicit dedup key, for callers whose
+    /// message carries varying detail (attempt counts, error text) that
+    /// should still coalesce into one open incident.
+    pub fn raise_keyed(
+        &self,
+        severity: Severity,
+        source: &str,
+        region: &str,
+        key: impl Into<String>,
+        message: impl Into<String>,
+    ) -> u64 {
+        self.raise_with_key(severity, source, region, key.into(), message.into())
+    }
+
+    fn raise_with_key(
+        &self,
+        severity: Severity,
+        source: &str,
+        region: &str,
+        key: String,
+        message: String,
+    ) -> u64 {
         let mut inner = self.inner.write();
+        if let Some(existing) = inner.incidents.iter_mut().find(|i| {
+            i.state == IncidentState::Open
+                && i.severity == severity
+                && i.source == source
+                && i.region == region
+                && i.message_key == key
+        }) {
+            existing.count += 1;
+            // Keep the latest detail text.
+            existing.message = message;
+            return existing.id;
+        }
         let id = inner.next_id;
         inner.next_id += 1;
         inner.incidents.push(Incident {
@@ -71,7 +129,9 @@ impl IncidentManager {
             severity,
             source: source.to_string(),
             region: region.to_string(),
-            message: message.into(),
+            message,
+            message_key: key,
+            count: 1,
             state: IncidentState::Open,
         });
         id
@@ -87,6 +147,20 @@ impl IncidentManager {
             }
             _ => false,
         }
+    }
+
+    /// Resolves every open incident from `source` in `region`; returns how
+    /// many were resolved. Used by the circuit breaker on recovery.
+    pub fn resolve_matching(&self, source: &str, region: &str) -> usize {
+        let mut inner = self.inner.write();
+        let mut resolved = 0;
+        for i in inner.incidents.iter_mut() {
+            if i.state == IncidentState::Open && i.source == source && i.region == region {
+                i.state = IncidentState::Resolved;
+                resolved += 1;
+            }
+        }
+        resolved
     }
 
     /// All incidents (snapshot).
@@ -114,6 +188,16 @@ impl IncidentManager {
             .filter(|i| i.state == IncidentState::Open && i.severity == severity)
             .count()
     }
+
+    /// Open incidents across all severities.
+    pub fn open_total(&self) -> usize {
+        self.inner
+            .read()
+            .incidents
+            .iter()
+            .filter(|i| i.state == IncidentState::Open)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +214,7 @@ mod tests {
         assert_eq!(m.open_count(Severity::Critical), 1);
         assert_eq!(m.open_count(Severity::Warning), 1);
         assert_eq!(m.open_count(Severity::Info), 0);
+        assert_eq!(m.open_total(), 2);
     }
 
     #[test]
@@ -144,7 +229,58 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_raises_get_unique_ids() {
+    fn duplicate_raises_coalesce() {
+        let m = IncidentManager::new();
+        let a = m.raise(Severity::Warning, "validation", "west", "bound anomaly");
+        let b = m.raise(Severity::Warning, "validation", "west", "bound anomaly");
+        assert_eq!(a, b, "repeat raise returns the open incident's id");
+        assert_eq!(m.all().len(), 1);
+        assert_eq!(m.all()[0].count, 2);
+
+        // Different region, severity, or message each open a fresh row.
+        m.raise(Severity::Warning, "validation", "east", "bound anomaly");
+        m.raise(Severity::Critical, "validation", "west", "bound anomaly");
+        m.raise(Severity::Warning, "validation", "west", "other anomaly");
+        assert_eq!(m.all().len(), 4);
+    }
+
+    #[test]
+    fn keyed_raises_keep_latest_detail() {
+        let m = IncidentManager::new();
+        let a = m.raise_keyed(Severity::Critical, "train", "west", "train-failed", "attempt 1");
+        let b = m.raise_keyed(Severity::Critical, "train", "west", "train-failed", "attempt 2");
+        assert_eq!(a, b);
+        let all = m.all();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].count, 2);
+        assert_eq!(all[0].message, "attempt 2");
+    }
+
+    #[test]
+    fn resolved_incidents_do_not_absorb_new_raises() {
+        let m = IncidentManager::new();
+        let a = m.raise(Severity::Warning, "s", "r", "m");
+        assert!(m.resolve(a));
+        let b = m.raise(Severity::Warning, "s", "r", "m");
+        assert_ne!(a, b, "a resolved incident stays closed; a new row opens");
+        assert_eq!(m.all().len(), 2);
+        assert_eq!(m.open_total(), 1);
+    }
+
+    #[test]
+    fn resolve_matching_scopes_by_source_and_region() {
+        let m = IncidentManager::new();
+        m.raise(Severity::Critical, "breaker", "west", "tripped");
+        m.raise(Severity::Warning, "breaker", "west", "probe failed");
+        m.raise(Severity::Critical, "breaker", "east", "tripped");
+        m.raise(Severity::Critical, "ingestion", "west", "missing blob");
+        assert_eq!(m.resolve_matching("breaker", "west"), 2);
+        assert_eq!(m.resolve_matching("breaker", "west"), 0, "already resolved");
+        assert_eq!(m.open_total(), 2);
+    }
+
+    #[test]
+    fn concurrent_duplicate_raises_coalesce_into_one() {
         let m = IncidentManager::new();
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -156,9 +292,8 @@ mod tests {
                 });
             }
         });
-        let mut ids: Vec<u64> = m.all().iter().map(|i| i.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 200);
+        let all = m.all();
+        assert_eq!(all.len(), 1, "identical raises dedup to one incident");
+        assert_eq!(all[0].count, 200);
     }
 }

@@ -22,6 +22,9 @@
 //! * [`docstore`] — the Cosmos DB substitute where results land.
 //! * [`incident`] / [`dashboard`] — alerting and the Application Insights
 //!   substitute.
+//! * [`resilience`] — retry-with-backoff and per-region circuit breaking,
+//!   threaded through every pipeline stage so transient faults degrade runs
+//!   instead of aborting them.
 //! * [`par`] — the Dask substitute: a from-scratch parallel map used by the
 //!   per-server stages (Figure 12(b)).
 
@@ -36,6 +39,7 @@ pub mod metrics;
 pub mod par;
 pub mod pipeline;
 pub mod registry;
+pub mod resilience;
 pub mod validation;
 
 pub use classify::{classify_fleet, classify_fleet_with, ClassificationReport, ServerClass};
@@ -53,6 +57,10 @@ pub use metrics::{
     LowLoadEvaluation, LowLoadWindow,
 };
 pub use par::{default_threads, parallel_map};
-pub use pipeline::{AmlPipeline, PipelineConfig, PipelineRunReport};
+pub use pipeline::{AmlPipeline, DegradedRun, PipelineConfig, PipelineRunReport};
 pub use registry::{EndpointSet, ModelAccuracy, ModelRegistry};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy, RetryPolicy, StageChaos,
+    StageError,
+};
 pub use validation::{validate_batch, validate_servers, Anomaly, DataProfile, ValidationReport};

@@ -12,6 +12,15 @@
 //! [`DocStore`]; validation anomalies and deployment regressions raise
 //! incidents; each run deploys a fresh model version whose accuracy, once
 //! measured a week later, feeds the last-known-good fallback rule.
+//!
+//! Every stage runs under the pipeline's [`ResiliencePolicy`]: transient
+//! faults (storage timeouts, torn reads, outages) are retried with seeded
+//! backoff, and exhausted retries degrade the run instead of aborting it —
+//! poison server batches are quarantined to a dead-letter list, failed
+//! train/deploy keeps the registry's last-known-good model serving, and the
+//! run report carries a [`DegradedRun`] summary instead of an `Err`. A
+//! per-region [`CircuitBreaker`] guards run entry so a region whose blob
+//! slice is hard-down stops burning retries until a cooldown elapses.
 
 use crate::classify::ClassifyConfig;
 use crate::docstore::DocStore;
@@ -21,13 +30,17 @@ use crate::incident::{IncidentManager, Severity};
 use crate::metrics::evaluate_low_load;
 use crate::par::parallel_map;
 use crate::registry::{EndpointSet, ModelAccuracy, ModelRegistry};
+use crate::resilience::{
+    stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError,
+};
 use crate::validation::{validate_batch, validate_servers, DataProfile};
-use seagull_forecast::Forecaster;
+use seagull_forecast::{ForecastError, Forecaster};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
 use seagull_telemetry::extract::{parse_region_week, ExtractedServer};
 use seagull_telemetry::record::RecordBatch;
 use seagull_timeseries::{GapFill, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -76,6 +89,63 @@ pub struct StageTiming {
     pub duration: Duration,
 }
 
+/// Degradation summary of one run: what was retried, quarantined, skipped,
+/// or fallen back on while still producing a report instead of an error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DegradedRun {
+    /// Retries spent per stage (only stages that retried appear).
+    #[serde(default)]
+    pub retries: BTreeMap<String, u32>,
+    /// Virtual backoff accounted across all retries, milliseconds.
+    #[serde(default)]
+    pub backoff_ms: u64,
+    /// Servers quarantined to the dead-letter list this run.
+    #[serde(default)]
+    pub quarantined_servers: Vec<u64>,
+    /// True when train/deploy failed and the registry's last-known-good
+    /// model was kept serving instead of a new version.
+    #[serde(default)]
+    pub fallback_deployed: bool,
+    /// True when the region's circuit breaker rejected the run outright.
+    #[serde(default)]
+    pub skipped_by_breaker: bool,
+    /// Stages whose retries were exhausted (the run degraded around them).
+    #[serde(default)]
+    pub exhausted_stages: Vec<String>,
+}
+
+impl DegradedRun {
+    /// Folds one stage's retry accounting into the summary.
+    fn note<T>(&mut self, stage: &str, result: &RetryResult<T>) {
+        if result.attempts > 1 {
+            *self.retries.entry(stage.to_string()).or_insert(0) += result.attempts - 1;
+            self.backoff_ms += result.backoff_ms;
+        }
+    }
+
+    /// Retries spent across all stages.
+    pub fn total_retries(&self) -> u32 {
+        self.retries.values().sum()
+    }
+
+    /// Whether anything actually degraded.
+    pub fn is_degraded(&self) -> bool {
+        !self.retries.is_empty()
+            || !self.quarantined_servers.is_empty()
+            || self.fallback_deployed
+            || self.skipped_by_breaker
+            || !self.exhausted_stages.is_empty()
+    }
+
+    fn into_option(self) -> Option<DegradedRun> {
+        if self.is_degraded() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
 /// The report of one pipeline run (one region, one week).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineRunReport {
@@ -93,6 +163,10 @@ pub struct PipelineRunReport {
     pub evaluations: usize,
     pub accuracy: Option<AccuracySummary>,
     pub deployed_version: Option<u64>,
+    /// Present when the run retried, quarantined, fell back, or was skipped
+    /// by the circuit breaker; `None` for a clean run.
+    #[serde(default)]
+    pub degraded: Option<DegradedRun>,
 }
 
 impl PipelineRunReport {
@@ -107,6 +181,16 @@ impl PipelineRunReport {
     /// Total wall-clock across stages.
     pub fn total_duration(&self) -> Duration {
         self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Retries spent across all stages this run.
+    pub fn total_retries(&self) -> u32 {
+        self.degraded.as_ref().map_or(0, DegradedRun::total_retries)
+    }
+
+    /// True when the run completed but something degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 }
 
@@ -153,12 +237,33 @@ pub struct AccuracyDoc {
     pub window_bucket_ratio: f64,
 }
 
+/// A quarantined poison batch: a server whose training input caused a
+/// non-benign model failure, recorded for offline triage instead of
+/// aborting the region's run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetterDoc {
+    pub region: String,
+    pub server_id: u64,
+    pub week_start_day: i64,
+    /// The stage that quarantined it.
+    pub stage: String,
+    pub reason: String,
+}
+
+impl DeadLetterDoc {
+    /// Document id.
+    pub fn doc_id(region: &str, server_id: u64, week_start_day: i64) -> String {
+        format!("{region}/{server_id}/{week_start_day}")
+    }
+}
+
 /// Collection names in the [`DocStore`].
 pub mod collections {
     pub const PREDICTIONS: &str = "predictions";
     pub const ACCURACY: &str = "accuracy";
     pub const FEATURES: &str = "features";
     pub const RUNS: &str = "runs";
+    pub const DEAD_LETTER: &str = "dead-letter";
 }
 
 /// The pipeline with its shared service handles.
@@ -170,11 +275,26 @@ pub struct AmlPipeline {
     pub incidents: IncidentManager,
     pub registry: ModelRegistry,
     pub endpoints: EndpointSet,
+    pub resilience: ResiliencePolicy,
+    /// Per-region breaker guarding run entry; ticks are day indices.
+    pub breaker: CircuitBreaker,
 }
 
 impl AmlPipeline {
-    /// Assembles a pipeline over the given blob store.
+    /// Assembles a pipeline over the given blob store with the default
+    /// resilience policy.
     pub fn new(config: PipelineConfig, blobs: Arc<dyn BlobStore>) -> AmlPipeline {
+        AmlPipeline::with_resilience(config, blobs, ResiliencePolicy::default())
+    }
+
+    /// Assembles a pipeline with an explicit resilience policy (retry
+    /// tuning, breaker thresholds, jitter seed, stage-fault hook).
+    pub fn with_resilience(
+        config: PipelineConfig,
+        blobs: Arc<dyn BlobStore>,
+        resilience: ResiliencePolicy,
+    ) -> AmlPipeline {
+        let breaker = CircuitBreaker::new(resilience.breaker);
         AmlPipeline {
             config,
             blobs,
@@ -182,12 +302,38 @@ impl AmlPipeline {
             incidents: IncidentManager::new(),
             registry: ModelRegistry::new(),
             endpoints: EndpointSet::new(),
+            resilience,
+            breaker,
         }
+    }
+
+    /// Runs a stage closure under the retry policy, with the policy's
+    /// stage-fault hook injected ahead of the real work.
+    fn retry_stage<T>(
+        &self,
+        stage: &str,
+        region: &str,
+        tick: i64,
+        mut op: impl FnMut() -> Result<T, StageError>,
+    ) -> RetryResult<T> {
+        let seed = stage_seed(self.resilience.seed, stage, region, tick);
+        self.resilience.retry.run(seed, |attempt| {
+            if self.resilience.chaos.should_fail(stage, region, tick, attempt) {
+                return Err(StageError::transient(format!(
+                    "injected {stage} fault (attempt {attempt})"
+                )));
+            }
+            op()
+        })
     }
 
     /// Runs the weekly pipeline for one region: ingestion → validation →
     /// feature extraction → training & inference → deployment → accuracy
     /// evaluation (of the previous run's predictions) → result storage.
+    ///
+    /// Never returns an error: transient faults are retried, and exhausted
+    /// retries degrade the run (quarantine, fallback, skip) with the
+    /// details summarized in [`PipelineRunReport::degraded`].
     pub fn run_region_week(&self, region: &str, week_start_day: i64) -> PipelineRunReport {
         let mut report = PipelineRunReport {
             region: region.to_string(),
@@ -201,29 +347,68 @@ impl AmlPipeline {
             evaluations: 0,
             accuracy: None,
             deployed_version: None,
+            degraded: None,
         };
+        let mut degraded = DegradedRun::default();
+        let tick = week_start_day;
+
+        // ---- Circuit-breaker gate --------------------------------------------
+        // A region whose blob slice is hard-down stops burning retries: the
+        // open breaker rejects runs until the cooldown admits a probe.
+        if !self.breaker.allow(region, tick) {
+            degraded.skipped_by_breaker = true;
+            report.blocked = true;
+            report.degraded = degraded.into_option();
+            self.store_run(&report);
+            return report;
+        }
 
         // ---- Data Ingestion -------------------------------------------------
         let t = Instant::now();
         let key = BlobKey::extracted(region, week_start_day);
-        let ingested = self.blobs.get(&key).ok().and_then(|blob| {
-            report.input_bytes = blob.len() as u64;
-            RecordBatch::from_csv(&blob).ok()
+        let fetched = self.retry_stage("ingestion", region, tick, || {
+            let blob = self
+                .blobs
+                .get(&key)
+                .map_err(|e| StageError::from_io(&e))?;
+            // A parse failure is treated as transient: torn reads return a
+            // truncated prefix, and a re-read yields the full blob.
+            let batch = RecordBatch::from_csv(&blob)
+                .map_err(|e| StageError::transient(format!("unreadable blob {key}: {e}")))?;
+            Ok((blob.len() as u64, batch))
         });
-        let batch = match ingested {
-            Some(b) => b,
-            None => {
-                self.incidents.raise(
+        degraded.note("ingestion", &fetched);
+        let batch = match fetched.outcome {
+            Ok((bytes, batch)) => {
+                report.input_bytes = bytes;
+                // The breaker tracks the health of the region's blob slice.
+                self.breaker.record_success(region, tick, &self.incidents);
+                batch
+            }
+            Err(e) => {
+                self.incidents.raise_keyed(
                     Severity::Critical,
                     "ingestion",
                     region,
                     format!("missing or unreadable input blob {key}"),
+                    format!(
+                        "missing or unreadable input blob {key} after {} attempt(s): {}",
+                        fetched.attempts, e.message
+                    ),
                 );
+                if e.transient {
+                    // Infrastructure failure (outage, flakiness) — feed the
+                    // breaker so a sustained outage trips it. Absent data
+                    // (NotFound) is not an infrastructure signal.
+                    self.breaker.record_failure(region, tick, &self.incidents);
+                    degraded.exhausted_stages.push("ingestion".into());
+                }
                 report.blocked = true;
                 report.stages.push(StageTiming {
                     stage: "ingestion".into(),
                     duration: t.elapsed(),
                 });
+                report.degraded = degraded.into_option();
                 self.store_run(&report);
                 return report;
             }
@@ -237,27 +422,43 @@ impl AmlPipeline {
 
         // ---- Data Validation -------------------------------------------------
         let t = Instant::now();
-        let batch_report = validate_batch(
-            &batch,
-            &self.config.profile,
-            self.config.max_anomaly_reports,
-        );
-        let server_report = validate_servers(&servers, &self.config.profile);
-        report.anomalies = batch_report.anomalies.len() + server_report.anomalies.len();
-        for a in batch_report
-            .anomalies
-            .iter()
-            .chain(&server_report.anomalies)
-        {
-            let severity = if a.is_blocking() {
-                Severity::Critical
-            } else {
-                Severity::Warning
-            };
-            self.incidents
-                .raise(severity, "validation", region, format!("{a:?}"));
+        let validated = self.retry_stage("validation", region, tick, || {
+            Ok((
+                validate_batch(&batch, &self.config.profile, self.config.max_anomaly_reports),
+                validate_servers(&servers, &self.config.profile),
+            ))
+        });
+        degraded.note("validation", &validated);
+        let mut blocked = false;
+        match validated.outcome {
+            Ok((batch_report, server_report)) => {
+                report.anomalies = batch_report.anomalies.len() + server_report.anomalies.len();
+                for a in batch_report.anomalies.iter().chain(&server_report.anomalies) {
+                    let severity = if a.is_blocking() {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    };
+                    self.incidents
+                        .raise(severity, "validation", region, format!("{a:?}"));
+                }
+                blocked = batch_report.is_blocked() || server_report.is_blocked();
+            }
+            Err(e) => {
+                // Degraded mode: run unvalidated rather than drop the week.
+                degraded.exhausted_stages.push("validation".into());
+                self.incidents.raise_keyed(
+                    Severity::Warning,
+                    "validation",
+                    region,
+                    "validation-skipped",
+                    format!(
+                        "validation skipped after {} attempt(s): {}",
+                        validated.attempts, e.message
+                    ),
+                );
+            }
         }
-        let blocked = batch_report.is_blocked() || server_report.is_blocked();
         // Repair tolerated gaps so downstream models see clean input.
         if !blocked {
             for s in &mut servers {
@@ -270,6 +471,7 @@ impl AmlPipeline {
         });
         if blocked {
             report.blocked = true;
+            report.degraded = degraded.into_option();
             self.store_run(&report);
             return report;
         }
@@ -295,32 +497,117 @@ impl AmlPipeline {
         let forecaster = Arc::clone(&self.config.forecaster);
         let grid = self.config.grid_min;
         let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
-        let predictions: Vec<Option<PredictionDoc>> =
-            parallel_map(&servers, self.config.threads, |s| {
+        let threads = self.config.threads;
+        let trained = self.retry_stage("train-infer", region, tick, || {
+            Ok(parallel_map(&servers, threads, |s| {
                 // The server's backup day next week.
                 let backup_day = s.default_backup_start.day_index() + 7;
                 let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
-                let pred = forecaster
-                    .fit_predict(&s.series, horizon_days * points_per_day)
-                    .ok()?;
-                let day = pred.day(backup_day)?;
-                Some(PredictionDoc {
-                    region: region.to_string(),
-                    server_id: s.id.0,
-                    day: backup_day,
-                    step_min: grid,
-                    values: day.into_values(),
-                    duration_min: s.default_backup_end - s.default_backup_start,
-                })
-            });
-        for doc in predictions.into_iter().flatten() {
-            let id = PredictionDoc::doc_id(region, doc.server_id, doc.day);
-            if self
-                .docs
-                .upsert(collections::PREDICTIONS, &id, &doc)
-                .is_ok()
-            {
-                report.predictions_written += 1;
+                match forecaster.fit_predict(&s.series, horizon_days * points_per_day) {
+                    Ok(pred) => Ok(pred.day(backup_day).map(|day| PredictionDoc {
+                        region: region.to_string(),
+                        server_id: s.id.0,
+                        day: backup_day,
+                        step_min: grid,
+                        values: day.into_values(),
+                        duration_min: s.default_backup_end - s.default_backup_start,
+                    })),
+                    // Too little history is the normal young-server case.
+                    Err(ForecastError::InsufficientHistory { .. }) => Ok(None),
+                    // Anything else is poison input or a broken model.
+                    Err(e) => Err((s.id.0, e.to_string())),
+                }
+            }))
+        });
+        degraded.note("train-infer", &trained);
+        let mut train_failed = false;
+        let mut predictions: Vec<PredictionDoc> = Vec::new();
+        match trained.outcome {
+            Ok(results) => {
+                let mut poison: Vec<(u64, String)> = Vec::new();
+                for r in results {
+                    match r {
+                        Ok(Some(doc)) => predictions.push(doc),
+                        Ok(None) => {}
+                        Err(p) => poison.push(p),
+                    }
+                }
+                if !poison.is_empty() {
+                    // Skip-and-quarantine: poison batches go to the
+                    // dead-letter list; the rest of the region proceeds.
+                    poison.sort_by_key(|(id, _)| *id);
+                    for (server_id, reason) in &poison {
+                        let id = DeadLetterDoc::doc_id(region, *server_id, week_start_day);
+                        let _ = self.docs.upsert(
+                            collections::DEAD_LETTER,
+                            &id,
+                            &DeadLetterDoc {
+                                region: region.to_string(),
+                                server_id: *server_id,
+                                week_start_day,
+                                stage: "train-infer".into(),
+                                reason: reason.clone(),
+                            },
+                        );
+                    }
+                    degraded.quarantined_servers = poison.into_iter().map(|(id, _)| id).collect();
+                    self.incidents.raise_keyed(
+                        Severity::Warning,
+                        "train-infer",
+                        region,
+                        "poison-batch",
+                        format!(
+                            "{} poison server batch(es) quarantined to dead-letter in week \
+                             starting day {week_start_day}",
+                            degraded.quarantined_servers.len()
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                train_failed = true;
+                degraded.exhausted_stages.push("train-infer".into());
+                self.incidents.raise_keyed(
+                    Severity::Critical,
+                    "train-infer",
+                    region,
+                    "train-failed",
+                    format!(
+                        "training failed after {} attempt(s): {}",
+                        trained.attempts, e.message
+                    ),
+                );
+            }
+        }
+
+        // Persist predictions (docstore-write), retried as a unit: upserts
+        // are idempotent, so a mid-write fault just replays the batch.
+        let written = self.retry_stage("docstore-write", region, tick, || {
+            let mut n = 0usize;
+            for doc in &predictions {
+                let id = PredictionDoc::doc_id(region, doc.server_id, doc.day);
+                self.docs
+                    .upsert(collections::PREDICTIONS, &id, doc)
+                    .map_err(|e| StageError::permanent(format!("docstore upsert {id}: {e}")))?;
+                n += 1;
+            }
+            Ok(n)
+        });
+        degraded.note("docstore-write", &written);
+        match written.outcome {
+            Ok(n) => report.predictions_written = n,
+            Err(e) => {
+                degraded.exhausted_stages.push("docstore-write".into());
+                self.incidents.raise_keyed(
+                    Severity::Warning,
+                    "docstore-write",
+                    region,
+                    "predictions-dropped",
+                    format!(
+                        "failed to persist predictions after {} attempt(s): {}",
+                        written.attempts, e.message
+                    ),
+                );
             }
         }
         report.stages.push(StageTiming {
@@ -330,12 +617,42 @@ impl AmlPipeline {
 
         // ---- Model Deployment --------------------------------------------------
         let t = Instant::now();
-        let version = self
-            .registry
-            .deploy(region, self.config.forecaster.name(), week_start_day);
-        self.endpoints
-            .publish(region, Arc::clone(&self.config.forecaster));
-        report.deployed_version = Some(version);
+        // The registry/endpoint mutation itself is infallible; the retried
+        // gate models the external AML deployment call, which the
+        // stage-fault hook can fail. Mutation happens only after the gate
+        // passes so retries never double-deploy.
+        let deploy_gate = self.retry_stage("deployment", region, tick, || Ok(()));
+        degraded.note("deployment", &deploy_gate);
+        if train_failed || deploy_gate.outcome.is_err() {
+            // Keep serving the registry's last-known-good model: neither a
+            // new version nor a new endpoint is published.
+            if deploy_gate.outcome.is_err() {
+                degraded.exhausted_stages.push("deployment".into());
+            }
+            degraded.fallback_deployed = true;
+            let serving = self
+                .registry
+                .deployed(region)
+                .map(|v| format!("v{} ({})", v.version, v.model_name))
+                .unwrap_or_else(|| "no prior version".into());
+            self.incidents.raise_keyed(
+                Severity::Critical,
+                "deployment",
+                region,
+                "deploy-failed",
+                format!(
+                    "model deployment failed in week starting day {week_start_day}; \
+                     serving last-known-good: {serving}"
+                ),
+            );
+        } else {
+            let version = self
+                .registry
+                .deploy(region, self.config.forecaster.name(), week_start_day);
+            self.endpoints
+                .publish(region, Arc::clone(&self.config.forecaster));
+            report.deployed_version = Some(version);
+        }
         report.stages.push(StageTiming {
             stage: "deployment".into(),
             duration: t.elapsed(),
@@ -383,24 +700,28 @@ impl AmlPipeline {
                 let _ = self.docs.upsert(collections::ACCURACY, &id, e);
             }
             // Feed the registry; the fallback rule compares against the last
-            // known good version and raises an incident on regression.
-            self.registry.record_accuracy(
-                region,
-                version,
-                ModelAccuracy {
-                    window_correct_pct: wc,
-                    load_accurate_pct: la,
-                    predictable_pct: 0.0,
-                },
-            );
-            self.registry
-                .maybe_fallback(region, self.config.fallback_tolerance, &self.incidents);
+            // known good version and raises an incident on regression. A run
+            // that kept the last-known-good model has no new version to score.
+            if let Some(version) = report.deployed_version {
+                self.registry.record_accuracy(
+                    region,
+                    version,
+                    ModelAccuracy {
+                        window_correct_pct: wc,
+                        load_accurate_pct: la,
+                        predictable_pct: 0.0,
+                    },
+                );
+                self.registry
+                    .maybe_fallback(region, self.config.fallback_tolerance, &self.incidents);
+            }
         }
         report.stages.push(StageTiming {
             stage: "accuracy-eval".into(),
             duration: t.elapsed(),
         });
 
+        report.degraded = degraded.into_option();
         self.store_run(&report);
         report
     }
@@ -441,6 +762,7 @@ pub use crate::evaluate::backup_day_in_week as fleet_backup_day_in_week;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::{BreakerState, StageChaos};
     use seagull_telemetry::blobstore::MemoryBlobStore;
     use seagull_telemetry::extract::LoadExtraction;
     use seagull_telemetry::fleet::{FleetGenerator, FleetSpec};
@@ -486,6 +808,9 @@ mod tests {
             pipeline.docs.count(collections::PREDICTIONS),
             report.predictions_written
         );
+        // A clean run carries no degradation summary and no retries.
+        assert!(!report.is_degraded());
+        assert_eq!(report.total_retries(), 0);
     }
 
     #[test]
@@ -511,6 +836,10 @@ mod tests {
         let report = pipeline.run_region_week("ghost-region", start);
         assert!(report.blocked);
         assert_eq!(pipeline.incidents.open_count(Severity::Critical), 1);
+        // Absent data is permanent: no retries are burned on it, and the
+        // breaker (which tracks infrastructure health) stays closed.
+        assert_eq!(report.total_retries(), 0);
+        assert_eq!(pipeline.breaker.state("ghost-region"), BreakerState::Closed);
         // The blocked run is still recorded for the dashboard.
         assert_eq!(pipeline.docs.count(collections::RUNS), 1);
     }
@@ -528,5 +857,49 @@ mod tests {
         let (pipeline, start) = setup(10, 1);
         pipeline.run_region_week("region-a", start);
         assert!(pipeline.endpoints.resolve("region-a").is_some());
+    }
+
+    #[test]
+    fn injected_stage_fault_is_retried_and_counted() {
+        let (base, start) = setup(10, 1);
+        // Fail the first two train-infer attempts; the third succeeds.
+        let policy = ResiliencePolicy {
+            chaos: StageChaos::from_fn(|stage, _, _, attempt| {
+                stage == "train-infer" && attempt <= 2
+            }),
+            ..ResiliencePolicy::default()
+        };
+        let pipeline = AmlPipeline::with_resilience(base.config, base.blobs, policy);
+        let report = pipeline.run_region_week("region-a", start);
+        assert!(!report.blocked);
+        assert!(report.predictions_written > 0);
+        let degraded = report.degraded.expect("retries recorded");
+        assert_eq!(degraded.retries.get("train-infer"), Some(&2));
+        assert!(degraded.backoff_ms > 0);
+        assert!(degraded.exhausted_stages.is_empty());
+    }
+
+    #[test]
+    fn exhausted_deploy_keeps_last_known_good() {
+        let (base, start) = setup(15, 2);
+        let policy = ResiliencePolicy {
+            // Deployment hard-fails, but only in week 2.
+            chaos: StageChaos::from_fn(move |stage, _, tick, _| {
+                stage == "deployment" && tick > start
+            }),
+            ..ResiliencePolicy::default()
+        };
+        let pipeline = AmlPipeline::with_resilience(base.config, base.blobs, policy);
+        let r1 = pipeline.run_region_week("region-a", start);
+        assert_eq!(r1.deployed_version, Some(1));
+        let r2 = pipeline.run_region_week("region-a", start + 7);
+        assert!(!r2.blocked, "deploy failure degrades, it does not block");
+        assert_eq!(r2.deployed_version, None);
+        let degraded = r2.degraded.expect("degradation recorded");
+        assert!(degraded.fallback_deployed);
+        assert!(degraded.exhausted_stages.contains(&"deployment".into()));
+        // Version 1 is still the serving model.
+        assert_eq!(pipeline.registry.deployed("region-a").unwrap().version, 1);
+        assert!(pipeline.incidents.open_count(Severity::Critical) >= 1);
     }
 }

@@ -154,7 +154,19 @@ impl BlobStore for DiskBlobStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, &data)
+        // Crash-safe write: stage into a temp file in the same directory,
+        // then atomically rename into place. A crash mid-write leaves only a
+        // `.tmp` straggler (invisible to `list`/`get`), never a torn
+        // `week-N.csv` a later pipeline run would parse as valid input.
+        let tmp = path.with_extension(format!("csv.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, &data)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     fn get(&self, key: &BlobKey) -> io::Result<Bytes> {
@@ -251,6 +263,37 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = DiskBlobStore::open(&dir).unwrap();
         exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_put_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "seagull-blob-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskBlobStore::open(&dir).unwrap();
+        let k = BlobKey::extracted("west", 42);
+        store.put(&k, Bytes::from_static(b"first")).unwrap();
+        store.put(&k, Bytes::from_static(b"second")).unwrap();
+        assert_eq!(&store.get(&k).unwrap()[..], b"second");
+
+        // Only the final blob exists — no `.tmp` stragglers after put.
+        let files: Vec<String> = std::fs::read_dir(dir.join("extracted").join("west"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files, vec!["week-42.csv".to_string()]);
+
+        // A straggler from a simulated mid-write crash is invisible to list.
+        std::fs::write(
+            dir.join("extracted").join("west").join("week-43.csv.tmp-1"),
+            b"torn",
+        )
+        .unwrap();
+        assert_eq!(store.list("extracted").unwrap(), vec![k]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

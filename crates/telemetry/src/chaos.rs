@@ -1,0 +1,431 @@
+//! Deterministic fault injection for blob storage.
+//!
+//! The paper's incident catalogue — "missing or invalid input data, errors or
+//! exceptions in any step of the pipeline, and failed model deployment"
+//! (Section 2.2) — starts at the storage layer. [`ChaosBlobStore`] decorates
+//! any [`BlobStore`] with seeded, reproducible faults so the resilience
+//! machinery in `seagull-core` can be driven through realistic failure
+//! schedules in tests and experiments:
+//!
+//! * **transient faults** — an op fails with a timeout; the next attempt may
+//!   succeed (the retry-policy case),
+//! * **torn reads** — a `get` returns a truncated prefix of the blob (the
+//!   mid-write-crash case the pipeline must not parse as valid input),
+//! * **latency spikes** — an op is charged a simulated delay (and optionally
+//!   a real sleep),
+//! * **sustained outages** — every op against one `(kind, region)` key-space
+//!   slice fails until the slice is healed (the circuit-breaker case).
+//!
+//! Every decision comes from one seeded [`DetRng`] stream consumed in op
+//! order, so a fixed seed reproduces a byte-identical fault schedule
+//! ([`ChaosBlobStore::schedule_log`]) run after run.
+
+use crate::blobstore::{BlobKey, BlobStore};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A minimal deterministic RNG (SplitMix64). Used instead of the `rand`
+/// crate wherever fault schedules must be reproducible and portable across
+/// dependency upgrades.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> DetRng {
+        DetRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Fault-injection parameters. All probabilities are per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Probability an op fails with a retryable timeout.
+    pub transient_fault_prob: f64,
+    /// Probability a `get` returns a truncated prefix of the blob.
+    pub torn_read_prob: f64,
+    /// Probability an op is charged a latency spike.
+    pub latency_spike_prob: f64,
+    /// Duration of one latency spike (always recorded in the stats; only
+    /// slept when `real_sleep` is set).
+    pub latency_spike: Duration,
+    /// Actually sleep on latency spikes (benchmarks); tests keep this off so
+    /// simulated months run in milliseconds.
+    pub real_sleep: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            transient_fault_prob: 0.0,
+            torn_read_prob: 0.0,
+            latency_spike_prob: 0.0,
+            latency_spike: Duration::from_millis(50),
+            real_sleep: false,
+        }
+    }
+}
+
+/// Operation and fault counters for assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Operations attempted against the store.
+    pub ops: u64,
+    /// Total injected faults (transient + torn + outage rejections).
+    pub faults: u64,
+    pub transient_faults: u64,
+    pub torn_reads: u64,
+    pub outage_rejections: u64,
+    pub latency_spikes: u64,
+    /// Total simulated latency charged.
+    pub simulated_latency: Duration,
+}
+
+struct ChaosState {
+    rng: DetRng,
+    stats: ChaosStats,
+    /// Sliced sustained outages, keyed by `(kind, region)`.
+    outages: BTreeSet<(String, String)>,
+    /// One line per injected fault, in op order.
+    log: Vec<String>,
+}
+
+/// The decision taken for one operation.
+enum Injection {
+    /// Proceed; `torn_frac` is the truncation point for a torn read.
+    Proceed { torn_frac: Option<f64> },
+    /// Fail the op with this error.
+    Fail(io::Error),
+}
+
+/// A [`BlobStore`] decorator that injects seeded, reproducible faults.
+pub struct ChaosBlobStore {
+    inner: Arc<dyn BlobStore>,
+    config: ChaosConfig,
+    state: Mutex<ChaosState>,
+}
+
+impl ChaosBlobStore {
+    /// Wraps a store with the given fault configuration.
+    pub fn new(inner: Arc<dyn BlobStore>, config: ChaosConfig) -> ChaosBlobStore {
+        ChaosBlobStore {
+            inner,
+            state: Mutex::new(ChaosState {
+                rng: DetRng::new(config.seed),
+                stats: ChaosStats::default(),
+                outages: BTreeSet::new(),
+                log: Vec::new(),
+            }),
+            config,
+        }
+    }
+
+    /// Starts a sustained outage: every op touching `(kind, region)` fails
+    /// until [`ChaosBlobStore::clear_outage`].
+    pub fn set_outage(&self, kind: &str, region: &str) {
+        self.state
+            .lock()
+            .outages
+            .insert((kind.to_string(), region.to_string()));
+    }
+
+    /// Heals a sustained outage; returns whether one was active.
+    pub fn clear_outage(&self, kind: &str, region: &str) -> bool {
+        self.state
+            .lock()
+            .outages
+            .remove(&(kind.to_string(), region.to_string()))
+    }
+
+    /// True while `(kind, region)` is under a sustained outage.
+    pub fn outage_active(&self, kind: &str, region: &str) -> bool {
+        self.state
+            .lock()
+            .outages
+            .contains(&(kind.to_string(), region.to_string()))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ChaosStats {
+        self.state.lock().stats
+    }
+
+    /// The fault schedule so far: one line per injected fault, in op order.
+    /// Byte-identical across runs with the same seed and op sequence.
+    pub fn schedule_log(&self) -> String {
+        self.state.lock().log.join("\n")
+    }
+
+    /// Rolls the fault dice for one op. The roll order per op is fixed
+    /// (transient, then torn for reads, then latency) so schedules stay
+    /// aligned across runs.
+    fn inject(&self, op: &str, kind: &str, region: &str, key: &str, read: bool) -> Injection {
+        let mut st = self.state.lock();
+        let op_index = st.stats.ops;
+        st.stats.ops += 1;
+        if st.outages.contains(&(kind.to_string(), region.to_string())) {
+            st.stats.faults += 1;
+            st.stats.outage_rejections += 1;
+            st.log.push(format!("#{op_index} {op} {key}: outage"));
+            return Injection::Fail(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("injected sustained outage for {kind}/{region}"),
+            ));
+        }
+        if self.config.transient_fault_prob > 0.0
+            && st.rng.next_f64() < self.config.transient_fault_prob
+        {
+            st.stats.faults += 1;
+            st.stats.transient_faults += 1;
+            st.log.push(format!("#{op_index} {op} {key}: transient"));
+            return Injection::Fail(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("injected transient fault on {op} {key}"),
+            ));
+        }
+        let mut torn_frac = None;
+        if read
+            && self.config.torn_read_prob > 0.0
+            && st.rng.next_f64() < self.config.torn_read_prob
+        {
+            st.stats.faults += 1;
+            st.stats.torn_reads += 1;
+            let frac = st.rng.next_f64();
+            st.log.push(format!("#{op_index} {op} {key}: torn({frac:.6})"));
+            torn_frac = Some(frac);
+        }
+        let mut spike = false;
+        if self.config.latency_spike_prob > 0.0
+            && st.rng.next_f64() < self.config.latency_spike_prob
+        {
+            st.stats.latency_spikes += 1;
+            st.stats.simulated_latency += self.config.latency_spike;
+            st.log.push(format!("#{op_index} {op} {key}: latency"));
+            spike = true;
+        }
+        drop(st);
+        if spike && self.config.real_sleep {
+            std::thread::sleep(self.config.latency_spike);
+        }
+        Injection::Proceed { torn_frac }
+    }
+}
+
+impl fmt::Debug for ChaosBlobStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("ChaosBlobStore")
+            .field("config", &self.config)
+            .field("stats", &st.stats)
+            .field("outages", &st.outages)
+            .finish()
+    }
+}
+
+impl BlobStore for ChaosBlobStore {
+    fn put(&self, key: &BlobKey, data: Bytes) -> io::Result<()> {
+        match self.inject("put", &key.kind, &key.region, &key.to_string(), false) {
+            Injection::Fail(e) => Err(e),
+            Injection::Proceed { .. } => self.inner.put(key, data),
+        }
+    }
+
+    fn get(&self, key: &BlobKey) -> io::Result<Bytes> {
+        match self.inject("get", &key.kind, &key.region, &key.to_string(), true) {
+            Injection::Fail(e) => Err(e),
+            Injection::Proceed { torn_frac } => {
+                let data = self.inner.get(key)?;
+                match torn_frac {
+                    Some(frac) if !data.is_empty() => {
+                        // frac < 1, so the prefix is strictly shorter.
+                        let cut = (data.len() as f64 * frac) as usize;
+                        Ok(data.slice(0..cut))
+                    }
+                    _ => Ok(data),
+                }
+            }
+        }
+    }
+
+    fn size(&self, key: &BlobKey) -> io::Result<u64> {
+        match self.inject("size", &key.kind, &key.region, &key.to_string(), false) {
+            Injection::Fail(e) => Err(e),
+            Injection::Proceed { .. } => self.inner.size(key),
+        }
+    }
+
+    fn list(&self, kind: &str) -> io::Result<Vec<BlobKey>> {
+        // Lists span regions, so only transient faults apply ("*" matches no
+        // sliced outage).
+        match self.inject("list", kind, "*", kind, false) {
+            Injection::Fail(e) => Err(e),
+            Injection::Proceed { .. } => self.inner.list(kind),
+        }
+    }
+
+    fn delete(&self, key: &BlobKey) -> io::Result<bool> {
+        match self.inject("delete", &key.kind, &key.region, &key.to_string(), false) {
+            Injection::Fail(e) => Err(e),
+            Injection::Proceed { .. } => self.inner.delete(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blobstore::MemoryBlobStore;
+
+    fn chaos(config: ChaosConfig) -> ChaosBlobStore {
+        ChaosBlobStore::new(Arc::new(MemoryBlobStore::new()), config)
+    }
+
+    #[test]
+    fn no_faults_is_a_passthrough() {
+        let store = chaos(ChaosConfig::default());
+        let k = BlobKey::extracted("west", 100);
+        store.put(&k, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&store.get(&k).unwrap()[..], b"hello");
+        assert_eq!(store.size(&k).unwrap(), 5);
+        assert_eq!(store.list("extracted").unwrap(), vec![k.clone()]);
+        assert!(store.delete(&k).unwrap());
+        let stats = store.stats();
+        assert_eq!(stats.ops, 5);
+        assert_eq!(stats.faults, 0);
+        assert!(store.schedule_log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let store = chaos(ChaosConfig {
+                seed: 42,
+                transient_fault_prob: 0.4,
+                torn_read_prob: 0.3,
+                latency_spike_prob: 0.2,
+                ..ChaosConfig::default()
+            });
+            let k = BlobKey::extracted("west", 100);
+            let _ = store.put(&k, Bytes::from_static(b"0123456789"));
+            for _ in 0..50 {
+                let _ = store.get(&k);
+            }
+            (store.schedule_log(), store.stats())
+        };
+        let (log_a, stats_a) = run();
+        let (log_b, stats_b) = run();
+        assert_eq!(log_a, log_b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.faults > 0, "40% fault rate over 51 ops must fire");
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let run = |seed| {
+            let store = chaos(ChaosConfig {
+                seed,
+                transient_fault_prob: 0.5,
+                ..ChaosConfig::default()
+            });
+            let k = BlobKey::extracted("west", 100);
+            for _ in 0..64 {
+                let _ = store.get(&k);
+            }
+            store.schedule_log()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn sustained_outage_is_sliced_and_healable() {
+        let store = chaos(ChaosConfig::default());
+        let west = BlobKey::extracted("west", 100);
+        let east = BlobKey::extracted("east", 100);
+        store.put(&west, Bytes::from_static(b"w")).unwrap();
+        store.put(&east, Bytes::from_static(b"e")).unwrap();
+
+        store.set_outage("extracted", "west");
+        assert!(store.outage_active("extracted", "west"));
+        let err = store.get(&west).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(store.put(&west, Bytes::from_static(b"x")).is_err());
+        // The other region's slice is unaffected.
+        assert_eq!(&store.get(&east).unwrap()[..], b"e");
+
+        assert!(store.clear_outage("extracted", "west"));
+        assert!(!store.clear_outage("extracted", "west"));
+        assert_eq!(&store.get(&west).unwrap()[..], b"w");
+        assert!(store.stats().outage_rejections >= 2);
+    }
+
+    #[test]
+    fn torn_reads_truncate_strictly() {
+        let store = chaos(ChaosConfig {
+            seed: 7,
+            torn_read_prob: 1.0,
+            ..ChaosConfig::default()
+        });
+        let k = BlobKey::extracted("west", 100);
+        store.put(&k, Bytes::from_static(b"full blob contents")).unwrap();
+        for _ in 0..10 {
+            let got = store.get(&k).unwrap();
+            assert!(got.len() < 18, "torn read must be a strict prefix");
+            assert_eq!(&got[..], &b"full blob contents"[..got.len()]);
+        }
+        assert_eq!(store.stats().torn_reads, 10);
+    }
+
+    #[test]
+    fn latency_spikes_are_charged() {
+        let store = chaos(ChaosConfig {
+            seed: 3,
+            latency_spike_prob: 1.0,
+            latency_spike: Duration::from_millis(200),
+            ..ChaosConfig::default()
+        });
+        let k = BlobKey::extracted("west", 100);
+        store.put(&k, Bytes::from_static(b"x")).unwrap();
+        let _ = store.get(&k);
+        let stats = store.stats();
+        assert_eq!(stats.latency_spikes, 2);
+        assert_eq!(stats.simulated_latency, Duration::from_millis(400));
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_and_uniformish() {
+        let mut a = DetRng::new(99);
+        let mut b = DetRng::new(99);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05, "mean {}", sum / 1000.0);
+    }
+}

@@ -18,8 +18,12 @@
 //!   keyed by `(region, week)` with in-memory and on-disk backends.
 //! * [`extract`] — the Load Extraction module: the recurring query that
 //!   reduces raw telemetry to per-region weekly input files.
+//! * [`chaos`] — deterministic fault injection: a [`BlobStore`] decorator
+//!   that replays seeded, reproducible fault schedules (transient errors,
+//!   torn reads, latency spikes, sliced sustained outages).
 
 pub mod blobstore;
+pub mod chaos;
 pub mod extract;
 pub mod fleet;
 pub mod record;
@@ -29,6 +33,7 @@ pub mod signals;
 pub mod wide;
 
 pub use blobstore::{BlobKey, BlobStore, DiskBlobStore, MemoryBlobStore};
+pub use chaos::{ChaosBlobStore, ChaosConfig, ChaosStats, DetRng};
 pub use extract::{parse_region_week, LoadExtraction};
 pub use fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
 pub use record::{LoadRecord, RecordBatch};
