@@ -17,6 +17,7 @@ use crate::fabric::FabricPropertyStore;
 use crate::scheduler::{BackupScheduler, ScheduledBackup};
 use seagull_core::resilience::{stage_seed, RetryPolicy, StageError};
 use seagull_forecast::Forecaster;
+use seagull_obs::Obs;
 use seagull_telemetry::fleet::ServerTelemetry;
 use seagull_telemetry::server::ServerId;
 use seagull_timeseries::DayOfWeek;
@@ -99,6 +100,8 @@ pub struct RunnerService {
     pub retry: RetryPolicy,
     /// Seed for the retry policy's jitter.
     pub retry_seed: u64,
+    /// Observability: per-day/per-cluster span trees and runner metrics.
+    pub obs: Obs,
     cluster_fault: Option<ClusterFaultHook>,
 }
 
@@ -110,6 +113,7 @@ impl RunnerService {
             clusters: clusters.max(1),
             retry: RetryPolicy::default(),
             retry_seed: 0,
+            obs: Obs::new(),
             cluster_fault: None,
         }
     }
@@ -118,6 +122,12 @@ impl RunnerService {
     pub fn with_retry(mut self, retry: RetryPolicy, seed: u64) -> RunnerService {
         self.retry = retry;
         self.retry_seed = seed;
+        self
+    }
+
+    /// Shares an external observability handle (e.g. the pipeline's).
+    pub fn with_obs(mut self, obs: Obs) -> RunnerService {
+        self.obs = obs;
         self
     }
 
@@ -253,23 +263,54 @@ impl RunnerService {
         forecaster: &dyn Forecaster,
         fabric: &FabricPropertyStore,
     ) -> RunnerReport {
+        let vt = day.max(0) as u64;
+        let root = self.obs.tracer().start("runner-day", &[], vt);
+        let registry = self.obs.registry();
         let mut clusters = Vec::with_capacity(self.clusters);
         let mut backups = Vec::new();
         for cluster in 0..self.clusters {
+            let cluster_label = cluster.to_string();
+            let span = self.obs.tracer().child(
+                root,
+                "cluster-schedule",
+                &[("cluster", &cluster_label)],
+                vt,
+            );
             let members: Vec<ServerTelemetry> = fleet
                 .iter()
                 .filter(|s| self.cluster_of(s.meta.id) == cluster)
                 .cloned()
                 .collect();
             let (report, scheduled) = self.run_cluster(cluster, &members, day, forecaster, fabric);
+            self.obs.tracer().end(span, vt);
+            let labels = [("cluster", cluster_label.as_str())];
+            registry
+                .counter("seagull_runner_due_servers_total", &labels)
+                .add(report.due_servers as u64);
+            registry
+                .counter("seagull_runner_rescheduled_total", &labels)
+                .add(report.rescheduled as u64);
+            registry
+                .counter("seagull_runner_retries_total", &labels)
+                .add(u64::from(report.retries));
+            if report.errored {
+                registry
+                    .counter("seagull_runner_cluster_errors_total", &labels)
+                    .inc();
+            }
             clusters.push(report);
             backups.extend(scheduled);
         }
-        RunnerReport {
+        self.obs.tracer().end(root, vt);
+        let report = RunnerReport {
             day,
             clusters,
             backups,
-        }
+        };
+        registry
+            .gauge("seagull_runner_availability", &[])
+            .set(report.availability());
+        report
     }
 }
 
@@ -392,6 +433,55 @@ mod tests {
         let due: usize = report.clusters.iter().map(|c| c.due_servers).sum();
         let expected = (due - c2.due_servers) as f64 / due as f64;
         assert!((avail - expected).abs() < 1e-9, "{avail} vs {expected}");
+    }
+
+    #[test]
+    fn runner_records_per_cluster_span_tree() {
+        let (fleet, start) = fleet(47, 80);
+        let runner = RunnerService::new(BackupScheduler::new(SchedulerConfig::default()), 3);
+        let fabric = FabricPropertyStore::new();
+        let model = PersistentForecast::previous_day();
+        let day = start + 28;
+        let report = runner.run_day(&fleet, day, &model, &fabric);
+
+        let spans = runner.obs.tracer().spans();
+        let root = spans
+            .iter()
+            .find(|s| s.name == "runner-day")
+            .expect("root span");
+        assert_eq!(root.start_tick, day as u64);
+        assert!(root.end_tick.is_some(), "root span ended");
+        let children: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "cluster-schedule")
+            .collect();
+        assert_eq!(children.len(), 3, "one child span per cluster");
+        for c in &children {
+            assert_eq!(c.parent, Some(root.id), "children link to the day");
+        }
+
+        let due: u64 = (0..3)
+            .map(|c| {
+                runner
+                    .obs
+                    .registry()
+                    .counter(
+                        "seagull_runner_due_servers_total",
+                        &[("cluster", &c.to_string())],
+                    )
+                    .get()
+            })
+            .sum();
+        let expected: usize = report.clusters.iter().map(|c| c.due_servers).sum();
+        assert_eq!(due, expected as u64);
+        assert_eq!(
+            runner
+                .obs
+                .registry()
+                .gauge("seagull_runner_availability", &[])
+                .get(),
+            report.availability()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use seagull_bench::{emit_json, scale, Scale, Table};
 use seagull_telemetry::fleet::FleetGenerator;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let databases = match scale() {
         Scale::Small => 2000,
         Scale::Paper => 8000,
@@ -40,5 +40,7 @@ fn main() {
             "stable_pct": report.stable_pct(),
             "paper": { "stable_pct": 19.36 },
         }),
-    );
+    )?;
+
+    Ok(())
 }

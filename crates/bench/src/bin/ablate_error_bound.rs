@@ -14,7 +14,7 @@ use seagull_core::par::default_threads;
 use seagull_forecast::PersistentForecast;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let start = spec.start_day;
     let long_lived: Vec<_> = fleet
@@ -88,5 +88,7 @@ fn main() {
          coverage for protection against scheduling into under-predicted load"
     );
 
-    emit_json("ablate_error_bound", &json!({ "rows": records }));
+    emit_json("ablate_error_bound", &json!({ "rows": records }))?;
+
+    Ok(())
 }

@@ -13,7 +13,7 @@ use seagull_core::par::default_threads;
 use seagull_forecast::PersistentForecast;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (_, spec) = fleets::classification_fleet(42);
     // Five-week window: gates up to 4 weeks fit before the final week.
     let fleet: Vec<_> = {
@@ -92,5 +92,7 @@ fn main() {
          meaningful error reduction (the paper's compromise)"
     );
 
-    emit_json("ablate_history_gate", &json!({ "rows": records }));
+    emit_json("ablate_history_gate", &json!({ "rows": records }))?;
+
+    Ok(())
 }

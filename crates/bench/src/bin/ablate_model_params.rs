@@ -16,7 +16,7 @@ use seagull_forecast::{
 use serde_json::json;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, start) = fleets::unstable_pool(71, 40, 4);
     let cfg = EvaluationConfig::default();
     let week = start + 21;
@@ -87,5 +87,7 @@ fn main() {
          paper's choice to stop tuning and deploy the zero-cost heuristic"
     );
 
-    emit_json("ablate_model_params", &json!({ "rows": records }));
+    emit_json("ablate_model_params", &json!({ "rows": records }))?;
+
+    Ok(())
 }

@@ -12,7 +12,7 @@ use seagull_forecast::{PersistentForecast, PersistentVariant};
 use seagull_telemetry::server::GeneratedClass;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let start = spec.start_day;
     let cfg = EvaluationConfig {
@@ -73,5 +73,7 @@ fn main() {
          paper's reason for deploying previous-day"
     );
 
-    emit_json("ablate_pf_variant", &json!({ "rows": records }));
+    emit_json("ablate_pf_variant", &json!({ "rows": records }))?;
+
+    Ok(())
 }

@@ -9,7 +9,7 @@ use seagull_bench::{emit_json, Table};
 use seagull_core::metrics::{bucket_ratio, is_accurate, AccuracyConfig, ErrorBound};
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     // A smooth daily load curve (the black line of Figure 2).
     let truth: Vec<f64> = (0..288)
         .map(|i| {
@@ -61,10 +61,12 @@ fn main() {
             "accurate": accurate,
             "paper": { "bucket_ratio": 75.0, "accurate": false },
         }),
-    );
+    )?;
 
     assert!(
         (60.0..90.0).contains(&ratio),
         "the example must land between visually-plausible and accurate"
     );
+
+    Ok(())
 }

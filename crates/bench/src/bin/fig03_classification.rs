@@ -9,7 +9,7 @@ use seagull_bench::{emit_json, fleets, Table};
 use seagull_core::classify::{classify_fleet_with, ClassifyConfig, ServerClass};
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let as_of = spec.start_day + 28;
     let report = classify_fleet_with(&fleet, as_of, &ClassifyConfig::default());
@@ -54,5 +54,7 @@ fn main() {
                 "daily_or_weekly": 0.3, "no_pattern": 4.2, "long_lived": 58.0
             },
         }),
-    );
+    )?;
+
+    Ok(())
 }

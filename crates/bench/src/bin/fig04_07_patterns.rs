@@ -29,7 +29,7 @@ fn avg_ratio(server: &ServerTelemetry, bound: &ErrorBound) -> Option<f64> {
     bucket_ratio(&constant, vals, bound)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let bound = ErrorBound::default();
     // Pick the first long-lived exemplar of each class; evaluate on the
@@ -136,7 +136,7 @@ fn main() {
             "unstable_prev_day": unstable_prev,
             "unstable_prev_eq_day": unstable_eq,
         }),
-    );
+    )?;
 
     assert!(stable_avg >= 90.0, "stable exemplar must be stable");
     assert!(daily_prev >= 90.0, "daily exemplar must repeat daily");
@@ -144,4 +144,6 @@ fn main() {
         boundary_eq >= 90.0 && boundary_prev < 90.0,
         "weekly exemplar shape"
     );
+
+    Ok(())
 }

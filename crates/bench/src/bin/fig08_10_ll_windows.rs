@@ -32,7 +32,7 @@ fn curve(base: f64, valley: (usize, usize), depth: f64) -> Vec<f64> {
         .collect()
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let cfg = AccuracyConfig::default();
     let duration = 120; // 2-hour backup, 24 grid points
 
@@ -110,9 +110,11 @@ fn main() {
             "fig9": { "window_correct": e9.window_correct, "load_accurate": e9.load_accurate },
             "fig10": { "window_correct": e10.window_correct, "load_accurate": e10.load_accurate },
         }),
-    );
+    )?;
 
     assert!(e8.window_correct && !overlap(&e8), "fig 8 shape");
     assert!(!e9.window_correct && e9.load_accurate, "fig 9 shape");
     assert!(e10.window_correct && !e10.load_accurate, "fig 10 shape");
+
+    Ok(())
 }

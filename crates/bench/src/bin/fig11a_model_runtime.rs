@@ -24,7 +24,7 @@ struct Sweep {
     infer: Duration,
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let counts: &[usize] = match scale() {
         Scale::Small => &[10, 50, 100, 200],
         Scale::Paper => &[10, 50, 100, 200, 400, 700],
@@ -131,5 +131,7 @@ fn main() {
                 "train_s": r.train.as_secs_f64(), "infer_s": r.infer.as_secs_f64(),
             })).collect::<Vec<_>>(),
         }),
-    );
+    )?;
+
+    Ok(())
 }

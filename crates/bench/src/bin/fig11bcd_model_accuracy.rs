@@ -19,7 +19,7 @@ use seagull_forecast::{
 };
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let per_region = match scale() {
         Scale::Small => 40,
         Scale::Paper => 200,
@@ -85,5 +85,7 @@ fn main() {
          better than persistent forecast -> persistent forecast deployed"
     );
 
-    emit_json("fig11bcd_model_accuracy", &json!({ "rows": records }));
+    emit_json("fig11bcd_model_accuracy", &json!({ "rows": records }))?;
+
+    Ok(())
 }

@@ -15,7 +15,7 @@ use seagull_telemetry::extract::LoadExtraction;
 use serde_json::json;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     // Four regions of very different sizes (the paper's "hundreds of
     // kilobytes to a few gigabytes").
     let sizes: &[usize] = match scale() {
@@ -84,5 +84,7 @@ fn main() {
          grow linearly with input size"
     );
 
-    emit_json("fig12a_pipeline_runtime", &json!({ "rows": records }));
+    emit_json("fig12a_pipeline_runtime", &json!({ "rows": records }))?;
+
+    Ok(())
 }

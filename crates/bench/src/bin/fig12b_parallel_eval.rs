@@ -14,7 +14,7 @@ use seagull_forecast::PersistentForecast;
 use serde_json::json;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let sizes: &[usize] = match scale() {
         Scale::Small => &[20, 80, 240, 800],
         Scale::Paper => &[50, 400, 1600, 6400],
@@ -92,5 +92,7 @@ fn main() {
     emit_json(
         "fig12b_parallel_eval",
         &json!({ "threads": threads, "rows": records }),
-    );
+    )?;
+
+    Ok(())
 }

@@ -42,7 +42,7 @@ fn schedule(
     (fleet, scheduled)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let factor = scale().factor();
 
     // Population 1: the production mix.
@@ -162,5 +162,7 @@ fn main() {
             "paper": { "daily_moved": 12.5, "daily_already": 85.3, "daily_incorrect": 2.1,
                        "stable_already": 99.5, "busy_avoided": 7.7 },
         }),
-    );
+    )?;
+
+    Ok(())
 }

@@ -7,7 +7,7 @@
 use seagull_backup::capacity_histogram;
 use seagull_bench::{emit_json, fleets, Table};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, _) = fleets::classification_fleet(42);
     let hist = capacity_histogram(&fleet, 10.0, 97.0);
 
@@ -31,10 +31,12 @@ fn main() {
         100.0 - hist.reaching_capacity_pct
     );
 
-    emit_json("fig13b_capacity", &hist);
+    emit_json("fig13b_capacity", &hist)?;
 
     assert!(
         hist.reaching_capacity_pct < 15.0,
         "capacity-reaching share should be a small minority"
     );
+
+    Ok(())
 }

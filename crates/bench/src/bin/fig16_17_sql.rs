@@ -18,7 +18,7 @@ use seagull_forecast::{
 use seagull_telemetry::fleet::FleetGenerator;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (databases, arima_databases) = match scale() {
         Scale::Small => (60, 8),
         Scale::Paper => (600, 30),
@@ -84,7 +84,7 @@ fn main() {
          near-zero training cost; ARIMA training cost not comparable to the others"
     );
 
-    emit_json("fig16_17_sql", &json!({ "rows": rows }));
+    emit_json("fig16_17_sql", &json!({ "rows": rows }))?;
 
     // Shape assertions (per-database training cost ordering).
     let per_db = |m: &str| {
@@ -95,4 +95,6 @@ fn main() {
     };
     assert!(per_db("persistent-prev-day") < per_db("neural-net"));
     assert!(per_db("neural-net") < per_db("arima"));
+
+    Ok(())
 }

@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablate_history_gate",
     "ablate_model_params",
     "ablate_pf_variant",
+    "obs_dump",
 ];
 
 fn main() {

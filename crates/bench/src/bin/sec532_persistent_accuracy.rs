@@ -13,7 +13,7 @@ use seagull_core::evaluate::{
 use seagull_forecast::PersistentForecast;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let start = spec.start_day;
     let cfg = EvaluationConfig::default();
@@ -77,5 +77,7 @@ fn main() {
             "paper": { "window_correct_pct": 99.83, "load_accurate_pct": 99.06,
                        "predictable_pct": 96.92 },
         }),
-    );
+    )?;
+
+    Ok(())
 }

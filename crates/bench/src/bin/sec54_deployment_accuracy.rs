@@ -12,7 +12,7 @@ use seagull_core::evaluate::{
 use seagull_forecast::PersistentForecast;
 use serde_json::json;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let (fleet, spec) = fleets::classification_fleet(42);
     let start = spec.start_day;
     let cfg = EvaluationConfig::default();
@@ -62,5 +62,7 @@ fn main() {
             "paper": { "window_correct_pct": 99.0, "load_accurate_pct": 96.0,
                        "predictable_pct": 75.0 },
         }),
-    );
+    )?;
+
+    Ok(())
 }

@@ -68,25 +68,18 @@ impl Table {
 }
 
 /// Writes an experiment's JSON record to `experiments/<name>.json` under the
-/// workspace root (best effort: failures are reported but not fatal, so the
-/// printed output always survives).
-pub fn emit_json<T: Serialize>(name: &str, value: &T) {
+/// workspace root, returning the path written. A failed write is an error —
+/// a bench run whose results never hit disk should fail loudly, not scroll a
+/// warning past the operator.
+pub fn emit_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = workspace_dir().join("experiments");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                eprintln!("[results written to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
-    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::other(format!("cannot serialize {name}: {e}")))?;
+    std::fs::write(&path, json)?;
+    eprintln!("[results written to {}]", path.display());
+    Ok(path)
 }
 
 fn workspace_dir() -> PathBuf {

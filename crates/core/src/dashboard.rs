@@ -3,15 +3,45 @@
 //! "Application Insights Dashboard provides summarized view of the pipeline
 //! runs to facilitate real-time monitoring and incident management"
 //! (Section 2.2).
+//!
+//! The dashboard is a thin view over a [`seagull_obs::Registry`]:
+//! [`Dashboard::record`] folds each run report into counters, gauges, and
+//! per-stage histograms, and [`Dashboard::summary`] renders the aggregate
+//! back out of the registry joined with the incident log. Sharing the
+//! pipeline's [`Obs`] handle (via [`Dashboard::with_obs`]) makes the run
+//! counters, breaker gauges, and dashboard aggregates land in one exportable
+//! registry.
+//!
+//! Ordering in [`DashboardSummary`] is fully deterministic:
+//! `mean_stage_duration` lists stages in canonical pipeline order (unknown
+//! stages after, alphabetically) and `latest_accuracy` is sorted by region.
 
 use crate::incident::{IncidentManager, Severity};
 use crate::pipeline::PipelineRunReport;
-use parking_lot::RwLock;
+use seagull_obs::{Obs, SampleValue, Stability};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Duration;
+
+/// Canonical pipeline stage order for summary rendering; stages not listed
+/// here sort after these, alphabetically.
+const STAGE_ORDER: [&str; 7] = [
+    "ingestion",
+    "validation",
+    "features",
+    "train-infer",
+    "docstore-write",
+    "deployment",
+    "accuracy-eval",
+];
+
+fn stage_rank(stage: &str) -> usize {
+    STAGE_ORDER
+        .iter()
+        .position(|s| *s == stage)
+        .unwrap_or(STAGE_ORDER.len())
+}
 
 /// Aggregated view over recorded runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,88 +50,133 @@ pub struct DashboardSummary {
     pub blocked_runs: usize,
     pub total_predictions: usize,
     pub total_evaluations: usize,
-    /// Mean stage duration across runs, by stage name.
+    /// Mean stage duration across runs, by stage name, in canonical
+    /// pipeline order (unknown stages last, alphabetically).
     pub mean_stage_duration: Vec<(String, Duration)>,
-    /// Latest accuracy per region: (region, window-correct %, load-accurate %).
+    /// Latest accuracy per region, sorted by region:
+    /// (region, window-correct %, load-accurate %).
     pub latest_accuracy: Vec<(String, f64, f64)>,
     pub open_warnings: usize,
     pub open_criticals: usize,
 }
 
-/// Collects run reports and renders operator summaries.
+/// Collects run reports into a metrics registry and renders operator
+/// summaries from it.
 #[derive(Clone, Default)]
 pub struct Dashboard {
-    runs: Arc<RwLock<Vec<PipelineRunReport>>>,
+    obs: Obs,
 }
 
+// Metric names the dashboard owns. Stage-duration histograms and the
+// per-region accuracy gauges carry labels; the rest are unlabelled totals.
+const RUNS: &str = "seagull_dashboard_runs_total";
+const BLOCKED: &str = "seagull_dashboard_blocked_total";
+const PREDICTIONS: &str = "seagull_dashboard_predictions_total";
+const EVALUATIONS: &str = "seagull_dashboard_evaluations_total";
+const STAGE_SECONDS: &str = "seagull_dashboard_stage_seconds";
+const ACCURACY_WEEK: &str = "seagull_dashboard_accuracy_week";
+const WINDOW_PCT: &str = "seagull_dashboard_window_correct_pct";
+const LOAD_PCT: &str = "seagull_dashboard_load_accurate_pct";
+
 impl Dashboard {
-    /// Creates an empty dashboard.
+    /// Creates a dashboard over a private registry.
     pub fn new() -> Dashboard {
         Dashboard::default()
     }
 
-    /// Records one run.
+    /// Creates a dashboard over a shared observability handle (typically
+    /// the pipeline's, so one registry holds everything).
+    pub fn with_obs(obs: Obs) -> Dashboard {
+        Dashboard { obs }
+    }
+
+    /// The dashboard's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Records one run: counters for run/blocked/prediction/evaluation
+    /// totals, per-stage duration histograms (volatile — wall time), and
+    /// latest-week accuracy gauges per region.
     pub fn record(&self, report: PipelineRunReport) {
-        self.runs.write().push(report);
+        let reg = self.obs.registry();
+        reg.counter(RUNS, &[]).inc();
+        // Unconditional add(0) so the counter exists after the first record:
+        // metric presence must depend on the recorded data, never on whether
+        // a summary was rendered in between (the read path get-or-creates).
+        reg.counter(BLOCKED, &[]).add(u64::from(report.blocked));
+        reg.counter(PREDICTIONS, &[])
+            .add(report.predictions_written as u64);
+        reg.counter(EVALUATIONS, &[]).add(report.evaluations as u64);
+        for s in &report.stages {
+            reg.histogram_with(STAGE_SECONDS, &[("stage", &s.stage)], Stability::Volatile)
+                .observe(s.duration.as_secs_f64());
+        }
+        if let Some(acc) = &report.accuracy {
+            // The week gauge stores week + 1 so its zero default reads as
+            // "no accuracy recorded yet" (pipeline weeks are day indices,
+            // never negative).
+            let labels = [("region", report.region.as_str())];
+            let week_gauge = reg.gauge(ACCURACY_WEEK, &labels);
+            let incoming = (report.week_start_day + 1).max(0) as f64;
+            if incoming > week_gauge.get() {
+                week_gauge.set(incoming);
+                reg.gauge(WINDOW_PCT, &labels).set(acc.window_correct_pct);
+                reg.gauge(LOAD_PCT, &labels).set(acc.load_accurate_pct);
+            }
+        }
     }
 
     /// Number of recorded runs.
     pub fn len(&self) -> usize {
-        self.runs.read().len()
+        self.obs.registry().counter(RUNS, &[]).get() as usize
     }
 
     /// True if nothing was recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.runs.read().is_empty()
+        self.len() == 0
     }
 
-    /// Builds the aggregate summary (joining the incident log for the alert
-    /// counters).
+    /// Builds the aggregate summary out of the registry, joining the
+    /// incident log for the alert counters. Ordering is deterministic: see
+    /// [`DashboardSummary`].
     pub fn summary(&self, incidents: &IncidentManager) -> DashboardSummary {
-        let runs = self.runs.read();
-        let mut stage_totals: BTreeMap<String, (Duration, u32)> = BTreeMap::new();
-        let mut latest: BTreeMap<String, (i64, f64, f64)> = BTreeMap::new();
-        let mut blocked = 0usize;
-        let mut predictions = 0usize;
-        let mut evaluations = 0usize;
-        for r in runs.iter() {
-            if r.blocked {
-                blocked += 1;
-            }
-            predictions += r.predictions_written;
-            evaluations += r.evaluations;
-            for s in &r.stages {
-                let entry = stage_totals
-                    .entry(s.stage.clone())
-                    .or_insert((Duration::ZERO, 0));
-                entry.0 += s.duration;
-                entry.1 += 1;
-            }
-            if let Some(acc) = &r.accuracy {
-                let entry = latest
-                    .entry(r.region.clone())
-                    .or_insert((i64::MIN, 0.0, 0.0));
-                if r.week_start_day > entry.0 {
-                    *entry = (
-                        r.week_start_day,
-                        acc.window_correct_pct,
-                        acc.load_accurate_pct,
-                    );
+        let reg = self.obs.registry();
+        let mut stages: Vec<(String, Duration)> = Vec::new();
+        let mut accuracy: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        for sample in reg.snapshot() {
+            match (sample.id.name.as_str(), &sample.value) {
+                (STAGE_SECONDS, SampleValue::Histogram(h)) if h.count > 0 => {
+                    if let Some((_, stage)) = sample.id.labels.iter().find(|(k, _)| k == "stage") {
+                        let mean = h.sum / h.count as f64;
+                        stages.push((stage.clone(), Duration::from_secs_f64(mean)));
+                    }
                 }
+                (WINDOW_PCT, SampleValue::Gauge(w)) => {
+                    if let Some((_, region)) = sample.id.labels.iter().find(|(k, _)| k == "region")
+                    {
+                        accuracy.entry(region.clone()).or_insert((0.0, 0.0)).0 = *w;
+                    }
+                }
+                (LOAD_PCT, SampleValue::Gauge(l)) => {
+                    if let Some((_, region)) = sample.id.labels.iter().find(|(k, _)| k == "region")
+                    {
+                        accuracy.entry(region.clone()).or_insert((0.0, 0.0)).1 = *l;
+                    }
+                }
+                _ => {}
             }
         }
+        stages.sort_by(|(a, _), (b, _)| stage_rank(a).cmp(&stage_rank(b)).then(a.cmp(b)));
         DashboardSummary {
-            runs: runs.len(),
-            blocked_runs: blocked,
-            total_predictions: predictions,
-            total_evaluations: evaluations,
-            mean_stage_duration: stage_totals
+            runs: self.len(),
+            blocked_runs: reg.counter(BLOCKED, &[]).get() as usize,
+            total_predictions: reg.counter(PREDICTIONS, &[]).get() as usize,
+            total_evaluations: reg.counter(EVALUATIONS, &[]).get() as usize,
+            mean_stage_duration: stages,
+            latest_accuracy: accuracy
                 .into_iter()
-                .map(|(k, (total, n))| (k, total / n.max(1)))
-                .collect(),
-            latest_accuracy: latest
-                .into_iter()
-                .map(|(region, (_, w, l))| (region, w, l))
+                .map(|(region, (w, l))| (region, w, l))
                 .collect(),
             open_warnings: incidents.open_count(Severity::Warning),
             open_criticals: incidents.open_count(Severity::Critical),
@@ -203,6 +278,95 @@ mod tests {
         d.record(run("west", 100, false, Some((50.0, 50.0))));
         let s = d.summary(&inc);
         assert_eq!(s.latest_accuracy[0].1, 90.0);
+    }
+
+    #[test]
+    fn summary_ordering_is_canonical_and_deterministic() {
+        // Stages arrive in a scrambled, non-alphabetical order; the summary
+        // must pin canonical pipeline order with unknown stages last, and
+        // sort accuracy rows by region.
+        let d = Dashboard::new();
+        let inc = IncidentManager::new();
+        let mut r = run("zeta", 100, false, Some((80.0, 70.0)));
+        r.stages = [
+            "accuracy-eval",
+            "deployment",
+            "custom-export",
+            "train-infer",
+            "features",
+            "validation",
+            "ingestion",
+        ]
+        .iter()
+        .map(|s| StageTiming {
+            stage: (*s).into(),
+            duration: Duration::from_millis(1),
+        })
+        .collect();
+        d.record(r);
+        d.record(run("alpha", 100, false, Some((60.0, 50.0))));
+        let s = d.summary(&inc);
+        let order: Vec<&str> = s
+            .mean_stage_duration
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                "ingestion",
+                "validation",
+                "features",
+                "train-infer",
+                "deployment",
+                "accuracy-eval",
+                "custom-export",
+            ]
+        );
+        let regions: Vec<&str> = s
+            .latest_accuracy
+            .iter()
+            .map(|(r, _, _)| r.as_str())
+            .collect();
+        assert_eq!(regions, vec!["alpha", "zeta"]);
+        // Same inputs, same summary: the ordering never depends on
+        // insertion order.
+        let d2 = Dashboard::new();
+        d2.record(run("alpha", 100, false, Some((60.0, 50.0))));
+        let mut r2 = run("zeta", 100, false, Some((80.0, 70.0)));
+        r2.stages = [
+            "ingestion",
+            "validation",
+            "features",
+            "train-infer",
+            "deployment",
+            "accuracy-eval",
+            "custom-export",
+        ]
+        .iter()
+        .map(|s| StageTiming {
+            stage: (*s).into(),
+            duration: Duration::from_millis(1),
+        })
+        .collect();
+        d2.record(r2);
+        let s2 = d2.summary(&inc);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn dashboard_renders_from_shared_registry() {
+        // Sharing the pipeline's Obs puts dashboard aggregates next to
+        // pipeline metrics in one registry.
+        let obs = Obs::new();
+        let d = Dashboard::with_obs(obs.clone());
+        d.record(run("west", 100, false, None));
+        assert_eq!(
+            obs.registry().counter(RUNS, &[]).get(),
+            1,
+            "dashboard counters live in the shared registry"
+        );
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

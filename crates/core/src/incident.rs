@@ -247,8 +247,20 @@ mod tests {
     #[test]
     fn keyed_raises_keep_latest_detail() {
         let m = IncidentManager::new();
-        let a = m.raise_keyed(Severity::Critical, "train", "west", "train-failed", "attempt 1");
-        let b = m.raise_keyed(Severity::Critical, "train", "west", "train-failed", "attempt 2");
+        let a = m.raise_keyed(
+            Severity::Critical,
+            "train",
+            "west",
+            "train-failed",
+            "attempt 1",
+        );
+        let b = m.raise_keyed(
+            Severity::Critical,
+            "train",
+            "west",
+            "train-failed",
+            "attempt 2",
+        );
         assert_eq!(a, b);
         let all = m.all();
         assert_eq!(all.len(), 1);

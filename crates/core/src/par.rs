@@ -9,7 +9,9 @@
 //! with zero `unsafe`.
 
 use crossbeam::channel;
+use seagull_obs::{ParallelProfile, WorkerProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Parallel map preserving input order.
 ///
@@ -28,36 +30,91 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_profiled(items, threads, f).0
+}
+
+/// [`parallel_map`] with a per-worker [`ParallelProfile`]: items pulled,
+/// busy wall time inside the closure, and steal-idle time (alive but
+/// without work: the queue drained while siblings were still running).
+pub fn parallel_map_profiled<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> (Vec<R>, ParallelProfile)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let threads = threads.max(1).min(items.len().max(1));
+    let region_start = Instant::now();
     if threads == 1 {
-        return items.iter().map(&f).collect();
+        let out: Vec<R> = items.iter().map(&f).collect();
+        let busy = region_start.elapsed();
+        let profile = ParallelProfile {
+            workers: vec![WorkerProfile {
+                worker: 0,
+                items: items.len() as u64,
+                busy,
+                idle: Duration::ZERO,
+            }],
+            region_wall: region_start.elapsed(),
+        };
+        return (out, profile);
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = channel::unbounded::<(usize, R)>();
+    let (ptx, prx) = channel::unbounded::<WorkerProfile>();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for worker in 0..threads {
             let tx = tx.clone();
+            let ptx = ptx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(move || {
+                let spawned = Instant::now();
+                let mut busy = Duration::ZERO;
+                let mut count = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let item_start = Instant::now();
+                    let r = f(&items[i]);
+                    busy += item_start.elapsed();
+                    count += 1;
+                    // A send can only fail if the receiver was dropped, which
+                    // cannot happen while this scope is alive.
+                    let _ = tx.send((i, r));
                 }
-                // A send can only fail if the receiver was dropped, which
-                // cannot happen while this scope is alive.
-                let _ = tx.send((i, f(&items[i])));
+                let _ = ptx.send(WorkerProfile {
+                    worker,
+                    items: count,
+                    busy,
+                    idle: spawned.elapsed().saturating_sub(busy),
+                });
             });
         }
         drop(tx);
+        drop(ptx);
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         for (i, r) in rx {
             slots[i] = Some(r);
         }
-        slots
+        let out: Vec<R> = slots
             .into_iter()
             .map(|s| s.expect("every index produced exactly one result"))
-            .collect()
+            .collect();
+        let mut workers: Vec<WorkerProfile> = prx.iter().collect();
+        workers.sort_by_key(|w| w.worker);
+        (
+            out,
+            ParallelProfile {
+                workers,
+                region_wall: region_start.elapsed(),
+            },
+        )
     })
 }
 
@@ -124,5 +181,24 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn profiled_map_accounts_every_item() {
+        let items: Vec<u64> = (0..200).collect();
+        let (out, profile) = parallel_map_profiled(&items, 4, |x| x + 1);
+        assert_eq!(out, (1..=200).collect::<Vec<u64>>());
+        assert_eq!(profile.total_items(), 200);
+        assert_eq!(profile.workers.len(), 4);
+        assert!(profile.imbalance_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn profiled_map_serial_path() {
+        let (out, profile) = parallel_map_profiled(&[1u32, 2, 3], 1, |x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(profile.workers.len(), 1);
+        assert_eq!(profile.total_items(), 3);
+        assert_eq!(profile.workers[0].idle, Duration::ZERO);
     }
 }

@@ -21,6 +21,14 @@
 //! run report carries a [`DegradedRun`] summary instead of an `Err`. A
 //! per-region [`CircuitBreaker`] guards run entry so a region whose blob
 //! slice is hard-down stops burning retries until a cooldown elapses.
+//!
+//! Every run is observed through the pipeline's [`Obs`] handle: each stage
+//! runs inside a span (virtual tick = the scheduler's day index; wall time
+//! captured by the tracer — there is no raw `Instant` timing here), retries
+//! and backoff feed `(region, stage)`-labelled counters and histograms, the
+//! circuit breaker publishes a per-region state gauge, and the parallel
+//! stages record per-worker profiles. `StageTiming`/`stage_duration` are
+//! derived from the finished spans, so existing reports keep working.
 
 use crate::classify::ClassifyConfig;
 use crate::docstore::DocStore;
@@ -28,13 +36,12 @@ use crate::evaluate::{AccuracySummary, EvaluationConfig};
 use crate::features::extract_features;
 use crate::incident::{IncidentManager, Severity};
 use crate::metrics::evaluate_low_load;
-use crate::par::parallel_map;
+use crate::par::parallel_map_profiled;
 use crate::registry::{EndpointSet, ModelAccuracy, ModelRegistry};
-use crate::resilience::{
-    stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError,
-};
+use crate::resilience::{stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError};
 use crate::validation::{validate_batch, validate_servers, DataProfile};
 use seagull_forecast::{ForecastError, Forecaster};
+use seagull_obs::{Obs, SpanId, Stability};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
 use seagull_telemetry::extract::{parse_region_week, ExtractedServer};
 use seagull_telemetry::record::RecordBatch;
@@ -42,7 +49,7 @@ use seagull_timeseries::{GapFill, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Pipeline configuration (the use-case-specific parameters of Section 2.4).
 #[derive(Clone)]
@@ -278,6 +285,8 @@ pub struct AmlPipeline {
     pub resilience: ResiliencePolicy,
     /// Per-region breaker guarding run entry; ticks are day indices.
     pub breaker: CircuitBreaker,
+    /// Observability handle: metrics registry + span tracer for every run.
+    pub obs: Obs,
 }
 
 impl AmlPipeline {
@@ -304,7 +313,52 @@ impl AmlPipeline {
             endpoints: EndpointSet::new(),
             resilience,
             breaker,
+            obs: Obs::new(),
         }
+    }
+
+    /// Shares an external observability handle (e.g. with a dashboard or a
+    /// runner) instead of the pipeline-private one.
+    pub fn with_obs(mut self, obs: Obs) -> AmlPipeline {
+        self.obs = obs;
+        self
+    }
+
+    /// Virtual scheduler tick for a day index (clamped at zero).
+    fn vtick(day: i64) -> u64 {
+        day.max(0) as u64
+    }
+
+    /// Starts a stage span under the run span.
+    fn stage_span(&self, run: SpanId, stage: &str, region: &str, tick: u64) -> SpanId {
+        self.obs
+            .tracer()
+            .child(run, stage, &[("region", region)], tick)
+    }
+
+    /// Ends a stage span and folds its wall duration into the report (so
+    /// [`PipelineRunReport::stage_duration`] keeps working) and the
+    /// per-stage metrics.
+    fn finish_stage(
+        &self,
+        report: &mut PipelineRunReport,
+        span: SpanId,
+        stage: &str,
+        region: &str,
+        tick: u64,
+    ) {
+        self.obs.tracer().end(span, tick);
+        let wall = self.obs.tracer().wall_duration(span).unwrap_or_default();
+        let labels = [("region", region), ("stage", stage)];
+        let registry = self.obs.registry();
+        registry.counter("seagull_stage_runs_total", &labels).inc();
+        registry
+            .histogram_with("seagull_stage_wall_seconds", &labels, Stability::Volatile)
+            .observe(wall.as_secs_f64());
+        report.stages.push(StageTiming {
+            stage: stage.into(),
+            duration: wall,
+        });
     }
 
     /// Runs a stage closure under the retry policy, with the policy's
@@ -317,14 +371,20 @@ impl AmlPipeline {
         mut op: impl FnMut() -> Result<T, StageError>,
     ) -> RetryResult<T> {
         let seed = stage_seed(self.resilience.seed, stage, region, tick);
-        self.resilience.retry.run(seed, |attempt| {
-            if self.resilience.chaos.should_fail(stage, region, tick, attempt) {
-                return Err(StageError::transient(format!(
-                    "injected {stage} fault (attempt {attempt})"
-                )));
-            }
-            op()
-        })
+        self.resilience
+            .retry
+            .run_observed(seed, self.obs.registry(), stage, region, |attempt| {
+                if self
+                    .resilience
+                    .chaos
+                    .should_fail(stage, region, tick, attempt)
+                {
+                    return Err(StageError::transient(format!(
+                        "injected {stage} fault (attempt {attempt})"
+                    )));
+                }
+                op()
+            })
     }
 
     /// Runs the weekly pipeline for one region: ingestion → validation →
@@ -351,26 +411,39 @@ impl AmlPipeline {
         };
         let mut degraded = DegradedRun::default();
         let tick = week_start_day;
+        let vt = Self::vtick(week_start_day);
+        let run_span = self
+            .obs
+            .tracer()
+            .start("run-week", &[("region", region)], vt);
+        self.obs
+            .registry()
+            .counter("seagull_pipeline_runs_total", &[("region", region)])
+            .inc();
 
         // ---- Circuit-breaker gate --------------------------------------------
         // A region whose blob slice is hard-down stops burning retries: the
         // open breaker rejects runs until the cooldown admits a probe.
         if !self.breaker.allow(region, tick) {
+            self.breaker.publish_state(self.obs.registry());
+            self.obs
+                .registry()
+                .counter("seagull_pipeline_blocked_total", &[("region", region)])
+                .inc();
             degraded.skipped_by_breaker = true;
             report.blocked = true;
             report.degraded = degraded.into_option();
+            self.obs.tracer().end(run_span, vt);
             self.store_run(&report);
             return report;
         }
+        self.breaker.publish_state(self.obs.registry());
 
         // ---- Data Ingestion -------------------------------------------------
-        let t = Instant::now();
+        let span = self.stage_span(run_span, "ingestion", region, vt);
         let key = BlobKey::extracted(region, week_start_day);
         let fetched = self.retry_stage("ingestion", region, tick, || {
-            let blob = self
-                .blobs
-                .get(&key)
-                .map_err(|e| StageError::from_io(&e))?;
+            let blob = self.blobs.get(&key).map_err(|e| StageError::from_io(&e))?;
             // A parse failure is treated as transient: torn reads return a
             // truncated prefix, and a re-read yields the full blob.
             let batch = RecordBatch::from_csv(&blob)
@@ -403,28 +476,33 @@ impl AmlPipeline {
                     self.breaker.record_failure(region, tick, &self.incidents);
                     degraded.exhausted_stages.push("ingestion".into());
                 }
+                self.breaker.publish_state(self.obs.registry());
+                self.obs
+                    .registry()
+                    .counter("seagull_pipeline_blocked_total", &[("region", region)])
+                    .inc();
                 report.blocked = true;
-                report.stages.push(StageTiming {
-                    stage: "ingestion".into(),
-                    duration: t.elapsed(),
-                });
+                self.finish_stage(&mut report, span, "ingestion", region, vt);
                 report.degraded = degraded.into_option();
+                self.obs.tracer().end(run_span, vt);
                 self.store_run(&report);
                 return report;
             }
         };
+        self.breaker.publish_state(self.obs.registry());
         let mut servers: Vec<ExtractedServer> = parse_region_week(&batch, self.config.grid_min);
         report.servers = servers.len();
-        report.stages.push(StageTiming {
-            stage: "ingestion".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "ingestion", region, vt);
 
         // ---- Data Validation -------------------------------------------------
-        let t = Instant::now();
+        let span = self.stage_span(run_span, "validation", region, vt);
         let validated = self.retry_stage("validation", region, tick, || {
             Ok((
-                validate_batch(&batch, &self.config.profile, self.config.max_anomaly_reports),
+                validate_batch(
+                    &batch,
+                    &self.config.profile,
+                    self.config.max_anomaly_reports,
+                ),
                 validate_servers(&servers, &self.config.profile),
             ))
         });
@@ -433,7 +511,11 @@ impl AmlPipeline {
         match validated.outcome {
             Ok((batch_report, server_report)) => {
                 report.anomalies = batch_report.anomalies.len() + server_report.anomalies.len();
-                for a in batch_report.anomalies.iter().chain(&server_report.anomalies) {
+                for a in batch_report
+                    .anomalies
+                    .iter()
+                    .chain(&server_report.anomalies)
+                {
                     let severity = if a.is_blocking() {
                         Severity::Critical
                     } else {
@@ -465,41 +547,40 @@ impl AmlPipeline {
                 seagull_timeseries::fill_gaps(&mut s.series, GapFill::Linear);
             }
         }
-        report.stages.push(StageTiming {
-            stage: "validation".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "validation", region, vt);
         if blocked {
+            self.obs
+                .registry()
+                .counter("seagull_pipeline_blocked_total", &[("region", region)])
+                .inc();
             report.blocked = true;
             report.degraded = degraded.into_option();
+            self.obs.tracer().end(run_span, vt);
             self.store_run(&report);
             return report;
         }
 
         // ---- Feature Extraction ----------------------------------------------
-        let t = Instant::now();
+        let span = self.stage_span(run_span, "features", region, vt);
         let features = extract_features(&servers, &self.config.classify);
         for f in &features {
             let id = format!("{region}/{}/{week_start_day}", f.server_id);
             let _ = self.docs.upsert(collections::FEATURES, &id, f);
         }
-        report.stages.push(StageTiming {
-            stage: "features".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "features", region, vt);
 
         // ---- Model Training & Inference ---------------------------------------
         // One model family serves the whole region (Section 5.4: a single
         // model for the entire fleet); per-server fitting happens inside
         // fit_predict. Predictions target each server's next backup day.
-        let t = Instant::now();
+        let span = self.stage_span(run_span, "train-infer", region, vt);
         let next_week = week_start_day + 7;
         let forecaster = Arc::clone(&self.config.forecaster);
         let grid = self.config.grid_min;
         let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
         let threads = self.config.threads;
         let trained = self.retry_stage("train-infer", region, tick, || {
-            Ok(parallel_map(&servers, threads, |s| {
+            let (results, profile) = parallel_map_profiled(&servers, threads, |s| {
                 // The server's backup day next week.
                 let backup_day = s.default_backup_start.day_index() + 7;
                 let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
@@ -517,7 +598,9 @@ impl AmlPipeline {
                     // Anything else is poison input or a broken model.
                     Err(e) => Err((s.id.0, e.to_string())),
                 }
-            }))
+            });
+            profile.record(self.obs.registry(), "train-infer");
+            Ok(results)
         });
         degraded.note("train-infer", &trained);
         let mut train_failed = false;
@@ -610,13 +693,10 @@ impl AmlPipeline {
                 );
             }
         }
-        report.stages.push(StageTiming {
-            stage: "train-infer".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "train-infer", region, vt);
 
         // ---- Model Deployment --------------------------------------------------
-        let t = Instant::now();
+        let span = self.stage_span(run_span, "deployment", region, vt);
         // The registry/endpoint mutation itself is infallible; the retried
         // gate models the external AML deployment call, which the
         // stage-fault hook can fail. Mutation happens only after the gate
@@ -646,24 +726,21 @@ impl AmlPipeline {
                 ),
             );
         } else {
-            let version = self
-                .registry
-                .deploy(region, self.config.forecaster.name(), week_start_day);
+            let version =
+                self.registry
+                    .deploy(region, self.config.forecaster.name(), week_start_day);
             self.endpoints
                 .publish(region, Arc::clone(&self.config.forecaster));
             report.deployed_version = Some(version);
         }
-        report.stages.push(StageTiming {
-            stage: "deployment".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "deployment", region, vt);
 
         // ---- Accuracy Evaluation ------------------------------------------------
         // Score the predictions stored by previous runs against the true load
         // that arrived in this week's data.
-        let t = Instant::now();
-        let eval_rows: Vec<Option<AccuracyDoc>> =
-            parallel_map(&servers, self.config.threads, |s| {
+        let span = self.stage_span(run_span, "accuracy-eval", region, vt);
+        let (eval_rows, eval_profile): (Vec<Option<AccuracyDoc>>, _) =
+            parallel_map_profiled(&servers, self.config.threads, |s| {
                 let day = backup_day_for_extracted(s, week_start_day);
                 let id = PredictionDoc::doc_id(region, s.id.0, day);
                 let doc: PredictionDoc = self.docs.get(collections::PREDICTIONS, &id).ok()?;
@@ -683,6 +760,7 @@ impl AmlPipeline {
                     window_bucket_ratio: eval.window_bucket_ratio,
                 })
             });
+        eval_profile.record(self.obs.registry(), "accuracy-eval");
         let evals: Vec<AccuracyDoc> = eval_rows.into_iter().flatten().collect();
         report.evaluations = evals.len();
         if !evals.is_empty() {
@@ -712,14 +790,28 @@ impl AmlPipeline {
                         predictable_pct: 0.0,
                     },
                 );
-                self.registry
-                    .maybe_fallback(region, self.config.fallback_tolerance, &self.incidents);
+                self.registry.maybe_fallback(
+                    region,
+                    self.config.fallback_tolerance,
+                    &self.incidents,
+                );
             }
         }
-        report.stages.push(StageTiming {
-            stage: "accuracy-eval".into(),
-            duration: t.elapsed(),
-        });
+        self.finish_stage(&mut report, span, "accuracy-eval", region, vt);
+
+        // Run-level outcome counters (all deterministic, hence stable).
+        let registry = self.obs.registry();
+        let region_label = [("region", region)];
+        registry
+            .counter("seagull_predictions_written_total", &region_label)
+            .add(report.predictions_written as u64);
+        registry
+            .counter("seagull_evaluations_total", &region_label)
+            .add(report.evaluations as u64);
+        registry
+            .counter("seagull_anomalies_total", &region_label)
+            .add(report.anomalies as u64);
+        self.obs.tracer().end(run_span, vt);
 
         report.degraded = degraded.into_option();
         self.store_run(&report);

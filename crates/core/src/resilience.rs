@@ -22,6 +22,7 @@
 
 use crate::incident::{IncidentManager, Severity};
 use parking_lot::RwLock;
+use seagull_obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -161,9 +162,8 @@ impl RetryPolicy {
         if raw == 0 || frac == 0.0 {
             return raw;
         }
-        let mut rng = DetRng::new(
-            seed ^ u64::from(retry_index).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            DetRng::new(seed ^ u64::from(retry_index).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let cut = (raw as f64 * frac * rng.next_f64()) as u64;
         raw - cut
     }
@@ -213,6 +213,39 @@ impl RetryPolicy {
             }
         }
     }
+
+    /// [`RetryPolicy::run`] plus metrics: records attempt/retry counters and
+    /// the virtual-backoff histogram into `registry`, labelled by
+    /// `(region, stage)`. All of it is deterministic for a fixed seed, so
+    /// the series are stable-exportable.
+    pub fn run_observed<T>(
+        &self,
+        seed: u64,
+        registry: &Registry,
+        stage: &str,
+        region: &str,
+        op: impl FnMut(u32) -> Result<T, StageError>,
+    ) -> RetryResult<T> {
+        let result = self.run(seed, op);
+        let labels = [("region", region), ("stage", stage)];
+        registry
+            .counter("seagull_retry_attempts_total", &labels)
+            .add(u64::from(result.attempts));
+        if result.retries() > 0 {
+            registry
+                .counter("seagull_retries_total", &labels)
+                .add(u64::from(result.retries()));
+            registry
+                .histogram("seagull_retry_backoff_ms", &labels)
+                .observe(result.backoff_ms as f64);
+        }
+        if result.outcome.is_err() {
+            registry
+                .counter("seagull_retry_exhausted_total", &labels)
+                .inc();
+        }
+        result
+    }
 }
 
 /// Outcome of a retried operation, with attempt accounting.
@@ -241,6 +274,18 @@ pub enum BreakerState {
     Open,
     /// Cooldown elapsed: one probe request is allowed through.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding for the `seagull_breaker_state` gauge:
+    /// 0 = closed, 1 = half-open, 2 = open.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
 }
 
 /// Circuit-breaker tuning.
@@ -412,6 +457,26 @@ impl CircuitBreaker {
             state: ks.state,
             consecutive_failures: ks.consecutive_failures,
             trips: ks.trips,
+        }
+    }
+
+    /// Publishes every key's state into `registry` as gauges:
+    /// `seagull_breaker_state` (see [`BreakerState::gauge_value`]),
+    /// `seagull_breaker_consecutive_failures`, and `seagull_breaker_trips`.
+    /// Idempotent — callers re-publish after each breaker interaction.
+    pub fn publish_state(&self, registry: &Registry) {
+        let map = self.inner.read();
+        for (key, ks) in map.iter() {
+            let labels = [("region", key.as_str())];
+            registry
+                .gauge("seagull_breaker_state", &labels)
+                .set(ks.state.gauge_value());
+            registry
+                .gauge("seagull_breaker_consecutive_failures", &labels)
+                .set(f64::from(ks.consecutive_failures));
+            registry
+                .gauge("seagull_breaker_trips", &labels)
+                .set(f64::from(ks.trips));
         }
     }
 }
@@ -617,7 +682,10 @@ mod tests {
         breaker.record_failure("west", 100, &incidents);
         assert_eq!(breaker.state("west"), BreakerState::Open);
         assert!(!breaker.allow("west", 105), "cooldown not elapsed");
-        assert!(breaker.allow("west", 110), "cooldown elapsed: probe admitted");
+        assert!(
+            breaker.allow("west", 110),
+            "cooldown elapsed: probe admitted"
+        );
         assert_eq!(breaker.state("west"), BreakerState::HalfOpen);
         breaker.record_success("west", 110, &incidents);
         assert_eq!(breaker.state("west"), BreakerState::Closed);
@@ -671,6 +739,81 @@ mod tests {
         assert_ne!(a, stage_seed(1, "ingestion", "east", 100));
         assert_ne!(a, stage_seed(1, "ingestion", "west", 107));
         assert_ne!(a, stage_seed(2, "ingestion", "west", 100));
+    }
+
+    #[test]
+    fn run_observed_records_retry_metrics() {
+        let registry = Registry::new();
+        let policy = RetryPolicy::default();
+        let labels = [("region", "west"), ("stage", "ingestion")];
+        let result = policy.run_observed(7, &registry, "ingestion", "west", |attempt| {
+            if attempt < 3 {
+                Err(StageError::transient("flaky"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert!(result.outcome.is_ok());
+        assert_eq!(
+            registry
+                .counter("seagull_retry_attempts_total", &labels)
+                .get(),
+            3
+        );
+        assert_eq!(registry.counter("seagull_retries_total", &labels).get(), 2);
+        assert_eq!(
+            registry
+                .histogram("seagull_retry_backoff_ms", &labels)
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter("seagull_retry_exhausted_total", &labels)
+                .get(),
+            0
+        );
+
+        let failed = policy.run_observed(7, &registry, "ingestion", "west", |_| {
+            Err::<(), _>(StageError::permanent("missing"))
+        });
+        assert!(failed.outcome.is_err());
+        assert_eq!(
+            registry
+                .counter("seagull_retry_exhausted_total", &labels)
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn breaker_publishes_state_gauges() {
+        let incidents = IncidentManager::new();
+        let registry = Registry::new();
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            trip_threshold: 1,
+            cooldown_ticks: 10,
+        });
+        breaker.record_failure("west", 0, &incidents);
+        breaker.record_success("east", 0, &incidents);
+        breaker.publish_state(&registry);
+        let gauge = |key: &str| {
+            registry
+                .gauge("seagull_breaker_state", &[("region", key)])
+                .get()
+        };
+        assert_eq!(gauge("west"), BreakerState::Open.gauge_value());
+        assert_eq!(gauge("east"), BreakerState::Closed.gauge_value());
+        assert_eq!(
+            registry
+                .gauge("seagull_breaker_trips", &[("region", "west")])
+                .get(),
+            1.0
+        );
+        // Half-open shows up after the cooldown probe is admitted.
+        assert!(breaker.allow("west", 10));
+        breaker.publish_state(&registry);
+        assert_eq!(gauge("west"), BreakerState::HalfOpen.gauge_value());
     }
 
     #[test]

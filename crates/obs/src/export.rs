@@ -1,0 +1,714 @@
+//! Export formats and their parsers.
+//!
+//! Metrics render to Prometheus-style text exposition; spans render to
+//! JSON-lines and to the chrome://tracing `trace_event` array format.
+//! Each textual format ships with a parser so round-trips are testable
+//! and downstream tools can re-ingest a dump.
+//!
+//! Determinism: rendering iterates pre-sorted snapshots and formats
+//! numbers via shortest-roundtrip `Display`, so equal inputs produce
+//! byte-identical text.
+
+use crate::metrics::{MetricSample, SampleValue};
+use crate::trace::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which clock(s) a span export includes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Virtual ticks only: byte-identical across same-seed runs.
+    Stable,
+    /// Virtual ticks plus wall-clock micros.
+    Full,
+}
+
+fn fmt_num(out: &mut String, v: f64) {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn fmt_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, String)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render metric samples as Prometheus text exposition. Histograms use the
+/// conventional `_bucket{le=...}` / `_sum` / `_count` series.
+pub fn to_prometheus(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in samples {
+        let name = s.id.name.as_str();
+        if last_name != Some(name) {
+            let kind = match &s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_name = Some(name);
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(name);
+                fmt_labels(&mut out, &s.id.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(name);
+                fmt_labels(&mut out, &s.id.labels, None);
+                out.push(' ');
+                fmt_num(&mut out, *v);
+                out.push('\n');
+            }
+            SampleValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for (upper, count) in &h.buckets {
+                    cum += count;
+                    let mut le = String::new();
+                    fmt_num(&mut le, *upper);
+                    let _ = write!(out, "{name}_bucket");
+                    fmt_labels(&mut out, &s.id.labels, Some(("le", le)));
+                    let _ = writeln!(out, " {cum}");
+                }
+                let _ = write!(out, "{name}_bucket");
+                fmt_labels(&mut out, &s.id.labels, Some(("le", "+Inf".to_string())));
+                let _ = writeln!(out, " {}", h.count);
+                let _ = write!(out, "{name}_sum");
+                fmt_labels(&mut out, &s.id.labels, None);
+                out.push(' ');
+                fmt_num(&mut out, h.sum);
+                out.push('\n');
+                let _ = write!(out, "{name}_count");
+                fmt_labels(&mut out, &s.id.labels, None);
+                let _ = writeln!(out, " {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: BTreeMap<String, String>,
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition back into raw sample lines
+/// (`# TYPE`/comment lines are skipped).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        let (name_labels, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse::<f64>().map_err(|_| err("bad value"))?,
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels.to_string(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let mut labels = BTreeMap::new();
+                let mut chars = body.chars().peekable();
+                while chars.peek().is_some() {
+                    let mut key = String::new();
+                    for c in chars.by_ref() {
+                        if c == '=' {
+                            break;
+                        }
+                        key.push(c);
+                    }
+                    if chars.next() != Some('"') {
+                        return Err(err("expected opening quote"));
+                    }
+                    let mut val = String::new();
+                    let mut escaped = false;
+                    for c in chars.by_ref() {
+                        if escaped {
+                            val.push(match c {
+                                'n' => '\n',
+                                other => other,
+                            });
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            break;
+                        } else {
+                            val.push(c);
+                        }
+                    }
+                    labels.insert(key, val);
+                    if chars.peek() == Some(&',') {
+                        chars.next();
+                    }
+                }
+                (name.to_string(), labels)
+            }
+        };
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn span_to_json(out: &mut String, s: &SpanRecord, mode: TimeMode) {
+    let _ = write!(out, "{{\"id\":{},\"parent\":", s.id);
+    match s.parent {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"name\":");
+    escape_json(out, &s.name);
+    out.push_str(",\"labels\":{");
+    for (i, (k, v)) in s.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json(out, k);
+        out.push(':');
+        escape_json(out, v);
+    }
+    let _ = write!(out, "}},\"seq\":{},\"start_tick\":{}", s.seq, s.start_tick);
+    if let Some(end) = s.end_tick {
+        let _ = write!(out, ",\"end_tick\":{end}");
+    }
+    if mode == TimeMode::Full {
+        if let Some(wall) = s.wall {
+            let _ = write!(out, ",\"wall_us\":{}", wall.as_micros());
+        }
+    }
+    out.push('}');
+}
+
+/// Render spans as JSON-lines, one span object per line, in start order.
+pub fn spans_to_json_lines(spans: &[SpanRecord], mode: TimeMode) -> String {
+    let mut out = String::new();
+    for s in spans {
+        span_to_json(&mut out, s, mode);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSON-lines span dump back into records (wall time, if present,
+/// is restored with microsecond precision).
+pub fn parse_span_json_lines(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let obj = v.as_object().ok_or_else(|| err("not an object"))?;
+        let get_u64 = |key: &str| -> Option<u64> { obj.get(key).and_then(|v| v.as_u64()) };
+        let labels = match obj.get("labels") {
+            Some(json::Value::Object(map)) => map
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| err("label value not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        spans.push(SpanRecord {
+            id: get_u64("id").ok_or_else(|| err("missing id"))?,
+            parent: get_u64("parent"),
+            name: obj
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err("missing name"))?
+                .to_string(),
+            labels,
+            seq: get_u64("seq").ok_or_else(|| err("missing seq"))?,
+            start_tick: get_u64("start_tick").ok_or_else(|| err("missing start_tick"))?,
+            end_tick: get_u64("end_tick"),
+            wall: get_u64("wall_us").map(std::time::Duration::from_micros),
+        });
+    }
+    Ok(spans)
+}
+
+/// Microseconds of chrome-trace time per virtual tick: ticks render as
+/// milliseconds so day-granular spans are visible in the viewer.
+const TICK_US: u64 = 1000;
+
+/// Render spans as a chrome://tracing `trace_event` JSON array of complete
+/// (`"ph":"X"`) events on the virtual clock. Load via `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+pub fn spans_to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for s in spans {
+        let Some(end) = s.end_tick else { continue };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":");
+        escape_json(&mut out, &s.name);
+        let ts = s.start_tick * TICK_US + s.seq;
+        let dur = ((end - s.start_tick) * TICK_US).max(1);
+        let _ = write!(
+            out,
+            ",\"cat\":\"seagull\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":1,\"args\":{{"
+        );
+        for (k, v) in &s.labels {
+            escape_json(&mut out, k);
+            out.push(':');
+            escape_json(&mut out, v);
+            out.push(',');
+        }
+        let _ = write!(out, "\"id\":{}", s.id);
+        if let Some(p) = s.parent {
+            let _ = write!(out, ",\"parent\":{p}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Minimal JSON value tree + parser, local to the obs crate so it stays
+/// dependency-free. Only what the span/trace round-trip needs.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_f64()
+                .filter(|v| *v >= 0.0 && v.trunc() == *v)
+                .map(|v| v as u64)
+        }
+
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object().and_then(|m| m.get(key))
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, kw: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'n') if self.eat("null") => Ok(Value::Null),
+                Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|b| b as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.pos += 1; // opening quote
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                self.pos += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                    }
+                    Some(_) => {
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|e| e.to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.pos += 1; // '['
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected , or ] got {:?}",
+                            other.map(|b| b as char)
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.pos += 1; // '{'
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                if self.peek() != Some(b'"') {
+                    return Err("expected object key".to_string());
+                }
+                let key = self.string()?;
+                self.skip_ws();
+                if self.peek() != Some(b':') {
+                    return Err("expected :".to_string());
+                }
+                self.pos += 1;
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected , or }} got {:?}",
+                            other.map(|b| b as char)
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn prometheus_round_trip() {
+        let reg = Registry::new();
+        reg.counter(
+            "seagull_ops_total",
+            &[("region", "west"), ("stage", "ingestion")],
+        )
+        .add(7);
+        reg.gauge("seagull_breaker_state", &[("region", "west")])
+            .set(2.0);
+        let h = reg.histogram("seagull_stage_ticks", &[("region", "west")]);
+        h.observe(1.0);
+        h.observe(6.0);
+        h.observe(7.0);
+
+        let text = to_prometheus(&reg.snapshot());
+        let parsed = parse_prometheus(&text).expect("parse");
+
+        let find = |name: &str| {
+            parsed
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert_eq!(find("seagull_ops_total").value, 7.0);
+        assert_eq!(
+            find("seagull_ops_total")
+                .labels
+                .get("stage")
+                .map(String::as_str),
+            Some("ingestion")
+        );
+        assert_eq!(find("seagull_breaker_state").value, 2.0);
+        assert_eq!(find("seagull_stage_ticks_count").value, 3.0);
+        assert_eq!(find("seagull_stage_ticks_sum").value, 14.0);
+        let inf_bucket = parsed
+            .iter()
+            .find(|s| {
+                s.name == "seagull_stage_ticks_bucket"
+                    && s.labels.get("le").map(String::as_str) == Some("+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf_bucket.value, 3.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic() {
+        let build = || {
+            let reg = Registry::new();
+            // Register in scrambled order; BTreeMap snapshot sorts it.
+            reg.counter("z_total", &[("region", "b")]).add(1);
+            reg.counter("a_total", &[("region", "a")]).add(2);
+            reg.counter("z_total", &[("region", "a")]).add(3);
+            to_prometheus(&reg.snapshot())
+        };
+        assert_eq!(build(), build());
+        let text = build();
+        let a = text.find("a_total").unwrap();
+        let z = text.find("z_total").unwrap();
+        assert!(a < z, "samples must be name-sorted:\n{text}");
+    }
+
+    #[test]
+    fn span_json_lines_round_trip() {
+        let t = Tracer::new();
+        let root = t.start("run-week", &[("region", "west")], 0);
+        let child = t.child(root, "train \"quoted\"", &[], 2);
+        t.end(child, 5);
+        t.end(root, 7);
+
+        for mode in [TimeMode::Stable, TimeMode::Full] {
+            let text = spans_to_json_lines(&t.spans(), mode);
+            let parsed = parse_span_json_lines(&text).expect("parse");
+            assert_eq!(parsed.len(), 2);
+            assert_eq!(parsed[0].name, "run-week");
+            assert_eq!(
+                parsed[0].labels,
+                vec![("region".to_string(), "west".to_string())]
+            );
+            assert_eq!(parsed[1].parent, Some(parsed[0].id));
+            assert_eq!(parsed[1].name, "train \"quoted\"");
+            assert_eq!(parsed[1].start_tick, 2);
+            assert_eq!(parsed[1].end_tick, Some(5));
+            match mode {
+                TimeMode::Stable => assert!(parsed.iter().all(|s| s.wall.is_none())),
+                TimeMode::Full => assert!(parsed.iter().all(|s| s.wall.is_some())),
+            }
+        }
+    }
+
+    #[test]
+    fn stable_json_lines_are_reproducible() {
+        let run = || {
+            let t = Tracer::new();
+            let root = t.start("w", &[("region", "east")], 7);
+            let c = t.child(root, "stage", &[], 7);
+            t.end(c, 8);
+            t.end(root, 14);
+            spans_to_json_lines(&t.spans(), TimeMode::Stable)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let t = Tracer::new();
+        let root = t.start("run-week", &[("region", "west")], 0);
+        let child = t.child(root, "ingestion", &[], 0);
+        t.end(child, 1);
+        t.end(root, 7);
+        let _unfinished = t.start("pending", &[], 3);
+
+        let text = spans_to_chrome_trace(&t.spans());
+        let v = json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = v.as_array().expect("array");
+        assert_eq!(events.len(), 2, "unfinished spans are skipped");
+        let first = &events[0];
+        assert_eq!(first.get("name").and_then(|v| v.as_str()), Some("run-week"));
+        assert_eq!(first.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(first.get("dur").and_then(|v| v.as_u64()), Some(7000));
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("region"))
+                .and_then(|v| v.as_str()),
+            Some("west")
+        );
+    }
+}

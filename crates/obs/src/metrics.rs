@@ -1,0 +1,504 @@
+//! Lock-cheap metrics registry: monotonic counters, gauges, and
+//! log-bucketed histograms, labelled by `(region, stage)`-style label sets.
+//!
+//! The registry mutex is only taken when a metric handle is first created
+//! (or when snapshotting); the hot path — `Counter::inc`,
+//! `Histogram::observe` — is pure atomics on a shared `Arc` handle.
+//!
+//! Determinism: every aggregate a metric exposes (counts, sums, bucket
+//! tallies, quantile estimates) is a pure function of the observed values,
+//! and snapshots iterate a `BTreeMap`, so a run that observes the same
+//! values in any order exports byte-identical text. Metrics derived from
+//! wall-clock time must be registered [`Stability::Volatile`] so the stable
+//! export can exclude them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Whether a metric is reproducible across same-seed runs.
+///
+/// `Stable` metrics depend only on simulated inputs (ticks, item counts,
+/// seeded faults) and appear in the stable export. `Volatile` metrics carry
+/// wall-clock or scheduling noise and are excluded from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stability {
+    Stable,
+    Volatile,
+}
+
+/// Metric identity: name plus a sorted label set.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value. For mirroring an external cumulative total
+    /// (e.g. a chaos store's op counters) into the registry idempotently —
+    /// regular counting should use [`Counter::inc`]/[`Counter::add`].
+    pub fn store(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log buckets: index 0 catches `v <= 2^-30`, indices `1..=181`
+/// cover half-octave buckets `(2^(k/2), 2^((k+1)/2)]` for `k in -60..=120`.
+pub const BUCKETS: usize = 182;
+
+const MIN_EXP2: i64 = -60; // in half-octaves: 2^-30
+const MAX_EXP2: i64 = 120; // 2^60
+
+fn bucket_index(v: f64) -> usize {
+    // NaN and non-positive values (including -0.0) land in the catch-all
+    // bucket 0.
+    if v <= 0.0 || v.is_nan() {
+        return 0;
+    }
+    let k = (v.log2() * 2.0).floor() as i64;
+    let k = k.clamp(MIN_EXP2, MAX_EXP2);
+    (k - MIN_EXP2 + 1) as usize
+}
+
+/// Upper bound of bucket `i` (the value reported for quantiles landing in it).
+pub fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        return 2f64.powf(MIN_EXP2 as f64 / 2.0);
+    }
+    2f64.powf((i as i64 + MIN_EXP2) as f64 / 2.0)
+}
+
+/// A log-bucketed histogram with p50/p95/p99/max estimation.
+///
+/// Buckets grow geometrically (factor `sqrt(2)` per bucket), so the quantile
+/// estimate returned by [`Histogram::quantile`] is at most one half-octave
+/// above the true value, and never above the observed maximum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, f64 bits, CAS-updated.
+    sum_bits: AtomicU64,
+    /// Max observation, f64 bits, CAS-updated.
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> f64 {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if m == f64::NEG_INFINITY {
+            0.0
+        } else {
+            m
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket tallies.
+    ///
+    /// Returns the upper bound of the bucket containing the target rank,
+    /// clamped to the observed maximum; 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(bucket_upper, count)`, for export.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                if c > 0 {
+                    Some((bucket_upper(i), c))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Merge another histogram's tallies into this one (associative).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        if n > 0 {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + other.sum()).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+            let other_max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+            let mut cur = self.max_bits.load(Ordering::Relaxed);
+            while other_max > f64::from_bits(cur) {
+                match self.max_bits.compare_exchange_weak(
+                    cur,
+                    other_max.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    metric: Metric,
+    stability: Stability,
+}
+
+/// A point-in-time reading of one metric, as produced by
+/// [`Registry::snapshot`]. Sorted by `(name, labels)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    pub id: MetricId,
+    pub stability: Stability,
+    pub value: SampleValue,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    /// `(bucket_upper, count)` for non-empty buckets.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// The fleet-wide metrics registry.
+///
+/// Cheap to clone handles out of; intended to be shared via [`crate::Obs`].
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricId, Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter_with(name, labels, Stability::Stable)
+    }
+
+    pub fn counter_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        stability: Stability,
+    ) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(id).or_insert_with(|| Entry {
+            metric: Metric::Counter(Arc::new(Counter::default())),
+            stability,
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_with(name, labels, Stability::Stable)
+    }
+
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        stability: Stability,
+    ) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(id).or_insert_with(|| Entry {
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+            stability,
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, labels, Stability::Stable)
+    }
+
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        stability: Stability,
+    ) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(id).or_insert_with(|| Entry {
+            metric: Metric::Histogram(Arc::new(Histogram::default())),
+            stability,
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Read every metric, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .map(|(id, entry)| MetricSample {
+                id: id.clone(),
+                stability: entry.stability,
+                value: match &entry.metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        buckets: h.nonzero_buckets(),
+                    }),
+                },
+            })
+            .collect()
+    }
+
+    /// Snapshot restricted to [`Stability::Stable`] metrics: the set that
+    /// must be byte-identical across same-seed runs.
+    pub fn stable_snapshot(&self) -> Vec<MetricSample> {
+        self.snapshot()
+            .into_iter()
+            .filter(|s| s.stability == Stability::Stable)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", &[("region", "west"), ("stage", "ingest")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same id returns the same underlying counter.
+        let c2 = reg.counter("requests_total", &[("stage", "ingest"), ("region", "west")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_holds_latest() {
+        let reg = Registry::new();
+        let g = reg.gauge("breaker_state", &[("region", "east")]);
+        g.set(2.0);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = Histogram::default();
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(h.max(), 1000.0);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Half-octave buckets: estimate within sqrt(2) of the true quantile.
+        assert!(p50 >= 500.0 && p50 <= 500.0 * 2f64.sqrt());
+        assert!(p99 >= 990.0 && p99 <= 990.0 * 2f64.sqrt());
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_nonpositive_goes_to_underflow_bucket() {
+        let h = Histogram::default();
+        h.observe(0.0);
+        h.observe(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stability_filtered() {
+        let reg = Registry::new();
+        reg.counter("b_total", &[]).inc();
+        reg.counter("a_total", &[]).inc();
+        reg.histogram_with("wall_seconds", &[], Stability::Volatile)
+            .observe(0.5);
+        let all = reg.snapshot();
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].id < w[1].id));
+        let stable = reg.stable_snapshot();
+        assert_eq!(stable.len(), 2);
+        assert!(stable.iter().all(|s| s.stability == Stability::Stable));
+    }
+}

@@ -1,0 +1,195 @@
+//! Span-based tracing with explicit start/end, parent links, and dual
+//! clocks: every span records its position in **virtual scheduler-tick
+//! time** (caller-supplied, deterministic) and in **wall time** (measured
+//! internally with `Instant`, excluded from stable exports).
+//!
+//! Spans are exported as JSON-lines (one span per line) or as a
+//! chrome://tracing `trace_event` array laid out on the virtual clock.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Handle to an in-flight or finished span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One recorded span. `end_tick`/`wall` are `None` while in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    /// Start order: deterministic tiebreaker for spans sharing a tick.
+    pub seq: u64,
+    pub start_tick: u64,
+    pub end_tick: Option<u64>,
+    /// Wall-clock duration, set at `end`. Never part of stable exports.
+    pub wall: Option<Duration>,
+}
+
+impl SpanRecord {
+    pub fn tick_duration(&self) -> Option<u64> {
+        self.end_tick.map(|e| e.saturating_sub(self.start_tick))
+    }
+}
+
+struct ActiveSpan {
+    record: SpanRecord,
+    started: Instant,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    /// Finished and in-flight spans, indexed by `id - 1`.
+    spans: Vec<ActiveSpan>,
+}
+
+/// Collects spans for one run. Share via [`crate::Obs`].
+#[derive(Default)]
+pub struct Tracer {
+    inner: Mutex<TracerInner>,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Start a root span at the given virtual tick.
+    pub fn start(&self, name: &str, labels: &[(&str, &str)], start_tick: u64) -> SpanId {
+        self.start_impl(name, labels, None, start_tick)
+    }
+
+    /// Start a span nested under `parent`.
+    pub fn child(
+        &self,
+        parent: SpanId,
+        name: &str,
+        labels: &[(&str, &str)],
+        start_tick: u64,
+    ) -> SpanId {
+        self.start_impl(name, labels, Some(parent.0), start_tick)
+    }
+
+    fn start_impl(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        parent: Option<u64>,
+        start_tick: u64,
+    ) -> SpanId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.spans.len() as u64 + 1;
+        let seq = id - 1;
+        inner.spans.push(ActiveSpan {
+            record: SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                labels,
+                seq,
+                start_tick,
+                end_tick: None,
+                wall: None,
+            },
+            started: Instant::now(),
+        });
+        SpanId(id)
+    }
+
+    /// Finish a span at the given virtual tick, capturing wall duration.
+    /// Finishing twice is a no-op (first end wins).
+    pub fn end(&self, span: SpanId, end_tick: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(active) = inner.spans.get_mut(span.0 as usize - 1) {
+            if active.record.end_tick.is_none() {
+                active.record.end_tick = Some(end_tick.max(active.record.start_tick));
+                active.record.wall = Some(active.started.elapsed());
+            }
+        }
+    }
+
+    /// Wall-clock duration of a finished span.
+    pub fn wall_duration(&self, span: SpanId) -> Option<Duration> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .spans
+            .get(span.0 as usize - 1)
+            .and_then(|a| a.record.wall)
+    }
+
+    /// Snapshot of all spans in start order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner.spans.iter().map(|a| a.record.clone()).collect()
+    }
+
+    /// Spans that have finished, in start order.
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        self.spans()
+            .into_iter()
+            .filter(|s| s.end_tick.is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_links_and_ticks() {
+        let t = Tracer::new();
+        let root = t.start("run-week", &[("region", "west")], 0);
+        let child = t.child(root, "ingestion", &[("region", "west")], 0);
+        t.end(child, 3);
+        t.end(root, 7);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "run-week");
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[1].tick_duration(), Some(3));
+        assert_eq!(spans[0].tick_duration(), Some(7));
+        assert!(spans.iter().all(|s| s.wall.is_some()));
+    }
+
+    #[test]
+    fn double_end_keeps_first() {
+        let t = Tracer::new();
+        let s = t.start("stage", &[], 1);
+        t.end(s, 2);
+        t.end(s, 9);
+        assert_eq!(t.spans()[0].end_tick, Some(2));
+    }
+
+    #[test]
+    fn end_tick_never_precedes_start() {
+        let t = Tracer::new();
+        let s = t.start("stage", &[], 5);
+        t.end(s, 3);
+        assert_eq!(t.spans()[0].end_tick, Some(5));
+    }
+
+    #[test]
+    fn unfinished_spans_are_excluded_from_finished() {
+        let t = Tracer::new();
+        let a = t.start("done", &[], 0);
+        let _b = t.start("pending", &[], 0);
+        t.end(a, 1);
+        let finished = t.finished_spans();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].name, "done");
+    }
+}

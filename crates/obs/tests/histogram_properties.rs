@@ -1,0 +1,175 @@
+//! Property tests for the log-bucketed histogram, driven by a seeded
+//! generator sweep (the obs crate is dependency-free, so these are
+//! hand-rolled rather than proptest-based — each property is checked over
+//! many deterministic random value sets).
+
+use seagull_obs::metrics::{bucket_upper, Histogram, BUCKETS};
+
+/// SplitMix64: the same deterministic generator used across the workspace.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Log-uniform over ~12 orders of magnitude, the histogram's sweet spot.
+    fn value(&mut self) -> f64 {
+        10f64.powf(self.unit() * 12.0 - 6.0)
+    }
+}
+
+fn fill(seed: u64, n: usize) -> (Histogram, Vec<f64>) {
+    let mut rng = Rng(seed);
+    let h = Histogram::default();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = rng.value();
+        h.observe(v);
+        values.push(v);
+    }
+    (h, values)
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    for seed in 0..50 {
+        let (h, _) = fill(seed, 200);
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            let lo = h.quantile(w[0]);
+            let hi = h.quantile(w[1]);
+            assert!(
+                lo <= hi,
+                "seed {seed}: quantile({}) = {lo} > quantile({}) = {hi}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_estimates_contain_true_quantile_within_bucket_bound() {
+    // The estimate is the upper bound of the bucket holding the target
+    // rank, clamped to the max: it must be >= the true quantile and at
+    // most one bucket width (factor sqrt(2)) above it.
+    for seed in 0..50 {
+        let (h, mut values) = fill(seed, 500);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = h.quantile(q);
+            assert!(
+                est >= truth,
+                "seed {seed} q={q}: estimate {est} below true quantile {truth}"
+            );
+            assert!(
+                est <= truth * 2f64.sqrt() + 1e-12,
+                "seed {seed} q={q}: estimate {est} beyond bucket bound of {truth}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.max(), *values.last().unwrap());
+    }
+}
+
+#[test]
+fn every_observation_lands_in_a_containing_bucket() {
+    // Bucket upper bounds are a partition: for each observed value, the
+    // cumulative count at the first bucket whose upper bound >= value must
+    // include that value.
+    for seed in 0..20 {
+        let (h, values) = fill(seed, 300);
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, values.len() as u64);
+        for &v in &values {
+            let cum: u64 = buckets
+                .iter()
+                .filter(|(upper, _)| *upper >= v)
+                .map(|(_, c)| c)
+                .sum();
+            let at_least: usize = values.iter().filter(|&&x| x >= v).count();
+            assert!(
+                cum >= at_least as u64,
+                "seed {seed}: buckets above {v} hold {cum} < {at_least} actual"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_upper_bounds_are_strictly_increasing() {
+    for i in 1..BUCKETS {
+        assert!(
+            bucket_upper(i) > bucket_upper(i - 1),
+            "bucket {i} upper {} <= bucket {} upper {}",
+            bucket_upper(i),
+            i - 1,
+            bucket_upper(i - 1)
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_and_order_independent() {
+    for seed in 0..20 {
+        let (a, _) = fill(seed * 3 + 1, 100);
+        let (b, _) = fill(seed * 3 + 2, 150);
+        let (c, _) = fill(seed * 3 + 3, 50);
+
+        // (a + b) + c
+        let left = Histogram::default();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+
+        // a + (b + c), built by merging in a different order
+        let bc = Histogram::default();
+        bc.merge(&c);
+        bc.merge(&b);
+        let right = Histogram::default();
+        right.merge(&bc);
+        right.merge(&a);
+
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.max(), right.max());
+        assert!((left.sum() - right.sum()).abs() < 1e-9 * left.sum().abs().max(1.0));
+        assert_eq!(left.nonzero_buckets(), right.nonzero_buckets());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(left.quantile(q), right.quantile(q), "seed {seed} q={q}");
+        }
+    }
+}
+
+#[test]
+fn merge_matches_observing_everything_in_one_histogram() {
+    for seed in 0..20 {
+        let (a, va) = fill(seed * 2 + 10, 120);
+        let (b, vb) = fill(seed * 2 + 11, 80);
+        let merged = Histogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+
+        let direct = Histogram::default();
+        for v in va.iter().chain(&vb) {
+            direct.observe(*v);
+        }
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.nonzero_buckets(), direct.nonzero_buckets());
+        assert_eq!(merged.max(), direct.max());
+        for q in [0.25, 0.5, 0.75, 0.95, 0.99] {
+            assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+}

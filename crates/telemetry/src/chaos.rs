@@ -23,6 +23,7 @@
 use crate::blobstore::{BlobKey, BlobStore};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use seagull_obs::Registry;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::io;
@@ -180,6 +181,33 @@ impl ChaosBlobStore {
         self.state.lock().log.join("\n")
     }
 
+    /// Mirrors the op/fault counters into `registry`. Idempotent: each
+    /// counter is overwritten with the current cumulative total, so
+    /// exporting after every pipeline run never double-counts. With a fixed
+    /// seed and op sequence every exported value is deterministic.
+    pub fn export_metrics(&self, registry: &Registry) {
+        let stats = self.stats();
+        let set = |name: &str, v: u64| registry.counter(name, &[]).store(v);
+        set("seagull_chaos_ops_total", stats.ops);
+        set("seagull_chaos_faults_total", stats.faults);
+        set(
+            "seagull_chaos_transient_faults_total",
+            stats.transient_faults,
+        );
+        set("seagull_chaos_torn_reads_total", stats.torn_reads);
+        set(
+            "seagull_chaos_outage_rejections_total",
+            stats.outage_rejections,
+        );
+        set("seagull_chaos_latency_spikes_total", stats.latency_spikes);
+        registry
+            .gauge("seagull_chaos_simulated_latency_seconds", &[])
+            .set(stats.simulated_latency.as_secs_f64());
+        registry
+            .gauge("seagull_chaos_active_outages", &[])
+            .set(self.state.lock().outages.len() as f64);
+    }
+
     /// Rolls the fault dice for one op. The roll order per op is fixed
     /// (transient, then torn for reads, then latency) so schedules stay
     /// aligned across runs.
@@ -215,7 +243,8 @@ impl ChaosBlobStore {
             st.stats.faults += 1;
             st.stats.torn_reads += 1;
             let frac = st.rng.next_f64();
-            st.log.push(format!("#{op_index} {op} {key}: torn({frac:.6})"));
+            st.log
+                .push(format!("#{op_index} {op} {key}: torn({frac:.6})"));
             torn_frac = Some(frac);
         }
         let mut spike = false;
@@ -390,7 +419,9 @@ mod tests {
             ..ChaosConfig::default()
         });
         let k = BlobKey::extracted("west", 100);
-        store.put(&k, Bytes::from_static(b"full blob contents")).unwrap();
+        store
+            .put(&k, Bytes::from_static(b"full blob contents"))
+            .unwrap();
         for _ in 0..10 {
             let got = store.get(&k).unwrap();
             assert!(got.len() < 18, "torn read must be a strict prefix");
@@ -413,6 +444,39 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.latency_spikes, 2);
         assert_eq!(stats.simulated_latency, Duration::from_millis(400));
+    }
+
+    #[test]
+    fn export_metrics_is_idempotent() {
+        let store = chaos(ChaosConfig {
+            seed: 7,
+            transient_fault_prob: 0.5,
+            ..ChaosConfig::default()
+        });
+        let k = BlobKey::extracted("west", 100);
+        for _ in 0..20 {
+            let _ = store.get(&k);
+        }
+        store.set_outage("extracted", "west");
+        let registry = Registry::new();
+        store.export_metrics(&registry);
+        store.export_metrics(&registry);
+        let stats = store.stats();
+        assert_eq!(
+            registry.counter("seagull_chaos_ops_total", &[]).get(),
+            stats.ops,
+            "repeated export must not double-count"
+        );
+        assert_eq!(
+            registry
+                .counter("seagull_chaos_transient_faults_total", &[])
+                .get(),
+            stats.transient_faults
+        );
+        assert_eq!(
+            registry.gauge("seagull_chaos_active_outages", &[]).get(),
+            1.0
+        );
     }
 
     #[test]

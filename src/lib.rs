@@ -20,6 +20,8 @@
 //!   accuracy evaluation, document store, incidents and dashboard.
 //! * [`backup`] — the backup-scheduling use case (Sections 2.3, 4, 6).
 //! * [`autoscale`] — the SQL auto-scale use case (Appendix A).
+//! * [`obs`] — fleet-wide observability: metrics registry, span tracing,
+//!   profiling hooks, Prometheus/JSON-lines/chrome-trace exports.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use seagull_backup as backup;
 pub use seagull_core as core;
 pub use seagull_forecast as forecast;
 pub use seagull_linalg as linalg;
+pub use seagull_obs as obs;
 pub use seagull_telemetry as telemetry;
 pub use seagull_timeseries as timeseries;
 

@@ -236,7 +236,10 @@ fn same_seed_reproduces_schedule_and_incident_log() {
     };
     let (log_a, stats_a, incidents_a, degraded_a) = run();
     let (log_b, stats_b, incidents_b, degraded_b) = run();
-    assert_eq!(log_a, log_b, "same seed must replay the same fault schedule");
+    assert_eq!(
+        log_a, log_b,
+        "same seed must replay the same fault schedule"
+    );
     assert_eq!(stats_a, stats_b);
     assert_eq!(incidents_a, incidents_b);
     assert_eq!(degraded_a, degraded_b);
@@ -368,8 +371,14 @@ fn poison_batches_are_quarantined_not_fatal() {
     let pipeline = AmlPipeline::new(config, store);
     let report = pipeline.run_region_week(&region, start);
     assert!(!report.blocked, "poison batches degrade, they do not block");
-    assert!(report.deployed_version.is_some(), "the region still deploys");
-    assert!(report.predictions_written > 0, "healthy servers still predict");
+    assert!(
+        report.deployed_version.is_some(),
+        "the region still deploys"
+    );
+    assert!(
+        report.predictions_written > 0,
+        "healthy servers still predict"
+    );
     let degraded = report.degraded.expect("quarantine recorded");
     assert_eq!(degraded.quarantined_servers.len(), 2);
     assert_eq!(pipeline.docs.count(collections::DEAD_LETTER), 2);
