@@ -235,6 +235,27 @@ mod tests {
         }
     }
 
+    /// The training history handed to the forecaster is a view into the
+    /// server's telemetry buffer, not a copy — the scheduler read path stays
+    /// zero-copy under the Arc-backed series representation.
+    #[test]
+    fn training_history_is_a_zero_copy_view() {
+        let (fleet, start) = fleet();
+        let cfg = SchedulerConfig::default();
+        let day = start + 28;
+        let day_start = Timestamp::from_days(day);
+        let hist_start = Timestamp::from_days(day - cfg.evaluation.train_days);
+        let server = fleet
+            .iter()
+            .find(|s| s.series.slice(hist_start, day_start).is_ok())
+            .expect("some server has a full training window");
+        let history = server.series.slice(hist_start, day_start).unwrap();
+        assert!(
+            history.shares_storage(&server.series),
+            "slicing the training window must not allocate a new buffer"
+        );
+    }
+
     #[test]
     fn short_lived_servers_keep_default() {
         let (fleet, start) = fleet();

@@ -1,0 +1,258 @@
+//! Data-plane benchmark: CSV vs columnar region-week codec throughput, plus
+//! an end-to-end check that both blob formats drive the pipeline to
+//! semantically identical results.
+//!
+//! Emits `BENCH_dataplane.json` with encode/decode MB/s for both formats and
+//! the fig12a-style region-week pipeline runtime on a 1k-server fleet
+//! (200 servers at small scale). Exits non-zero if the two formats produce
+//! different pipeline reports, prediction documents, accuracy documents, or
+//! incident sets — the `dataplane-smoke` CI job relies on that.
+
+use seagull_bench::{emit_json, fleets, scale, Scale, Table};
+use seagull_core::incident::Incident;
+use seagull_core::pipeline::{collections, AmlPipeline, PipelineConfig, PipelineRunReport};
+use seagull_telemetry::blobstore::MemoryBlobStore;
+use seagull_telemetry::columnar::ColumnarBatch;
+use seagull_telemetry::extract::{parse_region_week, LoadExtraction};
+use seagull_telemetry::record::RecordBatch;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-N wall time for a closure, in seconds.
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..n {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("n >= 1"))
+}
+
+fn mbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs.max(1e-12)
+}
+
+/// The semantically comparable part of a run report: everything except input
+/// size and wall-clock stage durations, which legitimately differ by format.
+fn semantic_report(report: &PipelineRunReport) -> Value {
+    json!({
+        "region": report.region,
+        "week_start_day": report.week_start_day,
+        "stages": report.stages.iter().map(|s| s.stage.clone()).collect::<Vec<_>>(),
+        "servers": report.servers,
+        "anomalies": report.anomalies,
+        "blocked": report.blocked,
+        "predictions_written": report.predictions_written,
+        "evaluations": report.evaluations,
+        "accuracy": report.accuracy,
+        "deployed_version": report.deployed_version,
+        "degraded": report.degraded,
+    })
+}
+
+/// Runs the two-week pipeline over blobs written in `format`, returning the
+/// production-week report plus every stored document and incident.
+fn run_pipeline(
+    extraction: LoadExtraction,
+    fleet: &[seagull_telemetry::fleet::ServerTelemetry],
+    region: &str,
+    start: i64,
+) -> (PipelineRunReport, Vec<(String, Value)>, Vec<Incident>) {
+    let store = Arc::new(MemoryBlobStore::new());
+    extraction
+        .run(
+            fleet,
+            &[region.to_string()],
+            &[start, start + 7],
+            store.as_ref(),
+        )
+        .expect("extraction succeeds");
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store);
+    pipeline.run_region_week(region, start);
+    let report = pipeline.run_region_week(region, start + 7);
+
+    let mut docs = Vec::new();
+    for collection in [
+        collections::PREDICTIONS,
+        collections::ACCURACY,
+        collections::FEATURES,
+        collections::DEAD_LETTER,
+    ] {
+        let mut ids = pipeline.docs.ids(collection);
+        ids.sort();
+        for id in ids {
+            let value: Value = pipeline
+                .docs
+                .get(collection, &id)
+                .expect("listed doc exists");
+            docs.push((format!("{collection}/{id}"), value));
+        }
+    }
+    (report, docs, pipeline.incidents.all())
+}
+
+fn main() -> std::io::Result<()> {
+    let servers = match scale() {
+        Scale::Small => 200,
+        Scale::Paper => 1000,
+    };
+    let (fleet, spec) = fleets::region_fleet(1200, servers, 2);
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+
+    // ---- Codec throughput ------------------------------------------------
+    let batch = LoadExtraction::csv(5).extract_week(&fleet, &region, start);
+    let rows = batch.len();
+    let iters = match scale() {
+        Scale::Small => 5,
+        Scale::Paper => 3,
+    };
+
+    let (csv_encode_s, csv_blob) = best_of(iters, || batch.to_csv());
+    let (col_encode_s, col_blob) =
+        best_of(iters, || ColumnarBatch::from_records(&batch, 5).encode());
+
+    // Decode through the same format-sniffing entry point the pipeline uses,
+    // all the way to per-server series.
+    let (csv_decode_s, from_csv) = best_of(iters, || parse_region_week(&csv_blob, 5).unwrap());
+    let (col_decode_s, from_col) = best_of(iters, || parse_region_week(&col_blob, 5).unwrap());
+    assert_eq!(
+        from_csv, from_col,
+        "CSV and columnar blobs must decode to identical servers"
+    );
+    // Raw row decode (no series reassembly), for the codec-only comparison.
+    let (csv_rows_s, _) = best_of(iters, || RecordBatch::from_csv(&csv_blob).unwrap());
+    let (col_raw_s, _) = best_of(iters, || ColumnarBatch::decode(&col_blob).unwrap());
+
+    let decode_speedup = csv_decode_s / col_decode_s.max(1e-12);
+
+    println!(
+        "Data plane: {servers}-server region-week, {rows} rows, \
+         csv {:.2} MB vs columnar {:.2} MB\n",
+        csv_blob.len() as f64 / 1e6,
+        col_blob.len() as f64 / 1e6
+    );
+    let mut table = Table::new(["operation", "csv MB/s", "columnar MB/s", "speedup"]);
+    let speed = |csv_s: f64, col_s: f64| format!("{:.1}x", csv_s / col_s.max(1e-12));
+    table.row([
+        "encode".into(),
+        format!("{:.1}", mbps(csv_blob.len(), csv_encode_s)),
+        format!("{:.1}", mbps(col_blob.len(), col_encode_s)),
+        speed(csv_encode_s, col_encode_s),
+    ]);
+    table.row([
+        "decode to series".into(),
+        format!("{:.1}", mbps(csv_blob.len(), csv_decode_s)),
+        format!("{:.1}", mbps(col_blob.len(), col_decode_s)),
+        speed(csv_decode_s, col_decode_s),
+    ]);
+    table.row([
+        "decode raw".into(),
+        format!("{:.1}", mbps(csv_blob.len(), csv_rows_s)),
+        format!("{:.1}", mbps(col_blob.len(), col_raw_s)),
+        speed(csv_rows_s, col_raw_s),
+    ]);
+    table.print();
+
+    // ---- End-to-end pipeline parity -------------------------------------
+    let (csv_report, csv_docs, csv_incidents) =
+        run_pipeline(LoadExtraction::csv(5), &fleet, &region, start);
+    let (col_report, col_docs, col_incidents) =
+        run_pipeline(LoadExtraction::columnar(5), &fleet, &region, start);
+
+    assert_eq!(
+        semantic_report(&csv_report),
+        semantic_report(&col_report),
+        "pipeline reports must match across blob formats"
+    );
+    assert_eq!(
+        csv_docs, col_docs,
+        "stored documents must match across blob formats"
+    );
+    let incident_key =
+        |incidents: &[Incident]| -> Vec<(String, String, String, String, u32)> {
+            incidents
+                .iter()
+                .map(|i| {
+                    (
+                        format!("{:?}", i.severity),
+                        i.source.clone(),
+                        i.region.clone(),
+                        i.message_key.clone(),
+                        i.count,
+                    )
+                })
+                .collect()
+        };
+    assert_eq!(
+        incident_key(&csv_incidents),
+        incident_key(&col_incidents),
+        "incident sets must match across blob formats"
+    );
+    println!(
+        "\nparity: {} docs, {} incidents, reports identical across formats",
+        csv_docs.len(),
+        csv_incidents.len()
+    );
+    println!(
+        "columnar decode-to-series speedup: {decode_speedup:.1}x \
+         (acceptance floor at paper scale: 5x)"
+    );
+    if matches!(scale(), Scale::Paper) {
+        assert!(
+            decode_speedup >= 5.0,
+            "columnar decode must be >=5x faster than CSV at paper scale \
+             (got {decode_speedup:.1}x)"
+        );
+    }
+
+    let ms = |report: &PipelineRunReport, stage: &str| {
+        report
+            .stage_duration(stage)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(f64::NAN)
+    };
+    emit_json(
+        "BENCH_dataplane",
+        &json!({
+            "servers": servers,
+            "rows": rows,
+            "csv_bytes": csv_blob.len(),
+            "columnar_bytes": col_blob.len(),
+            "encode_mbps": {
+                "csv": mbps(csv_blob.len(), csv_encode_s),
+                "columnar": mbps(col_blob.len(), col_encode_s),
+            },
+            "decode_to_series_mbps": {
+                "csv": mbps(csv_blob.len(), csv_decode_s),
+                "columnar": mbps(col_blob.len(), col_decode_s),
+            },
+            "decode_raw_mbps": {
+                "csv": mbps(csv_blob.len(), csv_rows_s),
+                "columnar": mbps(col_blob.len(), col_raw_s),
+            },
+            "decode_speedup": decode_speedup,
+            "region_week_runtime_ms": {
+                "csv": {
+                    "ingestion": ms(&csv_report, "ingestion"),
+                    "validation": ms(&csv_report, "validation"),
+                    "total": csv_report.stages.iter()
+                        .map(|s| s.duration.as_secs_f64() * 1e3).sum::<f64>(),
+                },
+                "columnar": {
+                    "ingestion": ms(&col_report, "ingestion"),
+                    "validation": ms(&col_report, "validation"),
+                    "total": col_report.stages.iter()
+                        .map(|s| s.duration.as_secs_f64() * 1e3).sum::<f64>(),
+                },
+            },
+            "parity": { "docs": csv_docs.len(), "incidents": csv_incidents.len() },
+        }),
+    )?;
+
+    Ok(())
+}

@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablate_model_params",
     "ablate_pf_variant",
     "obs_dump",
+    "dataplane",
 ];
 
 fn main() {

@@ -63,4 +63,7 @@ pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy, RetryPolicy, StageChaos,
     StageError,
 };
-pub use validation::{validate_batch, validate_servers, Anomaly, DataProfile, ValidationReport};
+pub use validation::{
+    validate_batch, validate_columnar, validate_region_week, validate_servers, Anomaly,
+    DataProfile, ValidationReport,
+};

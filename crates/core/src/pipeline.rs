@@ -39,12 +39,11 @@ use crate::metrics::evaluate_low_load;
 use crate::par::parallel_map_profiled;
 use crate::registry::{EndpointSet, ModelAccuracy, ModelRegistry};
 use crate::resilience::{stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError};
-use crate::validation::{validate_batch, validate_servers, DataProfile};
+use crate::validation::{validate_region_week, validate_servers, DataProfile};
 use seagull_forecast::{ForecastError, Forecaster};
 use seagull_obs::{Obs, SpanId, Stability};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
-use seagull_telemetry::extract::{parse_region_week, ExtractedServer};
-use seagull_telemetry::record::RecordBatch;
+use seagull_telemetry::extract::{ExtractedServer, RegionWeekBatch};
 use seagull_timeseries::{GapFill, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -230,6 +229,13 @@ impl PredictionDoc {
             self.values.clone(),
         )
         .expect("stored predictions are day-aligned")
+    }
+
+    /// The prediction as a series, consuming the document — moves the values
+    /// into the series storage instead of cloning them.
+    pub fn into_series(self) -> TimeSeries {
+        TimeSeries::new(Timestamp::from_days(self.day), self.step_min, self.values)
+            .expect("stored predictions are day-aligned")
     }
 }
 
@@ -444,9 +450,10 @@ impl AmlPipeline {
         let key = BlobKey::extracted(region, week_start_day);
         let fetched = self.retry_stage("ingestion", region, tick, || {
             let blob = self.blobs.get(&key).map_err(|e| StageError::from_io(&e))?;
-            // A parse failure is treated as transient: torn reads return a
-            // truncated prefix, and a re-read yields the full blob.
-            let batch = RecordBatch::from_csv(&blob)
+            // A decode failure is treated as transient: torn reads return a
+            // truncated prefix — a CSV parse error or a columnar checksum
+            // mismatch — and a re-read yields the full blob.
+            let batch = RegionWeekBatch::decode(&blob)
                 .map_err(|e| StageError::transient(format!("unreadable blob {key}: {e}")))?;
             Ok((blob.len() as u64, batch))
         });
@@ -490,7 +497,9 @@ impl AmlPipeline {
             }
         };
         self.breaker.publish_state(self.obs.registry());
-        let mut servers: Vec<ExtractedServer> = parse_region_week(&batch, self.config.grid_min);
+        // Columnar blobs yield zero-copy views into the shared decode buffer;
+        // CSV rows are re-gridded into fresh series.
+        let mut servers: Vec<ExtractedServer> = batch.extract(self.config.grid_min);
         report.servers = servers.len();
         self.finish_stage(&mut report, span, "ingestion", region, vt);
 
@@ -498,7 +507,7 @@ impl AmlPipeline {
         let span = self.stage_span(run_span, "validation", region, vt);
         let validated = self.retry_stage("validation", region, tick, || {
             Ok((
-                validate_batch(
+                validate_region_week(
                     &batch,
                     &self.config.profile,
                     self.config.max_anomaly_reports,
@@ -745,10 +754,11 @@ impl AmlPipeline {
                 let id = PredictionDoc::doc_id(region, s.id.0, day);
                 let doc: PredictionDoc = self.docs.get(collections::PREDICTIONS, &id).ok()?;
                 let truth = s.series.day(day)?;
+                let duration_min = doc.duration_min.max(grid as i64) as u32;
                 let eval = evaluate_low_load(
                     &truth,
-                    &doc.series(),
-                    doc.duration_min.max(grid as i64) as u32,
+                    &doc.into_series(),
+                    duration_min,
                     &self.config.evaluation.accuracy,
                 )?;
                 Some(AccuracyDoc {

@@ -12,7 +12,8 @@
 //! a (verified) profile to fresh input and reports anomalies, which the
 //! pipeline converts into incidents.
 
-use seagull_telemetry::extract::ExtractedServer;
+use seagull_telemetry::columnar::ColumnarBatch;
+use seagull_telemetry::extract::{ExtractedServer, RegionWeekBatch};
 use seagull_telemetry::record::RecordBatch;
 use serde::{Deserialize, Serialize};
 
@@ -210,6 +211,84 @@ pub fn validate_batch(
     report
 }
 
+/// Validates a decoded columnar batch against a profile.
+///
+/// Semantically the twin of [`validate_batch`]: every present (non-NaN)
+/// sample is one "row" and gets the same bound and finiteness checks, so a
+/// clean region-week produces an identical report whichever format it was
+/// stored in. Structural properties the columnar decoder already enforces
+/// (grid alignment, no duplicate buckets) need no re-check; NaN buckets are
+/// *missing* — counted by [`validate_servers`] downstream — not anomalies.
+/// One difference on dirty data: an invalid default backup window is reported
+/// once per server block, not once per row, because columnar stores the
+/// window per server.
+pub fn validate_columnar(
+    batch: &ColumnarBatch,
+    profile: &DataProfile,
+    max_reports: usize,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    if batch.blocks().is_empty() {
+        report.anomalies.push(Anomaly::EmptyInput);
+        return report;
+    }
+    let mut bound_hits = 0usize;
+    let mut window_hits = 0usize;
+    let mut nonfinite_hits = 0usize;
+    let mut servers: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let (lo, hi) = (profile.lower(), profile.upper());
+    for block in batch.blocks() {
+        servers.insert(block.server_id.0);
+        if block.default_backup_end <= block.default_backup_start {
+            window_hits += 1;
+            if window_hits <= max_reports {
+                report.anomalies.push(Anomaly::InvalidBackupWindow {
+                    server_id: block.server_id.0,
+                });
+            }
+        }
+        for (i, &v) in batch.block_values(block).iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            report.rows += 1;
+            if !v.is_finite() {
+                nonfinite_hits += 1;
+                if nonfinite_hits <= max_reports {
+                    report.anomalies.push(Anomaly::NonFiniteValue {
+                        server_id: block.server_id.0,
+                        timestamp_min: block.timestamp_at(i),
+                    });
+                }
+            } else if v < lo || v > hi {
+                bound_hits += 1;
+                if bound_hits <= max_reports {
+                    report.anomalies.push(Anomaly::BoundViolation {
+                        server_id: block.server_id.0,
+                        timestamp_min: block.timestamp_at(i),
+                        value: v,
+                    });
+                }
+            }
+        }
+    }
+    report.servers = servers.len();
+    report
+}
+
+/// Validates a region-week batch in whichever representation it was decoded
+/// as, dispatching to [`validate_batch`] or [`validate_columnar`].
+pub fn validate_region_week(
+    batch: &RegionWeekBatch,
+    profile: &DataProfile,
+    max_reports: usize,
+) -> ValidationReport {
+    match batch {
+        RegionWeekBatch::Csv(b) => validate_batch(b, profile, max_reports),
+        RegionWeekBatch::Columnar(b) => validate_columnar(b, profile, max_reports),
+    }
+}
+
 /// Validates reassembled per-server series for missing-data density.
 pub fn validate_servers(servers: &[ExtractedServer], profile: &DataProfile) -> ValidationReport {
     let mut report = ValidationReport {
@@ -343,6 +422,99 @@ mod tests {
     fn deduce_from_empty_defaults() {
         let p = DataProfile::deduce(&RecordBatch::default(), 5);
         assert_eq!((p.min_load, p.max_load), (0.0, 100.0));
+    }
+
+    #[test]
+    fn columnar_validation_matches_csv_on_clean_data() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 10.0), rec(1, 5, 20.0), rec(2, 0, 30.0)]);
+        let profile = DataProfile::standard(5);
+        let csv_report = validate_batch(&batch, &profile, 10);
+        let col_report = validate_columnar(&ColumnarBatch::from_records(&batch, 5), &profile, 10);
+        assert_eq!(csv_report, col_report);
+        assert!(col_report.is_clean());
+        assert_eq!(col_report.rows, 3);
+        assert_eq!(col_report.servers, 2);
+    }
+
+    #[test]
+    fn columnar_bound_violations_detected() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 120.0), rec(1, 5, 50.0), rec(1, 10, -3.0)]);
+        let report = validate_columnar(
+            &ColumnarBatch::from_records(&batch, 5),
+            &DataProfile::standard(5),
+            10,
+        );
+        assert_eq!(
+            report
+                .anomalies
+                .iter()
+                .filter(|a| matches!(a, Anomaly::BoundViolation { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(report.rows, 3);
+    }
+
+    #[test]
+    fn columnar_missing_buckets_are_not_anomalies() {
+        // Rows at 0 and 10 leave a NaN bucket at 5 in the columnar column.
+        let batch = RecordBatch::new(vec![rec(1, 0, 10.0), rec(1, 10, 20.0)]);
+        let col = ColumnarBatch::from_records(&batch, 5);
+        assert_eq!(col.total_points(), 3);
+        let report = validate_columnar(&col, &DataProfile::standard(5), 10);
+        assert!(report.is_clean());
+        assert_eq!(report.rows, 2);
+    }
+
+    #[test]
+    fn columnar_invalid_window_reported_per_server() {
+        let mut bad = rec(3, 0, 1.0);
+        bad.default_backup_end = bad.default_backup_start;
+        let mut bad2 = rec(3, 5, 2.0);
+        bad2.default_backup_end = bad2.default_backup_start;
+        let batch = RecordBatch::new(vec![bad, bad2]);
+        let report = validate_columnar(
+            &ColumnarBatch::from_records(&batch, 5),
+            &DataProfile::standard(5),
+            10,
+        );
+        // One block, one window anomaly — not one per row.
+        assert_eq!(
+            report
+                .anomalies
+                .iter()
+                .filter(|a| matches!(a, Anomaly::InvalidBackupWindow { server_id: 3 }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn columnar_empty_blocks() {
+        let report = validate_columnar(
+            &ColumnarBatch::from_records(&RecordBatch::default(), 5),
+            &DataProfile::standard(5),
+            10,
+        );
+        assert!(report.is_blocked());
+    }
+
+    #[test]
+    fn region_week_dispatch() {
+        let batch = RecordBatch::new(vec![rec(1, 0, 10.0)]);
+        let profile = DataProfile::standard(5);
+        let via_csv = validate_region_week(
+            &RegionWeekBatch::decode(&batch.to_csv()).unwrap(),
+            &profile,
+            10,
+        );
+        let via_col = validate_region_week(
+            &RegionWeekBatch::decode(&ColumnarBatch::from_records(&batch, 5).encode()).unwrap(),
+            &profile,
+            10,
+        );
+        assert_eq!(via_csv, via_col);
+        assert!(via_csv.is_clean());
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! The columnar region-week blob codec.
+//!
+//! The CSV codec in [`crate::record`] spells every 5-minute sample as a text
+//! row; a 1k-server region-week is ~2M rows, and decoding them dominates the
+//! pipeline's ingestion stage. [`ColumnarBatch`] stores the same region-week
+//! as a binary blob: a block table describing each server's grid, followed by
+//! one contiguous little-endian `f64` column holding every server's values
+//! back to back (missing buckets are NaN, as everywhere else), closed by a
+//! checksum footer. Decoding is a bounds-checked `memcpy` into **one** shared
+//! buffer, and each server's series becomes a zero-copy
+//! [`TimeSeries`](seagull_timeseries::TimeSeries) view into it.
+//!
+//! The checksum exists for the failure mode [`crate::chaos::ChaosBlobStore`]
+//! injects: a torn read returns a strict prefix of the blob, which for CSV
+//! silently parses as a *shorter valid file*. A torn columnar blob fails the
+//! checksum and the pipeline retries the read instead of training on
+//! truncated series.
+//!
+//! ## Wire layout (version 1, all little-endian)
+//!
+//! ```text
+//! [0..4)    magic  b"SGCB"
+//! [4..6)    version u16 (= 1)
+//! [6..8)    reserved u16 (= 0)
+//! [8..12)   server block count u32
+//! ...       block table, 40 bytes per server:
+//!             server_id u64, default_backup_start i64,
+//!             default_backup_end i64, series_start_min i64,
+//!             step_min u32, point count u32
+//! ...       value column: every server's points, concatenated, f64 bits
+//! [-8..)    checksum u64 over all preceding bytes
+//! ```
+
+use crate::extract::ExtractedServer;
+use crate::record::{csv_quantized, RecordBatch};
+use crate::server::ServerId;
+use bytes::Bytes;
+use seagull_timeseries::{TimeSeries, Timestamp, MINUTES_PER_DAY};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Leading magic bytes of a columnar region-week blob.
+pub const COLUMNAR_MAGIC: [u8; 4] = *b"SGCB";
+/// Current wire version.
+pub const COLUMNAR_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 12;
+const BLOCK_LEN: usize = 40;
+const FOOTER_LEN: usize = 8;
+
+/// True if `blob` carries the columnar magic (format sniffing; a CSV blob
+/// starts with its text header and can never match).
+pub fn is_columnar(blob: &[u8]) -> bool {
+    blob.len() >= COLUMNAR_MAGIC.len() && blob[..COLUMNAR_MAGIC.len()] == COLUMNAR_MAGIC
+}
+
+/// A decode failure. Every variant means "the blob is not usable as read":
+/// the pipeline treats them all as transient (a re-read of a torn blob
+/// yields the full bytes), never as silently shorter data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// The magic bytes are absent — this is not a columnar blob.
+    NotColumnar,
+    /// The blob is shorter than its declared structure.
+    Truncated { expected: usize, got: usize },
+    /// The footer checksum does not match the bytes (torn or corrupt read).
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// A version this build does not read.
+    UnsupportedVersion { version: u16 },
+    /// A block table entry describing an impossible grid.
+    InvalidBlock { server_id: u64 },
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::NotColumnar => write!(f, "blob lacks the columnar magic"),
+            ColumnarError::Truncated { expected, got } => {
+                write!(f, "columnar blob truncated: expected {expected} bytes, got {got}")
+            }
+            ColumnarError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "columnar checksum mismatch: footer {stored:#018x}, computed {computed:#018x}"
+            ),
+            ColumnarError::UnsupportedVersion { version } => {
+                write!(f, "unsupported columnar version {version}")
+            }
+            ColumnarError::InvalidBlock { server_id } => {
+                write!(f, "invalid block table entry for server {server_id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+/// One server's entry in the block table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerBlock {
+    pub server_id: ServerId,
+    /// Default backup window (minutes since epoch).
+    pub default_backup_start: i64,
+    pub default_backup_end: i64,
+    /// First grid point of the series (minutes since epoch).
+    pub series_start_min: i64,
+    /// Grid step in minutes.
+    pub step_min: u32,
+    /// Start of this server's points inside the shared value column.
+    pub offset: usize,
+    /// Number of points.
+    pub len: usize,
+}
+
+impl ServerBlock {
+    /// Timestamp (minutes since epoch) of point `i`.
+    #[inline]
+    pub fn timestamp_at(&self, i: usize) -> i64 {
+        self.series_start_min + i as i64 * self.step_min as i64
+    }
+}
+
+/// A decoded (or to-be-encoded) columnar region-week: the block table plus
+/// one shared value column every server's series views into.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    blocks: Vec<ServerBlock>,
+    values: Arc<[f64]>,
+}
+
+/// Bit-wise value equality: NaN buckets (missing samples) compare equal, so a
+/// decode of an encode is `==` its source.
+impl PartialEq for ColumnarBatch {
+    fn eq(&self, other: &ColumnarBatch) -> bool {
+        self.blocks == other.blocks
+            && self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl ColumnarBatch {
+    /// Builds a columnar batch from raw telemetry rows, applying exactly the
+    /// gridding the CSV ingest path applies when reassembling series: rows
+    /// off the `grid_min` grid are dropped, each server spans its own
+    /// `min..=max` timestamp range with absent buckets as NaN, later
+    /// duplicates overwrite earlier ones, and values are quantized through
+    /// [`csv_quantized`]. Both formats therefore produce bit-identical
+    /// [`ExtractedServer`]s from the same rows.
+    pub fn from_records(batch: &RecordBatch, grid_min: u32) -> ColumnarBatch {
+        struct Acc {
+            min_ts: i64,
+            max_ts: i64,
+            points: Vec<(i64, f64)>,
+            backup_start: i64,
+            backup_end: i64,
+        }
+        let step = grid_min as i64;
+        let mut by_server: BTreeMap<ServerId, Acc> = BTreeMap::new();
+        for r in &batch.records {
+            if r.timestamp_min.rem_euclid(step) != 0 {
+                continue;
+            }
+            let acc = by_server.entry(r.server_id).or_insert_with(|| Acc {
+                min_ts: r.timestamp_min,
+                max_ts: r.timestamp_min,
+                points: Vec::new(),
+                backup_start: r.default_backup_start,
+                backup_end: r.default_backup_end,
+            });
+            acc.min_ts = acc.min_ts.min(r.timestamp_min);
+            acc.max_ts = acc.max_ts.max(r.timestamp_min);
+            acc.points.push((r.timestamp_min, r.avg_cpu));
+        }
+        let mut blocks = Vec::with_capacity(by_server.len());
+        let mut values: Vec<f64> = Vec::new();
+        for (id, acc) in by_server {
+            let n = ((acc.max_ts - acc.min_ts) / step) as usize + 1;
+            let offset = values.len();
+            values.resize(offset + n, f64::NAN);
+            for (ts, v) in acc.points {
+                values[offset + ((ts - acc.min_ts) / step) as usize] = csv_quantized(v);
+            }
+            blocks.push(ServerBlock {
+                server_id: id,
+                default_backup_start: acc.backup_start,
+                default_backup_end: acc.backup_end,
+                series_start_min: acc.min_ts,
+                step_min: grid_min,
+                offset,
+                len: n,
+            });
+        }
+        ColumnarBatch {
+            blocks,
+            values: values.into(),
+        }
+    }
+
+    /// The block table, sorted by server id.
+    pub fn blocks(&self) -> &[ServerBlock] {
+        &self.blocks
+    }
+
+    /// The shared value column.
+    pub fn values(&self) -> &Arc<[f64]> {
+        &self.values
+    }
+
+    /// One server's slice of the value column.
+    pub fn block_values(&self, block: &ServerBlock) -> &[f64] {
+        &self.values[block.offset..block.offset + block.len]
+    }
+
+    /// Number of server blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no server has any data.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total points in the value column.
+    pub fn total_points(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Encodes to the versioned wire layout with a trailing checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(
+            HEADER_LEN + self.blocks.len() * BLOCK_LEN + self.values.len() * 8 + FOOTER_LEN,
+        );
+        out.extend_from_slice(&COLUMNAR_MAGIC);
+        out.extend_from_slice(&COLUMNAR_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &self.blocks {
+            out.extend_from_slice(&b.server_id.0.to_le_bytes());
+            out.extend_from_slice(&b.default_backup_start.to_le_bytes());
+            out.extend_from_slice(&b.default_backup_end.to_le_bytes());
+            out.extend_from_slice(&b.series_start_min.to_le_bytes());
+            out.extend_from_slice(&b.step_min.to_le_bytes());
+            out.extend_from_slice(&(b.len as u32).to_le_bytes());
+        }
+        for v in self.values.iter() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let sum = checksum64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    /// Decodes a blob, verifying the checksum *before* trusting any of the
+    /// structure so a torn read (a strict byte prefix) is reported as
+    /// [`ColumnarError::ChecksumMismatch`] rather than parsed as shorter
+    /// data.
+    pub fn decode(blob: &[u8]) -> Result<ColumnarBatch, ColumnarError> {
+        if !is_columnar(blob) {
+            return Err(ColumnarError::NotColumnar);
+        }
+        if blob.len() < HEADER_LEN + FOOTER_LEN {
+            return Err(ColumnarError::Truncated {
+                expected: HEADER_LEN + FOOTER_LEN,
+                got: blob.len(),
+            });
+        }
+        let body = &blob[..blob.len() - FOOTER_LEN];
+        let stored = u64::from_le_bytes(blob[blob.len() - FOOTER_LEN..].try_into().unwrap());
+        let computed = checksum64(body);
+        if stored != computed {
+            return Err(ColumnarError::ChecksumMismatch { stored, computed });
+        }
+        let version = u16::from_le_bytes(blob[4..6].try_into().unwrap());
+        if version != COLUMNAR_VERSION {
+            return Err(ColumnarError::UnsupportedVersion { version });
+        }
+        let count = u32::from_le_bytes(blob[8..12].try_into().unwrap()) as usize;
+        let table_end = HEADER_LEN + count * BLOCK_LEN;
+        if body.len() < table_end {
+            return Err(ColumnarError::Truncated {
+                expected: table_end + FOOTER_LEN,
+                got: blob.len(),
+            });
+        }
+        let mut blocks = Vec::with_capacity(count);
+        let mut offset = 0usize;
+        for i in 0..count {
+            let at = HEADER_LEN + i * BLOCK_LEN;
+            let f = &blob[at..at + BLOCK_LEN];
+            let block = ServerBlock {
+                server_id: ServerId(u64::from_le_bytes(f[0..8].try_into().unwrap())),
+                default_backup_start: i64::from_le_bytes(f[8..16].try_into().unwrap()),
+                default_backup_end: i64::from_le_bytes(f[16..24].try_into().unwrap()),
+                series_start_min: i64::from_le_bytes(f[24..32].try_into().unwrap()),
+                step_min: u32::from_le_bytes(f[32..36].try_into().unwrap()),
+                offset,
+                len: u32::from_le_bytes(f[36..40].try_into().unwrap()) as usize,
+            };
+            let step = block.step_min;
+            if step == 0
+                || MINUTES_PER_DAY % step as i64 != 0
+                || block.series_start_min.rem_euclid(step as i64) != 0
+            {
+                return Err(ColumnarError::InvalidBlock {
+                    server_id: block.server_id.0,
+                });
+            }
+            offset += block.len;
+            blocks.push(block);
+        }
+        let expected = table_end + offset * 8 + FOOTER_LEN;
+        if blob.len() != expected {
+            return Err(ColumnarError::Truncated {
+                expected,
+                got: blob.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(offset);
+        for chunk in body[table_end..].chunks_exact(8) {
+            values.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+        }
+        Ok(ColumnarBatch {
+            blocks,
+            values: values.into(),
+        })
+    }
+
+    /// Reassembles per-server series as zero-copy views into the shared
+    /// value column — every returned series' storage is the same `Arc`
+    /// buffer.
+    pub fn extract(&self) -> Vec<ExtractedServer> {
+        self.blocks
+            .iter()
+            .map(|b| ExtractedServer {
+                id: b.server_id,
+                series: TimeSeries::from_shared(
+                    Timestamp::from_minutes(b.series_start_min),
+                    b.step_min,
+                    Arc::clone(&self.values),
+                    b.offset,
+                    b.len,
+                )
+                .expect("block table validated at decode"),
+                default_backup_start: Timestamp::from_minutes(b.default_backup_start),
+                default_backup_end: Timestamp::from_minutes(b.default_backup_end),
+            })
+            .collect()
+    }
+}
+
+/// FNV-1a folded over 8-byte little-endian words (with the tail length mixed
+/// into the last word). Order-sensitive and cheap — this is an integrity
+/// check against torn/corrupt reads, not an adversarial hash.
+pub fn checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(last) ^ ((rem.len() as u64) << 56);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LoadRecord;
+
+    fn rec(server: u64, ts: i64, cpu: f64) -> LoadRecord {
+        LoadRecord {
+            server_id: ServerId(server),
+            timestamp_min: ts,
+            avg_cpu: cpu,
+            default_backup_start: 1440,
+            default_backup_end: 1500,
+        }
+    }
+
+    fn sample() -> ColumnarBatch {
+        ColumnarBatch::from_records(
+            &RecordBatch::new(vec![
+                rec(2, 10, 30.0),
+                rec(1, 0, 12.345),
+                rec(1, 10, 20.0),
+                rec(2, 5, 25.0),
+            ]),
+            5,
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let batch = sample();
+        let blob = batch.encode();
+        assert!(is_columnar(&blob));
+        let back = ColumnarBatch::decode(&blob).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn encode_is_byte_stable() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn gridding_matches_csv_reassembly() {
+        let batch = sample();
+        // Server 1 spans 0..=10 with a NaN gap at 5.
+        let b1 = &batch.blocks()[0];
+        assert_eq!(b1.server_id, ServerId(1));
+        assert_eq!(b1.len, 3);
+        let vals = batch.block_values(b1);
+        assert_eq!(vals[0], csv_quantized(12.345));
+        assert!(vals[1].is_nan());
+        assert_eq!(vals[2], 20.0);
+    }
+
+    #[test]
+    fn off_grid_rows_dropped() {
+        let batch =
+            ColumnarBatch::from_records(&RecordBatch::new(vec![rec(1, 0, 1.0), rec(1, 3, 9.0)]), 5);
+        assert_eq!(batch.blocks()[0].len, 1);
+    }
+
+    #[test]
+    fn torn_prefix_fails_checksum() {
+        let blob = sample().encode();
+        for cut in 5..blob.len() {
+            let torn = &blob[..cut];
+            match ColumnarBatch::decode(torn) {
+                Err(ColumnarError::ChecksumMismatch { .. })
+                | Err(ColumnarError::Truncated { .. }) => {}
+                other => panic!("torn read at {cut} must fail decode, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let blob = sample().encode().to_vec();
+        for i in [4, HEADER_LEN + 1, blob.len() / 2, blob.len() - 9] {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(
+                    ColumnarBatch::decode(&bad),
+                    Err(ColumnarError::ChecksumMismatch { .. })
+                ),
+                "flip at {i} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_blob_is_not_columnar() {
+        let csv = RecordBatch::new(vec![rec(1, 0, 1.0)]).to_csv();
+        assert!(!is_columnar(&csv));
+        assert_eq!(ColumnarBatch::decode(&csv), Err(ColumnarError::NotColumnar));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut blob = sample().encode().to_vec();
+        blob[4] = 9; // bump version…
+        let sum = checksum64(&blob[..blob.len() - FOOTER_LEN]);
+        let at = blob.len() - FOOTER_LEN;
+        blob[at..].copy_from_slice(&sum.to_le_bytes()); // …with a valid checksum
+        assert_eq!(
+            ColumnarBatch::decode(&blob),
+            Err(ColumnarError::UnsupportedVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn extract_yields_views_into_one_buffer() {
+        let batch = sample();
+        let servers = batch.extract();
+        assert_eq!(servers.len(), 2);
+        for s in &servers {
+            assert!(
+                Arc::ptr_eq(s.series.storage(), batch.values()),
+                "server {} series must view the shared decode buffer",
+                s.id
+            );
+        }
+        assert_eq!(servers[0].default_backup_start, Timestamp::from_minutes(1440));
+        assert_eq!(servers[0].default_backup_end, Timestamp::from_minutes(1500));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let empty = ColumnarBatch::from_records(&RecordBatch::default(), 5);
+        assert!(empty.is_empty());
+        let back = ColumnarBatch::decode(&empty.encode()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.total_points(), 0);
+    }
+
+    #[test]
+    fn nan_payloads_survive_the_wire() {
+        let batch = sample();
+        let back = ColumnarBatch::decode(&batch.encode()).unwrap();
+        let b1 = &back.blocks()[0];
+        assert!(back.block_values(b1)[1].is_nan());
+    }
+}

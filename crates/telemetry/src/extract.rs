@@ -6,28 +6,65 @@
 //! extraction query runs once a week per region" (Section 2.2).
 //!
 //! Here the "raw production telemetry" is the simulated fleet; the recurring
-//! query reduces one week of one region to a CSV blob in the [`BlobStore`],
-//! and [`parse_region_week`] turns a blob back into per-server series for the
-//! pipeline.
+//! query reduces one week of one region to a blob in the [`BlobStore`] — CSV
+//! or columnar, per [`LoadExtraction::format`] — and [`parse_region_week`]
+//! sniffs a blob's format by its magic bytes and turns it back into
+//! per-server series for the pipeline.
 
 use crate::blobstore::{BlobKey, BlobStore};
+use crate::columnar::{self, ColumnarBatch, ColumnarError};
 use crate::fleet::ServerTelemetry;
-use crate::record::{LoadRecord, RecordBatch};
+use crate::record::{CsvError, LoadRecord, RecordBatch};
 use crate::server::ServerId;
 use seagull_timeseries::{DayOfWeek, TimeSeries, Timestamp};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
+
+/// The on-disk encoding of an extracted region-week blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlobFormat {
+    /// The paper's row-per-sample text format — slow but inspectable.
+    #[default]
+    Csv,
+    /// The checksummed binary format of [`crate::columnar`] — decodes into
+    /// zero-copy series views.
+    Columnar,
+}
 
 /// Extraction configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadExtraction {
     /// Telemetry grid in minutes.
     pub grid_min: u32,
+    /// Blob encoding written by [`LoadExtraction::run`].
+    pub format: BlobFormat,
 }
 
 impl Default for LoadExtraction {
     fn default() -> Self {
-        LoadExtraction { grid_min: 5 }
+        LoadExtraction {
+            grid_min: 5,
+            format: BlobFormat::Csv,
+        }
+    }
+}
+
+impl LoadExtraction {
+    /// CSV extraction on the given grid.
+    pub fn csv(grid_min: u32) -> LoadExtraction {
+        LoadExtraction {
+            grid_min,
+            format: BlobFormat::Csv,
+        }
+    }
+
+    /// Columnar extraction on the given grid.
+    pub fn columnar(grid_min: u32) -> LoadExtraction {
+        LoadExtraction {
+            grid_min,
+            format: BlobFormat::Columnar,
+        }
     }
 }
 
@@ -68,16 +105,8 @@ impl LoadExtraction {
                 .expect("every weekday occurs within a week");
             let (bstart, bend) = server.meta.backup.default_window_on(backup_day);
 
-            let lo = if server.series.start() > from {
-                server.series.start()
-            } else {
-                from
-            };
-            let hi = if server.series.end() < to {
-                server.series.end()
-            } else {
-                to
-            };
+            let lo = server.series.start().max(from);
+            let hi = server.series.end().min(to);
             if lo >= hi {
                 continue;
             }
@@ -116,7 +145,13 @@ impl LoadExtraction {
             for &week in week_start_days {
                 let batch = self.extract_week(fleet, region, week);
                 let key = BlobKey::extracted(region, week);
-                store.put(&key, batch.to_csv())?;
+                let blob = match self.format {
+                    BlobFormat::Csv => batch.to_csv(),
+                    BlobFormat::Columnar => {
+                        ColumnarBatch::from_records(&batch, self.grid_min).encode()
+                    }
+                };
+                store.put(&key, blob)?;
                 keys.push(key);
             }
         }
@@ -124,12 +159,114 @@ impl LoadExtraction {
     }
 }
 
-/// Reassembles per-server series from a decoded region-week batch.
+/// A decode failure for a region-week blob, tagged by format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionWeekError {
+    Csv(CsvError),
+    Columnar(ColumnarError),
+}
+
+impl fmt::Display for RegionWeekError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionWeekError::Csv(e) => write!(f, "{e}"),
+            RegionWeekError::Columnar(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionWeekError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegionWeekError::Csv(e) => Some(e),
+            RegionWeekError::Columnar(e) => Some(e),
+        }
+    }
+}
+
+impl From<CsvError> for RegionWeekError {
+    fn from(e: CsvError) -> Self {
+        RegionWeekError::Csv(e)
+    }
+}
+
+impl From<ColumnarError> for RegionWeekError {
+    fn from(e: ColumnarError) -> Self {
+        RegionWeekError::Columnar(e)
+    }
+}
+
+/// A region-week blob decoded into whichever representation it was stored as.
+///
+/// Keeping both variants (rather than eagerly converting to rows) lets the
+/// validation module inspect the columnar block table directly and lets
+/// [`RegionWeekBatch::extract`] hand out zero-copy series views for the
+/// columnar case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionWeekBatch {
+    Csv(RecordBatch),
+    Columnar(ColumnarBatch),
+}
+
+impl RegionWeekBatch {
+    /// Decodes a blob, sniffing the format by its magic bytes. Anything that
+    /// does not start with the columnar magic is treated as CSV.
+    pub fn decode(blob: &[u8]) -> Result<RegionWeekBatch, RegionWeekError> {
+        if columnar::is_columnar(blob) {
+            Ok(RegionWeekBatch::Columnar(ColumnarBatch::decode(blob)?))
+        } else {
+            Ok(RegionWeekBatch::Csv(RecordBatch::from_csv(blob)?))
+        }
+    }
+
+    /// The format this blob was stored as.
+    pub fn format(&self) -> BlobFormat {
+        match self {
+            RegionWeekBatch::Csv(_) => BlobFormat::Csv,
+            RegionWeekBatch::Columnar(_) => BlobFormat::Columnar,
+        }
+    }
+
+    /// Number of decoded rows (CSV) or present samples (columnar).
+    pub fn rows(&self) -> usize {
+        match self {
+            RegionWeekBatch::Csv(batch) => batch.len(),
+            RegionWeekBatch::Columnar(batch) => batch
+                .values()
+                .iter()
+                .filter(|v| !v.is_nan())
+                .count(),
+        }
+    }
+
+    /// Reassembles per-server series. CSV rows are re-gridded; columnar
+    /// blocks become views into the shared decode buffer without copying.
+    pub fn extract(&self, grid_min: u32) -> Vec<ExtractedServer> {
+        match self {
+            RegionWeekBatch::Csv(batch) => parse_record_rows(batch, grid_min),
+            RegionWeekBatch::Columnar(batch) => batch.extract(),
+        }
+    }
+}
+
+/// Decodes a region-week blob (CSV or columnar, sniffed by magic bytes) and
+/// reassembles per-server series.
+///
+/// For columnar blobs the returned series are zero-copy views into one shared
+/// decode buffer; for CSV they are re-gridded copies.
+pub fn parse_region_week(
+    blob: &[u8],
+    grid_min: u32,
+) -> Result<Vec<ExtractedServer>, RegionWeekError> {
+    Ok(RegionWeekBatch::decode(blob)?.extract(grid_min))
+}
+
+/// Reassembles per-server series from decoded CSV rows.
 ///
 /// Rows may arrive in any order; buckets absent from the batch become NaN
 /// (missing) so the validation module can count them. Rows that do not lie on
 /// the grid are dropped (production telemetry contains stragglers).
-pub fn parse_region_week(batch: &RecordBatch, grid_min: u32) -> Vec<ExtractedServer> {
+pub fn parse_record_rows(batch: &RecordBatch, grid_min: u32) -> Vec<ExtractedServer> {
     struct Acc {
         min_ts: i64,
         max_ts: i64,
@@ -193,7 +330,7 @@ mod tests {
         let ex = LoadExtraction::default();
         let batch = ex.extract_week(&fleet, "region-a", start);
         assert!(!batch.is_empty());
-        let servers = parse_region_week(&batch, 5);
+        let servers = parse_record_rows(&batch, 5);
         // Every long-lived generated server appears with its full week.
         for s in &fleet {
             if s.series.is_empty() {
@@ -215,7 +352,7 @@ mod tests {
         let (fleet, start) = small_fleet();
         let ex = LoadExtraction::default();
         let batch = ex.extract_week(&fleet, "region-a", start);
-        let servers = parse_region_week(&batch, 5);
+        let servers = parse_record_rows(&batch, 5);
         for e in &servers {
             let meta = &fleet.iter().find(|s| s.meta.id == e.id).unwrap().meta;
             let day = e.default_backup_start.day_index();
@@ -278,7 +415,7 @@ mod tests {
                 default_backup_end: 60,
             },
         ]);
-        let servers = parse_region_week(&batch, 5);
+        let servers = parse_record_rows(&batch, 5);
         assert_eq!(servers.len(), 1);
         let s = &servers[0].series;
         assert_eq!(s.len(), 3);
@@ -298,7 +435,66 @@ mod tests {
             default_backup_end: 60,
         };
         let batch = RecordBatch::new(vec![mk(10, 3.0), mk(0, 1.0), mk(5, 2.0)]);
-        let servers = parse_region_week(&batch, 5);
+        let servers = parse_record_rows(&batch, 5);
         assert_eq!(servers[0].series.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn columnar_run_round_trips_through_sniffing_parse() {
+        let (fleet, start) = small_fleet();
+        let store = MemoryBlobStore::new();
+        let csv_keys = LoadExtraction::csv(5)
+            .run(&fleet, &["region-a".to_string()], &[start], &store)
+            .unwrap();
+        let csv_blob = store.get(&csv_keys[0]).unwrap();
+
+        let col_store = MemoryBlobStore::new();
+        let col_keys = LoadExtraction::columnar(5)
+            .run(&fleet, &["region-a".to_string()], &[start], &col_store)
+            .unwrap();
+        let col_blob = col_store.get(&col_keys[0]).unwrap();
+
+        assert!(columnar::is_columnar(&col_blob));
+        assert!(!columnar::is_columnar(&csv_blob));
+        assert!(col_blob.len() < csv_blob.len(), "columnar should be denser");
+
+        let from_csv = parse_region_week(&csv_blob, 5).unwrap();
+        let from_col = parse_region_week(&col_blob, 5).unwrap();
+        assert_eq!(from_csv, from_col);
+    }
+
+    #[test]
+    fn columnar_extract_shares_one_decode_buffer() {
+        let (fleet, start) = small_fleet();
+        let blob = ColumnarBatch::from_records(
+            &LoadExtraction::csv(5).extract_week(&fleet, "region-a", start),
+            5,
+        )
+        .encode();
+        let decoded = match RegionWeekBatch::decode(&blob).unwrap() {
+            RegionWeekBatch::Columnar(batch) => batch,
+            other => panic!("expected columnar, got {:?}", other.format()),
+        };
+        let servers = decoded.extract();
+        assert!(servers.len() > 1);
+        for s in &servers {
+            assert!(std::sync::Arc::ptr_eq(s.series.storage(), decoded.values()));
+        }
+    }
+
+    #[test]
+    fn decode_errors_carry_format() {
+        let torn = {
+            let blob = ColumnarBatch::from_records(&RecordBatch::default(), 5).encode();
+            blob.slice(0..blob.len() - 1)
+        };
+        match RegionWeekBatch::decode(&torn) {
+            Err(RegionWeekError::Columnar(_)) => {}
+            other => panic!("expected columnar error, got {other:?}"),
+        }
+        match RegionWeekBatch::decode(b"not,a,known,header\n") {
+            Err(RegionWeekError::Csv(_)) => {}
+            other => panic!("expected csv error, got {other:?}"),
+        }
     }
 }

@@ -16,14 +16,18 @@
 //!   CPU load percentage per five minutes, default backup start and end`).
 //! * [`blobstore`] — the Azure Data Lake Store substitute: partitioned blobs
 //!   keyed by `(region, week)` with in-memory and on-disk backends.
+//! * [`columnar`] — the versioned, checksummed binary region-week codec;
+//!   decodes into zero-copy series views over one shared buffer.
 //! * [`extract`] — the Load Extraction module: the recurring query that
-//!   reduces raw telemetry to per-region weekly input files.
+//!   reduces raw telemetry to per-region weekly input files (CSV or
+//!   columnar).
 //! * [`chaos`] — deterministic fault injection: a [`BlobStore`] decorator
 //!   that replays seeded, reproducible fault schedules (transient errors,
 //!   torn reads, latency spikes, sliced sustained outages).
 
 pub mod blobstore;
 pub mod chaos;
+pub mod columnar;
 pub mod extract;
 pub mod fleet;
 pub mod record;
@@ -34,9 +38,13 @@ pub mod wide;
 
 pub use blobstore::{BlobKey, BlobStore, DiskBlobStore, MemoryBlobStore};
 pub use chaos::{ChaosBlobStore, ChaosConfig, ChaosStats, DetRng};
-pub use extract::{parse_region_week, LoadExtraction};
+pub use columnar::{ColumnarBatch, ColumnarError, ServerBlock};
+pub use extract::{
+    parse_record_rows, parse_region_week, BlobFormat, LoadExtraction, RegionWeekBatch,
+    RegionWeekError,
+};
 pub use fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
-pub use record::{LoadRecord, RecordBatch};
+pub use record::{csv_quantized, CsvError, LoadRecord, RecordBatch};
 pub use server::{BackupConfig, GeneratedClass, ServerId, ServerMeta};
 pub use shape::{LoadShape, ShapeParams};
 pub use signals::{SignalGenerator, SignalKind};

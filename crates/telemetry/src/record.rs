@@ -158,6 +158,17 @@ where
     })
 }
 
+/// The value a load takes after a round trip through
+/// [`RecordBatch::to_csv`] / [`RecordBatch::from_csv`] (two-decimal fixed
+/// formatting). The columnar codec applies the same quantization at encode
+/// time so both blob formats hand the pipeline bit-identical series.
+pub fn csv_quantized(v: f64) -> f64 {
+    if !v.is_finite() {
+        return v;
+    }
+    format!("{v:.2}").parse().expect("fixed-format float")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

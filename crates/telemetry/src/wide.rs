@@ -8,6 +8,7 @@
 //! extraction query, and the parser back into per-signal series.
 
 use crate::fleet::ServerTelemetry;
+use crate::record::CsvError;
 use crate::server::ServerId;
 use crate::signals::{SignalGenerator, SignalKind};
 use bytes::Bytes;
@@ -69,13 +70,22 @@ impl WideBatch {
         Bytes::from(out)
     }
 
-    /// Decodes a CSV blob, verifying the header.
-    pub fn from_csv(blob: &[u8]) -> Result<WideBatch, String> {
-        let text = std::str::from_utf8(blob).map_err(|e| format!("not utf-8: {e}"))?;
+    /// Decodes a CSV blob, verifying the header. Failures carry the 1-based
+    /// line number, like [`crate::record::RecordBatch::from_csv`].
+    pub fn from_csv(blob: &[u8]) -> Result<WideBatch, CsvError> {
+        let text = std::str::from_utf8(blob).map_err(|e| CsvError {
+            line: 0,
+            message: format!("not utf-8: {e}"),
+        })?;
         let mut lines = text.lines();
         match lines.next() {
             Some(h) if h.trim() == WIDE_CSV_HEADER => {}
-            other => return Err(format!("unexpected header {other:?}")),
+            other => {
+                return Err(CsvError {
+                    line: 1,
+                    message: format!("unexpected header {other:?}"),
+                })
+            }
         }
         let mut records = Vec::new();
         for (idx, line) in lines.enumerate() {
@@ -83,22 +93,22 @@ impl WideBatch {
             if line.is_empty() {
                 continue;
             }
+            let line_no = idx + 2;
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 6 {
-                return Err(format!("line {}: expected 6 fields", idx + 2));
+                return Err(CsvError {
+                    line: line_no,
+                    message: format!("expected 6 fields, got {}", fields.len()),
+                });
             }
-            let parse = |s: &str| -> Result<f64, String> {
-                s.parse().map_err(|e| format!("line {}: {e}", idx + 2))
+            let bad = |e: &dyn std::fmt::Display, s: &str| CsvError {
+                line: line_no,
+                message: format!("bad value {s:?}: {e}"),
             };
+            let parse = |s: &str| -> Result<f64, CsvError> { s.parse().map_err(|e| bad(&e, s)) };
             records.push(WideRecord {
-                server_id: ServerId(
-                    fields[0]
-                        .parse()
-                        .map_err(|e| format!("line {}: {e}", idx + 2))?,
-                ),
-                timestamp_min: fields[1]
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", idx + 2))?,
+                server_id: ServerId(fields[0].parse().map_err(|e| bad(&e, fields[0]))?),
+                timestamp_min: fields[1].parse().map_err(|e| bad(&e, fields[1]))?,
                 avg_cpu: parse(fields[2])?,
                 avg_memory: parse(fields[3])?,
                 active_connections: parse(fields[4])?,
@@ -122,11 +132,7 @@ pub fn extract_wide_week(
     let mut records = Vec::new();
     for server in fleet.iter().filter(|s| s.meta.region == region) {
         let lo = server.series.start().max(from);
-        let hi = if server.series.end() < to {
-            server.series.end()
-        } else {
-            to
-        };
+        let hi = server.series.end().min(to);
         if lo >= hi {
             continue;
         }
@@ -240,11 +246,16 @@ mod tests {
 
     #[test]
     fn wide_csv_rejects_malformed() {
-        assert!(WideBatch::from_csv(b"wrong header\n").is_err());
+        let err = WideBatch::from_csv(b"wrong header\n").unwrap_err();
+        assert_eq!(err.line, 1);
         let short = format!("{WIDE_CSV_HEADER}\n1,2,3\n");
-        assert!(WideBatch::from_csv(short.as_bytes()).is_err());
-        let bad = format!("{WIDE_CSV_HEADER}\n1,2,x,4,5,6\n");
-        assert!(WideBatch::from_csv(bad.as_bytes()).is_err());
+        let err = WideBatch::from_csv(short.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("6 fields"));
+        let bad = format!("{WIDE_CSV_HEADER}\n1,0,1.0,1.0,5,1.0\n1,2,x,4,5,6\n");
+        let err = WideBatch::from_csv(bad.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains('x'));
     }
 
     #[test]

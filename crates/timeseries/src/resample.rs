@@ -69,7 +69,14 @@ pub enum GapFill {
 /// Fills NaN gaps in-place according to the strategy. A series with *no*
 /// present values is left untouched (the validation module rejects it
 /// upstream).
+///
+/// A gap-free series is also left untouched *without* taking a mutable view,
+/// so series sharing a decode buffer (columnar ingest) stay zero-copy in the
+/// common complete-telemetry case.
 pub fn fill_gaps(series: &mut TimeSeries, strategy: GapFill) {
+    if series.missing_count() == 0 {
+        return;
+    }
     let values = series.values_mut();
     let first_present = match values.iter().position(|v| !v.is_nan()) {
         Some(i) => i,
@@ -222,5 +229,16 @@ mod tests {
         let mut s = series_with(&[1.0, 2.0]);
         fill_gaps(&mut s, GapFill::Linear);
         assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn no_gaps_keeps_shared_storage() {
+        let base = series_with(&[1.0, 2.0, 3.0]);
+        let mut view = base.slice(base.start(), base.end()).unwrap();
+        fill_gaps(&mut view, GapFill::Linear);
+        assert!(
+            base.shares_storage(&view),
+            "gap-free fill must not detach the view"
+        );
     }
 }

@@ -1,9 +1,15 @@
 //! The regular-grid [`TimeSeries`] type.
+//!
+//! Storage is a shared `Arc<[f64]>` plus an `(offset, len)` view, so slicing
+//! a series — a day window, a training history, a forecast input — shares the
+//! parent's buffer instead of cloning it. Mutation copies the view out first
+//! (copy-on-write), so sharing is never observable through the API.
 
 use crate::calendar::MINUTES_PER_DAY;
 use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by [`TimeSeries`] constructors and combinators.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +25,12 @@ pub enum TimeSeriesError {
     OutOfRange { requested: Timestamp },
     /// A value was not finite (NaN or infinite) where finiteness is required.
     NonFiniteValue { index: usize },
+    /// A shared-storage view does not fit inside its buffer.
+    ViewOutOfBounds {
+        offset: usize,
+        len: usize,
+        storage_len: usize,
+    },
 }
 
 impl fmt::Display for TimeSeriesError {
@@ -39,6 +51,16 @@ impl fmt::Display for TimeSeriesError {
             }
             TimeSeriesError::NonFiniteValue { index } => {
                 write!(f, "non-finite value at index {index}")
+            }
+            TimeSeriesError::ViewOutOfBounds {
+                offset,
+                len,
+                storage_len,
+            } => {
+                write!(
+                    f,
+                    "view [{offset}, {offset}+{len}) exceeds shared storage of {storage_len} points"
+                )
             }
         }
     }
@@ -61,35 +83,134 @@ impl std::error::Error for TimeSeriesError {}
 ///
 /// Invariants (enforced at construction):
 /// * `step_min > 0` and `step_min` divides 1440 (whole-day slicing is exact);
-/// * `start` lies on the `step_min` grid.
+/// * `start` lies on the `step_min` grid;
+/// * the `(offset, len)` view fits inside the shared storage.
 ///
 /// Values are allowed to be NaN to represent *missing telemetry*; the data
 /// validation module of `seagull-core` detects and reports them, and
 /// [`crate::resample::fill_gaps`] repairs them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Cloning and slicing are cheap: [`slice`](TimeSeries::slice),
+/// [`day`](TimeSeries::day), and [`shifted`](TimeSeries::shifted) return
+/// views over the same `Arc<[f64]>` buffer
+/// ([`shares_storage`](TimeSeries::shares_storage) observes this). Serde and
+/// `PartialEq` see only the viewed values, so views are indistinguishable
+/// from owned series.
+#[derive(Clone)]
 pub struct TimeSeries {
+    start: Timestamp,
+    step_min: u32,
+    storage: Arc<[f64]>,
+    offset: usize,
+    len: usize,
+}
+
+/// The serde-facing shape of a [`TimeSeries`]. Kept identical to the
+/// pre-view representation (`start`, `step_min`, `values`) so documents and
+/// exports are unchanged by the shared-storage refactor.
+#[derive(Serialize, Deserialize)]
+struct SeriesRepr {
     start: Timestamp,
     step_min: u32,
     values: Vec<f64>,
 }
 
+impl Serialize for TimeSeries {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: serde::Serializer,
+    {
+        SeriesRepr {
+            start: self.start,
+            step_min: self.step_min,
+            values: self.values().to_vec(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TimeSeries {
+    fn deserialize<D>(deserializer: D) -> Result<TimeSeries, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        let repr = SeriesRepr::deserialize(deserializer)?;
+        TimeSeries::new(repr.start, repr.step_min, repr.values).map_err(serde::de::Error::custom)
+    }
+}
+
+impl fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimeSeries")
+            .field("start", &self.start)
+            .field("step_min", &self.step_min)
+            .field("values", &self.values())
+            .finish()
+    }
+}
+
+/// Equality compares the *viewed* values, so a zero-copy view equals an
+/// owned series with the same grid and contents.
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &TimeSeries) -> bool {
+        self.start == other.start
+            && self.step_min == other.step_min
+            && self.values() == other.values()
+    }
+}
+
 impl TimeSeries {
-    /// Creates a series from a start timestamp, grid step, and values.
-    pub fn new(
-        start: Timestamp,
-        step_min: u32,
-        values: Vec<f64>,
-    ) -> Result<TimeSeries, TimeSeriesError> {
+    fn validate_grid(start: Timestamp, step_min: u32) -> Result<(), TimeSeriesError> {
         if step_min == 0 || MINUTES_PER_DAY % step_min as i64 != 0 {
             return Err(TimeSeriesError::InvalidStep { step_min });
         }
         if !start.is_aligned(step_min) {
             return Err(TimeSeriesError::MisalignedStart { start, step_min });
         }
+        Ok(())
+    }
+
+    /// Creates a series from a start timestamp, grid step, and values.
+    pub fn new(
+        start: Timestamp,
+        step_min: u32,
+        values: Vec<f64>,
+    ) -> Result<TimeSeries, TimeSeriesError> {
+        Self::validate_grid(start, step_min)?;
+        let len = values.len();
         Ok(TimeSeries {
             start,
             step_min,
-            values,
+            storage: values.into(),
+            offset: 0,
+            len,
+        })
+    }
+
+    /// Creates a series as a view over `storage[offset..offset + len]`
+    /// without copying. This is how the columnar blob decoder hands every
+    /// server a window into one shared buffer.
+    pub fn from_shared(
+        start: Timestamp,
+        step_min: u32,
+        storage: Arc<[f64]>,
+        offset: usize,
+        len: usize,
+    ) -> Result<TimeSeries, TimeSeriesError> {
+        Self::validate_grid(start, step_min)?;
+        if offset.checked_add(len).is_none_or(|end| end > storage.len()) {
+            return Err(TimeSeriesError::ViewOutOfBounds {
+                offset,
+                len,
+                storage_len: storage.len(),
+            });
+        }
+        Ok(TimeSeries {
+            start,
+            step_min,
+            storage,
+            offset,
+            len,
         })
     }
 
@@ -115,13 +236,13 @@ impl TimeSeries {
     /// Number of points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// True if the series holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
     }
 
     /// Grid step in minutes.
@@ -145,25 +266,48 @@ impl TimeSeries {
     /// Timestamp one step past the last point (exclusive end).
     #[inline]
     pub fn end(&self) -> Timestamp {
-        self.start + self.values.len() as i64 * self.step_min as i64
+        self.start + self.len as i64 * self.step_min as i64
     }
 
     /// The values as a slice.
     #[inline]
     pub fn values(&self) -> &[f64] {
-        &self.values
+        &self.storage[self.offset..self.offset + self.len]
     }
 
-    /// The values as a mutable slice.
-    #[inline]
+    /// The values as a mutable slice. If the storage is shared with other
+    /// series (views), the viewed range is copied out first so mutation
+    /// never affects them (copy-on-write).
     pub fn values_mut(&mut self) -> &mut [f64] {
-        &mut self.values
+        if Arc::get_mut(&mut self.storage).is_none() {
+            let owned: Arc<[f64]> = self.storage[self.offset..self.offset + self.len].into();
+            self.storage = owned;
+            self.offset = 0;
+        }
+        let (offset, len) = (self.offset, self.len);
+        &mut Arc::get_mut(&mut self.storage).expect("storage is uniquely owned")
+            [offset..offset + len]
     }
 
     /// Consumes the series, returning its values.
     #[inline]
     pub fn into_values(self) -> Vec<f64> {
-        self.values
+        self.values().to_vec()
+    }
+
+    /// The shared backing buffer. Views produced by
+    /// [`slice`](TimeSeries::slice) / [`day`](TimeSeries::day) return the
+    /// same `Arc` as their parent (`Arc::ptr_eq`); use
+    /// [`shares_storage`](TimeSeries::shares_storage) to test that.
+    #[inline]
+    pub fn storage(&self) -> &Arc<[f64]> {
+        &self.storage
+    }
+
+    /// True if `self` and `other` are views over the same allocation.
+    #[inline]
+    pub fn shares_storage(&self, other: &TimeSeries) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
     }
 
     /// Timestamp of point `i` (which need not be in bounds).
@@ -180,17 +324,17 @@ impl TimeSeries {
             return None;
         }
         let idx = (delta / self.step_min as i64) as usize;
-        (idx < self.values.len()).then_some(idx)
+        (idx < self.len).then_some(idx)
     }
 
     /// Value at timestamp `ts`, if covered.
     pub fn value_at(&self, ts: Timestamp) -> Option<f64> {
-        self.index_of(ts).map(|i| self.values[i])
+        self.index_of(ts).map(|i| self.values()[i])
     }
 
     /// Iterates over `(timestamp, value)` pairs.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (Timestamp, f64)> + '_ {
-        self.values
+        self.values()
             .iter()
             .enumerate()
             .map(move |(i, &v)| (self.timestamp_at(i), v))
@@ -202,32 +346,46 @@ impl TimeSeries {
         self.step_min == other.step_min && (self.start - other.start) % self.step_min as i64 == 0
     }
 
-    /// Returns the sub-series covering `[from, to)`, or an error if the range
-    /// is not fully covered or misaligned.
+    /// Returns the sub-series covering `[from, to)` as a zero-copy view
+    /// sharing this series' storage, or an error if the range is not fully
+    /// covered or misaligned.
     pub fn slice(&self, from: Timestamp, to: Timestamp) -> Result<TimeSeries, TimeSeriesError> {
-        let values = self.slice_values(from, to)?.to_vec();
-        TimeSeries::new(from, self.step_min, values)
+        let (i, n) = self.view_range(from, to)?;
+        Ok(TimeSeries {
+            start: from,
+            step_min: self.step_min,
+            storage: Arc::clone(&self.storage),
+            offset: self.offset + i,
+            len: n,
+        })
     }
 
-    /// Borrowed view of the values covering `[from, to)`.
-    pub fn slice_values(&self, from: Timestamp, to: Timestamp) -> Result<&[f64], TimeSeriesError> {
+    /// Resolves `[from, to)` to a `(start index, point count)` pair within
+    /// the view, validating coverage and alignment.
+    fn view_range(&self, from: Timestamp, to: Timestamp) -> Result<(usize, usize), TimeSeriesError> {
         if to < from {
             return Err(TimeSeriesError::OutOfRange { requested: to });
         }
         let i = self
             .index_of(from)
             .ok_or(TimeSeriesError::OutOfRange { requested: from })?;
-        let n = ((to - from) / self.step_min as i64) as usize;
         if (to - from) % self.step_min as i64 != 0 {
             return Err(TimeSeriesError::MisalignedStart {
                 start: to,
                 step_min: self.step_min,
             });
         }
-        if i + n > self.values.len() {
+        let n = ((to - from) / self.step_min as i64) as usize;
+        if i + n > self.len {
             return Err(TimeSeriesError::OutOfRange { requested: to });
         }
-        Ok(&self.values[i..i + n])
+        Ok((i, n))
+    }
+
+    /// Borrowed view of the values covering `[from, to)`.
+    pub fn slice_values(&self, from: Timestamp, to: Timestamp) -> Result<&[f64], TimeSeriesError> {
+        let (i, n) = self.view_range(from, to)?;
+        Ok(&self.values()[i..i + n])
     }
 
     /// The values for the calendar day with the given day index, if the series
@@ -238,7 +396,8 @@ impl TimeSeries {
         self.slice_values(from, to).ok()
     }
 
-    /// The sub-series for a calendar day, if fully covered.
+    /// The sub-series for a calendar day, if fully covered. Like
+    /// [`slice`](TimeSeries::slice), the result is a view sharing storage.
     pub fn day(&self, day_index: i64) -> Option<TimeSeries> {
         let from = Timestamp::from_days(day_index);
         let to = Timestamp::from_days(day_index + 1);
@@ -275,32 +434,42 @@ impl TimeSeries {
     }
 
     /// Appends another series that starts exactly where this one ends.
+    /// Rebuilds the backing buffer; appending detaches from any shared
+    /// storage.
     pub fn append(&mut self, tail: &TimeSeries) -> Result<(), TimeSeriesError> {
         if tail.step_min != self.step_min {
             return Err(TimeSeriesError::GridMismatch);
         }
-        if self.is_empty() {
-            self.start = tail.start;
-            self.values.extend_from_slice(&tail.values);
-            return Ok(());
-        }
-        if tail.start != self.end() {
+        if !self.is_empty() && tail.start != self.end() {
             return Err(TimeSeriesError::GridMismatch);
         }
-        self.values.extend_from_slice(&tail.values);
+        let start = if self.is_empty() { tail.start } else { self.start };
+        let mut values = Vec::with_capacity(self.len + tail.len);
+        values.extend_from_slice(self.values());
+        values.extend_from_slice(tail.values());
+        self.start = start;
+        self.storage = values.into();
+        self.offset = 0;
+        self.len = self.storage.len();
         Ok(())
     }
 
-    /// Pushes one value at the end of the grid.
-    #[inline]
+    /// Pushes one value at the end of the grid. Rebuilds the backing buffer;
+    /// pushing detaches from any shared storage.
     pub fn push(&mut self, value: f64) {
-        self.values.push(value);
+        let mut values = Vec::with_capacity(self.len + 1);
+        values.extend_from_slice(self.values());
+        values.push(value);
+        self.storage = values.into();
+        self.offset = 0;
+        self.len = self.storage.len();
     }
 
-    /// Returns a copy shifted forward in time by `minutes` (which must be a
-    /// multiple of the step). The *values* are unchanged; only the timestamps
-    /// move. This is the primitive behind persistent forecasting: yesterday's
-    /// load shifted forward by one day *is* the prediction for today.
+    /// Returns a view shifted forward in time by `minutes` (which must be a
+    /// multiple of the step). The *values* are shared unchanged; only the
+    /// timestamps move. This is the primitive behind persistent forecasting:
+    /// yesterday's load shifted forward by one day *is* the prediction for
+    /// today.
     pub fn shifted(&self, minutes: i64) -> Result<TimeSeries, TimeSeriesError> {
         if minutes % self.step_min as i64 != 0 {
             return Err(TimeSeriesError::MisalignedStart {
@@ -308,17 +477,23 @@ impl TimeSeries {
                 step_min: self.step_min,
             });
         }
-        TimeSeries::new(self.start + minutes, self.step_min, self.values.clone())
+        Ok(TimeSeries {
+            start: self.start + minutes,
+            step_min: self.step_min,
+            storage: Arc::clone(&self.storage),
+            offset: self.offset,
+            len: self.len,
+        })
     }
 
     /// Number of NaN (missing) values.
     pub fn missing_count(&self) -> usize {
-        self.values.iter().filter(|v| v.is_nan()).count()
+        self.values().iter().filter(|v| v.is_nan()).count()
     }
 
     /// Verifies every value is finite.
     pub fn check_finite(&self) -> Result<(), TimeSeriesError> {
-        match self.values.iter().position(|v| !v.is_finite()) {
+        match self.values().iter().position(|v| !v.is_finite()) {
             Some(index) => Err(TimeSeriesError::NonFiniteValue { index }),
             None => Ok(()),
         }
@@ -326,7 +501,7 @@ impl TimeSeries {
 
     /// Mean of the values (NaN-free input assumed; NaNs propagate).
     pub fn mean(&self) -> f64 {
-        crate::stats::mean(&self.values)
+        crate::stats::mean(self.values())
     }
 }
 
@@ -386,6 +561,76 @@ mod tests {
     }
 
     #[test]
+    fn slicing_is_zero_copy() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let sub = s.slice(s.timestamp_at(1), s.timestamp_at(4)).unwrap();
+        assert!(Arc::ptr_eq(s.storage(), sub.storage()));
+        assert!(s.shares_storage(&sub));
+        // A view of a view still shares the root storage.
+        let subsub = sub.slice(sub.timestamp_at(1), sub.timestamp_at(2)).unwrap();
+        assert!(Arc::ptr_eq(s.storage(), subsub.storage()));
+        assert_eq!(subsub.values(), &[3.0]);
+    }
+
+    #[test]
+    fn day_slicing_is_zero_copy() {
+        let n = 2 * 288;
+        let s =
+            TimeSeries::from_fn(Timestamp::from_days(10), 5, n, |t| t.day_index() as f64).unwrap();
+        let day = s.day(11).unwrap();
+        assert!(
+            Arc::ptr_eq(s.storage(), day.storage()),
+            "day() must be a view into the parent buffer"
+        );
+        assert_eq!(day.len(), 288);
+        // shifted() shares storage too: persistent forecasting moves
+        // timestamps without touching the buffer.
+        let tomorrow = day.shifted(MINUTES_PER_DAY).unwrap();
+        assert!(s.shares_storage(&tomorrow));
+    }
+
+    #[test]
+    fn mutation_detaches_shared_views() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut sub = s.slice(s.timestamp_at(1), s.timestamp_at(4)).unwrap();
+        sub.values_mut()[0] = 99.0;
+        // The parent is untouched; the view copied out before writing.
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(sub.values(), &[99.0, 3.0, 4.0]);
+        assert!(!s.shares_storage(&sub));
+    }
+
+    #[test]
+    fn unique_series_mutates_in_place() {
+        let mut s = ts(&[1.0, 2.0]);
+        let before = Arc::as_ptr(s.storage());
+        s.values_mut()[1] = 7.0;
+        assert_eq!(Arc::as_ptr(s.storage()), before, "no spurious copy");
+        assert_eq!(s.values(), &[1.0, 7.0]);
+    }
+
+    #[test]
+    fn view_equality_ignores_sharing() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        let view = s.slice(s.timestamp_at(1), s.timestamp_at(3)).unwrap();
+        let owned = TimeSeries::new(s.timestamp_at(1), 5, vec![2.0, 3.0]).unwrap();
+        assert_eq!(view, owned);
+    }
+
+    #[test]
+    fn from_shared_validates_bounds() {
+        let storage: Arc<[f64]> = vec![1.0, 2.0, 3.0].into();
+        let v =
+            TimeSeries::from_shared(Timestamp::from_days(1), 5, Arc::clone(&storage), 1, 2).unwrap();
+        assert_eq!(v.values(), &[2.0, 3.0]);
+        assert!(Arc::ptr_eq(v.storage(), &storage));
+        assert!(matches!(
+            TimeSeries::from_shared(Timestamp::from_days(1), 5, Arc::clone(&storage), 2, 2),
+            Err(TimeSeriesError::ViewOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
     fn day_slicing() {
         // Two full days at 5-minute resolution starting at day 10.
         let n = 2 * 288;
@@ -432,6 +677,19 @@ mod tests {
         empty.append(&a).unwrap();
         assert_eq!(empty.start(), a.start());
         assert_eq!(empty.len(), 3);
+    }
+
+    #[test]
+    fn append_and_push_preserve_shared_views() {
+        let base = ts(&[1.0, 2.0, 3.0]);
+        let view = base
+            .slice(base.timestamp_at(0), base.timestamp_at(2))
+            .unwrap();
+        let mut grown = base.clone();
+        grown.push(4.0);
+        assert_eq!(grown.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(base.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(view.values(), &[1.0, 2.0]);
     }
 
     #[test]
