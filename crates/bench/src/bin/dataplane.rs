@@ -173,21 +173,20 @@ fn main() -> std::io::Result<()> {
         csv_docs, col_docs,
         "stored documents must match across blob formats"
     );
-    let incident_key =
-        |incidents: &[Incident]| -> Vec<(String, String, String, String, u32)> {
-            incidents
-                .iter()
-                .map(|i| {
-                    (
-                        format!("{:?}", i.severity),
-                        i.source.clone(),
-                        i.region.clone(),
-                        i.message_key.clone(),
-                        i.count,
-                    )
-                })
-                .collect()
-        };
+    let incident_key = |incidents: &[Incident]| -> Vec<(String, String, String, String, u32)> {
+        incidents
+            .iter()
+            .map(|i| {
+                (
+                    format!("{:?}", i.severity),
+                    i.source.clone(),
+                    i.region.clone(),
+                    i.message_key.clone(),
+                    i.count,
+                )
+            })
+            .collect()
+    };
     assert_eq!(
         incident_key(&csv_incidents),
         incident_key(&col_incidents),

@@ -1,0 +1,230 @@
+//! Fleet execution-engine benchmark: thread scaling × warm-model cache.
+//!
+//! Runs the same multi-region, multi-week schedule through
+//! [`FleetRunner`] at 1/2/4/8 worker threads, once with the warm cache off
+//! (every server refits every week) and once with it on, and emits
+//! `BENCH_fleet_scale.json` with fleet-week wall times, server-week
+//! throughput, speedup vs one thread, and cache hit rates / fit wall time
+//! saved. All numbers are honest wall-clock measurements on the current
+//! machine — thread speedups are bounded by the cores actually available.
+//!
+//! Also cross-checks determinism: the canonicalized outputs (run reports
+//! with wall timings zeroed, every stored document, the incident log, and
+//! `Obs::stable_export()`) of a threads=1 and a threads=8 schedule must be
+//! byte-identical. Exits non-zero on mismatch — the `fleet-smoke` CI job
+//! relies on that.
+
+use seagull_bench::{emit_json, scale, Scale, Table};
+use seagull_core::pipeline::{collections, AmlPipeline, PipelineConfig, PipelineRunReport};
+use seagull_core::FleetRunner;
+use seagull_forecast::{SsaConfig, SsaForecaster};
+use seagull_telemetry::blobstore::MemoryBlobStore;
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_STEPS: &[usize] = &[1, 2, 4, 8];
+
+/// The comparable part of a run report: wall-clock stage durations are
+/// legitimately machine/thread dependent, everything else must match.
+fn semantic_report(report: &PipelineRunReport) -> Value {
+    json!({
+        "region": report.region,
+        "week_start_day": report.week_start_day,
+        "stages": report.stages.iter().map(|s| s.stage.clone()).collect::<Vec<_>>(),
+        "servers": report.servers,
+        "anomalies": report.anomalies,
+        "blocked": report.blocked,
+        "predictions_written": report.predictions_written,
+        "evaluations": report.evaluations,
+        "accuracy": report.accuracy,
+        "deployed_version": report.deployed_version,
+        "degraded": report.degraded,
+    })
+}
+
+fn pipeline(store: &Arc<MemoryBlobStore>, threads: usize, warm_cache: bool) -> AmlPipeline {
+    let config = PipelineConfig {
+        threads,
+        warm_cache,
+        // SSA makes the per-server fit cost non-trivial, so both the thread
+        // fan-out and the fit-skip savings are measurable.
+        forecaster: Arc::new(SsaForecaster::new(SsaConfig::default())),
+        ..PipelineConfig::production()
+    };
+    AmlPipeline::new(
+        config,
+        Arc::clone(store) as Arc<dyn seagull_telemetry::blobstore::BlobStore>,
+    )
+}
+
+/// Everything a schedule produces, canonicalized for equality comparison.
+fn canonical_outputs(runner: &FleetRunner, reports: &[PipelineRunReport]) -> Value {
+    let p = runner.pipeline();
+    let mut docs = Vec::new();
+    for collection in [
+        collections::PREDICTIONS,
+        collections::ACCURACY,
+        collections::FEATURES,
+        collections::RUNS,
+        collections::DEAD_LETTER,
+    ] {
+        let mut ids = p.docs.ids(collection);
+        ids.sort();
+        for id in ids {
+            if collection == collections::RUNS {
+                // Stored run reports carry wall timings; canonicalize them
+                // the same way as the returned reports.
+                let run: PipelineRunReport =
+                    p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), semantic_report(&run)));
+            } else {
+                let value: Value = p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), value));
+            }
+        }
+    }
+    let incidents: Vec<Value> = p
+        .incidents
+        .all()
+        .iter()
+        .map(|i| {
+            json!({
+                "severity": format!("{:?}", i.severity),
+                "source": i.source,
+                "region": i.region,
+                "key": i.message_key,
+                "count": i.count,
+            })
+        })
+        .collect();
+    json!({
+        "reports": reports.iter().map(semantic_report).collect::<Vec<_>>(),
+        "docs": docs,
+        "incidents": incidents,
+        "stable_export": runner.obs().stable_export(),
+    })
+}
+
+fn main() -> std::io::Result<()> {
+    let (per_region_unit, weeks) = match scale() {
+        Scale::Small => (2, 3),
+        Scale::Paper => (12, 4),
+    };
+    let spec = FleetSpec::four_regions(90, per_region_unit);
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let servers: usize = spec.regions.iter().map(|r| r.servers).sum();
+    let start = spec.start_day;
+    let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(weeks);
+
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(&fleet, &regions, &week_days, store.as_ref())
+        .expect("extraction succeeds");
+
+    println!(
+        "Fleet scale: {} regions, {servers} servers, {weeks} weeks, \
+         threads {THREAD_STEPS:?}\n",
+        regions.len()
+    );
+
+    // ---- Determinism cross-check ----------------------------------------
+    let canon: Vec<Value> = [1usize, 8]
+        .iter()
+        .map(|&t| {
+            let runner = FleetRunner::new(pipeline(&store, t, true), regions.clone());
+            let reports = runner.run_schedule(&week_days);
+            canonical_outputs(&runner, &reports)
+        })
+        .collect();
+    assert_eq!(
+        canon[0], canon[1],
+        "threads=1 and threads=8 schedules must produce identical reports, \
+         documents, incidents, and stable exports"
+    );
+    println!("determinism: threads=1 == threads=8 (reports, docs, incidents, stable export)\n");
+
+    // ---- Scaling × cache matrix ------------------------------------------
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "threads",
+        "cold s",
+        "warm s",
+        "cache speedup",
+        "hit rate",
+        "saved s",
+        "speedup vs 1T",
+    ]);
+    let server_weeks = (servers * weeks) as f64;
+    let mut cold_base = f64::NAN;
+    for &threads in THREAD_STEPS {
+        let cold_runner = FleetRunner::new(pipeline(&store, threads, false), regions.clone());
+        let t0 = Instant::now();
+        cold_runner.run_schedule(&week_days);
+        let cold_s = t0.elapsed().as_secs_f64();
+        if threads == 1 {
+            cold_base = cold_s;
+        }
+
+        let warm_runner = FleetRunner::new(pipeline(&store, threads, true), regions.clone());
+        let t0 = Instant::now();
+        warm_runner.run_schedule(&week_days);
+        let warm_s = t0.elapsed().as_secs_f64();
+        let stats = warm_runner.cache_stats();
+
+        let speedup_vs_1 = cold_base / cold_s.max(1e-12);
+        let cache_speedup = cold_s / warm_s.max(1e-12);
+        table.row([
+            format!("{threads}"),
+            format!("{cold_s:.3}"),
+            format!("{warm_s:.3}"),
+            format!("{cache_speedup:.2}x"),
+            format!("{:.1}%", stats.hit_rate() * 100.0),
+            format!("{:.3}", stats.saved_wall.as_secs_f64()),
+            format!("{speedup_vs_1:.2}x"),
+        ]);
+        rows.push(json!({
+            "threads": threads,
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            "cold_server_weeks_per_s": server_weeks / cold_s.max(1e-12),
+            "warm_server_weeks_per_s": server_weeks / warm_s.max(1e-12),
+            "speedup_vs_1_thread": speedup_vs_1,
+            "cache_speedup": cache_speedup,
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses(),
+                "hit_rate": stats.hit_rate(),
+                "saved_wall_s": stats.saved_wall.as_secs_f64(),
+                "evictions": stats.evictions,
+            },
+        }));
+    }
+    table.print();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nnote: machine has {cores} core(s); thread speedup is bounded by that, \
+         cache speedup is not"
+    );
+
+    emit_json(
+        "BENCH_fleet_scale",
+        &json!({
+            "fleet": {
+                "regions": regions.len(),
+                "servers": servers,
+                "weeks": weeks,
+                "forecaster": "ssa",
+            },
+            "machine_cores": cores,
+            "determinism": "ok",
+            "rows": rows,
+        }),
+    )?;
+
+    Ok(())
+}

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablate_pf_variant",
     "obs_dump",
     "dataplane",
+    "fleet_scale",
 ];
 
 fn main() {

@@ -1,0 +1,126 @@
+//! Fleet-wide execution facade.
+//!
+//! [`FleetRunner`] pairs an [`AmlPipeline`] with the fixed set of regions it
+//! is responsible for and drives whole fleet-weeks through
+//! [`AmlPipeline::run_fleet_week`]: regions fan out across the persistent
+//! worker pool, per-region observability is merged deterministically, and
+//! the shared warm-model cache is evicted and exported once per week at the
+//! orchestrator barrier.
+//!
+//! The runner is a thin veneer — everything it does can be done against the
+//! pipeline directly — but it gives experiments and benches one obvious
+//! handle for "run the whole fleet" plus the read-side accessors they
+//! report from (reports, cache statistics, the merged [`Obs`]).
+
+use crate::pipeline::{AmlPipeline, PipelineRunReport};
+use seagull_forecast::CacheStats;
+use seagull_obs::Obs;
+
+/// Drives an [`AmlPipeline`] over a fixed region set, one fleet-week at a
+/// time.
+pub struct FleetRunner {
+    pipeline: AmlPipeline,
+    regions: Vec<String>,
+}
+
+impl FleetRunner {
+    /// Wraps a pipeline and the regions it schedules.
+    pub fn new(pipeline: AmlPipeline, regions: Vec<String>) -> FleetRunner {
+        FleetRunner { pipeline, regions }
+    }
+
+    /// The underlying pipeline (doc store, registry, incidents, …).
+    pub fn pipeline(&self) -> &AmlPipeline {
+        &self.pipeline
+    }
+
+    /// The regions this runner schedules, in fan-out (and report) order.
+    pub fn regions(&self) -> &[String] {
+        &self.regions
+    }
+
+    /// Runs one week for every region; reports come back in region order.
+    pub fn run_week(&self, week_start_day: i64) -> Vec<PipelineRunReport> {
+        self.pipeline.run_fleet_week(&self.regions, week_start_day)
+    }
+
+    /// Runs the given weeks in order, each as one fleet-week.
+    pub fn run_schedule(&self, week_start_days: &[i64]) -> Vec<PipelineRunReport> {
+        self.pipeline.run_schedule(&self.regions, week_start_days)
+    }
+
+    /// Point-in-time statistics of the shared warm-model cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pipeline.cache.stats()
+    }
+
+    /// The pipeline's (merged) observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.pipeline.obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use seagull_telemetry::blobstore::MemoryBlobStore;
+    use seagull_telemetry::extract::LoadExtraction;
+    use seagull_telemetry::fleet::{FleetGenerator, FleetSpec};
+    use std::sync::Arc;
+
+    fn runner(threads: usize, weeks: usize) -> (FleetRunner, Vec<i64>) {
+        let mut spec = FleetSpec::small_region(417);
+        spec.regions[0].servers = 12;
+        let start = spec.start_day;
+        let fleet = FleetGenerator::new(spec).generate_weeks(weeks);
+        let store = Arc::new(MemoryBlobStore::new());
+        let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+        let regions = vec!["region-a".to_string()];
+        LoadExtraction::default()
+            .run(&fleet, &regions, &week_days, store.as_ref())
+            .unwrap();
+        let config = PipelineConfig {
+            threads,
+            ..PipelineConfig::production()
+        };
+        let pipeline = AmlPipeline::new(config, store);
+        (FleetRunner::new(pipeline, regions), week_days)
+    }
+
+    #[test]
+    fn runner_schedules_all_weeks_in_region_order() {
+        let (runner, weeks) = runner(2, 2);
+        let reports = runner.run_schedule(&weeks);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.region == "region-a"));
+        assert_eq!(reports[0].week_start_day, weeks[0]);
+        assert_eq!(reports[1].week_start_day, weeks[1]);
+    }
+
+    #[test]
+    fn second_week_hits_the_warm_cache() {
+        let (runner, weeks) = runner(1, 2);
+        runner.run_week(weeks[0]);
+        let cold = runner.cache_stats();
+        assert_eq!(cold.hits, 0, "first week is all cold misses");
+        assert!(cold.misses_cold > 0);
+        runner.run_week(weeks[1]);
+        let warm = runner.cache_stats();
+        assert!(
+            warm.hits > 0,
+            "a stable fleet's second week should reuse cached fits: {warm:?}"
+        );
+    }
+
+    #[test]
+    fn cache_metrics_are_exported_at_the_weekly_barrier() {
+        let (runner, weeks) = runner(1, 1);
+        runner.run_week(weeks[0]);
+        let export = runner.obs().stable_export();
+        assert!(
+            export.contains("seagull_model_cache_misses_total"),
+            "cache counters missing from export:\n{export}"
+        );
+    }
+}

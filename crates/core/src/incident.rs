@@ -55,10 +55,30 @@ pub struct Incident {
     pub state: IncidentState,
 }
 
+/// One logical mutation of the incident log, as recorded by a journaling
+/// manager (see [`IncidentManager::recording`]).
+#[derive(Debug, Clone)]
+enum IncidentEvent {
+    Raise {
+        severity: Severity,
+        source: String,
+        region: String,
+        key: String,
+        message: String,
+    },
+    ResolveMatching {
+        source: String,
+        region: String,
+    },
+}
+
 #[derive(Default)]
 struct Inner {
     incidents: Vec<Incident>,
     next_id: u64,
+    /// `Some` when this manager journals its mutations for later replay
+    /// onto another manager via [`IncidentManager::absorb`].
+    journal: Option<Vec<IncidentEvent>>,
 }
 
 /// Thread-safe incident log shared across pipeline components.
@@ -71,6 +91,52 @@ impl IncidentManager {
     /// Creates an empty manager.
     pub fn new() -> IncidentManager {
         IncidentManager::default()
+    }
+
+    /// Creates an empty manager that journals every `raise*` and
+    /// [`IncidentManager::resolve_matching`] call, so the sequence can later
+    /// be replayed onto a shared manager with [`IncidentManager::absorb`].
+    ///
+    /// The fleet orchestrator hands each concurrent region run a recording
+    /// scratch manager and absorbs them in region input order: the merged
+    /// log (ids, dedup counts, resolutions of incidents open from earlier
+    /// weeks) is then identical to a sequential run. Note [`IncidentManager::resolve`]
+    /// by id is *not* journaled — ids are scratch-local; pipeline code uses
+    /// the keyed/matching API.
+    pub fn recording() -> IncidentManager {
+        let m = IncidentManager::new();
+        m.inner.write().journal = Some(Vec::new());
+        m
+    }
+
+    /// Replays the journal of a [`IncidentManager::recording`] manager onto
+    /// this one, applying the same dedup/resolution semantics as if the
+    /// calls had been made here directly. Drains the other's journal.
+    pub fn absorb(&self, other: &IncidentManager) {
+        let events = {
+            let mut inner = other.inner.write();
+            inner
+                .journal
+                .as_mut()
+                .map(std::mem::take)
+                .unwrap_or_default()
+        };
+        for event in events {
+            match event {
+                IncidentEvent::Raise {
+                    severity,
+                    source,
+                    region,
+                    key,
+                    message,
+                } => {
+                    self.raise_with_key(severity, &source, &region, key, message);
+                }
+                IncidentEvent::ResolveMatching { source, region } => {
+                    self.resolve_matching(&source, &region);
+                }
+            }
+        }
     }
 
     /// Raises an incident, returning its id. The message doubles as the
@@ -110,6 +176,15 @@ impl IncidentManager {
         message: String,
     ) -> u64 {
         let mut inner = self.inner.write();
+        if let Some(journal) = inner.journal.as_mut() {
+            journal.push(IncidentEvent::Raise {
+                severity,
+                source: source.to_string(),
+                region: region.to_string(),
+                key: key.clone(),
+                message: message.clone(),
+            });
+        }
         if let Some(existing) = inner.incidents.iter_mut().find(|i| {
             i.state == IncidentState::Open
                 && i.severity == severity
@@ -153,6 +228,12 @@ impl IncidentManager {
     /// many were resolved. Used by the circuit breaker on recovery.
     pub fn resolve_matching(&self, source: &str, region: &str) -> usize {
         let mut inner = self.inner.write();
+        if let Some(journal) = inner.journal.as_mut() {
+            journal.push(IncidentEvent::ResolveMatching {
+                source: source.to_string(),
+                region: region.to_string(),
+            });
+        }
         let mut resolved = 0;
         for i in inner.incidents.iter_mut() {
             if i.state == IncidentState::Open && i.source == source && i.region == region {
@@ -289,6 +370,47 @@ mod tests {
         assert_eq!(m.resolve_matching("breaker", "west"), 2);
         assert_eq!(m.resolve_matching("breaker", "west"), 0, "already resolved");
         assert_eq!(m.open_total(), 2);
+    }
+
+    #[test]
+    fn absorb_replays_dedup_and_cross_manager_resolution() {
+        let shared = IncidentManager::new();
+        // Open incident from an "earlier week" on the shared manager.
+        shared.raise(Severity::Critical, "circuit-breaker", "west", "tripped");
+
+        let scratch = IncidentManager::recording();
+        scratch.raise(Severity::Warning, "validation", "west", "gap");
+        scratch.raise(Severity::Warning, "validation", "west", "gap");
+        // Recovery recorded in the scratch must resolve the shared
+        // manager's open incident on replay.
+        scratch.resolve_matching("circuit-breaker", "west");
+
+        shared.absorb(&scratch);
+        let all = shared.all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].state, IncidentState::Resolved, "breaker resolved");
+        assert_eq!(all[1].source, "validation");
+        assert_eq!(all[1].count, 2, "dedup preserved through replay");
+
+        // Journal drained: a second absorb is a no-op.
+        shared.absorb(&scratch);
+        assert_eq!(shared.all().len(), 2);
+    }
+
+    #[test]
+    fn absorb_in_region_order_matches_sequential() {
+        let sequential = IncidentManager::new();
+        sequential.raise(Severity::Warning, "ingestion", "region-a", "m");
+        sequential.raise(Severity::Critical, "train", "region-b", "m");
+
+        let merged = IncidentManager::new();
+        let a = IncidentManager::recording();
+        a.raise(Severity::Warning, "ingestion", "region-a", "m");
+        let b = IncidentManager::recording();
+        b.raise(Severity::Critical, "train", "region-b", "m");
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(sequential.all(), merged.all());
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! * [`resilience`] — retry-with-backoff and per-region circuit breaking,
 //!   threaded through every pipeline stage so transient faults degrade runs
 //!   instead of aborting them.
-//! * [`par`] — the Dask substitute: a from-scratch parallel map used by the
-//!   per-server stages (Figure 12(b)).
+//! * [`par`] — the Dask substitute: a persistent work-stealing pool behind
+//!   the parallel maps used by the per-server stages (Figure 12(b)).
+//! * [`fleet`] — the cross-region orchestrator: concurrent region runs with
+//!   deterministic observability merging and a warm-model cache.
 
 pub mod classify;
 pub mod clock;
@@ -34,6 +36,7 @@ pub mod dashboard;
 pub mod docstore;
 pub mod evaluate;
 pub mod features;
+pub mod fleet;
 pub mod incident;
 pub mod metrics;
 pub mod par;
@@ -51,12 +54,13 @@ pub use evaluate::{
     AccuracySummary, EvaluationConfig,
 };
 pub use features::{extract_features, ServerFeatures};
+pub use fleet::FleetRunner;
 pub use incident::{Incident, IncidentManager, Severity};
 pub use metrics::{
     bucket_ratio, evaluate_low_load, is_accurate, lowest_load_window, AccuracyConfig, ErrorBound,
     LowLoadEvaluation, LowLoadWindow,
 };
-pub use par::{default_threads, parallel_map};
+pub use par::{configured_threads, default_threads, parallel_map};
 pub use pipeline::{AmlPipeline, DegradedRun, PipelineConfig, PipelineRunReport};
 pub use registry::{EndpointSet, ModelAccuracy, ModelRegistry};
 pub use resilience::{

@@ -2,16 +2,451 @@
 //!
 //! The paper partitions input "per server and processes servers in parallel"
 //! with Dask, winning 3–4.6× over single-threaded execution (Figure 12(b)).
-//! This module provides the same partition-per-item parallel map: worker
-//! threads pull indices from a shared atomic counter (work stealing at
-//! item granularity), results flow back over a crossbeam channel, and order
-//! is restored at the end. `std::thread::scope` keeps it all borrow-checked
-//! with zero `unsafe`.
+//! Earlier revisions spawned a `std::thread::scope` per call and pulled one
+//! index at a time from a shared atomic; this module replaces that with a
+//! persistent [`ExecPool`]: long-lived workers, *chunked* ranges (one atomic
+//! op and one timing sample per chunk instead of per item), work stealing
+//! between participants when a range drains, and results written into a
+//! preallocated slot vector instead of flowing through a channel.
+//!
+//! The caller always participates in its own map. That keeps the pool
+//! deadlock-free under nested parallelism (a region-level map whose closure
+//! runs an inner per-server map borrows no worker it must then wait for) and
+//! means `threads == 1` costs nothing but a serial loop.
 
-use crossbeam::channel;
 use seagull_obs::{ParallelProfile, WorkerProfile};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Upper bound on pool threads; requests beyond this share the existing
+/// workers (callers still participate, so progress never depends on it).
+const MAX_POOL_WORKERS: usize = 64;
+
+/// Target chunks per participant: enough for stealing to level skew, few
+/// enough that the per-chunk atomic and `Instant` samples stay amortized.
+const CHUNKS_PER_WORKER: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Pool plumbing
+// ---------------------------------------------------------------------------
+
+struct PoolState {
+    /// Maps currently accepting helpers, in registration order.
+    jobs: Vec<Arc<JobHandle>>,
+    /// Worker threads spawned so far.
+    workers: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a job that wants helpers.
+    work_cv: Condvar,
+    /// Callers park here waiting for their last helper to leave the job.
+    done_cv: Condvar,
+}
+
+/// A type-erased in-flight `map` that pool workers can join.
+///
+/// `ctx` points at a stack-allocated `MapCtx` in the calling thread. The
+/// deregistration protocol makes the erased borrow sound: the caller removes
+/// the job from `PoolState::jobs` and then waits until `active == 0` under
+/// the same lock workers use to join, so no worker can observe `ctx` after
+/// the caller's frame is released.
+struct JobHandle {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+    /// Helpers this job still accepts (the caller occupies one participant
+    /// slot itself).
+    helpers_wanted: usize,
+    joined: AtomicUsize,
+    /// Helpers currently inside `run`.
+    active: AtomicUsize,
+}
+
+// SAFETY: `ctx` is only dereferenced by workers between registration and
+// deregistration, while the referenced `MapCtx` (which is `Sync`) is pinned
+// on the caller's stack.
+unsafe impl Send for JobHandle {}
+unsafe impl Sync for JobHandle {}
+
+/// Cleanup handle: held by `ExecPool` clones only (workers hold just
+/// `PoolShared`), so when the last user handle drops the workers are told
+/// to exit instead of leaking a cycle.
+struct PoolGuard {
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.shutdown = true;
+        drop(state);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// A persistent work-stealing execution pool.
+///
+/// Cloning is cheap and shares the same workers. Workers are spawned lazily
+/// up to the largest `threads` any map has requested (capped at
+/// [`MAX_POOL_WORKERS`]); they survive across calls, so steady-state maps
+/// pay no thread spawn/teardown.
+#[derive(Clone)]
+pub struct ExecPool {
+    shared: Arc<PoolShared>,
+    _guard: Arc<PoolGuard>,
+}
+
+impl ExecPool {
+    /// Create a pool. Workers are spawned on demand, so an idle pool costs
+    /// nothing beyond the handle.
+    pub fn new() -> ExecPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: Vec::new(),
+                workers: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        ExecPool {
+            _guard: Arc::new(PoolGuard {
+                shared: Arc::clone(&shared),
+            }),
+            shared,
+        }
+    }
+
+    /// The process-wide shared pool used by [`parallel_map`] /
+    /// [`parallel_map_profiled`]. Its workers live for the process.
+    pub fn global() -> &'static ExecPool {
+        static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
+        GLOBAL.get_or_init(ExecPool::new)
+    }
+
+    /// Number of worker threads spawned so far (excludes callers).
+    pub fn workers_spawned(&self) -> usize {
+        self.shared.state.lock().unwrap().workers
+    }
+
+    fn ensure_workers(&self, wanted: usize) {
+        let wanted = wanted.min(MAX_POOL_WORKERS);
+        let mut state = self.shared.state.lock().unwrap();
+        while state.workers < wanted {
+            let id = state.workers;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("seagull-exec-{id}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+            state.workers += 1;
+        }
+    }
+
+    /// Parallel map preserving input order; see [`parallel_map`].
+    pub fn map<T, R, F>(&self, items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_profiled(items, threads, f).0
+    }
+
+    /// Parallel map returning a per-participant [`ParallelProfile`]; see
+    /// [`parallel_map_profiled`].
+    pub fn map_profiled<T, R, F>(
+        &self,
+        items: &[T],
+        threads: usize,
+        f: F,
+    ) -> (Vec<R>, ParallelProfile)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = threads.max(1).min(items.len().max(1));
+        let region_start = Instant::now();
+        if threads == 1 {
+            let out: Vec<R> = items.iter().map(&f).collect();
+            let busy = region_start.elapsed();
+            let profile = ParallelProfile {
+                workers: vec![WorkerProfile {
+                    worker: 0,
+                    items: items.len() as u64,
+                    busy,
+                    idle: Duration::ZERO,
+                }],
+                region_wall: region_start.elapsed(),
+            };
+            return (out, profile);
+        }
+        assert!(
+            items.len() < u32::MAX as usize,
+            "parallel_map supports up to 2^32-1 items"
+        );
+
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let ctx = MapCtx {
+            items,
+            f: &f,
+            slots: SlotPtr(slots.as_mut_ptr()),
+            ranges: partition_ranges(items.len(), threads),
+            chunk: chunk_size(items.len(), threads),
+            next_ordinal: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            profiles: Mutex::new(Vec::with_capacity(threads)),
+            panic: Mutex::new(None),
+        };
+        let job = Arc::new(JobHandle {
+            run: run_erased::<T, R, F>,
+            ctx: &ctx as *const MapCtx<'_, T, R, F> as *const (),
+            helpers_wanted: threads - 1,
+            joined: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+        });
+
+        self.ensure_workers(threads - 1);
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.jobs.push(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+
+        // The caller is always a participant: progress never depends on a
+        // pool worker being free.
+        participant_run(&ctx);
+
+        // Deregister, then wait for helpers still inside `run`. After this
+        // block no worker holds a reference into `ctx` or `slots`.
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+            while job.active.load(Ordering::Acquire) > 0 {
+                state = self.shared.done_cv.wait(state).unwrap();
+            }
+        }
+
+        if let Some(payload) = ctx.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+
+        let out: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly one result"))
+            .collect();
+
+        let region_wall = region_start.elapsed();
+        let mut workers = ctx.profiles.into_inner().unwrap();
+        // Participant slots no helper reached in time report zero work and
+        // full-region idle, keeping `workers.len()` (and the stable
+        // `seagull_parallel_workers` gauge) deterministic at `threads`.
+        for ordinal in workers.len()..threads {
+            workers.push(WorkerProfile {
+                worker: ordinal,
+                items: 0,
+                busy: Duration::ZERO,
+                idle: region_wall,
+            });
+        }
+        workers.sort_by_key(|w| w.worker);
+        (
+            out,
+            ParallelProfile {
+                workers,
+                region_wall,
+            },
+        )
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::new()
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    let mut state = shared.state.lock().unwrap();
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let job = state.jobs.iter().find_map(|j| {
+            (j.joined.load(Ordering::Relaxed) < j.helpers_wanted).then(|| Arc::clone(j))
+        });
+        match job {
+            Some(job) => {
+                // Both counters move under the state lock, synchronizing
+                // with deregistration in `map_profiled`.
+                job.joined.fetch_add(1, Ordering::Relaxed);
+                job.active.fetch_add(1, Ordering::Release);
+                drop(state);
+                // SAFETY: the job was found registered under the lock, so
+                // the caller is still pinned waiting for `active == 0`.
+                unsafe { (job.run)(job.ctx) };
+                state = shared.state.lock().unwrap();
+                if job.active.fetch_sub(1, Ordering::Release) == 1 {
+                    shared.done_cv.notify_all();
+                }
+            }
+            None => {
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-map context
+// ---------------------------------------------------------------------------
+
+struct SlotPtr<R>(*mut Option<R>);
+// SAFETY: disjoint indices are written by exactly one participant each (a
+// chunk is claimed by CAS before being processed), and the owning Vec is not
+// touched until all participants have left.
+unsafe impl<R: Send> Send for SlotPtr<R> {}
+unsafe impl<R: Send> Sync for SlotPtr<R> {}
+
+struct MapCtx<'a, T, R, F> {
+    items: &'a [T],
+    f: &'a F,
+    slots: SlotPtr<R>,
+    /// One packed `(start, end)` range per participant slot.
+    ranges: Vec<AtomicU64>,
+    chunk: usize,
+    next_ordinal: AtomicUsize,
+    abort: AtomicBool,
+    profiles: Mutex<Vec<WorkerProfile>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+fn pack(start: u32, end: u32) -> u64 {
+    ((start as u64) << 32) | end as u64
+}
+
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+fn partition_ranges(len: usize, participants: usize) -> Vec<AtomicU64> {
+    let base = len / participants;
+    let extra = len % participants;
+    let mut start = 0usize;
+    (0..participants)
+        .map(|p| {
+            let size = base + usize::from(p < extra);
+            let range = AtomicU64::new(pack(start as u32, (start + size) as u32));
+            start += size;
+            range
+        })
+        .collect()
+}
+
+fn chunk_size(len: usize, participants: usize) -> usize {
+    len.div_ceil(participants * CHUNKS_PER_WORKER).max(1)
+}
+
+/// Claim the next chunk for `ordinal`: drain the own range from the front,
+/// then steal from the *back* of sibling ranges (stealing from the opposite
+/// end keeps the owner and the thief off the same cache lines until the
+/// range is nearly empty).
+fn claim_chunk<T, R, F>(ctx: &MapCtx<'_, T, R, F>, ordinal: usize) -> Option<(usize, usize)> {
+    let n = ctx.ranges.len();
+    for offset in 0..n {
+        let victim = (ordinal + offset) % n;
+        let range = &ctx.ranges[victim];
+        let mut cur = range.load(Ordering::Acquire);
+        loop {
+            let (start, end) = unpack(cur);
+            if start >= end {
+                break;
+            }
+            let (next, claimed) = if offset == 0 {
+                let ns = (start + ctx.chunk).min(end);
+                (pack(ns as u32, end as u32), (start, ns))
+            } else {
+                let ne = end.saturating_sub(ctx.chunk).max(start);
+                (pack(start as u32, ne as u32), (ne, end))
+            };
+            match range.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(claimed),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+    None
+}
+
+fn participant_run<T, R, F>(ctx: &MapCtx<'_, T, R, F>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let started = Instant::now();
+    let ordinal = ctx.next_ordinal.fetch_add(1, Ordering::Relaxed);
+    if ordinal >= ctx.ranges.len() {
+        // More helpers woke than participant slots; nothing to claim.
+        return;
+    }
+    let mut busy = Duration::ZERO;
+    let mut count = 0u64;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        while !ctx.abort.load(Ordering::Relaxed) {
+            let Some((start, end)) = claim_chunk(ctx, ordinal) else {
+                break;
+            };
+            // One timing sample per chunk: sub-microsecond closures no
+            // longer report mostly `Instant::now` overhead.
+            let chunk_start = Instant::now();
+            for i in start..end {
+                let r = (ctx.f)(&ctx.items[i]);
+                // SAFETY: index `i` belongs to a chunk claimed exclusively
+                // by this participant; each slot is written at most once.
+                unsafe { *ctx.slots.0.add(i) = Some(r) };
+            }
+            busy += chunk_start.elapsed();
+            count += (end - start) as u64;
+        }
+    }));
+    if let Err(payload) = result {
+        ctx.abort.store(true, Ordering::Relaxed);
+        let mut slot = ctx.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    ctx.profiles.lock().unwrap().push(WorkerProfile {
+        worker: ordinal,
+        items: count,
+        busy,
+        idle: started.elapsed().saturating_sub(busy),
+    });
+}
+
+/// Monomorphic entry point stored in the type-erased [`JobHandle`].
+///
+/// # Safety
+/// `ctx` must point at a live `MapCtx<T, R, F>` (guaranteed by the
+/// registration/deregistration protocol in [`ExecPool::map_profiled`]).
+unsafe fn run_erased<T, R, F>(ctx: *const ())
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    participant_run(&*(ctx as *const MapCtx<'_, T, R, F>));
+}
+
+// ---------------------------------------------------------------------------
+// Free-function API (thin wrappers over the global pool)
+// ---------------------------------------------------------------------------
 
 /// Parallel map preserving input order.
 ///
@@ -21,21 +456,22 @@ use std::time::{Duration, Instant};
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 ///
-/// Spawns `threads` workers (at least one; one means serial-on-this-thread).
-/// `f` runs once per item; panics in workers propagate after all workers
-/// finish their current items.
+/// Runs on the process-wide [`ExecPool`] with up to `threads` participants
+/// (at least one; one means serial-on-this-thread). `f` runs once per item;
+/// a panic in any participant propagates after in-flight chunks finish.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    parallel_map_profiled(items, threads, f).0
+    ExecPool::global().map(items, threads, f)
 }
 
-/// [`parallel_map`] with a per-worker [`ParallelProfile`]: items pulled,
-/// busy wall time inside the closure, and steal-idle time (alive but
-/// without work: the queue drained while siblings were still running).
+/// [`parallel_map`] with a per-participant [`ParallelProfile`]: items
+/// pulled, busy wall time inside the closure (sampled per chunk), and
+/// steal-idle time (alive but without work: every range drained while
+/// siblings were still running).
 pub fn parallel_map_profiled<T, R, F>(
     items: &[T],
     threads: usize,
@@ -46,76 +482,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    let region_start = Instant::now();
-    if threads == 1 {
-        let out: Vec<R> = items.iter().map(&f).collect();
-        let busy = region_start.elapsed();
-        let profile = ParallelProfile {
-            workers: vec![WorkerProfile {
-                worker: 0,
-                items: items.len() as u64,
-                busy,
-                idle: Duration::ZERO,
-            }],
-            region_wall: region_start.elapsed(),
-        };
-        return (out, profile);
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = channel::unbounded::<(usize, R)>();
-    let (ptx, prx) = channel::unbounded::<WorkerProfile>();
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let tx = tx.clone();
-            let ptx = ptx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || {
-                let spawned = Instant::now();
-                let mut busy = Duration::ZERO;
-                let mut count = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let item_start = Instant::now();
-                    let r = f(&items[i]);
-                    busy += item_start.elapsed();
-                    count += 1;
-                    // A send can only fail if the receiver was dropped, which
-                    // cannot happen while this scope is alive.
-                    let _ = tx.send((i, r));
-                }
-                let _ = ptx.send(WorkerProfile {
-                    worker,
-                    items: count,
-                    busy,
-                    idle: spawned.elapsed().saturating_sub(busy),
-                });
-            });
-        }
-        drop(tx);
-        drop(ptx);
-        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-        let out: Vec<R> = slots
-            .into_iter()
-            .map(|s| s.expect("every index produced exactly one result"))
-            .collect();
-        let mut workers: Vec<WorkerProfile> = prx.iter().collect();
-        workers.sort_by_key(|w| w.worker);
-        (
-            out,
-            ParallelProfile {
-                workers,
-                region_wall: region_start.elapsed(),
-            },
-        )
-    })
+    ExecPool::global().map_profiled(items, threads, f)
 }
 
 /// The default worker count: available parallelism, as Dask defaults to the
@@ -124,6 +491,19 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// The worker count the pipeline and bench bins should use: the
+/// `SEAGULL_THREADS` env override when set to a positive integer, else
+/// [`default_threads`] capped at [`MAX_POOL_WORKERS`].
+pub fn configured_threads() -> usize {
+    match std::env::var("SEAGULL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => default_threads().min(MAX_POOL_WORKERS),
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +580,54 @@ mod tests {
         assert_eq!(profile.workers.len(), 1);
         assert_eq!(profile.total_items(), 3);
         assert_eq!(profile.workers[0].idle, Duration::ZERO);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_maps() {
+        let pool = ExecPool::new();
+        let items: Vec<u32> = (0..256).collect();
+        pool.map(&items, 4, |x| x + 1);
+        let after_first = pool.workers_spawned();
+        assert!(after_first >= 3, "pool spawned {after_first} workers");
+        pool.map(&items, 4, |x| x + 2);
+        assert_eq!(
+            pool.workers_spawned(),
+            after_first,
+            "second map reuses workers instead of spawning"
+        );
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let outer: Vec<u32> = (0..8).collect();
+        let pool = ExecPool::new();
+        let sums = pool.map(&outer, 4, |&o| {
+            let inner: Vec<u32> = (0..64).map(|i| i + o).collect();
+            pool.map(&inner, 4, |x| x * 2).iter().sum::<u32>()
+        });
+        let expected: Vec<u32> = outer
+            .iter()
+            .map(|&o| (0..64).map(|i| (i + o) * 2).sum())
+            .collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 37 {
+                    panic!("boom on {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn configured_threads_positive() {
+        assert!(configured_threads() >= 1);
     }
 }

@@ -24,7 +24,8 @@
 //!
 //! Every run is observed through the pipeline's [`Obs`] handle: each stage
 //! runs inside a span (virtual tick = the scheduler's day index; wall time
-//! captured by the tracer — there is no raw `Instant` timing here), retries
+//! captured by the tracer — the only raw `Instant` timing is the per-fit
+//! cost the warm cache credits to its saved-wall counter), retries
 //! and backoff feed `(region, stage)`-labelled counters and histograms, the
 //! circuit breaker publishes a per-region state gauge, and the parallel
 //! stages record per-worker profiles. `StageTiming`/`stage_duration` are
@@ -36,19 +37,21 @@ use crate::evaluate::{AccuracySummary, EvaluationConfig};
 use crate::features::extract_features;
 use crate::incident::{IncidentManager, Severity};
 use crate::metrics::evaluate_low_load;
-use crate::par::parallel_map_profiled;
+use crate::par::{configured_threads, parallel_map, parallel_map_profiled};
 use crate::registry::{EndpointSet, ModelAccuracy, ModelRegistry};
 use crate::resilience::{stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError};
 use crate::validation::{validate_region_week, validate_servers, DataProfile};
-use seagull_forecast::{ForecastError, Forecaster};
+use seagull_forecast::{CacheUpdate, FittedModel, ForecastError, Forecaster, Lookup, ModelCache};
 use seagull_obs::{Obs, SpanId, Stability};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
+use seagull_telemetry::columnar::checksum64;
+use seagull_telemetry::csv_quantized;
 use seagull_telemetry::extract::{ExtractedServer, RegionWeekBatch};
 use seagull_timeseries::{GapFill, TimeSeries, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration (the use-case-specific parameters of Section 2.4).
 #[derive(Clone)]
@@ -63,8 +66,12 @@ pub struct PipelineConfig {
     pub evaluation: EvaluationConfig,
     /// The model trained/deployed each run.
     pub forecaster: Arc<dyn Forecaster>,
-    /// Worker threads for the per-server stages (1 = single-threaded).
+    /// Worker threads for the per-server stages and cross-region fan-out
+    /// (1 = single-threaded).
     pub threads: usize,
+    /// Reuse cached fitted models for servers whose series did not
+    /// materially change since the last run (see [`ModelCache`]).
+    pub warm_cache: bool,
     /// Accuracy drop (percentage points) that triggers model fallback.
     pub fallback_tolerance: f64,
     /// Cap on anomaly reports per kind per run.
@@ -73,7 +80,9 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// The production configuration: persistent forecast (previous day),
-    /// 5-minute grid, single-threaded.
+    /// 5-minute grid, threads from [`configured_threads`] (the machine's
+    /// available parallelism, overridable via `SEAGULL_THREADS`), warm
+    /// model cache on.
     pub fn production() -> PipelineConfig {
         PipelineConfig {
             grid_min: 5,
@@ -81,7 +90,8 @@ impl PipelineConfig {
             classify: ClassifyConfig::default(),
             evaluation: EvaluationConfig::default(),
             forecaster: Arc::new(seagull_forecast::PersistentForecast::previous_day()),
-            threads: 1,
+            threads: configured_threads(),
+            warm_cache: true,
             fallback_tolerance: 10.0,
             max_anomaly_reports: 20,
         }
@@ -270,6 +280,31 @@ impl DeadLetterDoc {
     }
 }
 
+/// Per-server cache consequence of one train-infer item, applied serially
+/// after the parallel region joins so cache state never depends on worker
+/// interleaving.
+enum CacheOutcome {
+    /// Reused a cached fit; recency for this key is bumped at commit.
+    Hit(String),
+    /// A fresh fit to insert at commit.
+    Fresh(Box<CacheUpdate>),
+    /// No cache interaction (cache off, or insufficient history to fit).
+    Bypass,
+}
+
+/// Content fingerprint of a training series: FNV-1a over the quantized
+/// sample bytes plus the grid step. The start timestamp is deliberately
+/// excluded so a weekly-periodic server hashes identically week over week;
+/// [`ModelCache`] checks grid shape and whole-week alignment separately.
+fn series_fingerprint(series: &TimeSeries) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + series.len() * 8);
+    bytes.extend_from_slice(&u64::from(series.step_min()).to_le_bytes());
+    for &v in series.values() {
+        bytes.extend_from_slice(&csv_quantized(v).to_le_bytes());
+    }
+    checksum64(&bytes)
+}
+
 /// Collection names in the [`DocStore`].
 pub mod collections {
     pub const PREDICTIONS: &str = "predictions";
@@ -293,6 +328,10 @@ pub struct AmlPipeline {
     pub breaker: CircuitBreaker,
     /// Observability handle: metrics registry + span tracer for every run.
     pub obs: Obs,
+    /// Warm-model cache shared across runs and regions (see [`ModelCache`]).
+    /// Keys are region-prefixed, so concurrent region runs touch disjoint
+    /// entries; bypassed when [`PipelineConfig::warm_cache`] is off.
+    pub cache: Arc<ModelCache>,
 }
 
 impl AmlPipeline {
@@ -320,6 +359,7 @@ impl AmlPipeline {
             resilience,
             breaker,
             obs: Obs::new(),
+            cache: Arc::new(ModelCache::new()),
         }
     }
 
@@ -431,7 +471,7 @@ impl AmlPipeline {
         // A region whose blob slice is hard-down stops burning retries: the
         // open breaker rejects runs until the cooldown admits a probe.
         if !self.breaker.allow(region, tick) {
-            self.breaker.publish_state(self.obs.registry());
+            self.breaker.publish_region(self.obs.registry(), region);
             self.obs
                 .registry()
                 .counter("seagull_pipeline_blocked_total", &[("region", region)])
@@ -443,7 +483,7 @@ impl AmlPipeline {
             self.store_run(&report);
             return report;
         }
-        self.breaker.publish_state(self.obs.registry());
+        self.breaker.publish_region(self.obs.registry(), region);
 
         // ---- Data Ingestion -------------------------------------------------
         let span = self.stage_span(run_span, "ingestion", region, vt);
@@ -483,7 +523,7 @@ impl AmlPipeline {
                     self.breaker.record_failure(region, tick, &self.incidents);
                     degraded.exhausted_stages.push("ingestion".into());
                 }
-                self.breaker.publish_state(self.obs.registry());
+                self.breaker.publish_region(self.obs.registry(), region);
                 self.obs
                     .registry()
                     .counter("seagull_pipeline_blocked_total", &[("region", region)])
@@ -496,7 +536,7 @@ impl AmlPipeline {
                 return report;
             }
         };
-        self.breaker.publish_state(self.obs.registry());
+        self.breaker.publish_region(self.obs.registry(), region);
         // Columnar blobs yield zero-copy views into the shared decode buffer;
         // CSV rows are re-gridded into fresh series.
         let mut servers: Vec<ExtractedServer> = batch.extract(self.config.grid_min);
@@ -581,33 +621,105 @@ impl AmlPipeline {
         // ---- Model Training & Inference ---------------------------------------
         // One model family serves the whole region (Section 5.4: a single
         // model for the entire fleet); per-server fitting happens inside
-        // fit_predict. Predictions target each server's next backup day.
+        // the closure. Predictions target each server's next backup day.
+        //
+        // With the warm cache on, each server first looks up its cached
+        // fitted model (read-only, safe inside the parallel region); a hit
+        // skips the fit and re-anchors the cached prediction by a
+        // whole-week shift. Fresh fits and hit keys are batched and
+        // committed serially in item order after the join, so cache state
+        // is independent of thread count.
         let span = self.stage_span(run_span, "train-infer", region, vt);
         let next_week = week_start_day + 7;
         let forecaster = Arc::clone(&self.config.forecaster);
         let grid = self.config.grid_min;
         let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
         let threads = self.config.threads;
+        let warm = self.config.warm_cache;
+        let cache = &self.cache;
+        // Classification labels index-align with `servers` (extract_features
+        // maps over them in order); the label is part of the cache key
+        // semantics — a reclassified server must refit.
+        let train_inputs: Vec<(&ExtractedServer, &'static str)> = servers
+            .iter()
+            .zip(&features)
+            .map(|(s, f)| (s, f.pattern.label()))
+            .collect();
         let trained = self.retry_stage("train-infer", region, tick, || {
-            let (results, profile) = parallel_map_profiled(&servers, threads, |s| {
-                // The server's backup day next week.
-                let backup_day = s.default_backup_start.day_index() + 7;
-                let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
-                match forecaster.fit_predict(&s.series, horizon_days * points_per_day) {
-                    Ok(pred) => Ok(pred.day(backup_day).map(|day| PredictionDoc {
-                        region: region.to_string(),
-                        server_id: s.id.0,
-                        day: backup_day,
-                        step_min: grid,
-                        values: day.into_values(),
-                        duration_min: s.default_backup_end - s.default_backup_start,
-                    })),
-                    // Too little history is the normal young-server case.
-                    Err(ForecastError::InsufficientHistory { .. }) => Ok(None),
-                    // Anything else is poison input or a broken model.
-                    Err(e) => Err((s.id.0, e.to_string())),
-                }
-            });
+            let (results, profile) =
+                parallel_map_profiled(&train_inputs, threads, |&(s, class)| {
+                    // The server's backup day next week.
+                    let backup_day = s.default_backup_start.day_index() + 7;
+                    let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
+                    let horizon = horizon_days * points_per_day;
+                    let doc_of = |pred: TimeSeries| {
+                        pred.day(backup_day).map(|day| PredictionDoc {
+                            region: region.to_string(),
+                            server_id: s.id.0,
+                            day: backup_day,
+                            step_min: grid,
+                            values: day.into_values(),
+                            duration_min: s.default_backup_end - s.default_backup_start,
+                        })
+                    };
+                    if !warm {
+                        return match forecaster.fit_predict(&s.series, horizon) {
+                            Ok(pred) => Ok((doc_of(pred), CacheOutcome::Bypass)),
+                            // Too little history is the normal young-server case.
+                            Err(ForecastError::InsufficientHistory { .. }) => {
+                                Ok((None, CacheOutcome::Bypass))
+                            }
+                            // Anything else is poison input or a broken model.
+                            Err(e) => Err((s.id.0, e.to_string())),
+                        };
+                    }
+                    let key = format!("{region}/{}", s.id.0);
+                    let fingerprint = series_fingerprint(&s.series);
+                    match cache.lookup(&key, fingerprint, class, &s.series) {
+                        Lookup::Hit(hit) => {
+                            let shifted = hit.fitted.predict(horizon).and_then(|p| {
+                                p.shifted(hit.shift_min).map_err(ForecastError::Series)
+                            });
+                            match shifted {
+                                Ok(pred) => Ok((doc_of(pred), CacheOutcome::Hit(key))),
+                                Err(e) => Err((s.id.0, e.to_string())),
+                            }
+                        }
+                        Lookup::Miss(_) => {
+                            let fit_start = Instant::now();
+                            match forecaster.fit(&s.series) {
+                                Ok(boxed) => {
+                                    let fit_wall = fit_start.elapsed();
+                                    let fitted: Arc<dyn FittedModel> = Arc::from(boxed);
+                                    match fitted.predict(horizon) {
+                                        Ok(pred) => {
+                                            let update = CacheUpdate::new(
+                                                key,
+                                                fingerprint,
+                                                class,
+                                                Arc::clone(&fitted),
+                                                &s.series,
+                                                fit_wall,
+                                            );
+                                            Ok((
+                                                doc_of(pred),
+                                                CacheOutcome::Fresh(Box::new(update)),
+                                            ))
+                                        }
+                                        Err(ForecastError::InsufficientHistory { .. }) => {
+                                            Ok((None, CacheOutcome::Bypass))
+                                        }
+                                        Err(e) => Err((s.id.0, e.to_string())),
+                                    }
+                                }
+                                Err(ForecastError::InsufficientHistory { .. }) => {
+                                    Ok((None, CacheOutcome::Bypass))
+                                }
+                                Err(e) => Err((s.id.0, e.to_string())),
+                            }
+                        }
+                    }
+                });
             profile.record(self.obs.registry(), "train-infer");
             Ok(results)
         });
@@ -617,12 +729,26 @@ impl AmlPipeline {
         match trained.outcome {
             Ok(results) => {
                 let mut poison: Vec<(u64, String)> = Vec::new();
+                let mut updates: Vec<CacheUpdate> = Vec::new();
+                let mut hit_keys: Vec<String> = Vec::new();
                 for r in results {
                     match r {
-                        Ok(Some(doc)) => predictions.push(doc),
-                        Ok(None) => {}
+                        Ok((doc, outcome)) => {
+                            if let Some(doc) = doc {
+                                predictions.push(doc);
+                            }
+                            match outcome {
+                                CacheOutcome::Hit(key) => hit_keys.push(key),
+                                CacheOutcome::Fresh(update) => updates.push(*update),
+                                CacheOutcome::Bypass => {}
+                            }
+                        }
                         Err(p) => poison.push(p),
                     }
+                }
+                if warm {
+                    // Serial, item-ordered commit: deterministic recency.
+                    self.cache.commit(vt, updates, &hit_keys);
                 }
                 if !poison.is_empty() {
                     // Skip-and-quarantine: poison batches go to the
@@ -833,9 +959,97 @@ impl AmlPipeline {
         let _ = self.docs.upsert(collections::RUNS, &id, report);
     }
 
+    /// Runs one week for every region, fanning the regions out across the
+    /// worker pool (each region's per-server stages then share the same
+    /// pool via nested parallel maps).
+    ///
+    /// Every region executes against a scratch [`Obs`] handle and a
+    /// recording [`IncidentManager`]; the other services (doc store, model
+    /// registry, breaker, warm cache) are shared, and every cross-region
+    /// touch point is region-keyed, so concurrent runs cannot observe each
+    /// other. After the join the scratch handles are absorbed in region
+    /// *input* order, which makes metrics, span ids, and the incident log —
+    /// and therefore [`Obs::stable_export`] — byte-identical regardless of
+    /// thread count or completion order. Reports come back in region input
+    /// order.
+    pub fn run_fleet_week(
+        &self,
+        regions: &[String],
+        week_start_day: i64,
+    ) -> Vec<PipelineRunReport> {
+        let scratch: Vec<AmlPipeline> = regions
+            .iter()
+            .map(|_| AmlPipeline {
+                obs: Obs::new(),
+                incidents: IncidentManager::recording(),
+                ..self.clone()
+            })
+            .collect();
+        let indices: Vec<usize> = (0..regions.len()).collect();
+        let reports = parallel_map(&indices, self.config.threads, |&i| {
+            scratch[i].run_region_week(&regions[i], week_start_day)
+        });
+        for view in &scratch {
+            self.obs.absorb(&view.obs);
+            self.incidents.absorb(&view.incidents);
+        }
+        // Orchestrator barrier: evictions and the metrics mirror run once,
+        // after every region committed, so they see the same cache state no
+        // matter how the week was scheduled.
+        if self.config.warm_cache {
+            self.cache.evict_to_capacity();
+            self.export_cache_metrics();
+        }
+        reports
+    }
+
+    /// Mirrors the warm cache's counters into the metrics registry.
+    ///
+    /// Uses idempotent stores (not increments) because the cache is shared
+    /// across every pipeline clone: exporting at the orchestrator barrier
+    /// keeps the registry consistent even though per-region scratch
+    /// registries are absorbed additively.
+    pub fn export_cache_metrics(&self) {
+        let stats = self.cache.stats();
+        let registry = self.obs.registry();
+        registry
+            .counter("seagull_model_cache_hits_total", &[])
+            .store(stats.hits);
+        for (reason, n) in [
+            ("cold", stats.misses_cold),
+            ("fingerprint", stats.invalidated_fingerprint),
+            ("class", stats.invalidated_class),
+            ("drift", stats.invalidated_drift),
+        ] {
+            registry
+                .counter("seagull_model_cache_misses_total", &[("reason", reason)])
+                .store(n);
+        }
+        registry
+            .counter("seagull_model_cache_evictions_total", &[])
+            .store(stats.evictions);
+        registry
+            .gauge("seagull_model_cache_entries", &[])
+            .set(self.cache.len() as f64);
+        registry
+            .gauge("seagull_model_cache_hit_rate", &[])
+            .set(stats.hit_rate());
+        // Wall-clock derived, hence volatile (excluded from stable exports).
+        registry
+            .gauge_with(
+                "seagull_model_cache_saved_wall_seconds",
+                &[],
+                Stability::Volatile,
+            )
+            .set(stats.saved_wall.as_secs_f64());
+    }
+
     /// The weekly scheduler: runs every region for each week in order,
     /// returning all run reports (Section 2.2's Pipeline Scheduler on a
-    /// simulated clock).
+    /// simulated clock). Weeks are sequential barriers; the regions within
+    /// a week run through [`AmlPipeline::run_fleet_week`], whose
+    /// deterministic merge keeps the outputs identical to a fully
+    /// sequential schedule.
     pub fn run_schedule(
         &self,
         regions: &[String],
@@ -843,9 +1057,7 @@ impl AmlPipeline {
     ) -> Vec<PipelineRunReport> {
         let mut reports = Vec::with_capacity(regions.len() * week_start_days.len());
         for &week in week_start_days {
-            for region in regions {
-                reports.push(self.run_region_week(region, week));
-            }
+            reports.extend(self.run_fleet_week(regions, week));
         }
         reports
     }

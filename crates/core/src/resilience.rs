@@ -467,17 +467,31 @@ impl CircuitBreaker {
     pub fn publish_state(&self, registry: &Registry) {
         let map = self.inner.read();
         for (key, ks) in map.iter() {
-            let labels = [("region", key.as_str())];
-            registry
-                .gauge("seagull_breaker_state", &labels)
-                .set(ks.state.gauge_value());
-            registry
-                .gauge("seagull_breaker_consecutive_failures", &labels)
-                .set(f64::from(ks.consecutive_failures));
-            registry
-                .gauge("seagull_breaker_trips", &labels)
-                .set(f64::from(ks.trips));
+            Self::publish_key(registry, key, ks);
         }
+    }
+
+    /// Publishes one key's state (same gauges as
+    /// [`CircuitBreaker::publish_state`]). Concurrent region runs use this
+    /// so a run never exports a mid-flight snapshot of *another* region's
+    /// breaker, which would make the merged registry depend on scheduling.
+    pub fn publish_region(&self, registry: &Registry, key: &str) {
+        let map = self.inner.read();
+        let ks = map.get(key).copied().unwrap_or_else(KeyState::closed);
+        Self::publish_key(registry, key, &ks);
+    }
+
+    fn publish_key(registry: &Registry, key: &str, ks: &KeyState) {
+        let labels = [("region", key)];
+        registry
+            .gauge("seagull_breaker_state", &labels)
+            .set(ks.state.gauge_value());
+        registry
+            .gauge("seagull_breaker_consecutive_failures", &labels)
+            .set(f64::from(ks.consecutive_failures));
+        registry
+            .gauge("seagull_breaker_trips", &labels)
+            .set(f64::from(ks.trips));
     }
 }
 

@@ -1,0 +1,516 @@
+//! Warm-model cache: skip re-selection and re-fit for servers whose series
+//! did not materially change since the last run.
+//!
+//! The pipeline re-fits every server every week, but most fleet series are
+//! stable week over week (that is the paper's core observation — low-load
+//! windows recur). [`ModelCache`] keeps the last fitted model per server,
+//! keyed by a fingerprint of the quantized series bytes plus the server's
+//! classification label. A lookup hits when
+//!
+//! * the fingerprint and classification are unchanged (byte-identical
+//!   input ⇒ identical fit), or
+//! * the server is classified *stable*, the new history has the same shape,
+//!   and [`crate::diagnostics::series_drift`] does not flag a level/scale
+//!   shift against the statistics captured at fit time.
+//!
+//! Reuse across weeks is sound because every forecaster here anchors its
+//! prediction at `history.end()` and is translation-equivariant under
+//! whole-week shifts (day-of-week and minute-of-day structure is
+//! preserved); the caller re-anchors the cached model's output with
+//! `TimeSeries::shifted(shift_min)`. A hit therefore requires the new
+//! history to start an exact multiple of [`MINUTES_PER_WEEK`] after the
+//! cached one.
+//!
+//! ## Determinism under parallelism
+//!
+//! Lookups are read-only and run inside the parallel train stage; mutations
+//! are batched: the caller commits updates *serially in item order* after
+//! the parallel region joins ([`ModelCache::commit`]), and evictions happen
+//! only at orchestrator barriers ([`ModelCache::evict_to_capacity`]).
+//! Recency is stamped with the caller's scheduler tick, with ties broken by
+//! key, so cache state — and thus every hit/miss counter — is a pure
+//! function of the input data, independent of thread count and region
+//! completion order.
+
+use crate::diagnostics::series_drift;
+use crate::FittedModel;
+use seagull_timeseries::{TimeSeries, MINUTES_PER_WEEK};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Default capacity: comfortably above any bench fleet, small enough that
+/// eviction is exercised by tests.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct CacheEntry {
+    fingerprint: u64,
+    class: String,
+    fitted: Arc<dyn FittedModel>,
+    /// Training-history grid, for shape checks and week-shift re-anchoring.
+    start_min: i64,
+    step_min: u32,
+    len: usize,
+    /// Summary statistics of the training history, the drift baseline.
+    mean: f64,
+    std: f64,
+    /// Wall time the original cold fit took; credited to
+    /// [`CacheStats::saved_wall`] on every hit.
+    fit_wall: Duration,
+    /// Recency stamp: scheduler tick of the last touch (hit or insert).
+    stamp: u64,
+}
+
+/// Why a lookup missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissReason {
+    /// No entry for this server yet.
+    Cold,
+    /// Fingerprint changed (or the history grid/shape changed) and the
+    /// series is not eligible for stable reuse.
+    Fingerprint,
+    /// The server's classification label changed.
+    Class,
+    /// Stable reuse was considered but diagnostics flagged drift.
+    Drift,
+}
+
+/// A successful lookup: the cached fitted model plus how far (in minutes)
+/// its prediction must be shifted to anchor at the new history's end.
+pub struct CachedFit {
+    pub fitted: Arc<dyn FittedModel>,
+    pub shift_min: i64,
+}
+
+/// Outcome of [`ModelCache::lookup`].
+pub enum Lookup {
+    Hit(CachedFit),
+    Miss(MissReason),
+}
+
+/// A deferred insert, produced on a miss and applied by
+/// [`ModelCache::commit`] after the parallel region joins.
+pub struct CacheUpdate {
+    key: String,
+    fingerprint: u64,
+    class: String,
+    fitted: Arc<dyn FittedModel>,
+    start_min: i64,
+    step_min: u32,
+    len: usize,
+    mean: f64,
+    std: f64,
+    fit_wall: Duration,
+}
+
+impl CacheUpdate {
+    pub fn new(
+        key: impl Into<String>,
+        fingerprint: u64,
+        class: impl Into<String>,
+        fitted: Arc<dyn FittedModel>,
+        history: &TimeSeries,
+        fit_wall: Duration,
+    ) -> CacheUpdate {
+        let (mean, std) = mean_std(history.values());
+        CacheUpdate {
+            key: key.into(),
+            fingerprint,
+            class: class.into(),
+            fitted,
+            start_min: history.start().minutes(),
+            step_min: history.step_min(),
+            len: history.len(),
+            mean,
+            std,
+            fit_wall,
+        }
+    }
+}
+
+/// Point-in-time cache counters. All except `saved_wall` are deterministic
+/// for a given input stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses_cold: u64,
+    pub invalidated_fingerprint: u64,
+    pub invalidated_class: u64,
+    pub invalidated_drift: u64,
+    pub evictions: u64,
+    /// Cold-fit wall time skipped by hits (sum of the original fit cost of
+    /// every reused entry). Wall-clock derived: volatile.
+    pub saved_wall: Duration,
+}
+
+impl CacheStats {
+    pub fn misses(&self) -> u64 {
+        self.misses_cold
+            + self.invalidated_fingerprint
+            + self.invalidated_class
+            + self.invalidated_drift
+    }
+
+    /// Hits over total lookups; 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache of fitted models, shared across pipeline runs.
+pub struct ModelCache {
+    entries: RwLock<BTreeMap<String, CacheEntry>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses_cold: AtomicU64,
+    invalidated_fingerprint: AtomicU64,
+    invalidated_class: AtomicU64,
+    invalidated_drift: AtomicU64,
+    evictions: AtomicU64,
+    saved_wall_ns: AtomicU64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ModelCache {
+    pub fn new() -> ModelCache {
+        ModelCache::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> ModelCache {
+        ModelCache {
+            entries: RwLock::new(BTreeMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses_cold: AtomicU64::new(0),
+            invalidated_fingerprint: AtomicU64::new(0),
+            invalidated_class: AtomicU64::new(0),
+            invalidated_drift: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            saved_wall_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-only lookup, safe to call from inside a parallel region.
+    ///
+    /// `class` is the server's current classification label; `history` the
+    /// new training series. Recency is *not* updated here — report hits to
+    /// [`ModelCache::commit`] so recency moves deterministically.
+    pub fn lookup(&self, key: &str, fingerprint: u64, class: &str, history: &TimeSeries) -> Lookup {
+        let entries = self.entries.read().unwrap();
+        let Some(entry) = entries.get(key) else {
+            self.misses_cold.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss(MissReason::Cold);
+        };
+        if entry.class != class {
+            self.invalidated_class.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss(MissReason::Class);
+        }
+        let delta = history.start().minutes() - entry.start_min;
+        let shape_ok = entry.step_min == history.step_min()
+            && entry.len == history.len()
+            && delta >= 0
+            && delta % MINUTES_PER_WEEK == 0;
+        if !shape_ok {
+            self.invalidated_fingerprint.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss(MissReason::Fingerprint);
+        }
+        if entry.fingerprint == fingerprint {
+            self.record_hit(entry);
+            return Lookup::Hit(CachedFit {
+                fitted: Arc::clone(&entry.fitted),
+                shift_min: delta,
+            });
+        }
+        // Changed bytes: stable servers may still reuse the fit if the
+        // series has not drifted from the baseline captured at fit time.
+        if class == "stable" {
+            let verdict = series_drift(entry.mean, entry.std, history.values());
+            if !verdict.drifted {
+                self.record_hit(entry);
+                return Lookup::Hit(CachedFit {
+                    fitted: Arc::clone(&entry.fitted),
+                    shift_min: delta,
+                });
+            }
+            self.invalidated_drift.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss(MissReason::Drift);
+        }
+        self.invalidated_fingerprint.fetch_add(1, Ordering::Relaxed);
+        Lookup::Miss(MissReason::Fingerprint)
+    }
+
+    fn record_hit(&self, entry: &CacheEntry) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.saved_wall_ns
+            .fetch_add(entry.fit_wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Apply the batched outcome of one run: fresh fits are inserted (or
+    /// replace the stale entry) and hit keys have their recency bumped, all
+    /// stamped with `tick`. Call after the parallel region joins, passing
+    /// updates in item order. Does not evict — see
+    /// [`ModelCache::evict_to_capacity`].
+    pub fn commit(&self, tick: u64, updates: Vec<CacheUpdate>, hit_keys: &[String]) {
+        let mut entries = self.entries.write().unwrap();
+        for key in hit_keys {
+            if let Some(entry) = entries.get_mut(key) {
+                entry.stamp = entry.stamp.max(tick);
+            }
+        }
+        for u in updates {
+            entries.insert(
+                u.key,
+                CacheEntry {
+                    fingerprint: u.fingerprint,
+                    class: u.class,
+                    fitted: u.fitted,
+                    start_min: u.start_min,
+                    step_min: u.step_min,
+                    len: u.len,
+                    mean: u.mean,
+                    std: u.std,
+                    fit_wall: u.fit_wall,
+                    stamp: tick,
+                },
+            );
+        }
+    }
+
+    /// Evict least-recently-used entries (oldest stamp, ties broken by key)
+    /// until `len() <= capacity`. Deterministic: call from orchestrator
+    /// barriers, never concurrently with lookups whose outcome should not
+    /// depend on other regions' progress.
+    pub fn evict_to_capacity(&self) {
+        let mut entries = self.entries.write().unwrap();
+        while entries.len() > self.capacity {
+            let victim = entries
+                .iter()
+                .min_by(|(ka, ea), (kb, eb)| ea.stamp.cmp(&eb.stamp).then_with(|| ka.cmp(kb)))
+                .map(|(key, _)| key.clone())
+                .expect("non-empty map above capacity");
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether an entry exists for `key` (any fingerprint/class).
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.read().unwrap().contains_key(key)
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses_cold: self.misses_cold.load(Ordering::Relaxed),
+            invalidated_fingerprint: self.invalidated_fingerprint.load(Ordering::Relaxed),
+            invalidated_class: self.invalidated_class.load(Ordering::Relaxed),
+            invalidated_drift: self.invalidated_drift.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            saved_wall: Duration::from_nanos(self.saved_wall_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForecastError;
+    use seagull_timeseries::Timestamp;
+
+    struct DummyFit {
+        value: f64,
+        anchor: Timestamp,
+        step_min: u32,
+    }
+
+    impl FittedModel for DummyFit {
+        fn predict(&self, horizon: usize) -> Result<TimeSeries, ForecastError> {
+            Ok(
+                TimeSeries::from_fn(self.anchor, self.step_min, horizon, |_| self.value)
+                    .map_err(ForecastError::Series)?,
+            )
+        }
+    }
+
+    fn series(start_week: i64, value: f64) -> TimeSeries {
+        TimeSeries::from_fn(
+            Timestamp::from_minutes(start_week * MINUTES_PER_WEEK),
+            30,
+            7 * 48,
+            |_| value,
+        )
+        .unwrap()
+    }
+
+    fn update(key: &str, fp: u64, class: &str, history: &TimeSeries) -> CacheUpdate {
+        let fitted: Arc<dyn FittedModel> = Arc::new(DummyFit {
+            value: 1.0,
+            anchor: history.end(),
+            step_min: history.step_min(),
+        });
+        CacheUpdate::new(key, fp, class, fitted, history, Duration::from_millis(5))
+    }
+
+    #[test]
+    fn cold_then_hit_on_same_fingerprint_next_week() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 10.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "daily-pattern", &week0),
+            Lookup::Miss(MissReason::Cold)
+        ));
+        cache.commit(0, vec![update("a/s1", 42, "daily-pattern", &week0)], &[]);
+
+        let week1 = series(1, 10.0);
+        match cache.lookup("a/s1", 42, "daily-pattern", &week1) {
+            Lookup::Hit(hit) => assert_eq!(hit.shift_min, MINUTES_PER_WEEK),
+            Lookup::Miss(r) => panic!("expected hit, got {r:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses_cold, 1);
+        assert_eq!(stats.saved_wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fingerprint_and_class_changes_invalidate() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 10.0);
+        cache.commit(0, vec![update("a/s1", 42, "daily-pattern", &week0)], &[]);
+        let week1 = series(1, 10.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 43, "daily-pattern", &week1),
+            Lookup::Miss(MissReason::Fingerprint)
+        ));
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "no-pattern", &week1),
+            Lookup::Miss(MissReason::Class)
+        ));
+        let stats = cache.stats();
+        assert_eq!(stats.invalidated_fingerprint, 1);
+        assert_eq!(stats.invalidated_class, 1);
+    }
+
+    #[test]
+    fn stable_class_reuses_until_drift() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 100.0);
+        cache.commit(0, vec![update("a/s1", 42, "stable", &week0)], &[]);
+        // Slightly different bytes, same level: stable reuse.
+        let week1 = series(1, 100.0001);
+        assert!(matches!(
+            cache.lookup("a/s1", 99, "stable", &week1),
+            Lookup::Hit(_)
+        ));
+        // Level shift well past the drift gate: refit.
+        let drifted = series(2, 500.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 7, "stable", &drifted),
+            Lookup::Miss(MissReason::Drift)
+        ));
+        assert_eq!(cache.stats().invalidated_drift, 1);
+    }
+
+    #[test]
+    fn misaligned_or_reshaped_history_misses() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 10.0);
+        cache.commit(0, vec![update("a/s1", 42, "stable", &week0)], &[]);
+        // Start not a whole-week multiple ahead.
+        let misaligned = TimeSeries::from_fn(
+            Timestamp::from_minutes(MINUTES_PER_WEEK + 1440),
+            30,
+            7 * 48,
+            |_| 10.0,
+        )
+        .unwrap();
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "stable", &misaligned),
+            Lookup::Miss(MissReason::Fingerprint)
+        ));
+        // Different length.
+        let reshaped = TimeSeries::from_fn(
+            Timestamp::from_minutes(MINUTES_PER_WEEK),
+            30,
+            6 * 48,
+            |_| 10.0,
+        )
+        .unwrap();
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "stable", &reshaped),
+            Lookup::Miss(MissReason::Fingerprint)
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_stamp_then_smallest_key() {
+        let cache = ModelCache::with_capacity(2);
+        let week0 = series(0, 1.0);
+        cache.commit(0, vec![update("k/a", 1, "stable", &week0)], &[]);
+        cache.commit(1, vec![update("k/b", 2, "stable", &week0)], &[]);
+        cache.commit(2, vec![update("k/c", 3, "stable", &week0)], &[]);
+        cache.evict_to_capacity();
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains("k/a"), "oldest stamp evicted");
+        assert!(cache.contains("k/b") && cache.contains("k/c"));
+        assert_eq!(cache.stats().evictions, 1);
+
+        // A hit bumps recency: k/b survives the next eviction.
+        cache.commit(3, Vec::new(), &["k/b".to_string()]);
+        cache.commit(4, vec![update("k/d", 4, "stable", &week0)], &[]);
+        cache.evict_to_capacity();
+        assert!(cache.contains("k/b"));
+        assert!(!cache.contains("k/c"));
+    }
+
+    #[test]
+    fn hit_prediction_reanchors_with_shift() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 10.0);
+        cache.commit(0, vec![update("a/s1", 42, "stable", &week0)], &[]);
+        let week2 = series(2, 10.0);
+        let Lookup::Hit(hit) = cache.lookup("a/s1", 42, "stable", &week2) else {
+            panic!("expected hit");
+        };
+        let pred = hit
+            .fitted
+            .predict(48)
+            .unwrap()
+            .shifted(hit.shift_min)
+            .unwrap();
+        assert_eq!(pred.start(), week2.end());
+    }
+}

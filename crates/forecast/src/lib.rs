@@ -23,6 +23,7 @@
 
 pub mod additive;
 pub mod arima;
+pub mod cache;
 pub mod diagnostics;
 pub mod feedforward;
 pub mod persistent;
@@ -34,7 +35,8 @@ use std::fmt;
 
 pub use additive::{AdditiveConfig, AdditiveForecaster};
 pub use arima::{ArimaConfig, ArimaForecaster, ArimaOrder};
-pub use diagnostics::{acf, ljung_box, pacf, suggest_orders, LjungBox};
+pub use cache::{CacheStats, CacheUpdate, CachedFit, Lookup, MissReason, ModelCache};
+pub use diagnostics::{acf, ljung_box, pacf, series_drift, suggest_orders, DriftVerdict, LjungBox};
 pub use feedforward::{FeedForwardConfig, FeedForwardForecaster};
 pub use persistent::{PersistentForecast, PersistentVariant};
 pub use select::{detect_pattern, ClassAwareForecaster, HistoryPattern, PatternThresholds};

@@ -85,7 +85,10 @@ impl Forecaster for SsaForecaster {
         // No centering: the DC level is captured by the leading eigentriple,
         // keeping the linear recurrence valid on the raw signal.
         let traj = hankel_matrix(history.values(), l);
-        let svd = thin_svd(&traj)?;
+        let svd_result = thin_svd(&traj);
+        let traj_cols = traj.cols();
+        traj.recycle();
+        let svd = svd_result?;
 
         // Pick the signal subspace by cumulative energy.
         let total: f64 = svd.sigma.iter().map(|s| s * s).sum();
@@ -135,7 +138,7 @@ impl Forecaster for SsaForecaster {
         // denoised values.
         let approx: Matrix = {
             // U_r diag(sigma_r) V_rᵀ done column block at a time.
-            let mut m = Matrix::zeros(l, traj.cols());
+            let mut m = Matrix::zeros_pooled(l, traj_cols);
             for c in 0..rank {
                 let s = svd.sigma[c];
                 for i in 0..l {
@@ -152,6 +155,9 @@ impl Forecaster for SsaForecaster {
             m
         };
         let signal = hankelize(&approx);
+        approx.recycle();
+        svd.u.recycle();
+        svd.v.recycle();
 
         Ok(Box::new(FittedSsa {
             signal,
@@ -285,6 +291,25 @@ mod tests {
         for v in pred.values() {
             assert!((0.0..=100.0).contains(v));
         }
+    }
+
+    #[test]
+    fn repeated_fits_reuse_scratch_buffers() {
+        let hist = daily_sine(3, 15);
+        let model = SsaForecaster::new(SsaConfig {
+            window: 48,
+            energy: 0.999,
+            max_rank: 8,
+        });
+        // First fit seeds this thread's pool; later fits draw from it.
+        model.fit(&hist).unwrap();
+        let before = seagull_linalg::scratch::stats();
+        model.fit(&hist).unwrap();
+        let after = seagull_linalg::scratch::stats();
+        assert!(
+            after.reuses > before.reuses,
+            "second fit reused no scratch buffers ({before:?} -> {after:?})"
+        );
     }
 
     #[test]

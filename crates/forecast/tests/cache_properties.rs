@@ -1,0 +1,163 @@
+//! Property-based tests for the warm-model cache: LRU eviction order and
+//! capacity bound, invalidation invariants (fingerprint/class), and the
+//! hit/miss accounting identity, under arbitrary commit/lookup sequences.
+
+use proptest::prelude::*;
+use seagull_forecast::{CacheUpdate, FittedModel, ForecastError, Lookup, MissReason, ModelCache};
+use seagull_timeseries::{TimeSeries, Timestamp, MINUTES_PER_WEEK};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct DummyFit {
+    anchor: Timestamp,
+    step_min: u32,
+}
+
+impl FittedModel for DummyFit {
+    fn predict(&self, horizon: usize) -> Result<TimeSeries, ForecastError> {
+        TimeSeries::from_fn(self.anchor, self.step_min, horizon, |_| 1.0)
+            .map_err(ForecastError::Series)
+    }
+}
+
+/// One whole week of 30-minute samples starting `start_week` weeks in.
+fn series(start_week: i64, value: f64) -> TimeSeries {
+    TimeSeries::from_fn(
+        Timestamp::from_minutes(start_week * MINUTES_PER_WEEK),
+        30,
+        7 * 48,
+        |_| value,
+    )
+    .unwrap()
+}
+
+fn update(key: &str, fingerprint: u64, class: &str, history: &TimeSeries) -> CacheUpdate {
+    let fitted: Arc<dyn FittedModel> = Arc::new(DummyFit {
+        anchor: history.end(),
+        step_min: history.step_min(),
+    });
+    CacheUpdate::new(
+        key,
+        fingerprint,
+        class,
+        fitted,
+        history,
+        Duration::from_millis(1),
+    )
+}
+
+/// A synthetic commit schedule: (key index, tick order is the vec order).
+fn inserts_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..24, 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After eviction the cache never exceeds capacity, the eviction counter
+    /// equals the number of entries dropped, and the survivors are exactly
+    /// the most-recently-stamped keys (ties broken toward larger keys,
+    /// since eviction removes the smallest key among the oldest stamps).
+    #[test]
+    fn eviction_respects_capacity_and_lru_order(
+        inserts in inserts_strategy(),
+        capacity in 1usize..12,
+    ) {
+        let cache = ModelCache::with_capacity(capacity);
+        let week = series(0, 10.0);
+        // Later commits of the same key overwrite and re-stamp it.
+        let mut last_stamp = std::collections::BTreeMap::new();
+        for (tick, &k) in inserts.iter().enumerate() {
+            let key = format!("r/{k:02}");
+            cache.commit(tick as u64, vec![update(&key, u64::from(k), "stable", &week)], &[]);
+            last_stamp.insert(key, tick as u64);
+        }
+        let before = cache.len();
+        cache.evict_to_capacity();
+        prop_assert!(cache.len() <= capacity);
+        prop_assert_eq!(
+            cache.stats().evictions as usize,
+            before.saturating_sub(capacity.min(before))
+        );
+
+        // Reference model: survivors = top-capacity by (stamp desc, key desc).
+        let mut ranked: Vec<(&String, &u64)> = last_stamp.iter().map(|(k, s)| (k, s)).collect();
+        ranked.sort_by(|(ka, sa), (kb, sb)| sb.cmp(sa).then_with(|| kb.cmp(ka)));
+        for (i, (key, _)) in ranked.iter().enumerate() {
+            prop_assert_eq!(
+                cache.contains(key),
+                i < capacity,
+                "key {} rank {} capacity {}", key, i, capacity
+            );
+        }
+    }
+
+    /// Invalidation invariants: a changed class label never hits; changed
+    /// bytes never hit for a non-stable class; an unchanged fingerprint with
+    /// whole-week alignment always hits. The accounting identity
+    /// `lookups == hits + misses` holds throughout.
+    #[test]
+    fn invalidation_and_accounting_invariants(
+        fingerprint in any::<u64>(),
+        other_fingerprint in any::<u64>(),
+        class_idx in 0usize..3,
+        weeks_ahead in 0i64..5,
+    ) {
+        let classes = ["daily-pattern", "weekly-pattern", "no-pattern"];
+        let class = classes[class_idx];
+        let cache = ModelCache::new();
+        let week0 = series(0, 50.0);
+        cache.commit(0, vec![update("a/s", fingerprint, class, &week0)], &[]);
+
+        let later = series(weeks_ahead, 50.0);
+        // Same fingerprint, same class, week-aligned: always a hit.
+        match cache.lookup("a/s", fingerprint, class, &later) {
+            Lookup::Hit(hit) => {
+                prop_assert_eq!(hit.shift_min, weeks_ahead * MINUTES_PER_WEEK)
+            }
+            Lookup::Miss(r) => prop_assert!(false, "expected hit, got {r:?}"),
+        }
+        // Changed class: always a class miss.
+        prop_assert!(matches!(
+            cache.lookup("a/s", fingerprint, "stable", &later),
+            Lookup::Miss(MissReason::Class)
+        ));
+        // Changed fingerprint on a non-stable class: fingerprint miss.
+        if other_fingerprint != fingerprint {
+            prop_assert!(matches!(
+                cache.lookup("a/s", other_fingerprint, class, &later),
+                Lookup::Miss(MissReason::Fingerprint)
+            ));
+        }
+        // Unknown key: cold miss.
+        prop_assert!(matches!(
+            cache.lookup("a/other", fingerprint, class, &later),
+            Lookup::Miss(MissReason::Cold)
+        ));
+
+        let stats = cache.stats();
+        let lookups = 3 + u64::from(other_fingerprint != fingerprint);
+        prop_assert_eq!(stats.hits + stats.misses(), lookups);
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.misses_cold, 1);
+    }
+
+    /// Commit is idempotent on contents: re-committing the same update keeps
+    /// exactly one entry per key, and hit-key recency bumps never grow the
+    /// cache.
+    #[test]
+    fn commit_never_duplicates_keys(
+        keys in proptest::collection::vec(0u8..10, 1..40),
+    ) {
+        let cache = ModelCache::new();
+        let week = series(0, 5.0);
+        let mut distinct = std::collections::BTreeSet::new();
+        for (tick, &k) in keys.iter().enumerate() {
+            let key = format!("r/{k}");
+            cache.commit(tick as u64, vec![update(&key, 9, "stable", &week)], &[]);
+            cache.commit(tick as u64, Vec::new(), &[key.clone()]);
+            distinct.insert(key);
+        }
+        prop_assert_eq!(cache.len(), distinct.len());
+    }
+}

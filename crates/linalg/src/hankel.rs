@@ -16,7 +16,14 @@ pub fn hankel_matrix(series: &[f64], window: usize) -> Matrix {
     );
     let l = window;
     let k = series.len() - window + 1;
-    Matrix::from_fn(l, k, |i, j| series[i + j])
+    // Row i is the contiguous window series[i..i+k]; filling row-wise from
+    // a pooled buffer keeps the embed allocation-free in batched fits
+    // (recycle the matrix after use to close the loop).
+    let mut data = crate::scratch::take(l * k);
+    for i in 0..l {
+        data.extend_from_slice(&series[i..i + k]);
+    }
+    Matrix::from_rows(l, k, data)
 }
 
 /// Inverse of the Hankel embedding: averages the anti-diagonals of an

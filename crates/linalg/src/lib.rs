@@ -17,11 +17,13 @@
 pub mod eigen;
 pub mod hankel;
 pub mod matrix;
+pub mod scratch;
 pub mod solve;
 pub mod svd;
 
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use hankel::{hankel_matrix, hankelize};
 pub use matrix::{LinalgError, Matrix};
+pub use scratch::ScratchStats;
 pub use solve::{cholesky_solve, least_squares, ridge_regression};
 pub use svd::{thin_svd, ThinSvd};

@@ -59,6 +59,22 @@ impl Matrix {
         }
     }
 
+    /// Like [`Matrix::zeros`], but backed by a recycled buffer from this
+    /// thread's [`crate::scratch`] pool when one is available. Pair with
+    /// [`Matrix::recycle`] in batched hot loops.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        let mut data = crate::scratch::take(n);
+        data.resize(n, 0.0);
+        Matrix { rows, cols, data }
+    }
+
+    /// Consumes the matrix and returns its backing store to this thread's
+    /// [`crate::scratch`] pool.
+    pub fn recycle(self) {
+        crate::scratch::recycle(self.data);
+    }
+
     /// Creates the identity matrix of size `n`.
     pub fn identity(n: usize) -> Matrix {
         let mut m = Matrix::zeros(n, n);
@@ -126,9 +142,9 @@ impl Matrix {
         &self.data
     }
 
-    /// The transpose.
+    /// The transpose (pool-backed; recycle it in hot loops).
     pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.cols, self.rows);
+        let mut t = Matrix::zeros_pooled(self.cols, self.rows);
         for i in 0..self.rows {
             let row = self.row(i);
             for (j, &v) in row.iter().enumerate() {
@@ -181,7 +197,7 @@ impl Matrix {
     /// materializing the transpose.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
-        let mut g = Matrix::zeros(n, n);
+        let mut g = Matrix::zeros_pooled(n, n);
         for r in 0..self.rows {
             let row = self.row(r);
             for i in 0..n {

@@ -65,7 +65,9 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
     }
     if n <= m {
         // Eigen of AᵀA (n×n): V and sigma, then U = A V / sigma.
-        let eig = symmetric_eigen(&a.gram(), 100)?;
+        let gram = a.gram();
+        let eig = symmetric_eigen(&gram, 100)?;
+        gram.recycle();
         let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let v = eig.vectors; // n×n, columns are right singular vectors.
         let mut u = Matrix::zeros(m, k);
@@ -80,6 +82,7 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
             }
         }
         let v_thin = Matrix::from_fn(n, k, |i, j| v[(i, j)]);
+        v.recycle();
         Ok(ThinSvd {
             u,
             sigma: sigma[..k].to_vec(),
@@ -87,11 +90,12 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
         })
     } else {
         // Eigen of AAᵀ (m×m): U and sigma, then V = Aᵀ U / sigma.
-        let aat = a.transpose().gram(); // (Aᵀ)ᵀ(Aᵀ) = A Aᵀ, m×m.
+        let at = a.transpose();
+        let aat = at.gram(); // (Aᵀ)ᵀ(Aᵀ) = A Aᵀ, m×m.
         let eig = symmetric_eigen(&aat, 100)?;
+        aat.recycle();
         let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let u = eig.vectors; // m×m.
-        let at = a.transpose();
         let mut v = Matrix::zeros(n, k);
         for c in 0..k {
             let uc = u.col(c);
@@ -103,7 +107,9 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
                 }
             }
         }
+        at.recycle();
         let u_thin = Matrix::from_fn(m, k, |i, j| u[(i, j)]);
+        u.recycle();
         Ok(ThinSvd {
             u: u_thin,
             sigma: sigma[..k].to_vec(),

@@ -70,6 +70,18 @@ impl Obs {
         out
     }
 
+    /// Fold another `Obs` into this one: counters add, gauges take the
+    /// other's latest value, histograms merge, and spans are appended with
+    /// remapped ids (see [`Registry::absorb`] and [`Tracer::absorb`]).
+    ///
+    /// Used by the fleet orchestrator to merge per-region scratch handles in
+    /// region input order, keeping [`Obs::stable_export`] independent of
+    /// which region finished first.
+    pub fn absorb(&self, other: &Obs) {
+        self.registry.absorb(&other.registry);
+        self.tracer.absorb(&other.tracer);
+    }
+
     /// Full export including volatile metrics and span wall times.
     pub fn full_export(&self) -> String {
         let mut out = export::to_prometheus(&self.registry.snapshot());

@@ -433,6 +433,52 @@ impl Registry {
             .filter(|s| s.stability == Stability::Stable)
             .collect()
     }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's latest value, histograms merge bucket tallies. Stability is
+    /// taken from the other registry when the metric is first seen here.
+    ///
+    /// This is the metrics half of determinism-by-merge: concurrent region
+    /// runs record into private scratch registries, which the orchestrator
+    /// absorbs in region input order so the merged export is independent of
+    /// completion order.
+    pub fn absorb(&self, other: &Registry) {
+        let entries: Vec<(MetricId, Stability, Metric)> = {
+            let metrics = other.metrics.lock().unwrap();
+            metrics
+                .iter()
+                .map(|(id, entry)| {
+                    let metric = match &entry.metric {
+                        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+                        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+                        Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+                    };
+                    (id.clone(), entry.stability, metric)
+                })
+                .collect()
+        };
+        for (id, stability, metric) in entries {
+            let labels: Vec<(&str, &str)> = id
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match metric {
+                Metric::Counter(theirs) => {
+                    self.counter_with(&id.name, &labels, stability)
+                        .add(theirs.get());
+                }
+                Metric::Gauge(theirs) => {
+                    self.gauge_with(&id.name, &labels, stability)
+                        .set(theirs.get());
+                }
+                Metric::Histogram(theirs) => {
+                    self.histogram_with(&id.name, &labels, stability)
+                        .merge(&theirs);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -485,6 +531,43 @@ mod tests {
         h.observe(-3.0);
         assert_eq!(h.count(), 2);
         assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_each_metric_kind() {
+        let shared = Registry::new();
+        shared.counter("ops_total", &[("region", "a")]).add(2);
+        let scratch = Registry::new();
+        scratch.counter("ops_total", &[("region", "a")]).add(3);
+        scratch.gauge("depth", &[]).set(7.0);
+        scratch
+            .histogram_with("lat", &[], Stability::Volatile)
+            .observe(4.0);
+        shared.absorb(&scratch);
+        assert_eq!(shared.counter("ops_total", &[("region", "a")]).get(), 5);
+        assert_eq!(shared.gauge("depth", &[]).get(), 7.0);
+        let h = shared.histogram_with("lat", &[], Stability::Volatile);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 4.0);
+        // Stability carried over from the scratch registry.
+        let snap = shared.snapshot();
+        let lat = snap.iter().find(|s| s.id.name == "lat").unwrap();
+        assert_eq!(lat.stability, Stability::Volatile);
+    }
+
+    #[test]
+    fn absorb_in_fixed_order_is_deterministic() {
+        let run = |counts: &[u64]| {
+            let shared = Registry::new();
+            for (i, n) in counts.iter().enumerate() {
+                let scratch = Registry::new();
+                scratch.counter("c_total", &[]).add(*n);
+                scratch.gauge("last", &[]).set(i as f64);
+                shared.absorb(&scratch);
+            }
+            shared.snapshot()
+        };
+        assert_eq!(run(&[1, 2, 3]), run(&[1, 2, 3]));
     }
 
     #[test]

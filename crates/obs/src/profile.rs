@@ -53,15 +53,17 @@ impl ParallelProfile {
 
     /// Record this profile into `registry` under the given stage label.
     ///
-    /// Stable: item totals and worker count. Volatile: per-worker items,
-    /// busy/idle seconds, imbalance ratio (all scheduling-dependent).
+    /// Stable: item totals. Volatile: worker count (it mirrors the
+    /// configured thread count, and stable exports must compare equal across
+    /// thread counts), per-worker items, busy/idle seconds, imbalance ratio
+    /// (all scheduling-dependent).
     pub fn record(&self, registry: &Registry, stage: &str) {
         let labels = [("stage", stage)];
         registry
             .counter("seagull_parallel_items_total", &labels)
             .add(self.total_items());
         registry
-            .gauge("seagull_parallel_workers", &labels)
+            .gauge_with("seagull_parallel_workers", &labels, Stability::Volatile)
             .set(self.workers.len() as f64);
         registry
             .gauge_with(
@@ -153,7 +155,7 @@ mod tests {
                 .stability
         };
         assert_eq!(stability("seagull_parallel_items_total"), Stability::Stable);
-        assert_eq!(stability("seagull_parallel_workers"), Stability::Stable);
+        assert_eq!(stability("seagull_parallel_workers"), Stability::Volatile);
         assert_eq!(
             stability("seagull_parallel_imbalance_ratio"),
             Stability::Volatile

@@ -143,6 +143,29 @@ impl Tracer {
             .filter(|s| s.end_tick.is_some())
             .collect()
     }
+
+    /// Append every span of `other`, remapping ids (and parent links) past
+    /// this tracer's current range and reassigning `seq` to the new start
+    /// order. Wall durations and ticks are preserved.
+    ///
+    /// The tracing half of determinism-by-merge: concurrent region runs
+    /// trace into private scratch tracers, absorbed in region input order so
+    /// span ids/seq in the merged export do not depend on interleaving.
+    pub fn absorb(&self, other: &Tracer) {
+        let mut inner = self.inner.lock().unwrap();
+        let theirs = other.inner.lock().unwrap();
+        let base = inner.spans.len() as u64;
+        for active in &theirs.spans {
+            let mut record = active.record.clone();
+            record.id += base;
+            record.parent = record.parent.map(|p| p + base);
+            record.seq = record.id - 1;
+            inner.spans.push(ActiveSpan {
+                record,
+                started: active.started,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +203,30 @@ mod tests {
         let s = t.start("stage", &[], 5);
         t.end(s, 3);
         assert_eq!(t.spans()[0].end_tick, Some(5));
+    }
+
+    #[test]
+    fn absorb_remaps_ids_parents_and_seq() {
+        let shared = Tracer::new();
+        let existing = shared.start("main", &[], 0);
+        shared.end(existing, 1);
+
+        let scratch = Tracer::new();
+        let root = scratch.start("run-week", &[("region", "b")], 0);
+        let child = scratch.child(root, "ingestion", &[], 1);
+        scratch.end(child, 2);
+        scratch.end(root, 5);
+
+        shared.absorb(&scratch);
+        let spans = shared.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[1].id, 2);
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[2].id, 3);
+        assert_eq!(spans[2].parent, Some(2));
+        assert!(spans.iter().enumerate().all(|(i, s)| s.seq == i as u64));
+        assert_eq!(spans[2].tick_duration(), Some(1));
+        assert!(spans[2].wall.is_some());
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl fmt::Display for ColumnarError {
         match self {
             ColumnarError::NotColumnar => write!(f, "blob lacks the columnar magic"),
             ColumnarError::Truncated { expected, got } => {
-                write!(f, "columnar blob truncated: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "columnar blob truncated: expected {expected} bytes, got {got}"
+                )
             }
             ColumnarError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -322,7 +325,9 @@ impl ColumnarBatch {
         }
         let mut values = Vec::with_capacity(offset);
         for chunk in body[table_end..].chunks_exact(8) {
-            values.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+            values.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().unwrap(),
+            )));
         }
         Ok(ColumnarBatch {
             blocks,
@@ -497,7 +502,10 @@ mod tests {
                 s.id
             );
         }
-        assert_eq!(servers[0].default_backup_start, Timestamp::from_minutes(1440));
+        assert_eq!(
+            servers[0].default_backup_start,
+            Timestamp::from_minutes(1440)
+        );
         assert_eq!(servers[0].default_backup_end, Timestamp::from_minutes(1500));
     }
 

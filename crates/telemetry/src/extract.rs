@@ -231,11 +231,9 @@ impl RegionWeekBatch {
     pub fn rows(&self) -> usize {
         match self {
             RegionWeekBatch::Csv(batch) => batch.len(),
-            RegionWeekBatch::Columnar(batch) => batch
-                .values()
-                .iter()
-                .filter(|v| !v.is_nan())
-                .count(),
+            RegionWeekBatch::Columnar(batch) => {
+                batch.values().iter().filter(|v| !v.is_nan()).count()
+            }
         }
     }
 

@@ -198,7 +198,10 @@ impl TimeSeries {
         len: usize,
     ) -> Result<TimeSeries, TimeSeriesError> {
         Self::validate_grid(start, step_min)?;
-        if offset.checked_add(len).is_none_or(|end| end > storage.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > storage.len())
+        {
             return Err(TimeSeriesError::ViewOutOfBounds {
                 offset,
                 len,
@@ -362,7 +365,11 @@ impl TimeSeries {
 
     /// Resolves `[from, to)` to a `(start index, point count)` pair within
     /// the view, validating coverage and alignment.
-    fn view_range(&self, from: Timestamp, to: Timestamp) -> Result<(usize, usize), TimeSeriesError> {
+    fn view_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<(usize, usize), TimeSeriesError> {
         if to < from {
             return Err(TimeSeriesError::OutOfRange { requested: to });
         }
@@ -443,7 +450,11 @@ impl TimeSeries {
         if !self.is_empty() && tail.start != self.end() {
             return Err(TimeSeriesError::GridMismatch);
         }
-        let start = if self.is_empty() { tail.start } else { self.start };
+        let start = if self.is_empty() {
+            tail.start
+        } else {
+            self.start
+        };
         let mut values = Vec::with_capacity(self.len + tail.len);
         values.extend_from_slice(self.values());
         values.extend_from_slice(tail.values());
@@ -620,8 +631,8 @@ mod tests {
     #[test]
     fn from_shared_validates_bounds() {
         let storage: Arc<[f64]> = vec![1.0, 2.0, 3.0].into();
-        let v =
-            TimeSeries::from_shared(Timestamp::from_days(1), 5, Arc::clone(&storage), 1, 2).unwrap();
+        let v = TimeSeries::from_shared(Timestamp::from_days(1), 5, Arc::clone(&storage), 1, 2)
+            .unwrap();
         assert_eq!(v.values(), &[2.0, 3.0]);
         assert!(Arc::ptr_eq(v.storage(), &storage));
         assert!(matches!(

@@ -415,7 +415,10 @@ fn deploy_failure_mid_schedule_keeps_serving_last_known_good() {
         ..ResiliencePolicy::default()
     };
     let pipeline = AmlPipeline::with_resilience(PipelineConfig::production(), store, policy);
-    let reports = pipeline.run_schedule(&[region.clone()], &[start, bad_week, start + 14]);
+    let reports = pipeline.run_schedule(
+        std::slice::from_ref(&region),
+        &[start, bad_week, start + 14],
+    );
     assert_eq!(reports[0].deployed_version, Some(1));
 
     // Week 2: deployment hard-fails; the run degrades instead of erroring.

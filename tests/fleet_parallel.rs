@@ -1,0 +1,289 @@
+//! Fleet-parallelism integration tests: a same-seed fleet week must produce
+//! byte-identical outputs whether it runs on one worker thread or eight,
+//! and a regional outage must stay contained — the healthy region's outputs
+//! are unaffected by a sibling region failing mid-fleet-week.
+
+use seagull::core::fleet::FleetRunner;
+use seagull::core::pipeline::{collections, AmlPipeline, PipelineConfig, PipelineRunReport};
+use seagull::telemetry::blobstore::MemoryBlobStore;
+use seagull::telemetry::chaos::{ChaosBlobStore, ChaosConfig};
+use seagull::telemetry::extract::LoadExtraction;
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
+use serde_json::{json, Value};
+use std::sync::Arc;
+
+/// Two regions, `weeks` weeks of telemetry, extracted into a shared store.
+fn two_region_store(seed: u64, weeks: usize) -> (Arc<MemoryBlobStore>, Vec<String>, Vec<i64>) {
+    let mut spec = FleetSpec::small_region(seed);
+    spec.regions[0].servers = 8;
+    spec.regions.push(RegionSpec {
+        name: "region-b".into(),
+        servers: 8,
+    });
+    let start = spec.start_day;
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(weeks);
+    let store = Arc::new(MemoryBlobStore::new());
+    let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+    LoadExtraction::default()
+        .run(&fleet, &regions, &week_days, store.as_ref())
+        .unwrap();
+    (store, regions, week_days)
+}
+
+/// The comparable part of a run report — wall-clock stage durations are
+/// legitimately machine/thread dependent, everything else must match.
+fn semantic_report(report: &PipelineRunReport) -> Value {
+    json!({
+        "region": report.region,
+        "week_start_day": report.week_start_day,
+        "stages": report.stages.iter().map(|s| s.stage.clone()).collect::<Vec<_>>(),
+        "servers": report.servers,
+        "anomalies": report.anomalies,
+        "blocked": report.blocked,
+        "predictions_written": report.predictions_written,
+        "evaluations": report.evaluations,
+        "accuracy": report.accuracy,
+        "deployed_version": report.deployed_version,
+        "degraded": report.degraded,
+    })
+}
+
+/// Everything a schedule produces, canonicalized for byte equality: the
+/// semantic reports, every stored document (sorted by id), the incident
+/// log, and the stable metrics export.
+fn canonical_outputs(pipeline: &AmlPipeline, reports: &[PipelineRunReport]) -> String {
+    let mut docs = Vec::new();
+    for collection in [
+        collections::PREDICTIONS,
+        collections::ACCURACY,
+        collections::FEATURES,
+        collections::RUNS,
+        collections::DEAD_LETTER,
+    ] {
+        let mut ids = pipeline.docs.ids(collection);
+        ids.sort();
+        for id in ids {
+            if collection == collections::RUNS {
+                let run: PipelineRunReport = pipeline
+                    .docs
+                    .get(collection, &id)
+                    .expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), semantic_report(&run)));
+            } else {
+                let value: Value = pipeline
+                    .docs
+                    .get(collection, &id)
+                    .expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), value));
+            }
+        }
+    }
+    let incidents: Vec<Value> = pipeline
+        .incidents
+        .all()
+        .iter()
+        .map(|i| {
+            json!({
+                "severity": format!("{:?}", i.severity),
+                "source": i.source,
+                "region": i.region,
+                "key": i.message_key,
+                "count": i.count,
+            })
+        })
+        .collect();
+    json!({
+        "reports": reports.iter().map(semantic_report).collect::<Vec<_>>(),
+        "docs": docs,
+        "incidents": incidents,
+        "stable_export": pipeline.obs.stable_export(),
+    })
+    .to_string()
+}
+
+fn runner(store: &Arc<MemoryBlobStore>, regions: &[String], threads: usize) -> FleetRunner {
+    let config = PipelineConfig {
+        threads,
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(
+        config,
+        Arc::clone(store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+    );
+    FleetRunner::new(pipeline, regions.to_vec())
+}
+
+/// The headline determinism guarantee: a same-seed three-week schedule over
+/// two regions produces byte-identical canonical outputs (reports, stored
+/// documents, incident log, stable export) at threads=1 and threads=8,
+/// warm cache on — completion order must not leak anywhere.
+#[test]
+fn fleet_week_outputs_are_byte_identical_across_thread_counts() {
+    let (store, regions, week_days) = two_region_store(2024, 3);
+    let outputs: Vec<String> = [1usize, 8]
+        .iter()
+        .map(|&threads| {
+            let runner = runner(&store, &regions, threads);
+            let reports = runner.run_schedule(&week_days);
+            canonical_outputs(runner.pipeline(), &reports)
+        })
+        .collect();
+    assert_eq!(
+        outputs[0], outputs[1],
+        "threads=1 and threads=8 fleet schedules diverged"
+    );
+}
+
+/// An outage on region-a's extracted blobs must not perturb region-b: its
+/// report, predictions, and accuracy documents are identical to a run with
+/// no chaos at all, and only region-a is blocked.
+#[test]
+fn regional_outage_is_isolated_from_healthy_regions() {
+    let (store, regions, week_days) = two_region_store(77, 1);
+
+    // Baseline: no chaos.
+    let clean = runner(&store, &regions, 4);
+    let clean_reports = clean.run_week(week_days[0]);
+
+    // Chaos: region-a's extracted slice is down for the whole week.
+    let chaos = Arc::new(ChaosBlobStore::new(
+        Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+        ChaosConfig::default(),
+    ));
+    chaos.set_outage("extracted", "region-a");
+    let config = PipelineConfig {
+        threads: 4,
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(config, chaos);
+    let faulty = FleetRunner::new(pipeline, regions.clone());
+    let faulty_reports = faulty.run_week(week_days[0]);
+
+    assert!(faulty_reports[0].blocked, "region-a should be blocked");
+    assert!(!faulty_reports[1].blocked, "region-b should be healthy");
+    assert!(!clean_reports[1].blocked);
+
+    // Region-b's semantic report matches the chaos-free run exactly.
+    assert_eq!(
+        semantic_report(&clean_reports[1]),
+        semantic_report(&faulty_reports[1]),
+        "region-b's report changed because region-a failed"
+    );
+
+    // ... and so do its stored predictions.
+    for p in [clean.pipeline(), faulty.pipeline()] {
+        assert!(
+            !p.docs.ids(collections::PREDICTIONS).is_empty(),
+            "region-b still writes predictions"
+        );
+    }
+    let pred_docs = |p: &AmlPipeline| -> Vec<(String, Value)> {
+        let mut ids = p.docs.ids(collections::PREDICTIONS);
+        ids.sort();
+        ids.into_iter()
+            .filter(|id| id.contains("region-b"))
+            .map(|id| {
+                let v: Value = p.docs.get(collections::PREDICTIONS, &id).unwrap();
+                (id, v)
+            })
+            .collect()
+    };
+    assert_eq!(pred_docs(clean.pipeline()), pred_docs(faulty.pipeline()));
+}
+
+/// The warm cache changes cost, not the schedule: cache on vs cache off
+/// cover the same servers with the same document set and the same run
+/// counts. Per design, a *stable* server whose bytes changed slightly may
+/// reuse last week's fit (drift-gated), so its predicted values can differ
+/// from a refit — but only within the drift gate's tolerance, and
+/// byte-identical inputs must still produce byte-identical predictions.
+#[test]
+fn warm_cache_changes_cost_not_schedule() {
+    let (store, regions, week_days) = two_region_store(300, 3);
+
+    let run = |warm_cache: bool| {
+        let config = PipelineConfig {
+            threads: 2,
+            warm_cache,
+            ..PipelineConfig::production()
+        };
+        let pipeline = AmlPipeline::new(
+            config,
+            Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+        );
+        let runner = FleetRunner::new(pipeline, regions.clone());
+        let reports = runner.run_schedule(&week_days);
+        let stats = runner.cache_stats();
+        (canonical_predictions(runner.pipeline()), reports, stats)
+    };
+
+    let (cold_docs, cold_reports, cold_stats) = run(false);
+    let (warm_docs, warm_reports, warm_stats) = run(true);
+
+    assert_eq!(
+        cold_stats.hits + cold_stats.misses(),
+        0,
+        "bypassed cache is untouched"
+    );
+    assert!(
+        warm_stats.hits > 0,
+        "a stable fleet's later weeks should hit the cache: {warm_stats:?}"
+    );
+
+    // Same servers predicted, same weeks, same counts.
+    let shape = |reports: &[PipelineRunReport]| -> Vec<Value> {
+        reports
+            .iter()
+            .map(|r| {
+                json!({
+                    "region": r.region,
+                    "week_start_day": r.week_start_day,
+                    "servers": r.servers,
+                    "blocked": r.blocked,
+                    "predictions_written": r.predictions_written,
+                    "evaluations": r.evaluations,
+                })
+            })
+            .collect()
+    };
+    assert_eq!(shape(&cold_reports), shape(&warm_reports));
+    let ids = |docs: &[(String, Value)]| docs.iter().map(|(id, _)| id.clone()).collect::<Vec<_>>();
+    assert_eq!(ids(&cold_docs), ids(&warm_docs), "document sets diverged");
+
+    // Reused fits may deviate from a refit, but only modestly — the drift
+    // gate rejects level/scale shifts, so per-document mean load must stay
+    // within 10% of the cold run's.
+    let mut reused_docs = 0u64;
+    for ((id, cold), (_, warm)) in cold_docs.iter().zip(&warm_docs) {
+        let mean = |v: &Value| {
+            let vals = v["values"].as_array().expect("values array");
+            vals.iter().filter_map(Value::as_f64).sum::<f64>() / vals.len().max(1) as f64
+        };
+        let (c, w) = (mean(cold), mean(warm));
+        assert!(
+            (c - w).abs() <= 0.10 * c.abs().max(1e-9),
+            "{id}: warm mean {w} strayed from cold mean {c}"
+        );
+        if cold != warm {
+            reused_docs += 1;
+        }
+    }
+    assert!(
+        reused_docs <= warm_stats.hits,
+        "only cache hits may deviate: {reused_docs} docs differ, {} hits",
+        warm_stats.hits
+    );
+}
+
+/// All prediction documents, sorted by id.
+fn canonical_predictions(pipeline: &AmlPipeline) -> Vec<(String, Value)> {
+    let mut ids = pipeline.docs.ids(collections::PREDICTIONS);
+    ids.sort();
+    ids.into_iter()
+        .map(|id| {
+            let v: Value = pipeline.docs.get(collections::PREDICTIONS, &id).unwrap();
+            (id, v)
+        })
+        .collect()
+}
