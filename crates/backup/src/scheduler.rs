@@ -14,6 +14,7 @@ use seagull_core::evaluate::{backup_day_in_week, predictability, EvaluationConfi
 use seagull_core::metrics::{lowest_load_window, LowLoadWindow};
 use seagull_core::par::parallel_map;
 use seagull_forecast::Forecaster;
+use seagull_serve::{ServeError, ServeService};
 use seagull_telemetry::fleet::ServerTelemetry;
 use seagull_telemetry::server::ServerId;
 use seagull_timeseries::{DayOfWeek, Timestamp};
@@ -165,6 +166,72 @@ impl BackupScheduler {
         for b in &scheduled {
             // Fault-aware write: a dropped write is repaired by the runner's
             // verify-and-retry pass, so scheduling itself never aborts.
+            let _ = fabric.try_set_backup_window_start(ServerId(b.server_id), b.start);
+        }
+        scheduled
+    }
+
+    /// Schedules one server's backup by querying the serving layer instead
+    /// of fitting a model inline.
+    ///
+    /// This is the production split the serving layer exists for: the
+    /// pipeline applies the existence/predictability gates when it
+    /// materializes predictions, so a server *absent* from the snapshot was
+    /// gated out (mapped to [`DefaultReason::NotPredictable`]), while a
+    /// shed request, missing snapshot, or uncovered day keeps the default
+    /// window as [`DefaultReason::PredictionFailed`]. Either way the
+    /// scheduler never trains a model on the request path.
+    pub fn schedule_server_served(
+        &self,
+        serve: &ServeService,
+        region: &str,
+        server: &ServerTelemetry,
+        backup_day: i64,
+    ) -> ScheduledBackup {
+        let duration = server.meta.backup.duration_min;
+        let (default_start, _) = server.meta.backup.default_window_on(backup_day);
+        let default_backup = |reason| ScheduledBackup {
+            server_id: server.meta.id.0,
+            backup_day,
+            start: default_start,
+            duration_min: duration,
+            decision: ScheduleDecision::DefaultKept { reason },
+        };
+        match serve.ll_window(region, server.meta.id.0, backup_day) {
+            Ok(window) => ScheduledBackup {
+                server_id: server.meta.id.0,
+                backup_day,
+                start: window.start,
+                duration_min: duration,
+                decision: ScheduleDecision::Rescheduled { window },
+            },
+            Err(ServeError::UnknownServer { .. }) => default_backup(DefaultReason::NotPredictable),
+            Err(_) => default_backup(DefaultReason::PredictionFailed),
+        }
+    }
+
+    /// Schedules every server due on `backup_day` through the serving
+    /// layer, writing chosen start times into the fabric store. The served
+    /// counterpart of [`BackupScheduler::schedule_day`].
+    pub fn schedule_day_served(
+        &self,
+        fleet: &[ServerTelemetry],
+        backup_day: i64,
+        serve: &ServeService,
+        region: &str,
+        fabric: &FabricPropertyStore,
+    ) -> Vec<ScheduledBackup> {
+        let weekday = DayOfWeek::from_day_index(backup_day).index();
+        let due: Vec<&ServerTelemetry> = fleet
+            .iter()
+            .filter(|s| {
+                s.meta.backup.backup_weekday as usize == weekday && s.meta.alive_on(backup_day)
+            })
+            .collect();
+        let scheduled = parallel_map(&due, self.config.threads, |server| {
+            self.schedule_server_served(serve, region, server, backup_day)
+        });
+        for b in &scheduled {
             let _ = fabric.try_set_backup_window_start(ServerId(b.server_id), b.start);
         }
         scheduled
@@ -342,6 +409,99 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Builds a serving snapshot whose per-server "prediction" is the true
+    /// series for `day` — the served scheduler should then pick the true
+    /// lowest-load window for every covered server.
+    fn snapshot_of_truth(
+        fleet: &[ServerTelemetry],
+        day: i64,
+        version: u64,
+    ) -> seagull_serve::ModelSnapshot {
+        let docs: Vec<seagull_core::pipeline::PredictionDoc> = fleet
+            .iter()
+            .filter_map(|s| {
+                s.series
+                    .day_values(day)
+                    .map(|values| seagull_core::pipeline::PredictionDoc {
+                        region: "west".into(),
+                        server_id: s.meta.id.0,
+                        day,
+                        step_min: s.series.step_min(),
+                        values: values.to_vec(),
+                        duration_min: s.meta.backup.duration_min as i64,
+                    })
+            })
+            .collect();
+        seagull_serve::ModelSnapshot::from_predictions(
+            "west",
+            version,
+            day - 7,
+            "persistent-prev-day",
+            &docs,
+        )
+    }
+
+    #[test]
+    fn served_scheduling_uses_snapshot_windows() {
+        let (fleet, start) = fleet();
+        let scheduler = BackupScheduler::new(SchedulerConfig::default());
+        let serve = seagull_serve::ServeService::with_defaults();
+        let day = start + 28;
+        serve.publish(snapshot_of_truth(&fleet, day, 1));
+        let fabric = FabricPropertyStore::new();
+        let scheduled = scheduler.schedule_day_served(&fleet, day, &serve, "west", &fabric);
+        assert!(!scheduled.is_empty());
+        for b in &scheduled {
+            // Fabric write happened for every decision.
+            assert_eq!(
+                fabric.backup_window_start(ServerId(b.server_id)),
+                Some(b.start)
+            );
+            if let ScheduleDecision::Rescheduled { window } = b.decision {
+                // The snapshot holds the true series, so the served window
+                // must be the true lowest-load window exactly.
+                let server = fleet.iter().find(|s| s.meta.id.0 == b.server_id).unwrap();
+                let truth = server.series.day(day).unwrap();
+                let true_ll = lowest_load_window(&truth, b.duration_min).unwrap();
+                assert_eq!(window.start, true_ll.start);
+                assert!((window.mean_load - true_ll.mean_load).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn served_scheduling_defaults_when_not_covered() {
+        let (fleet, start) = fleet();
+        let scheduler = BackupScheduler::new(SchedulerConfig::default());
+        let serve = seagull_serve::ServeService::with_defaults();
+        let day = start + 28;
+        // Empty snapshot: every due server is unknown to the serving layer.
+        serve.publish(snapshot_of_truth(&[], day, 1));
+        let fabric = FabricPropertyStore::new();
+        let scheduled = scheduler.schedule_day_served(&fleet, day, &serve, "west", &fabric);
+        assert!(!scheduled.is_empty());
+        for b in &scheduled {
+            let server = fleet.iter().find(|s| s.meta.id.0 == b.server_id).unwrap();
+            let (default_start, _) = server.meta.backup.default_window_on(day);
+            assert_eq!(b.start, default_start);
+            assert!(matches!(
+                b.decision,
+                ScheduleDecision::DefaultKept {
+                    reason: DefaultReason::NotPredictable
+                }
+            ));
+        }
+        // No snapshot at all for the region → PredictionFailed, not a panic.
+        let lone = &fleet[0];
+        let b = scheduler.schedule_server_served(&serve, "nowhere", lone, day);
+        assert!(matches!(
+            b.decision,
+            ScheduleDecision::DefaultKept {
+                reason: DefaultReason::PredictionFailed
+            }
+        ));
     }
 
     #[test]

@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "obs_dump",
     "dataplane",
     "fleet_scale",
+    "serving",
 ];
 
 fn main() {

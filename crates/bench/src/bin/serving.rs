@@ -1,0 +1,346 @@
+//! Serving-layer benchmark: query latency, throughput, and read-path
+//! determinism.
+//!
+//! Runs a multi-region fleet schedule through [`FleetRunner`] with a
+//! [`ServeService`] attached as the pipeline's deploy sink, so every
+//! deployment publishes an epoch-swapped model snapshot. Then fires a
+//! seeded open-loop query mix (single predictions, day predictions,
+//! low-load-window lookups, and 8-query batches) at the service across
+//! 1/2/4/8 reader threads and emits `BENCH_serving.json` with p50/p95/p99
+//! latency and QPS per thread count. Latencies are honest wall-clock
+//! measurements on the current machine.
+//!
+//! Also cross-checks determinism: the digest of every response (predicted
+//! values, window starts, error classes — everything except wall time)
+//! must be **byte-identical** between the threads=1 and threads=N runs.
+//! Exits non-zero on mismatch — the `serve-smoke` CI job relies on that.
+
+use seagull_bench::{emit_json, scale, Scale, Table};
+use seagull_core::pipeline::{AmlPipeline, PipelineConfig};
+use seagull_core::FleetRunner;
+use seagull_forecast::PersistentForecast;
+use seagull_serve::{ServeError, ServeService};
+use seagull_telemetry::blobstore::{BlobStore, MemoryBlobStore};
+use seagull_telemetry::chaos::DetRng;
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_STEPS: &[usize] = &[1, 2, 4, 8];
+const BATCH_SIZE: usize = 8;
+
+/// One pre-generated query against the service.
+#[derive(Clone)]
+enum Request {
+    Predict {
+        region: usize,
+        server: u64,
+        horizon: usize,
+    },
+    PredictDay {
+        region: usize,
+        server: u64,
+        day: i64,
+    },
+    LlWindow {
+        region: usize,
+        server: u64,
+        day: i64,
+    },
+    Batch {
+        region: usize,
+        queries: Vec<(u64, usize)>,
+    },
+}
+
+/// Deterministic digest of one response: everything except wall time.
+fn digest_series(r: &Result<seagull_timeseries::TimeSeries, ServeError>) -> String {
+    match r {
+        Ok(s) => format!("ok:{}:{:?}", s.start().minutes(), s.values()),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+fn run_requests(
+    serve: &ServeService,
+    regions: &[String],
+    requests: &[Request],
+    threads: usize,
+) -> (Vec<String>, Vec<f64>, f64) {
+    let t0 = Instant::now();
+    let mut digests: Vec<Vec<(usize, String)>> = Vec::new();
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut lat = Vec::new();
+                    for (i, req) in requests.iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        let q0 = Instant::now();
+                        let digest = match req {
+                            Request::Predict {
+                                region,
+                                server,
+                                horizon,
+                            } => {
+                                digest_series(&serve.predict(&regions[*region], *server, *horizon))
+                            }
+                            Request::PredictDay {
+                                region,
+                                server,
+                                day,
+                            } => {
+                                digest_series(&serve.predict_day(&regions[*region], *server, *day))
+                            }
+                            Request::LlWindow {
+                                region,
+                                server,
+                                day,
+                            } => match serve.ll_window(&regions[*region], *server, *day) {
+                                Ok(w) => format!(
+                                    "win:{}:{}:{:.6}",
+                                    w.start.minutes(),
+                                    w.duration_min,
+                                    w.mean_load
+                                ),
+                                Err(e) => format!("err:{e}"),
+                            },
+                            Request::Batch { region, queries } => {
+                                match serve.predict_batch(&regions[*region], queries) {
+                                    Ok(rs) => {
+                                        rs.iter().map(digest_series).collect::<Vec<_>>().join("|")
+                                    }
+                                    Err(e) => format!("err:{e}"),
+                                }
+                            }
+                        };
+                        lat.push(q0.elapsed().as_secs_f64());
+                        out.push((i, digest));
+                    }
+                    (out, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, lat) = h.join().expect("reader thread panicked");
+            digests.push(out);
+            latencies.push(lat);
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    // Reassemble responses in request order regardless of thread count.
+    let mut ordered: Vec<(usize, String)> = digests.into_iter().flatten().collect();
+    ordered.sort_by_key(|(i, _)| *i);
+    (
+        ordered.into_iter().map(|(_, d)| d).collect(),
+        latencies.into_iter().flatten().collect(),
+        wall,
+    )
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> std::io::Result<()> {
+    let (per_region_unit, weeks, n_requests) = match scale() {
+        Scale::Small => (2, 3, 20_000usize),
+        Scale::Paper => (12, 4, 200_000usize),
+    };
+    let spec = FleetSpec::four_regions(90, per_region_unit);
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let servers: usize = spec.regions.iter().map(|r| r.servers).sum();
+    let start = spec.start_day;
+    let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(weeks);
+
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(&fleet, &regions, &week_days, store.as_ref())
+        .expect("extraction succeeds");
+
+    // ---- Pipeline → serve: deployments publish snapshots -----------------
+    let serve = ServeService::with_defaults();
+    let config = PipelineConfig {
+        threads: 4,
+        warm_cache: true,
+        forecaster: Arc::new(PersistentForecast::previous_day()),
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(config, Arc::clone(&store) as Arc<dyn BlobStore>)
+        .with_deploy_sink(Arc::new(serve.clone()));
+    let runner = FleetRunner::new(pipeline, regions.clone());
+    runner.run_schedule(&week_days);
+    serve.set_clock_day(start + 7 * weeks as i64);
+
+    let catalog: Vec<(usize, Vec<u64>)> = regions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            serve
+                .snapshot(r)
+                .map(|s| (i, s.server_ids().collect::<Vec<u64>>()))
+        })
+        .filter(|(_, ids)| !ids.is_empty())
+        .collect();
+    assert!(
+        !catalog.is_empty(),
+        "the schedule must publish at least one non-empty snapshot"
+    );
+    let served_servers: usize = catalog.iter().map(|(_, ids)| ids.len()).sum();
+    println!(
+        "Serving: {} regions with snapshots, {served_servers} served servers \
+         (fleet: {servers}), {n_requests} requests, threads {THREAD_STEPS:?}\n",
+        catalog.len()
+    );
+    for (i, _) in &catalog {
+        println!(
+            "  {}: epoch {}, {} servers, staleness {}d",
+            regions[*i],
+            serve.epoch(&regions[*i]),
+            serve.snapshot(&regions[*i]).unwrap().len(),
+            serve.staleness_days(&regions[*i]).unwrap()
+        );
+    }
+
+    // ---- Seeded open-loop request mix ------------------------------------
+    let mut rng = DetRng::new(0x5ea9_0115);
+    let day_of = |region: usize, server: u64| {
+        serve
+            .snapshot(&regions[region])
+            .and_then(|s| s.server(server).map(|v| v.materialized_day()))
+            .expect("catalog servers are in the snapshot")
+    };
+    let requests: Vec<Request> = (0..n_requests)
+        .map(|_| {
+            let (region, ids) = &catalog[(rng.next_u64() % catalog.len() as u64) as usize];
+            let server = ids[(rng.next_u64() % ids.len() as u64) as usize];
+            match rng.next_u64() % 4 {
+                // Horizons 1..=96 stress both the zero-copy path (within the
+                // materialized day) and the model-fallback path beyond it.
+                0 => Request::Predict {
+                    region: *region,
+                    server,
+                    horizon: 1 + (rng.next_u64() % 96) as usize,
+                },
+                1 => Request::PredictDay {
+                    region: *region,
+                    server,
+                    day: day_of(*region, server),
+                },
+                2 => Request::LlWindow {
+                    region: *region,
+                    server,
+                    day: day_of(*region, server),
+                },
+                _ => Request::Batch {
+                    region: *region,
+                    queries: (0..BATCH_SIZE)
+                        .map(|_| {
+                            (
+                                ids[(rng.next_u64() % ids.len() as u64) as usize],
+                                1 + (rng.next_u64() % 48) as usize,
+                            )
+                        })
+                        .collect(),
+                },
+            }
+        })
+        .collect();
+
+    // ---- Latency / QPS across reader threads -----------------------------
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "threads",
+        "wall s",
+        "qps",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "identical",
+    ]);
+    let mut baseline: Option<Vec<String>> = None;
+    for &threads in THREAD_STEPS {
+        let (digests, mut lat, wall) = run_requests(&serve, &regions, &requests, threads);
+        let identical = match &baseline {
+            None => {
+                baseline = Some(digests);
+                true
+            }
+            Some(base) => base == &digests,
+        };
+        assert!(
+            identical,
+            "threads=1 and threads={threads} must produce byte-identical responses"
+        );
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qps = requests.len() as f64 / wall.max(1e-12);
+        let (p50, p95, p99) = (
+            quantile(&lat, 0.50) * 1e6,
+            quantile(&lat, 0.95) * 1e6,
+            quantile(&lat, 0.99) * 1e6,
+        );
+        table.row([
+            format!("{threads}"),
+            format!("{wall:.3}"),
+            format!("{qps:.0}"),
+            format!("{p50:.1}"),
+            format!("{p95:.1}"),
+            format!("{p99:.1}"),
+            "yes".to_string(),
+        ]);
+        rows.push(json!({
+            "threads": threads,
+            "requests": requests.len(),
+            "wall_s": wall,
+            "qps": qps,
+            "latency_us": { "p50": p50, "p95": p95, "p99": p99 },
+            "identical_to_single_thread": identical,
+        }));
+    }
+    table.print();
+
+    let errors = baseline
+        .as_ref()
+        .map(|d| d.iter().filter(|s| s.starts_with("err:")).count())
+        .unwrap_or(0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\ndeterminism: responses byte-identical across thread counts \
+         ({errors} deterministic error responses in the mix)"
+    );
+
+    emit_json(
+        "BENCH_serving",
+        &json!({
+            "fleet": {
+                "regions": regions.len(),
+                "served_regions": catalog.len(),
+                "servers": servers,
+                "served_servers": served_servers,
+                "weeks": weeks,
+                "forecaster": "persistent-prev-day",
+            },
+            "request_mix": {
+                "total": n_requests,
+                "kinds": "predict, predict_day, ll_window, batch8",
+                "deterministic_errors": errors,
+            },
+            "machine_cores": cores,
+            "determinism": "ok",
+            "rows": rows,
+        }),
+    )?;
+
+    Ok(())
+}

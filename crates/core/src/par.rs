@@ -92,7 +92,7 @@ impl Drop for PoolGuard {
 ///
 /// Cloning is cheap and shares the same workers. Workers are spawned lazily
 /// up to the largest `threads` any map has requested (capped at
-/// [`MAX_POOL_WORKERS`]); they survive across calls, so steady-state maps
+/// `MAX_POOL_WORKERS`); they survive across calls, so steady-state maps
 /// pay no thread spawn/teardown.
 #[derive(Clone)]
 pub struct ExecPool {
@@ -495,7 +495,7 @@ pub fn default_threads() -> usize {
 
 /// The worker count the pipeline and bench bins should use: the
 /// `SEAGULL_THREADS` env override when set to a positive integer, else
-/// [`default_threads`] capped at [`MAX_POOL_WORKERS`].
+/// [`default_threads`] capped at `MAX_POOL_WORKERS`.
 pub fn configured_threads() -> usize {
     match std::env::var("SEAGULL_THREADS")
         .ok()

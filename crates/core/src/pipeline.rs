@@ -305,6 +305,52 @@ fn series_fingerprint(series: &TimeSeries) -> u64 {
     checksum64(&bytes)
 }
 
+/// One successful deployment, as announced to a [`DeploySink`].
+///
+/// Carries everything a serving layer needs to assemble an immutable
+/// region snapshot: the freshly deployed version, the predictions this run
+/// materialized, and (when the warm cache is on) a handle to the model
+/// cache so per-server fitted models can be extracted for horizons the
+/// materialized predictions do not cover.
+pub struct DeployEvent<'a> {
+    /// Region the deployment belongs to.
+    pub region: &'a str,
+    /// The model-registry version that just started serving.
+    pub version: u64,
+    /// First day of the week whose data trained this version.
+    pub week_start_day: i64,
+    /// Name of the deployed forecaster (the registry's `model_name`).
+    pub model_name: &'a str,
+    /// Predictions written by this run, in server order.
+    pub predictions: &'a [PredictionDoc],
+    /// The pipeline's warm-model cache, when enabled for this run.
+    pub cache: Option<&'a ModelCache>,
+}
+
+/// Observer of the deployment stage — the hook a prediction-serving layer
+/// registers to receive versioned snapshots.
+///
+/// "The pipeline ... deploys the model, and makes it accessible through a
+/// REST endpoint" (Section 2.2): [`AmlPipeline`] announces every successful
+/// deployment through this trait so an out-of-pipeline service can publish
+/// the new snapshot atomically. A failed deployment announces
+/// [`DeploySink::on_fallback`] instead — the sink must keep serving its
+/// last-known-good snapshot, mirroring the registry's fallback rule.
+///
+/// Implementations are called from inside pipeline runs (possibly from
+/// several regions concurrently under [`AmlPipeline::run_fleet_week`]) and
+/// must be cheap and non-blocking; region arguments are disjoint across
+/// concurrent calls.
+pub trait DeploySink: Send + Sync {
+    /// A new model version was deployed for `event.region`.
+    fn on_deploy(&self, event: &DeployEvent<'_>);
+
+    /// Deployment failed; the last-known-good version keeps serving.
+    fn on_fallback(&self, region: &str, week_start_day: i64) {
+        let _ = (region, week_start_day);
+    }
+}
+
 /// Collection names in the [`DocStore`].
 pub mod collections {
     pub const PREDICTIONS: &str = "predictions";
@@ -332,6 +378,9 @@ pub struct AmlPipeline {
     /// Keys are region-prefixed, so concurrent region runs touch disjoint
     /// entries; bypassed when [`PipelineConfig::warm_cache`] is off.
     pub cache: Arc<ModelCache>,
+    /// Optional serving-layer hook, announced to on every deployment (see
+    /// [`DeploySink`]). Shared across fleet scratch clones.
+    pub deploy_sink: Option<Arc<dyn DeploySink>>,
 }
 
 impl AmlPipeline {
@@ -360,6 +409,7 @@ impl AmlPipeline {
             breaker,
             obs: Obs::new(),
             cache: Arc::new(ModelCache::new()),
+            deploy_sink: None,
         }
     }
 
@@ -367,6 +417,14 @@ impl AmlPipeline {
     /// runner) instead of the pipeline-private one.
     pub fn with_obs(mut self, obs: Obs) -> AmlPipeline {
         self.obs = obs;
+        self
+    }
+
+    /// Registers a serving-layer deploy hook: every successful deployment
+    /// (and every fallback) is announced to `sink` so it can swap in the
+    /// region's new model snapshot.
+    pub fn with_deploy_sink(mut self, sink: Arc<dyn DeploySink>) -> AmlPipeline {
+        self.deploy_sink = Some(sink);
         self
     }
 
@@ -860,13 +918,27 @@ impl AmlPipeline {
                      serving last-known-good: {serving}"
                 ),
             );
+            // The serving layer keeps its last published (known-good)
+            // snapshot for this region: no swap happens.
+            if let Some(sink) = &self.deploy_sink {
+                sink.on_fallback(region, week_start_day);
+            }
         } else {
-            let version =
-                self.registry
-                    .deploy(region, self.config.forecaster.name(), week_start_day);
+            let model_name = self.config.forecaster.name();
+            let version = self.registry.deploy(region, model_name, week_start_day);
             self.endpoints
                 .publish(region, Arc::clone(&self.config.forecaster));
             report.deployed_version = Some(version);
+            if let Some(sink) = &self.deploy_sink {
+                sink.on_deploy(&DeployEvent {
+                    region,
+                    version,
+                    week_start_day,
+                    model_name,
+                    predictions: &predictions,
+                    cache: self.config.warm_cache.then_some(&*self.cache),
+                });
+            }
         }
         self.finish_stage(&mut report, span, "deployment", region, vt);
 

@@ -321,6 +321,23 @@ impl ModelCache {
         self.entries.read().unwrap().contains_key(key)
     }
 
+    /// The cached fitted model for `key`, if any — a read-only extraction
+    /// that bypasses fingerprint/class/drift validation and does **not**
+    /// count as a lookup or touch recency.
+    ///
+    /// This is the serving-layer hook: at deploy time the snapshot builder
+    /// pulls each server's fitted model out of the warm cache so the
+    /// serving read path can answer horizons the materialized predictions
+    /// do not cover. Staleness checking is the caller's concern (the model
+    /// is whatever the last pipeline run committed).
+    pub fn fitted(&self, key: &str) -> Option<Arc<dyn FittedModel>> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(key)
+            .map(|e| Arc::clone(&e.fitted))
+    }
+
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),

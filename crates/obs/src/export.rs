@@ -118,8 +118,11 @@ pub fn to_prometheus(samples: &[MetricSample]) -> String {
 /// One parsed Prometheus sample line.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PromSample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
     pub name: String,
+    /// Label pairs, sorted by key.
     pub labels: BTreeMap<String, String>,
+    /// The sample value.
     pub value: f64,
 }
 
@@ -337,17 +340,25 @@ pub fn spans_to_chrome_trace(spans: &[SpanRecord]) -> String {
 pub mod json {
     use std::collections::BTreeMap;
 
+    /// A parsed JSON value.
     #[derive(Clone, Debug, PartialEq)]
     pub enum Value {
+        /// JSON `null`.
         Null,
+        /// JSON `true`/`false`.
         Bool(bool),
+        /// Any JSON number (held as `f64`).
         Number(f64),
+        /// A JSON string.
         String(String),
+        /// A JSON array.
         Array(Vec<Value>),
+        /// A JSON object with sorted keys.
         Object(BTreeMap<String, Value>),
     }
 
     impl Value {
+        /// The object's map, if this value is an object.
         pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
             match self {
                 Value::Object(m) => Some(m),
@@ -355,6 +366,7 @@ pub mod json {
             }
         }
 
+        /// The array's elements, if this value is an array.
         pub fn as_array(&self) -> Option<&Vec<Value>> {
             match self {
                 Value::Array(a) => Some(a),
@@ -362,6 +374,7 @@ pub mod json {
             }
         }
 
+        /// The string contents, if this value is a string.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::String(s) => Some(s),
@@ -369,6 +382,7 @@ pub mod json {
             }
         }
 
+        /// The number, if this value is numeric.
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Value::Number(n) => Some(*n),
@@ -376,17 +390,20 @@ pub mod json {
             }
         }
 
+        /// The number as a non-negative integer, if exactly representable.
         pub fn as_u64(&self) -> Option<u64> {
             self.as_f64()
                 .filter(|v| *v >= 0.0 && v.trunc() == *v)
                 .map(|v| v as u64)
         }
 
+        /// Member lookup: `Some` only for objects containing `key`.
         pub fn get(&self, key: &str) -> Option<&Value> {
             self.as_object().and_then(|m| m.get(key))
         }
     }
 
+    /// Parses a JSON document into a [`Value`] tree.
     pub fn parse(s: &str) -> Result<Value, String> {
         let mut p = Parser {
             bytes: s.as_bytes(),

@@ -22,6 +22,8 @@
 //! [`metrics::Stability::Volatile`] (or carried in span wall fields), which
 //! the stable export excludes.
 
+#![warn(missing_docs)]
+
 pub mod export;
 pub mod metrics;
 pub mod profile;
@@ -45,14 +47,17 @@ pub struct Obs {
 }
 
 impl Obs {
+    /// Creates a fresh handle with an empty registry and tracer.
     pub fn new() -> Obs {
         Obs::default()
     }
 
+    /// The metrics registry shared by all clones of this handle.
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
 
+    /// The span tracer shared by all clones of this handle.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }

@@ -23,18 +23,24 @@ use std::sync::{Arc, Mutex};
 /// wall-clock or scheduling noise and are excluded from it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stability {
+    /// Reproducible across same-seed runs; included in the stable export.
     Stable,
+    /// Carries wall-clock or scheduling noise; excluded from the stable
+    /// export.
     Volatile,
 }
 
 /// Metric identity: name plus a sorted label set.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MetricId {
+    /// Metric name, e.g. `seagull_retry_attempts_total`.
     pub name: String,
+    /// Label pairs, sorted by key so equal label sets compare equal.
     pub labels: Vec<(String, String)>,
 }
 
 impl MetricId {
+    /// Builds an id from a name and unsorted label pairs (sorting them).
     pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
         let mut labels: Vec<(String, String)> = labels
             .iter()
@@ -55,10 +61,12 @@ pub struct Counter {
 }
 
 impl Counter {
+    /// Increments by one.
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Increments by `n`.
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
@@ -70,6 +78,7 @@ impl Counter {
         self.value.store(value, Ordering::Relaxed);
     }
 
+    /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -90,10 +99,12 @@ impl Default for Gauge {
 }
 
 impl Gauge {
+    /// Overwrites the value.
     pub fn set(&self, value: f64) {
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Latest value set (0.0 if never set).
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
@@ -152,6 +163,8 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Records one observation (NaN and non-positive values land in the
+    /// catch-all underflow bucket).
     pub fn observe(&self, v: f64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -182,14 +195,17 @@ impl Histogram {
         }
     }
 
+    /// Number of observations recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Largest observed value (0.0 when empty).
     pub fn max(&self) -> f64 {
         let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
         if m == f64::NEG_INFINITY {
@@ -199,6 +215,7 @@ impl Histogram {
         }
     }
 
+    /// Arithmetic mean of the observations (0.0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -297,25 +314,39 @@ struct Entry {
 /// [`Registry::snapshot`]. Sorted by `(name, labels)`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricSample {
+    /// Which metric this reading belongs to.
     pub id: MetricId,
+    /// Whether the metric is reproducible across same-seed runs.
     pub stability: Stability,
+    /// The reading itself.
     pub value: SampleValue,
 }
 
+/// The value part of a [`MetricSample`], by metric kind.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SampleValue {
+    /// A counter's cumulative total.
     Counter(u64),
+    /// A gauge's latest value.
     Gauge(f64),
+    /// A histogram's aggregates and bucket tallies.
     Histogram(HistogramSnapshot),
 }
 
+/// Point-in-time aggregates of one [`Histogram`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct HistogramSnapshot {
+    /// Number of observations.
     pub count: u64,
+    /// Sum of observed values.
     pub sum: f64,
+    /// Largest observed value.
     pub max: f64,
+    /// Estimated median (see [`Histogram::quantile`]).
     pub p50: f64,
+    /// Estimated 95th percentile.
     pub p95: f64,
+    /// Estimated 99th percentile.
     pub p99: f64,
     /// `(bucket_upper, count)` for non-empty buckets.
     pub buckets: Vec<(f64, u64)>,
@@ -324,20 +355,45 @@ pub struct HistogramSnapshot {
 /// The fleet-wide metrics registry.
 ///
 /// Cheap to clone handles out of; intended to be shared via [`crate::Obs`].
+/// The registry mutex is only taken when a handle is first created or a
+/// snapshot is read — incrementing through a handle is pure atomics.
+///
+/// # Example
+///
+/// ```
+/// use seagull_obs::{Registry, SampleValue};
+///
+/// let reg = Registry::new();
+/// reg.counter("requests_total", &[("region", "west")]).inc();
+/// reg.histogram("latency_ticks", &[]).observe(3.0);
+///
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.len(), 2);
+/// assert_eq!(snap[1].id.name, "requests_total");
+/// assert_eq!(snap[1].value, SampleValue::Counter(1));
+/// ```
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<MetricId, Entry>>,
 }
 
 impl Registry {
+    /// Creates an empty registry.
     pub fn new() -> Registry {
         Registry::default()
     }
 
+    /// Handle to the counter with this identity, registering a
+    /// [`Stability::Stable`] one on first use.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         self.counter_with(name, labels, Stability::Stable)
     }
 
+    /// Like [`Registry::counter`] with an explicit stability class (the
+    /// class recorded at first registration wins).
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different metric type.
     pub fn counter_with(
         &self,
         name: &str,
@@ -356,10 +412,17 @@ impl Registry {
         }
     }
 
+    /// Handle to the gauge with this identity, registering a
+    /// [`Stability::Stable`] one on first use.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         self.gauge_with(name, labels, Stability::Stable)
     }
 
+    /// Like [`Registry::gauge`] with an explicit stability class (the
+    /// class recorded at first registration wins).
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different metric type.
     pub fn gauge_with(
         &self,
         name: &str,
@@ -378,10 +441,17 @@ impl Registry {
         }
     }
 
+    /// Handle to the histogram with this identity, registering a
+    /// [`Stability::Stable`] one on first use.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         self.histogram_with(name, labels, Stability::Stable)
     }
 
+    /// Like [`Registry::histogram`] with an explicit stability class (the
+    /// class recorded at first registration wins).
+    ///
+    /// # Panics
+    /// If the identity is already registered as a different metric type.
     pub fn histogram_with(
         &self,
         name: &str,

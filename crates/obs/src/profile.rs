@@ -12,6 +12,7 @@ use std::time::Duration;
 /// What one worker did during a `parallel_map` region.
 #[derive(Clone, Debug)]
 pub struct WorkerProfile {
+    /// Worker index within the pool.
     pub worker: usize,
     /// Items this worker pulled from the shared queue.
     pub items: u64,
@@ -25,16 +26,19 @@ pub struct WorkerProfile {
 /// Profile of one parallel region.
 #[derive(Clone, Debug, Default)]
 pub struct ParallelProfile {
+    /// Per-worker breakdown, indexed by worker.
     pub workers: Vec<WorkerProfile>,
     /// Wall duration of the whole region (fork to last join).
     pub region_wall: Duration,
 }
 
 impl ParallelProfile {
+    /// Items processed across all workers.
     pub fn total_items(&self) -> u64 {
         self.workers.iter().map(|w| w.items).sum()
     }
 
+    /// Steal-idle time summed across all workers.
     pub fn total_idle(&self) -> Duration {
         self.workers.iter().map(|w| w.idle).sum()
     }

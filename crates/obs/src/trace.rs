@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 pub struct SpanId(u64);
 
 impl SpanId {
+    /// The numeric span id as recorded in [`SpanRecord::id`].
     pub fn raw(self) -> u64 {
         self.0
     }
@@ -22,19 +23,26 @@ impl SpanId {
 /// One recorded span. `end_tick`/`wall` are `None` while in flight.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpanRecord {
+    /// Span id, 1-based in start order.
     pub id: u64,
+    /// Id of the enclosing span, `None` for roots.
     pub parent: Option<u64>,
+    /// Span name, e.g. a pipeline stage.
     pub name: String,
+    /// Label pairs, sorted by key.
     pub labels: Vec<(String, String)>,
     /// Start order: deterministic tiebreaker for spans sharing a tick.
     pub seq: u64,
+    /// Virtual scheduler tick the span started at.
     pub start_tick: u64,
+    /// Virtual tick the span ended at, `None` while in flight.
     pub end_tick: Option<u64>,
     /// Wall-clock duration, set at `end`. Never part of stable exports.
     pub wall: Option<Duration>,
 }
 
 impl SpanRecord {
+    /// Duration on the virtual clock, `None` while in flight.
     pub fn tick_duration(&self) -> Option<u64> {
         self.end_tick.map(|e| e.saturating_sub(self.start_tick))
     }
@@ -52,12 +60,29 @@ struct TracerInner {
 }
 
 /// Collects spans for one run. Share via [`crate::Obs`].
+///
+/// # Example
+///
+/// ```
+/// use seagull_obs::Tracer;
+///
+/// let tracer = Tracer::new();
+/// let root = tracer.start("run-week", &[("region", "west")], 0);
+/// let stage = tracer.child(root, "ingestion", &[], 2);
+/// tracer.end(stage, 5);
+/// tracer.end(root, 9);
+///
+/// let spans = tracer.spans();
+/// assert_eq!(spans[1].parent, Some(spans[0].id));
+/// assert_eq!(spans[1].tick_duration(), Some(3));
+/// ```
 #[derive(Default)]
 pub struct Tracer {
     inner: Mutex<TracerInner>,
 }
 
 impl Tracer {
+    /// Creates an empty tracer.
     pub fn new() -> Tracer {
         Tracer::default()
     }

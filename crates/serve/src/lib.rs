@@ -1,0 +1,53 @@
+//! # seagull-serve: the prediction-serving layer
+//!
+//! Seagull's pipeline (Section 4 of the paper) trains models and
+//! materializes next-backup-day predictions into the document store. This
+//! crate is the other half of the story: an **in-process prediction
+//! service** that answers per-server load queries — `predict(region,
+//! server, horizon)`, low-load-window lookups, batched multi-server
+//! queries — from an immutable **model snapshot** the pipeline publishes
+//! at deployment time.
+//!
+//! ## Snapshot lifecycle
+//!
+//! 1. The deployment stage of
+//!    [`AmlPipeline`](seagull_core::pipeline::AmlPipeline) fires its
+//!    [`DeploySink`](seagull_core::pipeline::DeploySink). [`ServeService`]
+//!    implements that trait: it builds a [`ModelSnapshot`] from the
+//!    deployed [`PredictionDoc`](seagull_core::pipeline::PredictionDoc)s,
+//!    attaching fitted models from the warm cache when available.
+//! 2. The snapshot is published into the [`SnapshotStore`] via an atomic
+//!    **epoch swap**: the store writes the region's *standby* slot, then
+//!    flips the epoch. Readers never lock against a deploy.
+//! 3. When deployment *fails*, the sink's fallback hook leaves the store
+//!    untouched: the **last-known-good** snapshot keeps serving, mirroring
+//!    the model registry's fallback rule.
+//!
+//! ## Read path
+//!
+//! Admission control consults the shared per-region
+//! [`CircuitBreaker`](seagull_core::resilience::CircuitBreaker)
+//! (read-only — the service never consumes the pipeline's half-open
+//! probes). Admitted queries clone one `Arc<ModelSnapshot>` and answer
+//! from it: horizons inside the materialized day are zero-copy slices;
+//! longer horizons and other days run the cached fitted model. Batched
+//! queries acquire the snapshot once, so every response in a batch comes
+//! from the same epoch.
+//!
+//! Every request lands in a [`seagull_obs`] registry: stable
+//! request/outcome counters and staleness histograms (deterministic across
+//! runs), volatile wall-clock latency histograms.
+//!
+//! See `DESIGN.md` §11 for the memory-ordering argument and the staleness
+//! model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod service;
+pub mod snapshot;
+pub mod store;
+
+pub use service::{ServeError, ServeService};
+pub use snapshot::{ModelSnapshot, ServedServer};
+pub use store::SnapshotStore;

@@ -1,0 +1,611 @@
+//! The serving front-end: admission control, query routing, and metrics.
+//!
+//! [`ServeService`] is the handle callers clone and query. It owns the
+//! [`SnapshotStore`], shares the pipeline's [`CircuitBreaker`] for
+//! admission control, and records every request into a [`seagull_obs`]
+//! registry. It also implements [`DeploySink`], so handing a clone to
+//! [`AmlPipeline::with_deploy_sink`](seagull_core::pipeline::AmlPipeline::with_deploy_sink)
+//! makes every successful deployment publish a fresh snapshot — and every
+//! failed deployment keep the last-known-good snapshot serving.
+
+use crate::snapshot::ModelSnapshot;
+use crate::store::SnapshotStore;
+use seagull_core::metrics::{lowest_load_window, LowLoadWindow};
+use seagull_core::pipeline::{DeployEvent, DeploySink};
+use seagull_core::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
+use seagull_obs::{Obs, Stability};
+use seagull_timeseries::{TimeSeries, Timestamp};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a serving request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The region's circuit breaker is open; the request was shed before
+    /// touching any snapshot.
+    Rejected {
+        /// Region whose breaker rejected the request.
+        region: String,
+    },
+    /// No snapshot has ever been published for this region.
+    NoSnapshot {
+        /// Region that has no published snapshot.
+        region: String,
+    },
+    /// The snapshot has no prediction for this server (it was dead,
+    /// too young, or unpredictable when the pipeline ran).
+    UnknownServer {
+        /// Region that was queried.
+        region: String,
+        /// Server id the snapshot does not carry.
+        server_id: u64,
+    },
+    /// The requested horizon extends past the materialized prediction and
+    /// no cached model (or no model covering the range) is available.
+    HorizonUnavailable {
+        /// Steps the caller asked for.
+        requested: usize,
+        /// Steps the materialized prediction covers.
+        materialized: usize,
+    },
+    /// The requested day is neither the materialized backup day nor
+    /// reachable through the server's cached model.
+    DayUnavailable {
+        /// Day index the caller asked for.
+        day: i64,
+    },
+    /// The day prediction exists but no low-load window of the requested
+    /// duration fits it (duration not a multiple of the step, or zero).
+    NoWindow {
+        /// Requested window duration, minutes.
+        duration_min: u32,
+    },
+    /// The request was malformed (zero horizon, empty batch, ...).
+    BadRequest(
+        /// Human-readable description of what was wrong.
+        String,
+    ),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected { region } => {
+                write!(f, "request shed: circuit breaker open for region {region}")
+            }
+            ServeError::NoSnapshot { region } => {
+                write!(f, "no model snapshot published for region {region}")
+            }
+            ServeError::UnknownServer { region, server_id } => {
+                write!(f, "no prediction for server {server_id} in region {region}")
+            }
+            ServeError::HorizonUnavailable {
+                requested,
+                materialized,
+            } => write!(
+                f,
+                "horizon {requested} steps unavailable (materialized: {materialized}, no covering model)"
+            ),
+            ServeError::DayUnavailable { day } => {
+                write!(f, "day {day} unavailable from snapshot or cached model")
+            }
+            ServeError::NoWindow { duration_min } => {
+                write!(f, "no low-load window of {duration_min} min fits the day")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct ServeInner {
+    store: SnapshotStore,
+    breaker: CircuitBreaker,
+    obs: Obs,
+    clock_day: AtomicI64,
+}
+
+/// Cloneable handle to the in-process prediction service.
+///
+/// Cloning is cheap (one `Arc` bump) and every clone shares the same
+/// snapshot store, breaker, and metrics — hand clones to as many reader
+/// threads as you like.
+///
+/// # Example
+///
+/// ```
+/// use seagull_core::pipeline::PredictionDoc;
+/// use seagull_serve::{ModelSnapshot, ServeService};
+///
+/// let serve = ServeService::with_defaults();
+/// let doc = PredictionDoc {
+///     region: "west".into(),
+///     server_id: 7,
+///     day: 14,
+///     step_min: 30,
+///     values: vec![1.0; 48],
+///     duration_min: 60,
+/// };
+/// let snap = ModelSnapshot::from_predictions("west", 1, 7, "persistent-prev-day", &[doc]);
+/// serve.publish(snap);
+///
+/// let prediction = serve.predict("west", 7, 4).unwrap();
+/// assert_eq!(prediction.values(), &[1.0, 1.0, 1.0, 1.0]);
+/// assert_eq!(serve.epoch("west"), 1);
+/// ```
+#[derive(Clone)]
+pub struct ServeService {
+    inner: Arc<ServeInner>,
+}
+
+impl ServeService {
+    /// Creates a service recording into `obs` and sharing `breaker` for
+    /// admission control. Share the pipeline's breaker so load shedding
+    /// follows the same region health the pipeline sees; the service only
+    /// ever *reads* breaker state — it never consumes half-open probes.
+    pub fn new(obs: Obs, breaker: CircuitBreaker) -> ServeService {
+        ServeService {
+            inner: Arc::new(ServeInner {
+                store: SnapshotStore::new(),
+                breaker,
+                obs,
+                clock_day: AtomicI64::new(0),
+            }),
+        }
+    }
+
+    /// Convenience constructor with a fresh registry and a default breaker
+    /// (nothing ever trips it unless failures are recorded into it).
+    pub fn with_defaults() -> ServeService {
+        ServeService::new(Obs::new(), CircuitBreaker::new(BreakerConfig::default()))
+    }
+
+    /// The observability handle requests are recorded into.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// The breaker consulted for admission control.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.inner.breaker
+    }
+
+    /// Sets the service's notion of "today" (a day index on the simulated
+    /// clock). Drives [`ServeService::staleness_days`] and the staleness
+    /// histogram stamped at publish time.
+    pub fn set_clock_day(&self, day: i64) {
+        self.inner.clock_day.store(day, Ordering::Relaxed);
+    }
+
+    /// The service's current day on the simulated clock.
+    pub fn clock_day(&self) -> i64 {
+        self.inner.clock_day.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a snapshot, making it the region's serving state via an
+    /// atomic epoch swap. Returns the new epoch. In-flight readers keep
+    /// whatever snapshot they already hold.
+    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+        let region = snapshot.region().to_string();
+        let servers = snapshot.len() as f64;
+        let staleness = (self.clock_day() - snapshot.week_start_day()).max(0) as f64;
+        let epoch = self.inner.store.publish(snapshot);
+        let reg = self.inner.obs.registry();
+        let labels = [("region", region.as_str())];
+        reg.counter("seagull_serve_publishes_total", &labels).inc();
+        reg.gauge("seagull_serve_epoch", &labels).set(epoch as f64);
+        reg.gauge("seagull_serve_snapshot_servers", &labels)
+            .set(servers);
+        reg.histogram("seagull_serve_staleness_days", &labels)
+            .observe(staleness);
+        epoch
+    }
+
+    /// The region's current snapshot, or `None` before the first publish.
+    /// The returned `Arc` stays coherent across later deploys.
+    pub fn snapshot(&self, region: &str) -> Option<Arc<ModelSnapshot>> {
+        self.inner.store.load(region)
+    }
+
+    /// The region's swap epoch (0 before the first publish).
+    pub fn epoch(&self, region: &str) -> u64 {
+        self.inner.store.epoch(region)
+    }
+
+    /// Regions with at least one published snapshot, ascending.
+    pub fn regions(&self) -> Vec<String> {
+        self.inner.store.regions()
+    }
+
+    /// Days between the simulated clock and the serving snapshot's training
+    /// week, or `None` if nothing is published. Large values mean deploys
+    /// keep failing and the last-known-good snapshot is aging out.
+    pub fn staleness_days(&self, region: &str) -> Option<i64> {
+        self.snapshot(region)
+            .map(|s| (self.clock_day() - s.week_start_day()).max(0))
+    }
+
+    fn admit(&self, region: &str) -> Result<(), ServeError> {
+        if self.inner.breaker.state(region) == BreakerState::Open {
+            self.record(region, "rejected");
+            return Err(ServeError::Rejected {
+                region: region.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn record(&self, region: &str, outcome: &str) {
+        self.inner
+            .obs
+            .registry()
+            .counter(
+                "seagull_serve_requests_total",
+                &[("region", region), ("outcome", outcome)],
+            )
+            .inc();
+    }
+
+    fn record_latency(&self, region: &str, started: Instant) {
+        self.inner
+            .obs
+            .registry()
+            .histogram_with(
+                "seagull_serve_latency_seconds",
+                &[("region", region)],
+                Stability::Volatile,
+            )
+            .observe(started.elapsed().as_secs_f64());
+    }
+
+    fn finish<T>(
+        &self,
+        region: &str,
+        started: Instant,
+        result: Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        self.record(region, if result.is_ok() { "ok" } else { "error" });
+        self.record_latency(region, started);
+        result
+    }
+
+    /// Predicts the next `horizon` steps for one server, anchored at the
+    /// start of its materialized prediction day.
+    ///
+    /// Horizons within the materialized day are answered with a zero-copy
+    /// slice of the snapshot (no allocation, no model inference). Longer
+    /// horizons fall through to the server's cached fitted model when the
+    /// deploy attached one; otherwise
+    /// [`ServeError::HorizonUnavailable`] is returned.
+    pub fn predict(
+        &self,
+        region: &str,
+        server_id: u64,
+        horizon: usize,
+    ) -> Result<TimeSeries, ServeError> {
+        let started = Instant::now();
+        self.admit(region)?;
+        let result = self.predict_on(self.lookup(region)?.as_ref(), region, server_id, horizon);
+        self.finish(region, started, result)
+    }
+
+    fn lookup(&self, region: &str) -> Result<Arc<ModelSnapshot>, ServeError> {
+        self.snapshot(region).ok_or_else(|| ServeError::NoSnapshot {
+            region: region.to_string(),
+        })
+    }
+
+    fn predict_on(
+        &self,
+        snapshot: &ModelSnapshot,
+        region: &str,
+        server_id: u64,
+        horizon: usize,
+    ) -> Result<TimeSeries, ServeError> {
+        if horizon == 0 {
+            return Err(ServeError::BadRequest("horizon must be positive".into()));
+        }
+        let server = snapshot
+            .server(server_id)
+            .ok_or_else(|| ServeError::UnknownServer {
+                region: region.to_string(),
+                server_id,
+            })?;
+        let materialized = server.prediction();
+        if horizon <= materialized.len() {
+            let from = materialized.start();
+            let to = from + horizon as i64 * materialized.step_min() as i64;
+            return materialized
+                .slice(from, to)
+                .map_err(|_| ServeError::HorizonUnavailable {
+                    requested: horizon,
+                    materialized: materialized.len(),
+                });
+        }
+        let unavailable = ServeError::HorizonUnavailable {
+            requested: horizon,
+            materialized: materialized.len(),
+        };
+        let model = server.model().ok_or_else(|| unavailable.clone())?;
+        let from = materialized.start();
+        let step = materialized.step_min() as i64;
+        let to = from + horizon as i64 * step;
+        Self::model_range(model.as_ref(), from, to, step).ok_or(unavailable)
+    }
+
+    /// Predicts a specific calendar day for one server. The materialized
+    /// backup day is served zero-copy; other days go through the cached
+    /// model when it covers them.
+    pub fn predict_day(
+        &self,
+        region: &str,
+        server_id: u64,
+        day: i64,
+    ) -> Result<TimeSeries, ServeError> {
+        let started = Instant::now();
+        self.admit(region)?;
+        let result = self.predict_day_on(self.lookup(region)?.as_ref(), region, server_id, day);
+        self.finish(region, started, result)
+    }
+
+    fn predict_day_on(
+        &self,
+        snapshot: &ModelSnapshot,
+        region: &str,
+        server_id: u64,
+        day: i64,
+    ) -> Result<TimeSeries, ServeError> {
+        let server = snapshot
+            .server(server_id)
+            .ok_or_else(|| ServeError::UnknownServer {
+                region: region.to_string(),
+                server_id,
+            })?;
+        if let Some(view) = server.prediction().day(day) {
+            return Ok(view);
+        }
+        let model = server.model().ok_or(ServeError::DayUnavailable { day })?;
+        let from = Timestamp::from_days(day);
+        let to = Timestamp::from_days(day + 1);
+        let step = server.prediction().step_min() as i64;
+        Self::model_range(model.as_ref(), from, to, step).ok_or(ServeError::DayUnavailable { day })
+    }
+
+    /// Runs the model far enough to cover `[from, to)` and slices that
+    /// range out. The model's own anchor (the start of the series its
+    /// `predict` returns) is recovered from a one-step probe; `None` if the
+    /// range starts before the anchor, the grids disagree, or the model
+    /// errors.
+    fn model_range(
+        model: &dyn seagull_forecast::FittedModel,
+        from: Timestamp,
+        to: Timestamp,
+        step: i64,
+    ) -> Option<TimeSeries> {
+        let probe = model.predict(1).ok()?;
+        if probe.step_min() as i64 != step {
+            return None;
+        }
+        let anchor = probe.start();
+        if from < anchor || (from - anchor) % step != 0 {
+            return None;
+        }
+        let total = ((to - anchor) / step) as usize;
+        let full = model.predict(total).ok()?;
+        full.slice(from, to).ok()
+    }
+
+    /// Finds the lowest-load window of the server's configured backup
+    /// duration on the given day — the query the backup scheduler asks.
+    pub fn ll_window(
+        &self,
+        region: &str,
+        server_id: u64,
+        day: i64,
+    ) -> Result<LowLoadWindow, ServeError> {
+        let started = Instant::now();
+        self.admit(region)?;
+        let snapshot = self.lookup(region)?;
+        let result = (|| {
+            let series = self.predict_day_on(snapshot.as_ref(), region, server_id, day)?;
+            let duration = snapshot
+                .server(server_id)
+                .map(|s| s.duration_min() as u32)
+                .unwrap_or(0);
+            lowest_load_window(&series, duration).ok_or(ServeError::NoWindow {
+                duration_min: duration,
+            })
+        })();
+        self.finish(region, started, result)
+    }
+
+    /// Answers a batch of `(server_id, horizon)` queries against a single
+    /// coherent snapshot acquisition — every answer in the batch comes from
+    /// the same epoch, even if a deploy lands mid-batch. Responses are in
+    /// input order. Admission and snapshot lookup are batch-level: an open
+    /// breaker or missing snapshot fails the whole batch.
+    pub fn predict_batch(
+        &self,
+        region: &str,
+        requests: &[(u64, usize)],
+    ) -> Result<Vec<Result<TimeSeries, ServeError>>, ServeError> {
+        let started = Instant::now();
+        if requests.is_empty() {
+            return Err(ServeError::BadRequest("empty batch".into()));
+        }
+        self.admit(region)?;
+        let snapshot = self.lookup(region)?;
+        self.inner
+            .obs
+            .registry()
+            .histogram("seagull_serve_batch_size", &[("region", region)])
+            .observe(requests.len() as f64);
+        let responses = requests
+            .iter()
+            .map(|&(server_id, horizon)| {
+                let result = self.predict_on(snapshot.as_ref(), region, server_id, horizon);
+                self.record(region, if result.is_ok() { "ok" } else { "error" });
+                result
+            })
+            .collect();
+        self.record_latency(region, started);
+        Ok(responses)
+    }
+}
+
+impl DeploySink for ServeService {
+    /// Successful deployment: build a snapshot from the deployed
+    /// predictions (attaching warm-cache models when the pipeline runs with
+    /// `warm_cache`) and swap it in.
+    fn on_deploy(&self, event: &DeployEvent<'_>) {
+        self.publish(ModelSnapshot::from_deploy(event));
+    }
+
+    /// Failed deployment: the store is deliberately *not* touched — the
+    /// last-known-good snapshot keeps serving, mirroring the registry's
+    /// fallback rule. Only a counter records that it happened.
+    fn on_fallback(&self, region: &str, _week_start_day: i64) {
+        self.inner
+            .obs
+            .registry()
+            .counter("seagull_serve_fallback_kept_total", &[("region", region)])
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_core::pipeline::PredictionDoc;
+
+    fn doc(server_id: u64, day: i64, values: Vec<f64>) -> PredictionDoc {
+        PredictionDoc {
+            region: "west".into(),
+            server_id,
+            day,
+            step_min: 30,
+            values,
+            duration_min: 60,
+        }
+    }
+
+    fn service_with_one_server() -> ServeService {
+        let serve = ServeService::with_defaults();
+        let values: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let snap = ModelSnapshot::from_predictions("west", 1, 7, "m", &[doc(7, 14, values)]);
+        serve.publish(snap);
+        serve
+    }
+
+    #[test]
+    fn predict_slices_materialized_day_zero_copy() {
+        let serve = service_with_one_server();
+        let p = serve.predict("west", 7, 4).unwrap();
+        assert_eq!(p.values(), &[0.0, 1.0, 2.0, 3.0]);
+        let full = serve.predict("west", 7, 48).unwrap();
+        let snap = serve.snapshot("west").unwrap();
+        assert!(full.shares_storage(snap.server(7).unwrap().prediction()));
+    }
+
+    #[test]
+    fn predict_errors_are_specific() {
+        let serve = service_with_one_server();
+        assert!(matches!(
+            serve.predict("east", 7, 4),
+            Err(ServeError::NoSnapshot { .. })
+        ));
+        assert!(matches!(
+            serve.predict("west", 99, 4),
+            Err(ServeError::UnknownServer { server_id: 99, .. })
+        ));
+        assert!(matches!(
+            serve.predict("west", 7, 0),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            serve.predict("west", 7, 49),
+            Err(ServeError::HorizonUnavailable {
+                requested: 49,
+                materialized: 48
+            })
+        ));
+    }
+
+    #[test]
+    fn predict_day_serves_materialized_day() {
+        let serve = service_with_one_server();
+        let day = serve.predict_day("west", 7, 14).unwrap();
+        assert_eq!(day.len(), 48);
+        assert!(matches!(
+            serve.predict_day("west", 7, 15),
+            Err(ServeError::DayUnavailable { day: 15 })
+        ));
+    }
+
+    #[test]
+    fn ll_window_finds_quietest_hour() {
+        let serve = ServeService::with_defaults();
+        // Low plateau at steps 10..14 (values 0.5), high elsewhere.
+        let values: Vec<f64> = (0..48)
+            .map(|i| if (10..14).contains(&i) { 0.5 } else { 9.0 })
+            .collect();
+        serve.publish(ModelSnapshot::from_predictions(
+            "west",
+            1,
+            7,
+            "m",
+            &[doc(7, 14, values)],
+        ));
+        let w = serve.ll_window("west", 7, 14).unwrap();
+        assert_eq!(w.duration_min, 60);
+        assert_eq!(w.start.day_index(), 14);
+        assert!((w.mean_load - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_answers_in_input_order_from_one_epoch() {
+        let serve = service_with_one_server();
+        let out = serve
+            .predict_batch("west", &[(99, 2), (7, 2), (7, 1)])
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], Err(ServeError::UnknownServer { .. })));
+        assert_eq!(out[1].as_ref().unwrap().values(), &[0.0, 1.0]);
+        assert_eq!(out[2].as_ref().unwrap().values(), &[0.0]);
+        assert!(matches!(
+            serve.predict_batch("west", &[]),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn open_breaker_sheds_requests() {
+        let serve = service_with_one_server();
+        // Trip the breaker: default threshold is 3 consecutive failures.
+        let incidents = seagull_core::incident::IncidentManager::new();
+        for _ in 0..3 {
+            serve.breaker().record_failure("west", 0, &incidents);
+        }
+        assert_eq!(serve.breaker().state("west"), BreakerState::Open);
+        assert!(matches!(
+            serve.predict("west", 7, 4),
+            Err(ServeError::Rejected { .. })
+        ));
+        assert!(matches!(
+            serve.predict_batch("west", &[(7, 1)]),
+            Err(ServeError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn staleness_tracks_clock() {
+        let serve = service_with_one_server();
+        assert_eq!(serve.staleness_days("west"), Some(0));
+        serve.set_clock_day(21);
+        assert_eq!(serve.staleness_days("west"), Some(14));
+        assert_eq!(serve.staleness_days("east"), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! Immutable per-region model snapshots — the unit the serving layer swaps.
+//!
+//! A [`ModelSnapshot`] is everything the read path needs to answer queries
+//! for one region: the materialized backup-day prediction per server, the
+//! backup duration the window search should use, and (when available) the
+//! fitted model extracted from the warm cache for horizons the materialized
+//! prediction does not cover. Snapshots are built once at deploy time and
+//! never mutated afterwards — readers share them through `Arc`, so a reader
+//! holding an old epoch keeps a fully coherent prediction set no matter how
+//! many deploys happen after it.
+
+use seagull_core::pipeline::{DeployEvent, PredictionDoc};
+use seagull_forecast::{FittedModel, ModelCache};
+use seagull_timeseries::TimeSeries;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One server's share of a [`ModelSnapshot`].
+pub struct ServedServer {
+    prediction: TimeSeries,
+    duration_min: i64,
+    model: Option<Arc<dyn FittedModel>>,
+}
+
+impl ServedServer {
+    /// The materialized prediction: one full day, anchored at the server's
+    /// next backup day.
+    pub fn prediction(&self) -> &TimeSeries {
+        &self.prediction
+    }
+
+    /// The day index the materialized prediction covers.
+    pub fn materialized_day(&self) -> i64 {
+        self.prediction.start().day_index()
+    }
+
+    /// Backup duration the low-load window search should use, minutes.
+    pub fn duration_min(&self) -> i64 {
+        self.duration_min
+    }
+
+    /// The fitted model extracted from the warm cache, if one was attached.
+    pub fn model(&self) -> Option<&Arc<dyn FittedModel>> {
+        self.model.as_ref()
+    }
+
+    /// Whether an extended-horizon model is available for this server.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+}
+
+/// An immutable, versioned prediction set for one region.
+///
+/// Built by the deployment stage (see
+/// [`seagull_core::pipeline::DeploySink`]) and published through
+/// [`crate::SnapshotStore`], which stamps the epoch. All accessors are
+/// read-only; the snapshot never changes after publication.
+pub struct ModelSnapshot {
+    region: String,
+    version: u64,
+    week_start_day: i64,
+    model_name: String,
+    epoch: u64,
+    servers: BTreeMap<u64, ServedServer>,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot from the prediction documents one pipeline run
+    /// materialized. Documents whose values do not form a day-aligned
+    /// series are skipped (the pipeline only writes day-aligned docs).
+    pub fn from_predictions(
+        region: &str,
+        version: u64,
+        week_start_day: i64,
+        model_name: &str,
+        predictions: &[PredictionDoc],
+    ) -> ModelSnapshot {
+        let mut servers = BTreeMap::new();
+        for doc in predictions {
+            servers.insert(
+                doc.server_id,
+                ServedServer {
+                    prediction: doc.series(),
+                    duration_min: doc.duration_min,
+                    model: None,
+                },
+            );
+        }
+        ModelSnapshot {
+            region: region.to_string(),
+            version,
+            week_start_day,
+            model_name: model_name.to_string(),
+            epoch: 0,
+            servers,
+        }
+    }
+
+    /// Builds a snapshot straight from a pipeline [`DeployEvent`],
+    /// attaching cached fitted models when the event carries a warm-cache
+    /// handle.
+    pub fn from_deploy(event: &DeployEvent<'_>) -> ModelSnapshot {
+        let mut snapshot = ModelSnapshot::from_predictions(
+            event.region,
+            event.version,
+            event.week_start_day,
+            event.model_name,
+            event.predictions,
+        );
+        if let Some(cache) = event.cache {
+            snapshot.attach_cached_models(cache);
+        }
+        snapshot
+    }
+
+    /// Extracts each server's fitted model from the warm cache (keys are
+    /// `region/server_id`, the pipeline's cache-key scheme) and attaches it
+    /// for extended-horizon queries. Servers without a cached fit simply
+    /// stay materialized-only.
+    pub fn attach_cached_models(&mut self, cache: &ModelCache) {
+        for (id, server) in self.servers.iter_mut() {
+            server.model = cache.fitted(&format!("{}/{id}", self.region));
+        }
+    }
+
+    /// Attaches (or replaces) one server's extended-horizon model.
+    pub fn attach_model(&mut self, server_id: u64, model: Arc<dyn FittedModel>) {
+        if let Some(server) = self.servers.get_mut(&server_id) {
+            server.model = Some(model);
+        }
+    }
+
+    /// The region this snapshot serves.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// The model-registry version this snapshot corresponds to.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// First day of the week whose data trained this snapshot's model.
+    pub fn week_start_day(&self) -> i64 {
+        self.week_start_day
+    }
+
+    /// Name of the deployed forecaster.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The swap epoch stamped at publication (0 before publication).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn stamp_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Number of servers with a materialized prediction.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the snapshot holds no servers at all.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The served server ids, ascending.
+    pub fn server_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.servers.keys().copied()
+    }
+
+    /// One server's served state, if present.
+    pub fn server(&self, server_id: u64) -> Option<&ServedServer> {
+        self.servers.get(&server_id)
+    }
+
+    /// How many servers carry an extended-horizon model.
+    pub fn models_attached(&self) -> usize {
+        self.servers.values().filter(|s| s.has_model()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(server_id: u64, day: i64, value: f64) -> PredictionDoc {
+        PredictionDoc {
+            region: "west".into(),
+            server_id,
+            day,
+            step_min: 30,
+            values: vec![value; 48],
+            duration_min: 60,
+        }
+    }
+
+    #[test]
+    fn snapshot_indexes_servers_by_id() {
+        let snap = ModelSnapshot::from_predictions(
+            "west",
+            3,
+            7,
+            "persistent-prev-day",
+            &[doc(9, 14, 1.0), doc(4, 15, 2.0)],
+        );
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.server_ids().collect::<Vec<_>>(), vec![4, 9]);
+        assert_eq!(snap.version(), 3);
+        assert_eq!(snap.week_start_day(), 7);
+        let s = snap.server(9).unwrap();
+        assert_eq!(s.materialized_day(), 14);
+        assert_eq!(s.duration_min(), 60);
+        assert!(!s.has_model());
+        assert!(snap.server(999).is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        let snap = ModelSnapshot::from_predictions("west", 1, 0, "m", &[]);
+        assert!(snap.is_empty());
+        assert_eq!(snap.models_attached(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Epoch-swapped snapshot storage: wait-free reads, serialized publishes.
+//!
+//! Each region owns a private `RegionSlot`: two snapshot slots plus an atomic
+//! epoch counter. The active slot is `epoch & 1`. Readers load the epoch
+//! with `Acquire` ordering, take a read lock on the *active* slot, and
+//! clone the `Arc` — because a publish only ever writes the *standby*
+//! slot before flipping the epoch with `Release` ordering, the read lock
+//! is uncontended in steady state: readers never wait on a deploy.
+//!
+//! The asymmetry is deliberate and matches the serving workload (queries
+//! outnumber deploys by orders of magnitude): a *publisher* may block,
+//! first on the per-region publish mutex (deploys are serialized), then
+//! on the standby slot's write lock if a straggling reader still holds a
+//! read guard from two epochs back. Readers clone the `Arc` and drop the
+//! guard immediately, so that window is a few instructions wide.
+//!
+//! Coherence comes from swapping the whole `Arc<ModelSnapshot>`: a reader
+//! either sees the entire old snapshot or the entire new one, never a
+//! mixture, and a reader that holds an old `Arc` across a deploy keeps a
+//! fully consistent prediction set until it drops the handle.
+
+use crate::snapshot::ModelSnapshot;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-region double-slot state. Epoch 0 means "nothing published yet";
+/// the first publish moves the region to epoch 1 with slot 1 active.
+struct RegionSlot {
+    epoch: AtomicU64,
+    slots: [RwLock<Option<Arc<ModelSnapshot>>>; 2],
+    publish_lock: Mutex<()>,
+}
+
+impl RegionSlot {
+    fn new() -> RegionSlot {
+        RegionSlot {
+            epoch: AtomicU64::new(0),
+            slots: [RwLock::new(None), RwLock::new(None)],
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    fn load(&self) -> Option<Arc<ModelSnapshot>> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if epoch == 0 {
+            return None;
+        }
+        let guard = self.slots[(epoch & 1) as usize].read();
+        guard.as_ref().map(Arc::clone)
+    }
+
+    fn publish(&self, mut snapshot: ModelSnapshot) -> u64 {
+        let _serialize = self.publish_lock.lock();
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let next = epoch + 1;
+        snapshot.stamp_epoch(next);
+        {
+            // Standby slot: no reader targets it under the current epoch.
+            // The write lock only contends with stragglers from epoch-2.
+            let mut standby = self.slots[(next & 1) as usize].write();
+            *standby = Some(Arc::new(snapshot));
+        }
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+}
+
+/// The serving layer's snapshot registry: one epoch-swapped slot pair per
+/// region.
+///
+/// `SnapshotStore` is `Clone`-free by design — share it through `Arc` (as
+/// [`crate::ServeService`] does). The outer region map takes a write lock
+/// only the first time a region is seen; steady-state reads and publishes
+/// touch it with a read lock.
+pub struct SnapshotStore {
+    regions: RwLock<BTreeMap<String, Arc<RegionSlot>>>,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store with no regions.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore {
+            regions: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn slot(&self, region: &str) -> Option<Arc<RegionSlot>> {
+        self.regions.read().get(region).map(Arc::clone)
+    }
+
+    fn slot_or_insert(&self, region: &str) -> Arc<RegionSlot> {
+        if let Some(slot) = self.slot(region) {
+            return slot;
+        }
+        let mut map = self.regions.write();
+        Arc::clone(
+            map.entry(region.to_string())
+                .or_insert_with(|| Arc::new(RegionSlot::new())),
+        )
+    }
+
+    /// Publishes a snapshot for its region, stamping and returning the new
+    /// epoch. Publishes for the same region are serialized; readers are
+    /// never blocked by a publish.
+    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+        let slot = self.slot_or_insert(snapshot.region());
+        slot.publish(snapshot)
+    }
+
+    /// The current snapshot for a region, or `None` if nothing has been
+    /// published yet. The returned `Arc` stays coherent even if a deploy
+    /// swaps the region while the caller holds it.
+    pub fn load(&self, region: &str) -> Option<Arc<ModelSnapshot>> {
+        self.slot(region).and_then(|slot| slot.load())
+    }
+
+    /// The region's current epoch: 0 before the first publish, then one
+    /// increment per successful deploy.
+    pub fn epoch(&self, region: &str) -> u64 {
+        self.slot(region)
+            .map(|slot| slot.epoch.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Regions that have seen at least one publish attempt, ascending.
+    pub fn regions(&self) -> Vec<String> {
+        self.regions.read().keys().cloned().collect()
+    }
+}
+
+impl Default for SnapshotStore {
+    fn default() -> SnapshotStore {
+        SnapshotStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_core::pipeline::PredictionDoc;
+
+    fn snap(region: &str, version: u64) -> ModelSnapshot {
+        let doc = PredictionDoc {
+            region: region.into(),
+            server_id: 1,
+            day: 14,
+            step_min: 30,
+            values: vec![version as f64; 48],
+            duration_min: 60,
+        };
+        ModelSnapshot::from_predictions(region, version, 7, "m", &[doc])
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let store = SnapshotStore::new();
+        assert!(store.load("west").is_none());
+        assert_eq!(store.epoch("west"), 0);
+        assert!(store.regions().is_empty());
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps() {
+        let store = SnapshotStore::new();
+        assert_eq!(store.publish(snap("west", 1)), 1);
+        let first = store.load("west").unwrap();
+        assert_eq!(first.version(), 1);
+        assert_eq!(first.epoch(), 1);
+
+        assert_eq!(store.publish(snap("west", 2)), 2);
+        let second = store.load("west").unwrap();
+        assert_eq!(second.version(), 2);
+        assert_eq!(store.epoch("west"), 2);
+        // The old Arc is still fully coherent.
+        assert_eq!(first.version(), 1);
+        assert_eq!(first.server(1).unwrap().prediction().values()[0], 1.0);
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let store = SnapshotStore::new();
+        store.publish(snap("west", 1));
+        store.publish(snap("east", 1));
+        store.publish(snap("west", 2));
+        assert_eq!(store.epoch("west"), 2);
+        assert_eq!(store.epoch("east"), 1);
+        assert_eq!(
+            store.regions(),
+            vec!["east".to_string(), "west".to_string()]
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! back to back (missing buckets are NaN, as everywhere else), closed by a
 //! checksum footer. Decoding is a bounds-checked `memcpy` into **one** shared
 //! buffer, and each server's series becomes a zero-copy
-//! [`TimeSeries`](seagull_timeseries::TimeSeries) view into it.
+//! [`seagull_timeseries::TimeSeries`] view into it.
 //!
 //! The checksum exists for the failure mode [`crate::chaos::ChaosBlobStore`]
 //! injects: a torn read returns a strict prefix of the blob, which for CSV

@@ -18,6 +18,8 @@
 //! * [`core`] — the paper's contribution: low-load accuracy metrics, server
 //!   classification, the AML-style pipeline, model registry, parallel
 //!   accuracy evaluation, document store, incidents and dashboard.
+//! * [`serve`] — the prediction-serving layer: epoch-swapped model
+//!   snapshots published at deploy time, low-latency per-server queries.
 //! * [`backup`] — the backup-scheduling use case (Sections 2.3, 4, 6).
 //! * [`autoscale`] — the SQL auto-scale use case (Appendix A).
 //! * [`obs`] — fleet-wide observability: metrics registry, span tracing,
@@ -44,6 +46,7 @@ pub use seagull_core as core;
 pub use seagull_forecast as forecast;
 pub use seagull_linalg as linalg;
 pub use seagull_obs as obs;
+pub use seagull_serve as serve;
 pub use seagull_telemetry as telemetry;
 pub use seagull_timeseries as timeseries;
 

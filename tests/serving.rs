@@ -1,0 +1,238 @@
+//! Serving-layer integration tests: pipeline → snapshot publication →
+//! queries, concurrent readers racing mid-flight deploys, old-epoch
+//! coherence, breaker admission, and the served scheduler path.
+
+use seagull::backup::{BackupScheduler, FabricPropertyStore, ScheduleDecision, SchedulerConfig};
+use seagull::core::pipeline::{AmlPipeline, DeploySink, PipelineConfig, PredictionDoc};
+use seagull::core::resilience::BreakerState;
+use seagull::core::IncidentManager;
+use seagull::serve::{ModelSnapshot, ServeError, ServeService};
+use seagull::telemetry::blobstore::MemoryBlobStore;
+use seagull::telemetry::extract::LoadExtraction;
+use seagull::telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A snapshot whose every server carries the same constant value — torn
+/// reads (mixing servers from two snapshots) become detectable.
+fn uniform_snapshot(version: u64, servers: u64, value: f64) -> ModelSnapshot {
+    let docs: Vec<PredictionDoc> = (0..servers)
+        .map(|id| PredictionDoc {
+            region: "west".into(),
+            server_id: id,
+            day: 14,
+            step_min: 30,
+            values: vec![value; 48],
+            duration_min: 60,
+        })
+        .collect();
+    ModelSnapshot::from_predictions("west", version, 7, "m", &docs)
+}
+
+#[test]
+fn concurrent_readers_race_mid_flight_deploys_without_torn_reads() {
+    let serve = ServeService::with_defaults();
+    const SERVERS: u64 = 16;
+    const DEPLOYS: u64 = 200;
+    serve.publish(uniform_snapshot(1, SERVERS, 1.0));
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writer: a deploy storm, one snapshot per version.
+        scope.spawn(|| {
+            for v in 2..=DEPLOYS {
+                serve.publish(uniform_snapshot(v, SERVERS, v as f64));
+            }
+            stop.store(true, Ordering::Release);
+        });
+        // Readers: every answer must be internally consistent — all values
+        // in a response equal, and whole batches from a single version.
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let epoch = serve.epoch("west");
+                    assert!(epoch >= last_epoch, "epochs must be monotonic");
+                    last_epoch = epoch;
+
+                    let series = serve.predict("west", 3, 48).expect("server 3 exists");
+                    let first = series.values()[0];
+                    assert!(series.values().iter().all(|v| *v == first), "torn read");
+
+                    let batch = serve
+                        .predict_batch("west", &[(0, 4), (7, 4), (15, 4)])
+                        .expect("batch admitted");
+                    let versions: Vec<f64> = batch
+                        .iter()
+                        .map(|r| r.as_ref().expect("all servers exist").values()[0])
+                        .collect();
+                    assert!(
+                        versions.iter().all(|v| *v == versions[0]),
+                        "batch mixed snapshots: {versions:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(serve.epoch("west"), DEPLOYS);
+    let last = serve.predict("west", 0, 1).unwrap();
+    assert_eq!(last.values()[0], DEPLOYS as f64);
+}
+
+#[test]
+fn reader_holding_old_epoch_keeps_coherent_prediction_set() {
+    let serve = ServeService::with_defaults();
+    serve.publish(uniform_snapshot(1, 8, 1.0));
+    let held = serve.snapshot("west").expect("published");
+    assert_eq!(held.epoch(), 1);
+
+    for v in 2..=50 {
+        serve.publish(uniform_snapshot(v, 8, v as f64));
+    }
+
+    // The held snapshot is immutable: same epoch, same servers, same values,
+    // regardless of the 49 deploys that landed after it.
+    assert_eq!(held.epoch(), 1);
+    assert_eq!(held.version(), 1);
+    assert_eq!(held.len(), 8);
+    for id in held.server_ids() {
+        let series = held.server(id).unwrap().prediction();
+        assert!(series.values().iter().all(|v| *v == 1.0));
+    }
+    // While the store moved on.
+    assert_eq!(serve.epoch("west"), 50);
+    assert_eq!(serve.snapshot("west").unwrap().version(), 50);
+}
+
+#[test]
+fn pipeline_deploys_publish_snapshots_end_to_end() {
+    let mut spec = FleetSpec::small_region(7);
+    spec.regions[0].servers = 60;
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+    let weeks: Vec<i64> = (0..4).map(|w| start + 7 * w).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(4);
+
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(
+            &fleet,
+            std::slice::from_ref(&region),
+            &weeks,
+            store.as_ref(),
+        )
+        .unwrap();
+
+    let serve = ServeService::with_defaults();
+    let pipeline = AmlPipeline::new(PipelineConfig::production(), store)
+        .with_deploy_sink(Arc::new(serve.clone()));
+    let reports = pipeline.run_schedule(std::slice::from_ref(&region), &weeks);
+    assert!(reports.iter().all(|r| !r.blocked));
+
+    // One epoch per weekly deploy; snapshot tracks the registry.
+    assert_eq!(serve.epoch(&region), 4);
+    let snap = serve.snapshot(&region).expect("deploys published");
+    assert_eq!(
+        Some(snap.version()),
+        reports.last().unwrap().deployed_version
+    );
+    assert!(
+        !snap.is_empty(),
+        "snapshot carries the deployed predictions"
+    );
+    assert_eq!(snap.week_start_day(), start + 21);
+
+    // Served predictions match the documents the pipeline stored.
+    let sid = snap.server_ids().next().unwrap();
+    let served = serve.predict_day(&region, sid, snap.server(sid).unwrap().materialized_day());
+    let series = served.expect("materialized day is servable");
+    assert_eq!(series.values().len(), series.len());
+
+    // The served scheduler path reschedules a healthy fleet's backups into
+    // snapshot windows and writes fabric properties.
+    serve.set_clock_day(start + 28);
+    let scheduler = BackupScheduler::new(SchedulerConfig::default());
+    let fabric = FabricPropertyStore::new();
+    let mut all = Vec::new();
+    for offset in 0..7 {
+        all.extend(scheduler.schedule_day_served(
+            &fleet,
+            start + 28 + offset,
+            &serve,
+            &region,
+            &fabric,
+        ));
+    }
+    assert!(!all.is_empty());
+    let rescheduled = all
+        .iter()
+        .filter(|b| matches!(b.decision, ScheduleDecision::Rescheduled { .. }))
+        .count();
+    assert!(
+        rescheduled > 0,
+        "some backups land in served windows ({}/{})",
+        rescheduled,
+        all.len()
+    );
+    for b in &all {
+        assert_eq!(
+            fabric.backup_window_start(seagull::telemetry::server::ServerId(b.server_id)),
+            Some(b.start)
+        );
+    }
+}
+
+#[test]
+fn open_breaker_sheds_serving_traffic_until_cooldown() {
+    let serve = ServeService::with_defaults();
+    serve.publish(uniform_snapshot(1, 4, 1.0));
+    assert!(serve.predict("west", 0, 4).is_ok());
+
+    // Trip the shared breaker the way the pipeline would.
+    let incidents = IncidentManager::new();
+    for _ in 0..3 {
+        serve.breaker().record_failure("west", 0, &incidents);
+    }
+    assert_eq!(serve.breaker().state("west"), BreakerState::Open);
+    assert!(matches!(
+        serve.predict("west", 0, 4),
+        Err(ServeError::Rejected { .. })
+    ));
+    assert!(matches!(
+        serve.ll_window("west", 0, 14),
+        Err(ServeError::Rejected { .. })
+    ));
+
+    // Serving's admission check is read-only: it must not consume the
+    // breaker's half-open probe budget while the region is open.
+    assert_eq!(serve.breaker().state("west"), BreakerState::Open);
+
+    // After the cooldown the pipeline's probe succeeds and serving resumes.
+    let cooldown = serve.breaker().config().cooldown_ticks;
+    assert!(serve.breaker().allow("west", cooldown));
+    serve.breaker().record_success("west", cooldown, &incidents);
+    assert_eq!(serve.breaker().state("west"), BreakerState::Closed);
+    assert!(serve.predict("west", 0, 4).is_ok());
+}
+
+#[test]
+fn failed_deploy_keeps_last_known_good_snapshot() {
+    let serve = ServeService::with_defaults();
+    serve.publish(uniform_snapshot(1, 4, 1.0));
+    let epoch_before = serve.epoch("west");
+
+    // A failed deployment fires the fallback hook, not a publish.
+    serve.on_fallback("west", 14);
+    assert_eq!(serve.epoch("west"), epoch_before, "no swap on fallback");
+    let snap = serve.snapshot("west").unwrap();
+    assert_eq!(snap.version(), 1, "last-known-good still serving");
+    assert_eq!(
+        serve
+            .obs()
+            .registry()
+            .counter("seagull_serve_fallback_kept_total", &[("region", "west")])
+            .get(),
+        1
+    );
+}
