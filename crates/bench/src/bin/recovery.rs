@@ -1,0 +1,387 @@
+//! Crash-recovery sweep: seeded kill-points at every stage and deploy
+//! boundary, each followed by restart + journal replay, asserting the
+//! recovered system serves predictions and backup schedules byte-identical
+//! to an uninterrupted run (DESIGN.md §12).
+//!
+//! Three families of kill-points are swept:
+//!
+//! - **stage kills** — one per (pipeline stage × region) at the middle
+//!   week, via [`StageChaos::kill_at`];
+//! - **seeded op kills** — ≥20 seeds, each drawing a blob-store op index
+//!   and a torn-write fraction from a [`DetRng`], via
+//!   [`CrashPoint::at_op`] (seeds that land past the op stream complete
+//!   cleanly and must still match the baseline);
+//! - **deploy-boundary kills** — the nth journal / snapshot / checkpoint
+//!   write, torn at varying fractions, via [`CrashPoint::on_key`].
+//!
+//! Besides the equality check the sweep measures the recovery path itself:
+//! wall time of journal replay + snapshot republish, and replay throughput
+//! from [`RecoveryReport::bytes_replayed`]. Results land in
+//! `experiments/BENCH_recovery.json`; any digest mismatch panics, failing
+//! the run.
+
+use seagull_backup::{BackupScheduler, FabricPropertyStore, SchedulerConfig};
+use seagull_bench::{emit_json, scale, Scale, Table};
+use seagull_core::fleet::FleetRunner;
+use seagull_core::pipeline::{AmlPipeline, DeploySink, PipelineConfig};
+use seagull_core::resilience::{ResiliencePolicy, StageChaos};
+use seagull_serve::{DurableServeSink, RecoveryReport, ServeService};
+use seagull_telemetry::blobstore::{BlobStore, MemoryBlobStore};
+use seagull_telemetry::chaos::{ChaosBlobStore, ChaosConfig, CrashPoint, DetRng, InjectedCrash};
+use seagull_telemetry::columnar::checksum64;
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_telemetry::fleet::{FleetGenerator, FleetSpec, ServerTelemetry};
+use serde_json::json;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+const STAGES: [&str; 6] = [
+    "ingestion",
+    "validation",
+    "features",
+    "train-infer",
+    "deployment",
+    "accuracy-eval",
+];
+
+struct Env {
+    fleet: Vec<ServerTelemetry>,
+    regions: Vec<String>,
+    weeks: Vec<i64>,
+}
+
+fn build_env(unit: usize, weeks_n: usize) -> Env {
+    let spec = FleetSpec::four_regions(90, unit);
+    let start = spec.start_day;
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let fleet = FleetGenerator::new(spec).generate_weeks(weeks_n);
+    let weeks: Vec<i64> = (0..weeks_n as i64).map(|w| start + 7 * w).collect();
+    Env {
+        fleet,
+        regions,
+        weeks,
+    }
+}
+
+/// Byte-identical recovery is defined against a single-threaded, cold-cache
+/// run: persisted snapshots do not carry fitted models, so a recovered
+/// process serves exactly as a cold-cache one does.
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        threads: 1,
+        warm_cache: false,
+        ..PipelineConfig::production()
+    }
+}
+
+enum Crash {
+    None,
+    Stage(&'static str, String, i64),
+    Blob(CrashPoint),
+}
+
+/// Digest of the externally observable serving state: per-region served
+/// predictions plus one full week of served backup schedules. Epochs and
+/// registry versions are excluded — they count deploy attempts, which may
+/// legitimately differ after a restart.
+fn digest(env: &Env, serve: &ServeService) -> u64 {
+    let mut acc = String::new();
+    let final_week = *env.weeks.last().unwrap();
+    serve.set_clock_day(final_week + 7);
+    let scheduler = BackupScheduler::new(SchedulerConfig::default());
+    let fabric = FabricPropertyStore::new();
+    for region in &env.regions {
+        if let Some(snap) = serve.snapshot(region) {
+            for id in snap.server_ids() {
+                let sv = snap.server(id).unwrap();
+                let _ = write!(
+                    acc,
+                    "{region}/{id}@{}+{}m:{:?};",
+                    sv.materialized_day(),
+                    sv.duration_min(),
+                    sv.prediction().values(),
+                );
+            }
+        } else {
+            let _ = write!(acc, "{region}/none;");
+        }
+        for offset in 0..7 {
+            for b in scheduler.schedule_day_served(
+                &env.fleet,
+                final_week + 7 + offset,
+                serve,
+                region,
+                &fabric,
+            ) {
+                let _ = write!(
+                    acc,
+                    "B{region}/{}@{}:{}+{}:{:?};",
+                    b.server_id,
+                    b.backup_day,
+                    b.start.minutes(),
+                    b.duration_min,
+                    b.decision,
+                );
+            }
+        }
+    }
+    checksum64(acc.as_bytes())
+}
+
+struct RunOutcome {
+    digest: u64,
+    crashed: bool,
+    recovery: Option<RecoveryReport>,
+    recover_secs: f64,
+}
+
+fn run(env: &Env, crash: Crash) -> RunOutcome {
+    let disk = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(&env.fleet, &env.regions, &env.weeks, disk.as_ref())
+        .unwrap();
+
+    let chaos = Arc::new(ChaosBlobStore::new(
+        Arc::clone(&disk) as Arc<dyn BlobStore>,
+        ChaosConfig::default(),
+    ));
+    let policy = match &crash {
+        Crash::Stage(stage, region, tick) => {
+            let (s, r, t) = (*stage, region.clone(), *tick);
+            ResiliencePolicy {
+                chaos: StageChaos::kill_at(move |stage, region, tick| {
+                    stage == s && region == r && tick == t
+                }),
+                ..ResiliencePolicy::default()
+            }
+        }
+        _ => ResiliencePolicy::default(),
+    };
+    if let Crash::Blob(point) = crash {
+        chaos.arm_crash(point);
+    }
+
+    let serve = ServeService::with_defaults();
+    let sink = Arc::new(DurableServeSink::new(
+        serve.clone(),
+        Arc::clone(&chaos) as Arc<dyn BlobStore>,
+    ));
+    let pipeline =
+        AmlPipeline::with_resilience(config(), Arc::clone(&chaos) as Arc<dyn BlobStore>, policy)
+            .with_deploy_sink(Arc::clone(&sink) as Arc<dyn DeploySink>);
+    let runner = FleetRunner::new(pipeline, env.regions.clone())
+        .with_checkpoints(Arc::clone(&chaos) as Arc<dyn BlobStore>);
+
+    match catch_unwind(AssertUnwindSafe(|| runner.run_schedule(&env.weeks))) {
+        Ok(_) => RunOutcome {
+            digest: digest(env, &serve),
+            crashed: false,
+            recovery: None,
+            recover_secs: 0.0,
+        },
+        Err(payload) => {
+            if payload.downcast_ref::<InjectedCrash>().is_none() {
+                resume_unwind(payload);
+            }
+            // Restart: fresh process state over the surviving disk.
+            let serve2 = ServeService::with_defaults();
+            let t0 = Instant::now();
+            let (sink2, report) =
+                DurableServeSink::recover(serve2.clone(), Arc::clone(&disk) as Arc<dyn BlobStore>)
+                    .unwrap();
+            let recover_secs = t0.elapsed().as_secs_f64();
+            let pipeline2 = AmlPipeline::new(config(), Arc::clone(&disk) as Arc<dyn BlobStore>)
+                .with_deploy_sink(Arc::new(sink2) as Arc<dyn DeploySink>);
+            let runner2 = FleetRunner::new(pipeline2, env.regions.clone())
+                .with_checkpoints(Arc::clone(&disk) as Arc<dyn BlobStore>);
+            runner2.run_schedule(&env.weeks);
+            RunOutcome {
+                digest: digest(env, &serve2),
+                crashed: true,
+                recovery: Some(report),
+                recover_secs,
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Agg {
+    runs: usize,
+    crashed: usize,
+    clean: usize,
+    recover_secs: Vec<f64>,
+    replay_mbps: Vec<f64>,
+    journal_records: usize,
+    torn_tails: usize,
+    fallbacks: usize,
+}
+
+impl Agg {
+    fn absorb(&mut self, out: &RunOutcome, baseline: u64, what: &str) {
+        assert_eq!(
+            out.digest, baseline,
+            "recovered run diverged from the uninterrupted baseline ({what})"
+        );
+        self.runs += 1;
+        if out.crashed {
+            self.crashed += 1;
+        } else {
+            self.clean += 1;
+        }
+        if let Some(report) = &out.recovery {
+            self.recover_secs.push(out.recover_secs);
+            if out.recover_secs > 0.0 {
+                self.replay_mbps
+                    .push(report.bytes_replayed as f64 / 1e6 / out.recover_secs);
+            }
+            self.journal_records += report.journal_records;
+            self.torn_tails += usize::from(report.torn_tail());
+            self.fallbacks += report.snapshot_fallbacks;
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+fn main() -> std::io::Result<()> {
+    let sc = scale();
+    let (unit, weeks_n) = match sc {
+        Scale::Small => (2, 3),
+        Scale::Paper => (8, 3),
+    };
+    let env = build_env(unit, weeks_n);
+    eprintln!(
+        "[recovery sweep: {} servers, {} regions, {} weeks]",
+        env.fleet.len(),
+        env.regions.len(),
+        env.weeks.len()
+    );
+
+    let t0 = Instant::now();
+    let baseline = run(&env, Crash::None);
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    assert!(!baseline.crashed);
+
+    // Family 1: a kill at every (stage × region) boundary, middle week.
+    let mut stage_kills = Agg::default();
+    for stage in STAGES {
+        for region in &env.regions {
+            let out = run(&env, Crash::Stage(stage, region.clone(), env.weeks[1]));
+            assert!(out.crashed, "stage kill {stage}/{region} must fire");
+            stage_kills.absorb(&out, baseline.digest, &format!("{stage}/{region}"));
+        }
+    }
+
+    // Family 2: 20 seeded blob-op kills; op index and torn fraction drawn
+    // from the seed. Seeds whose op index lands past the run's op stream
+    // finish cleanly and must still match the baseline.
+    let mut seeded = Agg::default();
+    for seed in 0..20u64 {
+        let mut rng = DetRng::new(0xC0FFEE ^ seed);
+        let at = rng.next_u64() % 64;
+        let torn = rng.next_f64();
+        let out = run(&env, Crash::Blob(CrashPoint::at_op(at, torn)));
+        seeded.absorb(&out, baseline.digest, &format!("seed {seed} op {at}"));
+    }
+
+    // Family 3: deploy-boundary kills — the nth journal / snapshot /
+    // checkpoint write, torn at 0, mid-write, and just-after-completion.
+    let mut boundary = Agg::default();
+    let points = [
+        ("journal", 1, 0.0),
+        ("journal", 2, 0.5),
+        ("journal", 4, 1.0),
+        ("snapshot", 1, 0.0),
+        ("snapshot", 3, 0.33),
+        ("snapshot", 5, 1.0),
+        // Checkpoint ops 1-4 are the week's existence probes (gets); the
+        // marker writes follow. nth 5 tears the first week-one marker,
+        // nth 14 tears a week-two marker mid-write.
+        ("checkpoint", 5, 0.5),
+        ("checkpoint", 14, 0.9),
+    ];
+    for (fragment, nth, torn) in points {
+        let out = run(&env, Crash::Blob(CrashPoint::on_key(fragment, nth, torn)));
+        assert!(out.crashed, "boundary kill {fragment}#{nth} must fire");
+        boundary.absorb(&out, baseline.digest, &format!("{fragment}#{nth}"));
+    }
+
+    let mut table = Table::new([
+        "family",
+        "runs",
+        "crashed",
+        "clean",
+        "recover ms (mean/max)",
+        "replay MB/s",
+    ]);
+    for (name, agg) in [
+        ("stage-kills", &stage_kills),
+        ("seeded-ops", &seeded),
+        ("deploy-boundary", &boundary),
+    ] {
+        table.row([
+            name.to_string(),
+            agg.runs.to_string(),
+            agg.crashed.to_string(),
+            agg.clean.to_string(),
+            format!(
+                "{:.2} / {:.2}",
+                mean(&agg.recover_secs) * 1e3,
+                max(&agg.recover_secs) * 1e3
+            ),
+            format!("{:.1}", mean(&agg.replay_mbps)),
+        ]);
+    }
+    table.print();
+    let total_runs = 1 + stage_kills.runs + seeded.runs + boundary.runs;
+    println!(
+        "\n{} runs, {} crashed+recovered, {} clean — all byte-identical to the baseline",
+        total_runs,
+        stage_kills.crashed + seeded.crashed + boundary.crashed,
+        1 + stage_kills.clean + seeded.clean + boundary.clean,
+    );
+
+    let family_json = |agg: &Agg| {
+        json!({
+            "runs": agg.runs,
+            "crashed": agg.crashed,
+            "clean": agg.clean,
+            "recover_ms_mean": mean(&agg.recover_secs) * 1e3,
+            "recover_ms_max": max(&agg.recover_secs) * 1e3,
+            "replay_mb_per_s_mean": mean(&agg.replay_mbps),
+            "journal_records_replayed": agg.journal_records,
+            "torn_tails_truncated": agg.torn_tails,
+            "snapshot_fallbacks": agg.fallbacks,
+        })
+    };
+    emit_json(
+        "BENCH_recovery",
+        &json!({
+            "scale": format!("{sc:?}"),
+            "servers": env.fleet.len(),
+            "regions": env.regions.len(),
+            "weeks": env.weeks.len(),
+            "baseline_secs": baseline_secs,
+            "total_runs": total_runs,
+            "digest": format!("{:016x}", baseline.digest),
+            "byte_identical": true,
+            "stage_kills": family_json(&stage_kills),
+            "seeded_ops": family_json(&seeded),
+            "deploy_boundary": family_json(&boundary),
+        }),
+    )?;
+    Ok(())
+}

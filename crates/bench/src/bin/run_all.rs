@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "dataplane",
     "fleet_scale",
     "serving",
+    "recovery",
 ];
 
 fn main() {

@@ -11,22 +11,97 @@
 //! pipeline directly — but it gives experiments and benches one obvious
 //! handle for "run the whole fleet" plus the read-side accessors they
 //! report from (reports, cache statistics, the merged [`Obs`]).
-
+//!
+//! # Resumable fleet-weeks
+//!
+//! With [`FleetRunner::with_checkpoints`], the runner persists a per-region
+//! *completion marker* the moment each region's run finishes (via
+//! [`AmlPipeline::run_fleet_week_with`]), and consults those markers before
+//! fanning out: a restarted run skips regions whose marker is present and
+//! intact, re-running only the regions that were still in flight when the
+//! process died. Markers are single-record [`Journal`] blobs, so a marker
+//! torn mid-write fails checksum verification on replay and the region is
+//! simply re-run — pipeline runs are idempotent per `(region, week)`, so a
+//! re-run after a crash converges on the same predictions and deployments
+//! as an uninterrupted run.
 use crate::pipeline::{AmlPipeline, PipelineRunReport};
+use bytes::Bytes;
 use seagull_forecast::CacheStats;
 use seagull_obs::Obs;
+use seagull_telemetry::blobstore::{BlobKey, BlobStore};
+use seagull_telemetry::journal::{replay, Journal};
+use std::sync::Arc;
+
+/// Blob kind under which per-region completion markers are stored.
+pub const CHECKPOINT_KIND: &str = "checkpoint";
+
+/// The blob key of one region-week completion marker.
+pub fn checkpoint_key(region: &str, week_start_day: i64) -> BlobKey {
+    BlobKey {
+        kind: CHECKPOINT_KIND.into(),
+        region: region.into(),
+        week: week_start_day,
+    }
+}
+
+/// Encodes a completion marker for a finished region run: a single-record
+/// journal whose payload names the region, week, deployed version (`-1`
+/// when the run kept last-known-good), and server count.
+fn encode_marker(report: &PipelineRunReport) -> Bytes {
+    let mut journal = Journal::new();
+    let payload = format!(
+        "{}\n{}\n{}\n{}",
+        report.region,
+        report.week_start_day,
+        report.deployed_version.map_or(-1, |v| v as i64),
+        report.servers,
+    );
+    journal.append(payload.as_bytes());
+    journal.encoded()
+}
+
+/// Whether a marker blob is an intact completion marker for this region and
+/// week. Torn, truncated, or mismatched markers are not trusted: the region
+/// is treated as incomplete and re-run.
+fn marker_valid(blob: &[u8], region: &str, week_start_day: i64) -> bool {
+    let Ok(r) = replay(blob) else { return false };
+    if r.torn() || r.records.len() != 1 {
+        return false;
+    }
+    let Ok(text) = std::str::from_utf8(&r.records[0]) else {
+        return false;
+    };
+    let mut lines = text.lines();
+    lines.next() == Some(region)
+        && lines.next().and_then(|l| l.parse::<i64>().ok()) == Some(week_start_day)
+}
 
 /// Drives an [`AmlPipeline`] over a fixed region set, one fleet-week at a
 /// time.
 pub struct FleetRunner {
     pipeline: AmlPipeline,
     regions: Vec<String>,
+    /// When set, completed region-weeks are marked here and skipped on
+    /// restart (see the module docs).
+    checkpoints: Option<Arc<dyn BlobStore>>,
 }
 
 impl FleetRunner {
     /// Wraps a pipeline and the regions it schedules.
     pub fn new(pipeline: AmlPipeline, regions: Vec<String>) -> FleetRunner {
-        FleetRunner { pipeline, regions }
+        FleetRunner {
+            pipeline,
+            regions,
+            checkpoints: None,
+        }
+    }
+
+    /// Enables resumable fleet-weeks: every finished region run writes a
+    /// completion marker to `store`, and [`FleetRunner::run_week`] skips
+    /// regions whose marker for that week is already present and intact.
+    pub fn with_checkpoints(mut self, store: Arc<dyn BlobStore>) -> FleetRunner {
+        self.checkpoints = Some(store);
+        self
     }
 
     /// The underlying pipeline (doc store, registry, incidents, …).
@@ -39,14 +114,76 @@ impl FleetRunner {
         &self.regions
     }
 
-    /// Runs one week for every region; reports come back in region order.
-    pub fn run_week(&self, week_start_day: i64) -> Vec<PipelineRunReport> {
-        self.pipeline.run_fleet_week(&self.regions, week_start_day)
+    /// Whether `region` already has an intact completion marker for the
+    /// week. Always false without a checkpoint store.
+    pub fn completed(&self, region: &str, week_start_day: i64) -> bool {
+        let Some(store) = &self.checkpoints else {
+            return false;
+        };
+        store
+            .get(&checkpoint_key(region, week_start_day))
+            .is_ok_and(|blob| marker_valid(&blob, region, week_start_day))
     }
 
-    /// Runs the given weeks in order, each as one fleet-week.
+    /// Runs one week for every region; reports come back in region order.
+    ///
+    /// With a checkpoint store attached, regions already marked complete for
+    /// this week are skipped (no report is produced for them), and each
+    /// region that does run writes its marker the moment it finishes — so a
+    /// crash mid-fleet loses only the in-flight regions, and the restarted
+    /// week re-runs exactly those.
+    pub fn run_week(&self, week_start_day: i64) -> Vec<PipelineRunReport> {
+        let Some(store) = self.checkpoints.clone() else {
+            return self.pipeline.run_fleet_week(&self.regions, week_start_day);
+        };
+        let pending: Vec<String> = self
+            .regions
+            .iter()
+            .filter(|r| !self.completed(r, week_start_day))
+            .cloned()
+            .collect();
+        let skipped = self.regions.len() - pending.len();
+        if skipped > 0 {
+            self.pipeline
+                .obs
+                .registry()
+                .counter("seagull_checkpoint_regions_skipped_total", &[])
+                .add(skipped as u64);
+        }
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let reports = self
+            .pipeline
+            .run_fleet_week_with(&pending, week_start_day, |_, report| {
+                // A marker is written only after the region's run fully
+                // completed (deployments announced, documents stored); a
+                // crash between completion and the marker write just re-runs
+                // the region, which is idempotent.
+                let _ = store.put(
+                    &checkpoint_key(&report.region, week_start_day),
+                    encode_marker(report),
+                );
+            });
+        self.pipeline
+            .obs
+            .registry()
+            .counter("seagull_checkpoint_markers_written_total", &[])
+            .add(reports.len() as u64);
+        reports
+    }
+
+    /// Runs the given weeks in order, each as one fleet-week (honouring
+    /// checkpoints per week when enabled).
     pub fn run_schedule(&self, week_start_days: &[i64]) -> Vec<PipelineRunReport> {
-        self.pipeline.run_schedule(&self.regions, week_start_days)
+        if self.checkpoints.is_none() {
+            return self.pipeline.run_schedule(&self.regions, week_start_days);
+        }
+        let mut reports = Vec::with_capacity(self.regions.len() * week_start_days.len());
+        for &week in week_start_days {
+            reports.extend(self.run_week(week));
+        }
+        reports
     }
 
     /// Point-in-time statistics of the shared warm-model cache.
@@ -122,5 +259,41 @@ mod tests {
             export.contains("seagull_model_cache_misses_total"),
             "cache counters missing from export:\n{export}"
         );
+    }
+
+    #[test]
+    fn checkpointed_run_writes_markers_and_skips_on_rerun() {
+        let (base, weeks) = runner(1, 1);
+        let marks = Arc::new(MemoryBlobStore::new());
+        let runner = FleetRunner::new(base.pipeline.clone(), base.regions.clone())
+            .with_checkpoints(Arc::clone(&marks) as Arc<dyn BlobStore>);
+        let first = runner.run_week(weeks[0]);
+        assert_eq!(first.len(), 1);
+        assert!(runner.completed("region-a", weeks[0]));
+        let marker = marks.get(&checkpoint_key("region-a", weeks[0])).unwrap();
+        assert!(marker_valid(&marker, "region-a", weeks[0]));
+        // A restarted week skips the completed region entirely.
+        let again = runner.run_week(weeks[0]);
+        assert!(again.is_empty(), "completed region must be skipped");
+        let export = runner.obs().stable_export();
+        assert!(export.contains("seagull_checkpoint_markers_written_total"));
+        assert!(export.contains("seagull_checkpoint_regions_skipped_total"));
+    }
+
+    #[test]
+    fn torn_marker_is_not_trusted() {
+        let (base, weeks) = runner(1, 1);
+        let marks = Arc::new(MemoryBlobStore::new());
+        let runner = FleetRunner::new(base.pipeline.clone(), base.regions.clone())
+            .with_checkpoints(Arc::clone(&marks) as Arc<dyn BlobStore>);
+        runner.run_week(weeks[0]);
+        let key = checkpoint_key("region-a", weeks[0]);
+        let whole = marks.get(&key).unwrap();
+        // Tear the marker mid-record, as a crash during the put would.
+        marks.put(&key, whole.slice(0..whole.len() - 3)).unwrap();
+        assert!(!runner.completed("region-a", weeks[0]));
+        // Markers for the wrong week are also not trusted.
+        marks.put(&checkpoint_key("region-a", 9999), whole).unwrap();
+        assert!(!runner.completed("region-a", 9999));
     }
 }

@@ -54,7 +54,7 @@ pub use evaluate::{
     AccuracySummary, EvaluationConfig,
 };
 pub use features::{extract_features, ServerFeatures};
-pub use fleet::FleetRunner;
+pub use fleet::{checkpoint_key, FleetRunner, CHECKPOINT_KIND};
 pub use incident::{Incident, IncidentManager, Severity};
 pub use metrics::{
     bucket_ratio, evaluate_low_load, is_accurate, lowest_load_window, AccuracyConfig, ErrorBound,
@@ -64,8 +64,8 @@ pub use par::{configured_threads, default_threads, parallel_map};
 pub use pipeline::{AmlPipeline, DegradedRun, PipelineConfig, PipelineRunReport};
 pub use registry::{EndpointSet, ModelAccuracy, ModelRegistry};
 pub use resilience::{
-    BreakerConfig, BreakerState, CircuitBreaker, ResiliencePolicy, RetryPolicy, StageChaos,
-    StageError,
+    BreakerConfig, BreakerState, CircuitBreaker, InjectedCrash, ResiliencePolicy, RetryPolicy,
+    StageChaos, StageError,
 };
 pub use validation::{
     validate_batch, validate_columnar, validate_region_week, validate_servers, Anomaly,

@@ -544,6 +544,9 @@ impl AmlPipeline {
         self.breaker.publish_region(self.obs.registry(), region);
 
         // ---- Data Ingestion -------------------------------------------------
+        // Each stage entry is a kill-point: the chaos policy's kill hook can
+        // terminate the process here, modelling a crash at a stage boundary.
+        self.resilience.chaos.kill_point("ingestion", region, tick);
         let span = self.stage_span(run_span, "ingestion", region, vt);
         let key = BlobKey::extracted(region, week_start_day);
         let fetched = self.retry_stage("ingestion", region, tick, || {
@@ -602,6 +605,7 @@ impl AmlPipeline {
         self.finish_stage(&mut report, span, "ingestion", region, vt);
 
         // ---- Data Validation -------------------------------------------------
+        self.resilience.chaos.kill_point("validation", region, tick);
         let span = self.stage_span(run_span, "validation", region, vt);
         let validated = self.retry_stage("validation", region, tick, || {
             Ok((
@@ -668,6 +672,7 @@ impl AmlPipeline {
         }
 
         // ---- Feature Extraction ----------------------------------------------
+        self.resilience.chaos.kill_point("features", region, tick);
         let span = self.stage_span(run_span, "features", region, vt);
         let features = extract_features(&servers, &self.config.classify);
         for f in &features {
@@ -687,6 +692,9 @@ impl AmlPipeline {
         // whole-week shift. Fresh fits and hit keys are batched and
         // committed serially in item order after the join, so cache state
         // is independent of thread count.
+        self.resilience
+            .chaos
+            .kill_point("train-infer", region, tick);
         let span = self.stage_span(run_span, "train-infer", region, vt);
         let next_week = week_start_day + 7;
         let forecaster = Arc::clone(&self.config.forecaster);
@@ -889,6 +897,7 @@ impl AmlPipeline {
         self.finish_stage(&mut report, span, "train-infer", region, vt);
 
         // ---- Model Deployment --------------------------------------------------
+        self.resilience.chaos.kill_point("deployment", region, tick);
         let span = self.stage_span(run_span, "deployment", region, vt);
         // The registry/endpoint mutation itself is infallible; the retried
         // gate models the external AML deployment call, which the
@@ -945,6 +954,9 @@ impl AmlPipeline {
         // ---- Accuracy Evaluation ------------------------------------------------
         // Score the predictions stored by previous runs against the true load
         // that arrived in this week's data.
+        self.resilience
+            .chaos
+            .kill_point("accuracy-eval", region, tick);
         let span = self.stage_span(run_span, "accuracy-eval", region, vt);
         let (eval_rows, eval_profile): (Vec<Option<AccuracyDoc>>, _) =
             parallel_map_profiled(&servers, self.config.threads, |s| {
@@ -1049,6 +1061,24 @@ impl AmlPipeline {
         regions: &[String],
         week_start_day: i64,
     ) -> Vec<PipelineRunReport> {
+        self.run_fleet_week_with(regions, week_start_day, |_, _| {})
+    }
+
+    /// [`AmlPipeline::run_fleet_week`] with a per-region completion callback.
+    ///
+    /// `on_region_done(i, report)` fires on the worker thread immediately
+    /// after region `regions[i]` finishes its run, before the fleet-wide
+    /// join. [`FleetRunner`](crate::fleet::FleetRunner) uses it to persist
+    /// per-region checkpoint markers the moment a region completes, so a
+    /// crash mid-fleet loses only the regions still in flight. The callback
+    /// may run concurrently for different regions and must be cheap; it is
+    /// not called for regions whose worker panicked.
+    pub fn run_fleet_week_with(
+        &self,
+        regions: &[String],
+        week_start_day: i64,
+        on_region_done: impl Fn(usize, &PipelineRunReport) + Sync,
+    ) -> Vec<PipelineRunReport> {
         let scratch: Vec<AmlPipeline> = regions
             .iter()
             .map(|_| AmlPipeline {
@@ -1059,7 +1089,9 @@ impl AmlPipeline {
             .collect();
         let indices: Vec<usize> = (0..regions.len()).collect();
         let reports = parallel_map(&indices, self.config.threads, |&i| {
-            scratch[i].run_region_week(&regions[i], week_start_day)
+            let report = scratch[i].run_region_week(&regions[i], week_start_day);
+            on_region_done(i, &report);
+            report
         });
         for view in &scratch {
             self.obs.absorb(&view.obs);

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-pub use seagull_telemetry::chaos::DetRng;
+pub use seagull_telemetry::chaos::{DetRng, InjectedCrash};
 
 /// Mixes a stage identity into the policy seed so each (stage, region, tick)
 /// gets an independent but reproducible jitter stream. FNV-1a over the
@@ -508,10 +508,18 @@ impl fmt::Debug for CircuitBreaker {
 /// `(stage, region, tick, attempt)`, returns whether that attempt fails.
 pub type StageFaultHook = Arc<dyn Fn(&str, &str, i64, u32) -> bool + Send + Sync>;
 
+/// Test hook for stage-boundary kill-points: called with
+/// `(stage, region, tick)` at the entry of every pipeline stage; returning
+/// true simulates process death there (the pipeline panics with
+/// [`InjectedCrash`], exactly like a [`seagull_telemetry::ChaosBlobStore`]
+/// crash point).
+pub type StageKillHook = Arc<dyn Fn(&str, &str, i64) -> bool + Send + Sync>;
+
 /// Optional stage-fault injection carried by [`ResiliencePolicy`].
 #[derive(Clone, Default)]
 pub struct StageChaos {
     hook: Option<StageFaultHook>,
+    kill: Option<StageKillHook>,
 }
 
 impl StageChaos {
@@ -526,7 +534,26 @@ impl StageChaos {
     ) -> StageChaos {
         StageChaos {
             hook: Some(Arc::new(hook)),
+            kill: None,
         }
+    }
+
+    /// Kills the process (panics with [`InjectedCrash`]) at the first stage
+    /// boundary where the hook returns true.
+    pub fn kill_at(hook: impl Fn(&str, &str, i64) -> bool + Send + Sync + 'static) -> StageChaos {
+        StageChaos {
+            hook: None,
+            kill: Some(Arc::new(hook)),
+        }
+    }
+
+    /// Adds a kill hook to an existing configuration.
+    pub fn with_kill(
+        mut self,
+        hook: impl Fn(&str, &str, i64) -> bool + Send + Sync + 'static,
+    ) -> StageChaos {
+        self.kill = Some(Arc::new(hook));
+        self
     }
 
     /// Whether this attempt of `stage` should fail.
@@ -535,15 +562,34 @@ impl StageChaos {
             .as_ref()
             .is_some_and(|h| h(stage, region, tick, attempt))
     }
+
+    /// Stage-boundary kill-point: the pipeline calls this at the entry of
+    /// every stage; if the kill hook fires, the simulated process dies on
+    /// the spot via [`InjectedCrash`] (no return, no cleanup — recovery must
+    /// cope with whatever the blob store already holds).
+    pub fn kill_point(&self, stage: &str, region: &str, tick: i64) {
+        if self.kill.as_ref().is_some_and(|h| h(stage, region, tick)) {
+            InjectedCrash::die(format!("stage {stage} for {region}@{tick}"));
+        }
+    }
 }
 
 impl fmt::Debug for StageChaos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(if self.hook.is_some() {
-            "StageChaos(hooked)"
-        } else {
-            "StageChaos(none)"
-        })
+        write!(
+            f,
+            "StageChaos(fault: {}, kill: {})",
+            if self.hook.is_some() {
+                "hooked"
+            } else {
+                "none"
+            },
+            if self.kill.is_some() {
+                "hooked"
+            } else {
+                "none"
+            },
+        )
     }
 }
 
@@ -828,6 +874,23 @@ mod tests {
         assert!(breaker.allow("west", 10));
         breaker.publish_state(&registry);
         assert_eq!(gauge("west"), BreakerState::HalfOpen.gauge_value());
+    }
+
+    #[test]
+    fn stage_kill_point_dies_with_injected_crash() {
+        let chaos = StageChaos::kill_at(|stage, region, tick| {
+            stage == "deployment" && region == "west" && tick == 100
+        });
+        // Non-matching boundaries pass through.
+        chaos.kill_point("ingestion", "west", 100);
+        chaos.kill_point("deployment", "east", 100);
+        StageChaos::none().kill_point("deployment", "west", 100);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaos.kill_point("deployment", "west", 100)
+        }))
+        .unwrap_err();
+        let crash = died.downcast::<InjectedCrash>().expect("InjectedCrash");
+        assert!(crash.context.contains("deployment"));
     }
 
     #[test]

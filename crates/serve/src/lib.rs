@@ -38,16 +38,32 @@
 //! request/outcome counters and staleness histograms (deterministic across
 //! runs), volatile wall-clock latency histograms.
 //!
+//! ## Durability
+//!
+//! Snapshots live in memory; a process restart would lose them. The
+//! [`persist`] module adds the crash-safe path: [`DurableServeSink`] writes
+//! every deployed snapshot to a blob store and appends a checksummed record
+//! to an append-only deploy journal *before* the in-memory publish, and
+//! [`DurableServeSink::recover`] replays that journal on startup to
+//! republish each region's last-known-good snapshot — falling back one
+//! journaled epoch when the newest snapshot blob is torn. See `DESIGN.md`
+//! §12.
+//!
 //! See `DESIGN.md` §11 for the memory-ordering argument and the staleness
 //! model.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod persist;
 pub mod service;
 pub mod snapshot;
 pub mod store;
 
+pub use persist::{
+    decode_snapshot, encode_snapshot, journal_segment_key, snapshot_key, DeployRecord,
+    DurableServeSink, PersistError, RecoveryReport,
+};
 pub use service::{ServeError, ServeService};
 pub use snapshot::{ModelSnapshot, ServedServer};
 pub use store::SnapshotStore;

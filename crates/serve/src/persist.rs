@@ -1,0 +1,854 @@
+//! Durable deploys and restart recovery for the serving layer.
+//!
+//! The in-memory [`SnapshotStore`](crate::SnapshotStore) loses everything
+//! when the process dies. This module makes deployments crash-safe:
+//!
+//! 1. **Persisted snapshots** — at publish time every [`ModelSnapshot`] is
+//!    serialized (the `SGSS` codec: checksummed, versioned, length-prefixed)
+//!    and written to a [`BlobStore`] under a per-region sequence number.
+//! 2. **Deploy journal** — after the snapshot blob lands, a [`DeployRecord`]
+//!    is appended to the deploy journal (`SGJL` framing, one checksummed
+//!    record per successful deploy). Only then is the snapshot published in
+//!    memory, so the durable state never runs ahead of what a restart could
+//!    recover and the in-memory state never runs ahead of the journal by
+//!    more than the in-flight deploy.
+//! 3. **Recovery** — [`DurableServeSink::recover`] replays the journal
+//!    (truncating a torn tail to the longest valid prefix), walks each
+//!    region's records newest-first, and republishes the first snapshot
+//!    blob that passes both the journal's recorded checksum and the codec's
+//!    own checksum. A torn or missing newest snapshot therefore falls back
+//!    to the previous journaled epoch — never a torn read.
+//!
+//! Write ordering is the crux: snapshot blob → journal record → in-memory
+//! publish. A crash between any two steps leaves at most one orphaned blob
+//! (overwritten when the region re-deploys under the same sequence number)
+//! and the journal never references a snapshot that was not fully written
+//! first — modulo torn writes, which the checksums catch on replay.
+//!
+//! ## Why one segment blob per record
+//!
+//! [`BlobStore`] has no append, so an "append" must be a `put` somewhere. A
+//! whole-journal rewrite on every append is the obvious encoding, but it is
+//! not crash-safe: tearing the rewrite mid-blob destroys *committed*
+//! records, not just the in-flight one — and other subsystems (the fleet
+//! runner's completion markers) may already hold durable references to those
+//! deploys. The crash-injection sweep caught exactly that: a torn journal
+//! rewrite during week N's last deploy erased earlier week-N records whose
+//! checkpoint markers were intact, so the restart skipped their regions and
+//! served week N−1. The journal is therefore stored as numbered *segments*
+//! ([`journal_segment_key`]), one per append, walked in order on recovery
+//! until the first missing or torn segment. The blast radius of a torn
+//! append is exactly the record being appended, never history — and each
+//! append writes O(record) bytes, not O(journal).
+
+use crate::service::ServeService;
+use crate::snapshot::ModelSnapshot;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use seagull_core::pipeline::{DeployEvent, DeploySink, PredictionDoc};
+use seagull_telemetry::blobstore::{BlobKey, BlobStore};
+use seagull_telemetry::columnar::checksum64;
+use seagull_telemetry::journal::{replay, Journal};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Magic bytes opening every serialized snapshot blob.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SGSS";
+
+/// Current snapshot-codec format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Blob kind under which serialized snapshots are stored (the key's week
+/// slot carries the per-region deploy sequence number).
+pub const SNAPSHOT_KIND: &str = "snapshot";
+
+/// Blob kind of the deploy journal.
+pub const JOURNAL_KIND: &str = "journal";
+
+/// The blob key of one persisted snapshot: per-region, sequence-numbered.
+pub fn snapshot_key(region: &str, seq: u64) -> BlobKey {
+    BlobKey {
+        kind: SNAPSHOT_KIND.into(),
+        region: region.into(),
+        week: seq as i64,
+    }
+}
+
+/// The blob key of one deploy-journal segment. Segment `seg` holds the
+/// `seg`-th appended record (see the module docs for why the journal is
+/// segmented instead of rewritten whole).
+pub fn journal_segment_key(seg: u64) -> BlobKey {
+    BlobKey {
+        kind: JOURNAL_KIND.into(),
+        region: "deploys".into(),
+        week: seg as i64,
+    }
+}
+
+/// Why a persisted blob could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The blob is shorter than its fixed framing requires.
+    Truncated,
+    /// The blob does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The blob's format version is newer than this build understands.
+    UnsupportedVersion(
+        /// The version the blob claims.
+        u16,
+    ),
+    /// The blob's checksum footer does not match its contents (torn or
+    /// corrupted write).
+    ChecksumMismatch,
+    /// The checksum passed but the structure is inconsistent (an encoder
+    /// bug or a deliberate forgery, not a torn write).
+    Malformed(
+        /// What was inconsistent.
+        String,
+    ),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "blob truncated below minimum framing"),
+            PersistError::BadMagic => write!(f, "not a snapshot blob (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            PersistError::ChecksumMismatch => write!(f, "checksum mismatch (torn or corrupt)"),
+            PersistError::Malformed(why) => write!(f, "malformed blob: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------------------
+// Little-endian cursor helpers
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| PersistError::Malformed("field overruns blob".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("string not utf-8".into()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec (SGSS)
+// ---------------------------------------------------------------------------
+
+/// Serializes a snapshot's durable half: header (magic, format version,
+/// registry version, week, region, model name), one block per server
+/// (id, materialized day, backup duration, grid step, values), and a
+/// [`checksum64`] footer over everything before it.
+///
+/// Attached fitted models are *not* serialized — after recovery, servers
+/// answer from their materialized prediction only, exactly like a deploy
+/// run with the warm cache off.
+pub fn encode_snapshot(snapshot: &ModelSnapshot) -> Bytes {
+    let mut out = Vec::with_capacity(64 + snapshot.len() * 64);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&snapshot.version().to_le_bytes());
+    out.extend_from_slice(&snapshot.week_start_day().to_le_bytes());
+    put_string(&mut out, snapshot.region());
+    put_string(&mut out, snapshot.model_name());
+    out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
+    for id in snapshot.server_ids() {
+        let server = snapshot.server(id).expect("id came from the snapshot");
+        let prediction = server.prediction();
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&server.materialized_day().to_le_bytes());
+        out.extend_from_slice(&server.duration_min().to_le_bytes());
+        out.extend_from_slice(&prediction.step_min().to_le_bytes());
+        out.extend_from_slice(&(prediction.len() as u32).to_le_bytes());
+        for &v in prediction.values() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let checksum = checksum64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Bytes::from(out)
+}
+
+/// Decodes a blob written by [`encode_snapshot`], verifying the checksum
+/// footer *before* trusting any structure — a torn write fails here with
+/// [`PersistError::ChecksumMismatch`], never a partially-built snapshot.
+pub fn decode_snapshot(blob: &[u8]) -> Result<ModelSnapshot, PersistError> {
+    if blob.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let (body, footer) = blob.split_at(blob.len() - 8);
+    let recorded = u64::from_le_bytes(footer.try_into().unwrap());
+    if checksum64(body) != recorded {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let mut r = Reader::new(body);
+    if r.take(4)? != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let _reserved = r.u16()?;
+    let model_version = r.u64()?;
+    let week_start_day = r.i64()?;
+    let region = r.string()?;
+    let model_name = r.string()?;
+    let servers = r.u32()? as usize;
+    let mut docs = Vec::with_capacity(servers);
+    for _ in 0..servers {
+        let server_id = r.u64()?;
+        let day = r.i64()?;
+        let duration_min = r.i64()?;
+        let step_min = r.u32()?;
+        let len = r.u32()? as usize;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(f64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+        }
+        docs.push(PredictionDoc {
+            region: region.clone(),
+            server_id,
+            day,
+            step_min,
+            values,
+            duration_min,
+        });
+    }
+    if !r.done() {
+        return Err(PersistError::Malformed(
+            "trailing bytes after servers".into(),
+        ));
+    }
+    Ok(ModelSnapshot::from_predictions(
+        &region,
+        model_version,
+        week_start_day,
+        &model_name,
+        &docs,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Deploy journal records
+// ---------------------------------------------------------------------------
+
+/// One successful deployment, as journaled. The journal's `SGJL` framing
+/// already checksums every record, so the payload needs no checksum of its
+/// own — but it does carry the checksum of the snapshot blob it references,
+/// so recovery can detect a snapshot that was overwritten or torn after the
+/// journal record landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployRecord {
+    /// Region the deployment belongs to.
+    pub region: String,
+    /// Per-region deploy sequence number (the snapshot blob's key slot).
+    pub seq: u64,
+    /// Model-registry version that started serving.
+    pub version: u64,
+    /// First day of the training week.
+    pub week_start_day: i64,
+    /// Name of the deployed forecaster.
+    pub model_name: String,
+    /// [`checksum64`] of the entire persisted snapshot blob.
+    pub snapshot_checksum: u64,
+    /// Servers carried by the snapshot.
+    pub servers: u32,
+}
+
+impl DeployRecord {
+    /// Serializes the record as a journal payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.region.len() + self.model_name.len());
+        put_string(&mut out, &self.region);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.week_start_day.to_le_bytes());
+        put_string(&mut out, &self.model_name);
+        out.extend_from_slice(&self.snapshot_checksum.to_le_bytes());
+        out.extend_from_slice(&self.servers.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a journal payload written by [`DeployRecord::encode`].
+    pub fn decode(payload: &[u8]) -> Result<DeployRecord, PersistError> {
+        let mut r = Reader::new(payload);
+        let record = DeployRecord {
+            region: r.string()?,
+            seq: r.u64()?,
+            version: r.u64()?,
+            week_start_day: r.i64()?,
+            model_name: r.string()?,
+            snapshot_checksum: r.u64()?,
+            servers: r.u32()?,
+        };
+        if !r.done() {
+            return Err(PersistError::Malformed(
+                "trailing bytes after record".into(),
+            ));
+        }
+        Ok(record)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The durable sink
+// ---------------------------------------------------------------------------
+
+/// What a [`DurableServeSink::recover`] pass found and restored.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Journal records that replayed cleanly.
+    pub journal_records: usize,
+    /// Bytes discarded from the journal's torn tail (0 for a clean tail).
+    pub truncated_bytes: usize,
+    /// Regions whose snapshot was restored and republished.
+    pub snapshots_restored: usize,
+    /// Journaled epochs skipped because their snapshot blob was missing,
+    /// torn, or did not match the journaled checksum (each skip falls back
+    /// one epoch).
+    pub snapshot_fallbacks: usize,
+    /// Regions with journal records but no recoverable snapshot at all.
+    pub regions_unrecovered: Vec<String>,
+    /// Total bytes read during recovery (journal + every snapshot blob
+    /// examined) — the numerator of a replay-throughput measurement.
+    pub bytes_replayed: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the journal had a torn tail that was truncated.
+    pub fn torn_tail(&self) -> bool {
+        self.truncated_bytes > 0
+    }
+}
+
+struct SinkState {
+    /// Encoded journal segments, in append order. Each is a complete
+    /// single-record `SGJL` blob (recovery of a legacy multi-record segment
+    /// keeps it whole, so a segment may hold more).
+    segments: Vec<Bytes>,
+    /// Total records across all segments.
+    records: usize,
+    /// How many leading segments are known durable. Segments at or past
+    /// this index failed their `put` (or were torn on disk at recovery) and
+    /// are rewritten, oldest first, on the next deploy.
+    durable_upto: usize,
+    /// Next deploy sequence number per region (starts at 1).
+    next_seq: BTreeMap<String, u64>,
+}
+
+/// A [`DeploySink`] that makes every deployment durable before it becomes
+/// visible: snapshot blob first, journal record second, in-memory publish
+/// last (see the module docs for why that order).
+///
+/// Register it with
+/// [`AmlPipeline::with_deploy_sink`](seagull_core::pipeline::AmlPipeline::with_deploy_sink)
+/// in place of the bare [`ServeService`]. On restart, build the replacement
+/// with [`DurableServeSink::recover`], which republishes each region's
+/// last-known-good snapshot from the blob store.
+///
+/// Durability failures never block serving: if the snapshot or journal put
+/// returns an error, the deploy still publishes in memory and a counter
+/// records the miss (availability over durability). The in-memory journal
+/// keeps the record, so the next successful put self-heals the durable
+/// copy.
+pub struct DurableServeSink {
+    serve: ServeService,
+    store: Arc<dyn BlobStore>,
+    state: Mutex<SinkState>,
+}
+
+impl DurableServeSink {
+    /// Wraps a serving handle and a blob store with an empty journal (a
+    /// fresh deployment history). Use [`DurableServeSink::recover`] when
+    /// the store may already hold state from a previous process.
+    pub fn new(serve: ServeService, store: Arc<dyn BlobStore>) -> DurableServeSink {
+        DurableServeSink {
+            serve,
+            store,
+            state: Mutex::new(SinkState {
+                segments: Vec::new(),
+                records: 0,
+                durable_upto: 0,
+                next_seq: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Replays the deploy journal from `store` and republishes each
+    /// region's newest recoverable snapshot into `serve`, returning the
+    /// sink (primed to continue the journal where it left off) and a
+    /// [`RecoveryReport`].
+    ///
+    /// Per region, records are walked newest-first and the first snapshot
+    /// blob that matches both the journaled checksum and its own internal
+    /// checksum is published — so a torn newest snapshot falls back to the
+    /// previous journaled epoch. A missing journal blob is a fresh start,
+    /// not an error; a journal blob that is not ours (wrong magic) is.
+    ///
+    /// Recovery progress lands in `serve`'s metrics registry as stable
+    /// counters (`seagull_recovery_*`), so `stable_export()` stays
+    /// deterministic for identical recoveries.
+    pub fn recover(
+        serve: ServeService,
+        store: Arc<dyn BlobStore>,
+    ) -> io::Result<(DurableServeSink, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        // Walk journal segments in order. The first missing segment is the
+        // clean end of the journal; a torn segment is the in-flight append
+        // the crash interrupted and likewise ends the walk (appends are
+        // sequential, so nothing valid can exist past it — the next deploy
+        // overwrites it).
+        let mut segments: Vec<Bytes> = Vec::new();
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        let mut durable_upto = 0usize;
+        loop {
+            let blob = match store.get(&journal_segment_key(segments.len() as u64)) {
+                Ok(blob) => blob,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            };
+            report.bytes_replayed += blob.len() as u64;
+            let replayed = replay(&blob)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            report.truncated_bytes += replayed.truncated_bytes;
+            let intact = !replayed.torn() && !replayed.records.is_empty();
+            if intact {
+                durable_upto = segments.len() + 1;
+            }
+            if !replayed.records.is_empty() {
+                // A torn segment's valid prefix is kept in memory but not
+                // counted durable, so the next deploy rewrites (heals) it.
+                payloads.extend(replayed.records);
+                segments.push(replayed.journal.encoded());
+            }
+            if !intact {
+                break;
+            }
+        }
+
+        // Group records per region, preserving append (= sequence) order.
+        // A record that fails to decode despite its frame checksum ends the
+        // usable journal, like a torn tail would.
+        let mut by_region: BTreeMap<String, Vec<DeployRecord>> = BTreeMap::new();
+        let mut next_seq: BTreeMap<String, u64> = BTreeMap::new();
+        for payload in &payloads {
+            let Ok(record) = DeployRecord::decode(payload) else {
+                break;
+            };
+            report.journal_records += 1;
+            let next = next_seq.entry(record.region.clone()).or_insert(1);
+            *next = (*next).max(record.seq + 1);
+            by_region
+                .entry(record.region.clone())
+                .or_default()
+                .push(record);
+        }
+
+        for (region, records) in &by_region {
+            let mut restored = false;
+            for record in records.iter().rev() {
+                match store.get(&snapshot_key(region, record.seq)) {
+                    Ok(blob) => {
+                        report.bytes_replayed += blob.len() as u64;
+                        if checksum64(&blob) == record.snapshot_checksum {
+                            if let Ok(snapshot) = decode_snapshot(&blob) {
+                                serve.publish(snapshot);
+                                report.snapshots_restored += 1;
+                                restored = true;
+                                break;
+                            }
+                        }
+                        report.snapshot_fallbacks += 1;
+                    }
+                    Err(_) => report.snapshot_fallbacks += 1,
+                }
+            }
+            if !restored {
+                report.regions_unrecovered.push(region.clone());
+            }
+        }
+
+        let registry = serve.obs().registry();
+        registry
+            .counter("seagull_recovery_journal_records_replayed_total", &[])
+            .add(report.journal_records as u64);
+        registry
+            .counter("seagull_recovery_snapshots_restored_total", &[])
+            .add(report.snapshots_restored as u64);
+        registry
+            .counter("seagull_recovery_snapshot_fallbacks_total", &[])
+            .add(report.snapshot_fallbacks as u64);
+        registry
+            .counter("seagull_recovery_torn_tails_truncated_total", &[])
+            .add(u64::from(report.torn_tail()));
+
+        let records = payloads.len();
+        let sink = DurableServeSink {
+            serve,
+            store,
+            state: Mutex::new(SinkState {
+                segments,
+                records,
+                durable_upto,
+                next_seq,
+            }),
+        };
+        Ok((sink, report))
+    }
+
+    /// The serving handle deployments publish into.
+    pub fn serve(&self) -> &ServeService {
+        &self.serve
+    }
+
+    /// Records currently held by the in-memory journal.
+    pub fn journal_records(&self) -> usize {
+        self.state.lock().records
+    }
+
+    /// The next deploy sequence number for a region (1 before any deploy).
+    pub fn next_seq(&self, region: &str) -> u64 {
+        self.state.lock().next_seq.get(region).copied().unwrap_or(1)
+    }
+}
+
+impl DeploySink for DurableServeSink {
+    /// Persist-then-publish: snapshot blob, journal record, in-memory swap.
+    ///
+    /// A crash (panic) inside either put propagates out before the publish,
+    /// so a killed deploy is never visible in memory and at worst leaves a
+    /// torn trailing blob for recovery's checksums to reject.
+    fn on_deploy(&self, event: &DeployEvent<'_>) {
+        let snapshot = ModelSnapshot::from_deploy(event);
+        let blob = encode_snapshot(&snapshot);
+        let snapshot_checksum = checksum64(&blob);
+        let registry = self.serve.obs().registry();
+        {
+            let mut st = self.state.lock();
+            let seq = st.next_seq.get(event.region).copied().unwrap_or(1);
+            match self.store.put(&snapshot_key(event.region, seq), blob) {
+                Ok(()) => {
+                    let record = DeployRecord {
+                        region: event.region.to_string(),
+                        seq,
+                        version: event.version,
+                        week_start_day: event.week_start_day,
+                        model_name: event.model_name.to_string(),
+                        snapshot_checksum,
+                        servers: snapshot.len() as u32,
+                    };
+                    let mut segment = Journal::new();
+                    segment.append(&record.encode());
+                    st.segments.push(segment.encoded());
+                    st.records += 1;
+                    st.next_seq.insert(event.region.to_string(), seq + 1);
+                    // Flush unpersisted segments oldest-first: appending
+                    // never rewrites committed segments, so a torn put can
+                    // only lose the record it carries. The in-memory copy
+                    // is the source of truth — a segment whose put failed
+                    // is retried here ahead of the new one, healing the
+                    // gap before anything newer lands.
+                    while st.durable_upto < st.segments.len() {
+                        let i = st.durable_upto;
+                        let blob = st.segments[i].clone();
+                        if self.store.put(&journal_segment_key(i as u64), blob).is_ok() {
+                            st.durable_upto = i + 1;
+                        } else {
+                            registry
+                                .counter("seagull_durable_journal_put_failures_total", &[])
+                                .inc();
+                            break;
+                        }
+                    }
+                }
+                Err(_) => {
+                    registry
+                        .counter("seagull_durable_snapshot_put_failures_total", &[])
+                        .inc();
+                }
+            }
+        }
+        self.serve.publish(snapshot);
+    }
+
+    /// Failed deployment: nothing is journaled (the journal records only
+    /// successful deploys) and the serving layer keeps last-known-good.
+    fn on_fallback(&self, region: &str, week_start_day: i64) {
+        DeploySink::on_fallback(&self.serve, region, week_start_day);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_telemetry::blobstore::MemoryBlobStore;
+
+    fn doc(server_id: u64, day: i64, values: Vec<f64>) -> PredictionDoc {
+        PredictionDoc {
+            region: "west".into(),
+            server_id,
+            day,
+            step_min: 30,
+            values,
+            duration_min: 60,
+        }
+    }
+
+    fn snap(version: u64) -> ModelSnapshot {
+        ModelSnapshot::from_predictions(
+            "west",
+            version,
+            7,
+            "persistent-prev-day",
+            &[
+                doc(7, 14, (0..48).map(|i| i as f64).collect()),
+                doc(9, 15, vec![2.5; 48]),
+            ],
+        )
+    }
+
+    fn deploy(sink: &DurableServeSink, version: u64, predictions: &[PredictionDoc]) {
+        sink.on_deploy(&DeployEvent {
+            region: "west",
+            version,
+            week_start_day: 7,
+            model_name: "persistent-prev-day",
+            predictions,
+            cache: None,
+        });
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let original = snap(3);
+        let blob = encode_snapshot(&original);
+        let decoded = decode_snapshot(&blob).unwrap();
+        assert_eq!(decoded.region(), "west");
+        assert_eq!(decoded.version(), 3);
+        assert_eq!(decoded.week_start_day(), 7);
+        assert_eq!(decoded.model_name(), "persistent-prev-day");
+        assert_eq!(decoded.len(), 2);
+        for id in original.server_ids() {
+            let a = original.server(id).unwrap();
+            let b = decoded.server(id).unwrap();
+            assert_eq!(a.prediction().values(), b.prediction().values());
+            assert_eq!(a.materialized_day(), b.materialized_day());
+            assert_eq!(a.duration_min(), b.duration_min());
+        }
+    }
+
+    #[test]
+    fn torn_snapshot_blob_fails_checksum_first() {
+        let blob = encode_snapshot(&snap(1));
+        for cut in [1, 8, 20, blob.len() - 1] {
+            let torn = &blob[..cut];
+            let err = decode_snapshot(torn).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::ChecksumMismatch | PersistError::Truncated
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+        // Bit-flip anywhere in the body is also caught by the footer.
+        let mut flipped = blob.to_vec();
+        flipped[10] ^= 0x40;
+        assert_eq!(
+            decode_snapshot(&flipped).unwrap_err(),
+            PersistError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn deploy_record_round_trips() {
+        let record = DeployRecord {
+            region: "west".into(),
+            seq: 4,
+            version: 9,
+            week_start_day: 21,
+            model_name: "m".into(),
+            snapshot_checksum: 0xDEAD_BEEF,
+            servers: 12,
+        };
+        assert_eq!(DeployRecord::decode(&record.encode()).unwrap(), record);
+        assert!(DeployRecord::decode(&record.encode()[..5]).is_err());
+    }
+
+    #[test]
+    fn deploys_persist_and_recover() {
+        let store: Arc<dyn BlobStore> = Arc::new(MemoryBlobStore::new());
+        let sink = DurableServeSink::new(ServeService::with_defaults(), Arc::clone(&store));
+        deploy(&sink, 1, &[doc(7, 14, vec![1.0; 48])]);
+        deploy(&sink, 2, &[doc(7, 14, vec![2.0; 48])]);
+        assert_eq!(sink.journal_records(), 2);
+        assert_eq!(sink.next_seq("west"), 3);
+        assert_eq!(sink.serve().snapshot("west").unwrap().version(), 2);
+
+        // "Restart": fresh service, recover from the same store.
+        let (recovered, report) =
+            DurableServeSink::recover(ServeService::with_defaults(), store).unwrap();
+        assert_eq!(report.journal_records, 2);
+        assert_eq!(report.snapshots_restored, 1);
+        assert_eq!(report.snapshot_fallbacks, 0);
+        assert!(!report.torn_tail());
+        assert!(report.regions_unrecovered.is_empty());
+        let snapshot = recovered.serve().snapshot("west").unwrap();
+        assert_eq!(snapshot.version(), 2);
+        assert_eq!(
+            snapshot.server(7).unwrap().prediction().values(),
+            &[2.0; 48][..]
+        );
+        assert_eq!(recovered.next_seq("west"), 3);
+        let export = recovered.serve().obs().stable_export();
+        assert!(export.contains("seagull_recovery_journal_records_replayed_total"));
+    }
+
+    #[test]
+    fn torn_newest_snapshot_falls_back_to_previous_epoch() {
+        let store: Arc<dyn BlobStore> = Arc::new(MemoryBlobStore::new());
+        let sink = DurableServeSink::new(ServeService::with_defaults(), Arc::clone(&store));
+        deploy(&sink, 1, &[doc(7, 14, vec![1.0; 48])]);
+        deploy(&sink, 2, &[doc(7, 14, vec![2.0; 48])]);
+        // Tear the newest snapshot blob (seq 2) mid-write.
+        let key = snapshot_key("west", 2);
+        let whole = store.get(&key).unwrap();
+        store.put(&key, whole.slice(0..whole.len() / 2)).unwrap();
+
+        let (recovered, report) =
+            DurableServeSink::recover(ServeService::with_defaults(), store).unwrap();
+        assert_eq!(report.snapshot_fallbacks, 1);
+        assert_eq!(report.snapshots_restored, 1);
+        let snapshot = recovered.serve().snapshot("west").unwrap();
+        assert_eq!(snapshot.version(), 1, "fell back to last-known-good");
+        assert_eq!(
+            snapshot.server(7).unwrap().prediction().values(),
+            &[1.0; 48][..]
+        );
+    }
+
+    #[test]
+    fn torn_journal_tail_truncates_to_last_good_record() {
+        let store: Arc<dyn BlobStore> = Arc::new(MemoryBlobStore::new());
+        let sink = DurableServeSink::new(ServeService::with_defaults(), Arc::clone(&store));
+        deploy(&sink, 1, &[doc(7, 14, vec![1.0; 48])]);
+        deploy(&sink, 2, &[doc(7, 14, vec![2.0; 48])]);
+        // Tear the second append's segment mid-record.
+        let key = journal_segment_key(1);
+        let whole = store.get(&key).unwrap();
+        store.put(&key, whole.slice(0..whole.len() - 4)).unwrap();
+
+        let (recovered, report) =
+            DurableServeSink::recover(ServeService::with_defaults(), Arc::clone(&store)).unwrap();
+        assert_eq!(report.journal_records, 1);
+        assert!(report.torn_tail());
+        // Only the journaled epoch is recovered, even though the seq-2 blob
+        // is intact: the journal is the authority.
+        assert_eq!(recovered.serve().snapshot("west").unwrap().version(), 1);
+        // The healed journal continues from the truncated prefix,
+        // overwriting the torn segment.
+        assert_eq!(recovered.next_seq("west"), 2);
+        deploy(&recovered, 5, &[doc(7, 14, vec![5.0; 48])]);
+        assert_eq!(recovered.journal_records(), 2);
+        let (again, report2) =
+            DurableServeSink::recover(ServeService::with_defaults(), store).unwrap();
+        assert_eq!(report2.journal_records, 2);
+        assert!(!report2.torn_tail());
+        assert_eq!(again.serve().snapshot("west").unwrap().version(), 5);
+    }
+
+    /// The regression the crash sweep caught: when the journal was a single
+    /// blob rewritten on every append, tearing the rewrite destroyed
+    /// *committed* records, so a crash during deploy N un-journaled deploys
+    /// < N whose completion markers were already durable. With segmented
+    /// appends, a torn append loses exactly the in-flight record.
+    #[test]
+    fn torn_journal_append_never_destroys_committed_records() {
+        let store: Arc<dyn BlobStore> = Arc::new(MemoryBlobStore::new());
+        let sink = DurableServeSink::new(ServeService::with_defaults(), Arc::clone(&store));
+        deploy(&sink, 1, &[doc(7, 14, vec![1.0; 48])]);
+        deploy(&sink, 2, &[doc(7, 14, vec![2.0; 48])]);
+        deploy(&sink, 3, &[doc(7, 14, vec![3.0; 48])]);
+        // Crash-tear the third append at every prefix length, including the
+        // zero-byte prefix a crash at the very start of the put leaves.
+        let key = journal_segment_key(2);
+        let whole = store.get(&key).unwrap();
+        for cut in 0..whole.len() {
+            store.put(&key, whole.slice(0..cut)).unwrap();
+            let (recovered, report) =
+                DurableServeSink::recover(ServeService::with_defaults(), Arc::clone(&store))
+                    .unwrap();
+            assert_eq!(report.journal_records, 2, "cut at {cut}");
+            assert_eq!(
+                recovered.serve().snapshot("west").unwrap().version(),
+                2,
+                "cut at {cut}: both committed deploys must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_start() {
+        let store: Arc<dyn BlobStore> = Arc::new(MemoryBlobStore::new());
+        let (sink, report) =
+            DurableServeSink::recover(ServeService::with_defaults(), store).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(sink.journal_records(), 0);
+        assert!(sink.serve().regions().is_empty());
+    }
+}

@@ -13,6 +13,7 @@ use seagull_core::pipeline::{DeployEvent, PredictionDoc};
 use seagull_forecast::{FittedModel, ModelCache};
 use seagull_timeseries::TimeSeries;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// One server's share of a [`ModelSnapshot`].
@@ -20,6 +21,18 @@ pub struct ServedServer {
     prediction: TimeSeries,
     duration_min: i64,
     model: Option<Arc<dyn FittedModel>>,
+}
+
+/// Fitted models carry no state worth printing; Debug shows whether one is
+/// cached, which is what recovery tests assert about.
+impl fmt::Debug for ServedServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServedServer")
+            .field("prediction", &self.prediction)
+            .field("duration_min", &self.duration_min)
+            .field("has_model", &self.model.is_some())
+            .finish()
+    }
 }
 
 impl ServedServer {
@@ -63,6 +76,19 @@ pub struct ModelSnapshot {
     model_name: String,
     epoch: u64,
     servers: BTreeMap<u64, ServedServer>,
+}
+
+impl fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelSnapshot")
+            .field("region", &self.region)
+            .field("version", &self.version)
+            .field("week_start_day", &self.week_start_day)
+            .field("model_name", &self.model_name)
+            .field("epoch", &self.epoch)
+            .field("servers", &self.servers)
+            .finish()
+    }
 }
 
 impl ModelSnapshot {

@@ -16,9 +16,17 @@
 //! * **sustained outages** — every op against one `(kind, region)` key-space
 //!   slice fails until the slice is healed (the circuit-breaker case).
 //!
+//! * **crashes** — at an armed [`CrashPoint`] the store simulates process
+//!   death: a `put` leaves only a strict prefix of the blob durable, the op
+//!   panics with an [`InjectedCrash`] payload, and every later op on the
+//!   same store panics too (the process is dead). The recovery harness
+//!   catches the unwind, rebuilds the stack over the surviving inner store,
+//!   and asserts restart recovery (DESIGN.md §12).
+//!
 //! Every decision comes from one seeded [`DetRng`] stream consumed in op
 //! order, so a fixed seed reproduces a byte-identical fault schedule
-//! ([`ChaosBlobStore::schedule_log`]) run after run.
+//! ([`ChaosBlobStore::schedule_log`]) run after run. Crash checks consume no
+//! randomness, so arming a crash never shifts the fault schedule.
 
 use crate::blobstore::{BlobKey, BlobStore};
 use bytes::Bytes;
@@ -98,12 +106,93 @@ pub struct ChaosStats {
     pub ops: u64,
     /// Total injected faults (transient + torn + outage rejections).
     pub faults: u64,
+    /// Ops failed with a retryable timeout.
     pub transient_faults: u64,
+    /// `get`s that returned a truncated prefix.
     pub torn_reads: u64,
+    /// Ops rejected by a sustained outage.
     pub outage_rejections: u64,
+    /// Ops charged a latency spike.
     pub latency_spikes: u64,
+    /// Crash points fired (0 or 1 per store lifetime).
+    pub crashes: u64,
     /// Total simulated latency charged.
     pub simulated_latency: Duration,
+}
+
+/// When an armed crash fires, relative to the store's op stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashSpec {
+    /// Die on the op with this 0-based index in the store's op stream.
+    AtOp(u64),
+    /// Die on the `nth` (1-based) op whose key display contains `fragment`.
+    /// Targets semantic boundaries — e.g. `fragment: "journal"` with
+    /// `nth: 1` dies on the first journal write of a run.
+    OnKey {
+        /// Substring matched against the op's key display.
+        fragment: String,
+        /// Which match fires (1-based).
+        nth: u64,
+    },
+}
+
+/// An armed kill-point: where the simulated process death happens and how
+/// much of an in-flight `put` survives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPoint {
+    /// When to die.
+    pub spec: CrashSpec,
+    /// For a `put` at the crash point: fraction of the payload made durable
+    /// before death, clamped to `[0, 1]`. Values below 1 leave a strict
+    /// prefix (a torn write the readers must reject); 1.0 means the write
+    /// completed and the process died just after.
+    pub torn_frac: f64,
+}
+
+impl CrashPoint {
+    /// A crash at op index `at` that tears an in-flight `put` at `torn_frac`.
+    pub fn at_op(at: u64, torn_frac: f64) -> CrashPoint {
+        CrashPoint {
+            spec: CrashSpec::AtOp(at),
+            torn_frac,
+        }
+    }
+
+    /// A crash on the `nth` (1-based) op whose key contains `fragment`.
+    pub fn on_key(fragment: impl Into<String>, nth: u64, torn_frac: f64) -> CrashPoint {
+        CrashPoint {
+            spec: CrashSpec::OnKey {
+                fragment: fragment.into(),
+                nth,
+            },
+            torn_frac,
+        }
+    }
+}
+
+/// Panic payload carried by a simulated process death, from either a
+/// [`ChaosBlobStore`] crash point or a stage kill-point in `seagull-core`.
+/// Harnesses `catch_unwind` and downcast to this type to distinguish an
+/// injected crash from a genuine bug.
+#[derive(Debug, Clone)]
+pub struct InjectedCrash {
+    /// Where the process died, for logs and assertions.
+    pub context: String,
+}
+
+impl fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected crash at {}", self.context)
+    }
+}
+
+impl InjectedCrash {
+    /// Simulates process death by panicking with this payload.
+    pub fn die(context: impl Into<String>) -> ! {
+        std::panic::panic_any(InjectedCrash {
+            context: context.into(),
+        })
+    }
 }
 
 struct ChaosState {
@@ -113,6 +202,12 @@ struct ChaosState {
     outages: BTreeSet<(String, String)>,
     /// One line per injected fault, in op order.
     log: Vec<String>,
+    /// Armed kill-point, if any.
+    crash: Option<CrashPoint>,
+    /// `OnKey` matches seen so far.
+    crash_key_matches: u64,
+    /// Set once a crash fires; every later op dies too.
+    crashed: bool,
 }
 
 /// The decision taken for one operation.
@@ -121,6 +216,9 @@ enum Injection {
     Proceed { torn_frac: Option<f64> },
     /// Fail the op with this error.
     Fail(io::Error),
+    /// Simulated process death: tear an in-flight `put` at `torn_frac`,
+    /// then panic with [`InjectedCrash`].
+    Crash { torn_frac: f64 },
 }
 
 /// A [`BlobStore`] decorator that injects seeded, reproducible faults.
@@ -140,6 +238,9 @@ impl ChaosBlobStore {
                 stats: ChaosStats::default(),
                 outages: BTreeSet::new(),
                 log: Vec::new(),
+                crash: None,
+                crash_key_matches: 0,
+                crashed: false,
             }),
             config,
         }
@@ -168,6 +269,25 @@ impl ChaosBlobStore {
             .lock()
             .outages
             .contains(&(kind.to_string(), region.to_string()))
+    }
+
+    /// Arms a kill-point. At most one is armed at a time; arming replaces
+    /// any previous point and resets the `OnKey` match counter.
+    pub fn arm_crash(&self, point: CrashPoint) {
+        let mut st = self.state.lock();
+        st.crash = Some(point);
+        st.crash_key_matches = 0;
+    }
+
+    /// Disarms the kill-point, if one is armed.
+    pub fn disarm_crash(&self) {
+        self.state.lock().crash = None;
+    }
+
+    /// True once a crash point has fired; the store is "dead" and every
+    /// further op panics with [`InjectedCrash`].
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
     }
 
     /// Counter snapshot.
@@ -200,6 +320,7 @@ impl ChaosBlobStore {
             stats.outage_rejections,
         );
         set("seagull_chaos_latency_spikes_total", stats.latency_spikes);
+        set("seagull_chaos_crashes_total", stats.crashes);
         registry
             .gauge("seagull_chaos_simulated_latency_seconds", &[])
             .set(stats.simulated_latency.as_secs_f64());
@@ -215,6 +336,33 @@ impl ChaosBlobStore {
         let mut st = self.state.lock();
         let op_index = st.stats.ops;
         st.stats.ops += 1;
+        if st.crashed {
+            drop(st);
+            InjectedCrash::die(format!("{op} {key} (store already crashed)"));
+        }
+        let fire = match st.crash.clone() {
+            None => false,
+            Some(cp) => match cp.spec {
+                CrashSpec::AtOp(at) => op_index == at,
+                CrashSpec::OnKey { ref fragment, nth } => {
+                    if key.contains(fragment.as_str()) {
+                        st.crash_key_matches += 1;
+                        st.crash_key_matches == nth
+                    } else {
+                        false
+                    }
+                }
+            },
+        };
+        if fire {
+            let torn_frac = st.crash.as_ref().map(|c| c.torn_frac).unwrap_or(0.0);
+            st.crashed = true;
+            st.stats.crashes += 1;
+            st.log.push(format!("#{op_index} {op} {key}: crash"));
+            return Injection::Crash {
+                torn_frac: torn_frac.clamp(0.0, 1.0),
+            };
+        }
         if st.outages.contains(&(kind.to_string(), region.to_string())) {
             st.stats.faults += 1;
             st.stats.outage_rejections += 1;
@@ -280,12 +428,23 @@ impl BlobStore for ChaosBlobStore {
         match self.inject("put", &key.kind, &key.region, &key.to_string(), false) {
             Injection::Fail(e) => Err(e),
             Injection::Proceed { .. } => self.inner.put(key, data),
+            Injection::Crash { torn_frac } => {
+                // The process dies mid-write: only a prefix of the payload
+                // reaches the inner store (at torn_frac = 1.0, all of it).
+                let cut = ((data.len() as f64) * torn_frac) as usize;
+                let cut = cut.min(data.len());
+                if cut > 0 {
+                    let _ = self.inner.put(key, data.slice(0..cut));
+                }
+                InjectedCrash::die(format!("put {key} ({cut}/{} bytes durable)", data.len()));
+            }
         }
     }
 
     fn get(&self, key: &BlobKey) -> io::Result<Bytes> {
         match self.inject("get", &key.kind, &key.region, &key.to_string(), true) {
             Injection::Fail(e) => Err(e),
+            Injection::Crash { .. } => InjectedCrash::die(format!("get {key}")),
             Injection::Proceed { torn_frac } => {
                 let data = self.inner.get(key)?;
                 match torn_frac {
@@ -303,6 +462,7 @@ impl BlobStore for ChaosBlobStore {
     fn size(&self, key: &BlobKey) -> io::Result<u64> {
         match self.inject("size", &key.kind, &key.region, &key.to_string(), false) {
             Injection::Fail(e) => Err(e),
+            Injection::Crash { .. } => InjectedCrash::die(format!("size {key}")),
             Injection::Proceed { .. } => self.inner.size(key),
         }
     }
@@ -312,6 +472,7 @@ impl BlobStore for ChaosBlobStore {
         // sliced outage).
         match self.inject("list", kind, "*", kind, false) {
             Injection::Fail(e) => Err(e),
+            Injection::Crash { .. } => InjectedCrash::die(format!("list {kind}")),
             Injection::Proceed { .. } => self.inner.list(kind),
         }
     }
@@ -319,6 +480,7 @@ impl BlobStore for ChaosBlobStore {
     fn delete(&self, key: &BlobKey) -> io::Result<bool> {
         match self.inject("delete", &key.kind, &key.region, &key.to_string(), false) {
             Injection::Fail(e) => Err(e),
+            Injection::Crash { .. } => InjectedCrash::die(format!("delete {key}")),
             Injection::Proceed { .. } => self.inner.delete(key),
         }
     }
@@ -477,6 +639,75 @@ mod tests {
             registry.gauge("seagull_chaos_active_outages", &[]).get(),
             1.0
         );
+    }
+
+    #[test]
+    fn crash_at_op_tears_the_put_and_kills_the_store() {
+        let inner = Arc::new(MemoryBlobStore::new());
+        let store = ChaosBlobStore::new(inner.clone(), ChaosConfig::default());
+        let k = BlobKey::extracted("west", 100);
+        store.put(&k, Bytes::from_static(b"full")).unwrap();
+        // Op #1 is the next put; half the payload survives.
+        store.arm_crash(CrashPoint::at_op(1, 0.5));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.put(&k, Bytes::from_static(b"replacement"))
+        }))
+        .unwrap_err();
+        let crash = died
+            .downcast::<InjectedCrash>()
+            .expect("InjectedCrash payload");
+        assert!(crash.context.contains("put"), "context: {}", crash.context);
+        assert!(store.crashed());
+        assert_eq!(store.stats().crashes, 1);
+        // The inner store holds a strict prefix of the torn write.
+        let durable = inner.get(&k).unwrap();
+        assert_eq!(&durable[..], &b"replacement"[..5]);
+        // The dead store refuses every further op by dying again.
+        let again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.get(&k)));
+        assert!(again.is_err());
+    }
+
+    #[test]
+    fn crash_on_key_targets_the_nth_match() {
+        let inner = Arc::new(MemoryBlobStore::new());
+        let store = ChaosBlobStore::new(inner.clone(), ChaosConfig::default());
+        store.arm_crash(CrashPoint::on_key("journal", 2, 0.0));
+        let journal = BlobKey {
+            kind: "journal".into(),
+            region: "deploys".into(),
+            week: 0,
+        };
+        let other = BlobKey::extracted("west", 100);
+        store.put(&other, Bytes::from_static(b"safe")).unwrap();
+        store.put(&journal, Bytes::from_static(b"one")).unwrap();
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.put(&journal, Bytes::from_static(b"two"))
+        }));
+        assert!(died.is_err());
+        // torn_frac 0: nothing of the dying write landed.
+        assert_eq!(&inner.get(&journal).unwrap()[..], b"one");
+    }
+
+    #[test]
+    fn arming_a_crash_does_not_shift_the_fault_schedule() {
+        let run = |crash: Option<CrashPoint>| {
+            let store = chaos(ChaosConfig {
+                seed: 11,
+                transient_fault_prob: 0.3,
+                ..ChaosConfig::default()
+            });
+            if let Some(cp) = crash {
+                store.arm_crash(cp);
+            }
+            let k = BlobKey::extracted("west", 100);
+            for _ in 0..30 {
+                let _ = store.get(&k);
+            }
+            store.schedule_log()
+        };
+        // A crash armed far beyond the op count never fires and leaves the
+        // transient schedule byte-identical.
+        assert_eq!(run(None), run(Some(CrashPoint::at_op(10_000, 0.5))));
     }
 
     #[test]

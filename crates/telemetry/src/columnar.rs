@@ -63,13 +63,29 @@ pub enum ColumnarError {
     /// The magic bytes are absent — this is not a columnar blob.
     NotColumnar,
     /// The blob is shorter than its declared structure.
-    Truncated { expected: usize, got: usize },
+    Truncated {
+        /// Bytes the header/table said should be present.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
     /// The footer checksum does not match the bytes (torn or corrupt read).
-    ChecksumMismatch { stored: u64, computed: u64 },
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
     /// A version this build does not read.
-    UnsupportedVersion { version: u16 },
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
     /// A block table entry describing an impossible grid.
-    InvalidBlock { server_id: u64 },
+    InvalidBlock {
+        /// Server whose block entry is invalid.
+        server_id: u64,
+    },
 }
 
 impl fmt::Display for ColumnarError {
@@ -101,9 +117,11 @@ impl std::error::Error for ColumnarError {}
 /// One server's entry in the block table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerBlock {
+    /// Server the block belongs to.
     pub server_id: ServerId,
-    /// Default backup window (minutes since epoch).
+    /// Default backup window start (minutes since epoch).
     pub default_backup_start: i64,
+    /// Default backup window end (minutes since epoch).
     pub default_backup_end: i64,
     /// First grid point of the series (minutes since epoch).
     pub series_start_min: i64,

@@ -71,11 +71,13 @@ impl LoadExtraction {
 /// One server's extracted week, as consumed by the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExtractedServer {
+    /// Server the series belongs to.
     pub id: ServerId,
     /// The week's load on the grid; missing buckets are NaN.
     pub series: TimeSeries,
-    /// Default backup window for the server's next backup day.
+    /// Default backup window start for the server's next backup day.
     pub default_backup_start: Timestamp,
+    /// Default backup window end.
     pub default_backup_end: Timestamp,
 }
 
@@ -162,7 +164,9 @@ impl LoadExtraction {
 /// A decode failure for a region-week blob, tagged by format.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegionWeekError {
+    /// The blob sniffed as CSV and failed to parse.
     Csv(CsvError),
+    /// The blob sniffed as columnar and failed to decode.
     Columnar(ColumnarError),
 }
 
@@ -204,7 +208,9 @@ impl From<ColumnarError> for RegionWeekError {
 /// columnar case.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegionWeekBatch {
+    /// Decoded CSV rows.
     Csv(RecordBatch),
+    /// Decoded columnar batch (zero-copy series views).
     Columnar(ColumnarBatch),
 }
 

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// kilobytes to a few gigabytes").
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegionSpec {
+    /// Region name (blob keys and pipeline runs are per region).
     pub name: String,
+    /// Number of servers generated in the region.
     pub servers: usize,
 }
 
@@ -149,6 +151,7 @@ impl FleetSpec {
 /// One server's generated metadata and telemetry over the window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerTelemetry {
+    /// Static metadata (identity, lifecycle, backup configuration).
     pub meta: ServerMeta,
     /// Gridded load covering the intersection of the server's lifetime with
     /// the observation window.

@@ -1,0 +1,347 @@
+//! The append-only, checksummed journal codec (`SGJL`).
+//!
+//! The durability layer needs a write-ahead record of every successful model
+//! deploy so a restarted process can restore serving to last-known-good
+//! (DESIGN.md §12). [`Journal`] frames opaque payloads the way
+//! [`crate::columnar`] frames series data: a magic/version header followed by
+//! length-prefixed records, each closed by a [`checksum64`] footer computed
+//! over its own frame. The codec says nothing about how the image reaches
+//! storage; the [`crate::blobstore::BlobStore`] trait has no append, so
+//! callers pick a `put` discipline to match their crash-safety needs. A
+//! single-record image written once (the fleet runner's completion markers)
+//! is naturally safe. A growing log must NOT be rewritten in full on every
+//! append: a torn rewrite truncates committed records, not just the one in
+//! flight — the serving layer's deploy journal instead writes one
+//! single-record segment blob per append, so a tear can only ever lose the
+//! record being appended.
+//!
+//! [`replay`] is the recovery path: it walks frames from the front and keeps
+//! the **longest valid prefix**. The first frame that is short, overruns the
+//! blob, or fails its checksum ends the walk — everything from that byte on
+//! is discarded as a torn tail, even if later bytes happen to look like valid
+//! frames. A replayed record is therefore always a byte-exact payload that
+//! was once appended; a torn record is never returned.
+//!
+//! ## Wire layout (version 1, all little-endian)
+//!
+//! ```text
+//! [0..4)   magic  b"SGJL"
+//! [4..6)   version u16 (= 1)
+//! [6..8)   reserved u16 (= 0)
+//! ...      records, each framed as:
+//!            payload length u32
+//!            payload bytes
+//!            checksum u64 over [length u32 | payload]
+//! ```
+//!
+//! [`checksum64`]: crate::columnar::checksum64
+
+use crate::columnar::checksum64;
+use bytes::Bytes;
+use std::fmt;
+
+/// Leading magic bytes of a journal blob.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"SGJL";
+/// Current wire version.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Fixed header length: magic, version, reserved.
+pub const HEADER_LEN: usize = 8;
+/// Frame overhead per record: length prefix plus checksum footer.
+const FRAME_OVERHEAD: usize = 4 + 8;
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&JOURNAL_MAGIC);
+    h[4..6].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    // [6..8) reserved, zero.
+    h
+}
+
+/// True if `blob` carries the journal magic (format sniffing).
+pub fn is_journal(blob: &[u8]) -> bool {
+    blob.len() >= JOURNAL_MAGIC.len() && blob[..JOURNAL_MAGIC.len()] == JOURNAL_MAGIC
+}
+
+/// A replay failure. Unlike a torn tail (which [`replay`] silently
+/// truncates), these mean the blob was never a journal this build can read —
+/// recovery must not guess at its contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The magic bytes are present but wrong — this is not a journal.
+    NotJournal,
+    /// A version this build does not read.
+    UnsupportedVersion {
+        /// The version the header declared.
+        version: u16,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::NotJournal => write!(f, "blob lacks the journal magic"),
+            JournalError::UnsupportedVersion { version } => {
+                write!(f, "unsupported journal version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// An in-memory journal image: the header plus every appended record, framed
+/// and checksummed, ready to be written as one blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    bytes: Vec<u8>,
+    records: usize,
+}
+
+impl Journal {
+    /// An empty journal (header only).
+    pub fn new() -> Journal {
+        Journal {
+            bytes: header_bytes().to_vec(),
+            records: 0,
+        }
+    }
+
+    /// Appends one record. The payload is opaque to the journal; callers
+    /// bring their own record codec (e.g. the deploy record in
+    /// `seagull-serve`). Payloads over `u32::MAX` bytes are unrepresentable
+    /// in the frame and panic; deploy records are tens of bytes.
+    pub fn append(&mut self, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("journal payload over u32::MAX bytes");
+        let frame_start = self.bytes.len();
+        self.bytes.extend_from_slice(&len.to_le_bytes());
+        self.bytes.extend_from_slice(payload);
+        let checksum = checksum64(&self.bytes[frame_start..]);
+        self.bytes.extend_from_slice(&checksum.to_le_bytes());
+        self.records += 1;
+    }
+
+    /// Number of records appended (or retained by replay).
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Encoded size in bytes, header included.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The encoded journal image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The encoded journal image as an owned [`Bytes`] for a blob `put`.
+    pub fn encoded(&self) -> Bytes {
+        Bytes::from(self.bytes.clone())
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new()
+    }
+}
+
+/// The outcome of replaying a journal blob: the valid records in append
+/// order, plus the repaired [`Journal`] to continue appending to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Every fully-valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// The journal holding exactly the valid prefix; appending to it and
+    /// rewriting the blob heals the torn tail.
+    pub journal: Journal,
+    /// Bytes discarded from the tail (0 when the blob was intact).
+    pub truncated_bytes: usize,
+}
+
+impl JournalReplay {
+    /// True when a torn tail was discarded.
+    pub fn torn(&self) -> bool {
+        self.truncated_bytes > 0
+    }
+}
+
+/// Replays a journal blob, recovering the longest valid prefix.
+///
+/// Torn tails — a frame cut mid-write, a checksum that does not match, a
+/// length prefix that overruns the blob — are truncated, not errors: the
+/// records before the tear are returned and `truncated_bytes` reports what
+/// was dropped. A header that is torn (shorter than 8 bytes but a byte-exact
+/// prefix of a valid header) replays as an empty journal. Only a blob that
+/// was never a readable journal — wrong magic, future version — is an error.
+pub fn replay(blob: &[u8]) -> Result<JournalReplay, JournalError> {
+    let header = header_bytes();
+    if blob.len() < HEADER_LEN {
+        // Possibly a header torn mid-write: valid only if it is a strict
+        // prefix of the canonical header.
+        if blob == &header[..blob.len()] {
+            return Ok(JournalReplay {
+                records: Vec::new(),
+                journal: Journal::new(),
+                truncated_bytes: blob.len(),
+            });
+        }
+        return Err(JournalError::NotJournal);
+    }
+    if blob[..4] != JOURNAL_MAGIC {
+        return Err(JournalError::NotJournal);
+    }
+    let version = u16::from_le_bytes([blob[4], blob[5]]);
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::UnsupportedVersion { version });
+    }
+
+    let mut records = Vec::new();
+    let mut journal = Journal::new();
+    let mut offset = HEADER_LEN;
+    loop {
+        // Anything that stops the walk truncates here: `offset` is the end
+        // of the last fully-valid frame.
+        if offset == blob.len() {
+            break; // clean end
+        }
+        if blob.len() - offset < 4 {
+            break; // length prefix torn
+        }
+        let len = u32::from_le_bytes([
+            blob[offset],
+            blob[offset + 1],
+            blob[offset + 2],
+            blob[offset + 3],
+        ]) as usize;
+        let frame_len = match len.checked_add(FRAME_OVERHEAD) {
+            Some(f) => f,
+            None => break, // absurd length from a corrupt prefix
+        };
+        if blob.len() - offset < frame_len {
+            break; // frame torn or length corrupt
+        }
+        let frame = &blob[offset..offset + frame_len];
+        let stored = u64::from_le_bytes(frame[frame_len - 8..].try_into().expect("8-byte footer"));
+        if checksum64(&frame[..frame_len - 8]) != stored {
+            break; // payload or length corrupt
+        }
+        let payload = &frame[4..4 + len];
+        journal.append(payload);
+        records.push(payload.to_vec());
+        offset += frame_len;
+    }
+    Ok(JournalReplay {
+        records,
+        journal,
+        truncated_bytes: blob.len() - offset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        let j = Journal::new();
+        let r = replay(j.as_bytes()).unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.torn());
+        assert_eq!(r.journal, j);
+    }
+
+    #[test]
+    fn round_trip_preserves_records_in_order() {
+        let mut j = Journal::new();
+        let payloads: Vec<Vec<u8>> = vec![b"first".to_vec(), vec![], vec![0xFF; 300]];
+        for p in &payloads {
+            j.append(p);
+        }
+        assert_eq!(j.record_count(), 3);
+        let r = replay(j.as_bytes()).unwrap();
+        assert_eq!(r.records, payloads);
+        assert!(!r.torn());
+        assert_eq!(r.journal.as_bytes(), j.as_bytes());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let mut j = Journal::new();
+        j.append(b"keep me");
+        let keep_len = j.byte_len();
+        j.append(b"lose me");
+        for cut in keep_len..j.byte_len() {
+            let r = replay(&j.as_bytes()[..cut]).unwrap();
+            assert_eq!(r.records, vec![b"keep me".to_vec()], "cut at {cut}");
+            assert_eq!(r.torn(), cut > keep_len, "cut at {cut}");
+            assert_eq!(r.journal.byte_len(), keep_len);
+            assert_eq!(r.truncated_bytes, cut - keep_len);
+        }
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_that_record_on() {
+        let mut j = Journal::new();
+        j.append(b"alpha");
+        let first_end = j.byte_len();
+        j.append(b"beta");
+        j.append(b"gamma");
+        let mut blob = j.as_bytes().to_vec();
+        // Flip one payload bit inside "beta".
+        blob[first_end + 5] ^= 0x01;
+        let r = replay(&blob).unwrap();
+        assert_eq!(r.records, vec![b"alpha".to_vec()]);
+        assert!(r.torn());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_never_panics_or_over_reads() {
+        let mut j = Journal::new();
+        j.append(b"alpha");
+        let first_end = j.byte_len();
+        j.append(b"beta");
+        let mut blob = j.as_bytes().to_vec();
+        // Blow up the second record's declared length.
+        blob[first_end..first_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let r = replay(&blob).unwrap();
+        assert_eq!(r.records, vec![b"alpha".to_vec()]);
+    }
+
+    #[test]
+    fn torn_header_replays_as_empty_journal() {
+        let j = Journal::new();
+        for cut in 0..HEADER_LEN {
+            let r = replay(&j.as_bytes()[..cut]).unwrap();
+            assert!(r.records.is_empty(), "cut at {cut}");
+            assert_eq!(r.truncated_bytes, cut);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_errors() {
+        assert_eq!(replay(b"SGCBxxxx"), Err(JournalError::NotJournal));
+        let mut h = header_bytes();
+        h[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert_eq!(
+            replay(&h),
+            Err(JournalError::UnsupportedVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn replayed_journal_accepts_further_appends() {
+        let mut j = Journal::new();
+        j.append(b"one");
+        let mut blob = j.as_bytes().to_vec();
+        blob.extend_from_slice(b"torn tai"); // partial next frame
+        let mut r = replay(&blob).unwrap();
+        assert!(r.torn());
+        r.journal.append(b"two");
+        let again = replay(r.journal.as_bytes()).unwrap();
+        assert_eq!(again.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!again.torn());
+    }
+}

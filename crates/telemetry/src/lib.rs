@@ -23,13 +23,20 @@
 //!   columnar).
 //! * [`chaos`] — deterministic fault injection: a [`BlobStore`] decorator
 //!   that replays seeded, reproducible fault schedules (transient errors,
-//!   torn reads, latency spikes, sliced sustained outages).
+//!   torn reads, latency spikes, sliced sustained outages, and seeded
+//!   crash kill-points).
+//! * [`journal`] — the append-only checksummed journal codec (`SGJL`) the
+//!   durability layer uses to record deploys; replay truncates torn tails
+//!   and recovers the longest valid prefix.
+
+#![warn(missing_docs)]
 
 pub mod blobstore;
 pub mod chaos;
 pub mod columnar;
 pub mod extract;
 pub mod fleet;
+pub mod journal;
 pub mod record;
 pub mod server;
 pub mod shape;
@@ -37,13 +44,16 @@ pub mod signals;
 pub mod wide;
 
 pub use blobstore::{BlobKey, BlobStore, DiskBlobStore, MemoryBlobStore};
-pub use chaos::{ChaosBlobStore, ChaosConfig, ChaosStats, DetRng};
+pub use chaos::{
+    ChaosBlobStore, ChaosConfig, ChaosStats, CrashPoint, CrashSpec, DetRng, InjectedCrash,
+};
 pub use columnar::{ColumnarBatch, ColumnarError, ServerBlock};
 pub use extract::{
     parse_record_rows, parse_region_week, BlobFormat, LoadExtraction, RegionWeekBatch,
     RegionWeekError,
 };
 pub use fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
+pub use journal::{replay, Journal, JournalError, JournalReplay};
 pub use record::{csv_quantized, CsvError, LoadRecord, RecordBatch};
 pub use server::{BackupConfig, GeneratedClass, ServerId, ServerMeta};
 pub use shape::{LoadShape, ShapeParams};

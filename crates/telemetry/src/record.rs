@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 /// One telemetry row.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoadRecord {
+    /// Server the sample belongs to.
     pub server_id: ServerId,
     /// Timestamp in minutes since the epoch.
     pub timestamp_min: i64,
@@ -32,13 +33,16 @@ pub const CSV_HEADER: &str =
 /// A decoded batch of rows plus helpers to move between rows and blobs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RecordBatch {
+    /// The rows, in file order.
     pub records: Vec<LoadRecord>,
 }
 
 /// A CSV parse failure with its line number (1-based, counting the header).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvError {
+    /// 1-based line number of the offending row (0 for whole-blob errors).
     pub line: usize,
+    /// What went wrong.
     pub message: String,
 }
 

@@ -72,6 +72,7 @@ impl BackupConfig {
 /// Static metadata for one server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerMeta {
+    /// Fleet-unique identifier.
     pub id: ServerId,
     /// Region the server lives in (pipelines run per region).
     pub region: String,

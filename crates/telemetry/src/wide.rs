@@ -19,11 +19,17 @@ use std::fmt::Write as _;
 /// One wide telemetry row: every signal for one (server, bucket).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WideRecord {
+    /// Server the sample belongs to.
     pub server_id: ServerId,
+    /// Timestamp in minutes since the epoch.
     pub timestamp_min: i64,
+    /// Average customer CPU load percentage over the bucket.
     pub avg_cpu: f64,
+    /// Memory utilization percentage.
     pub avg_memory: f64,
+    /// Active connection count.
     pub active_connections: f64,
+    /// Disk I/O throughput, MB per minute.
     pub disk_io_mb_min: f64,
 }
 
@@ -46,6 +52,7 @@ pub const WIDE_CSV_HEADER: &str =
 /// A batch of wide rows with its CSV codec.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct WideBatch {
+    /// The rows, in file order.
     pub records: Vec<WideRecord>,
 }
 
