@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "fleet_scale",
     "serving",
     "recovery",
+    "watch_dump",
 ];
 
 fn main() {

@@ -14,6 +14,12 @@
 //! values, window starts, error classes — everything except wall time)
 //! must be **byte-identical** between the threads=1 and threads=N runs.
 //! Exits non-zero on mismatch — the `serve-smoke` CI job relies on that.
+//!
+//! The run is additionally **SLO-gated**: the worst p50/p95/p99 across all
+//! thread steps and the best QPS are checked against the pinned
+//! [`SLO_GATES`] thresholds, each gate's pass/fail lands in
+//! `BENCH_serving.json`, and any failing gate exits non-zero — the
+//! `watch-smoke` CI job relies on that.
 
 use seagull_bench::{emit_json, scale, Scale, Table};
 use seagull_core::pipeline::{AmlPipeline, PipelineConfig};
@@ -30,6 +36,58 @@ use std::time::Instant;
 
 const THREAD_STEPS: &[usize] = &[1, 2, 4, 8];
 const BATCH_SIZE: usize = 8;
+
+/// Serving SLOs the bench must meet on any supported machine. Latency
+/// bounds apply to the *worst* quantile across all thread steps, the
+/// throughput bound to the *best* step, so the gate catches order-of-
+/// magnitude regressions (a lock on the read path, an accidental clone of
+/// the snapshot) without flaking on a loaded CI box.
+const SLO_GATES: &[SloGate] = &[
+    SloGate {
+        name: "p50_latency_us",
+        kind: GateKind::AtMost,
+        threshold: 5_000.0,
+    },
+    SloGate {
+        name: "p95_latency_us",
+        kind: GateKind::AtMost,
+        threshold: 25_000.0,
+    },
+    SloGate {
+        name: "p99_latency_us",
+        kind: GateKind::AtMost,
+        threshold: 100_000.0,
+    },
+    SloGate {
+        name: "qps",
+        kind: GateKind::AtLeast,
+        threshold: 1_000.0,
+    },
+];
+
+/// Direction of one serving SLO gate.
+enum GateKind {
+    /// Observed value must be `<= threshold` (latency bounds).
+    AtMost,
+    /// Observed value must be `>= threshold` (throughput floor).
+    AtLeast,
+}
+
+/// One pinned serving SLO: a named threshold the bench asserts against.
+struct SloGate {
+    name: &'static str,
+    kind: GateKind,
+    threshold: f64,
+}
+
+impl SloGate {
+    fn pass(&self, observed: f64) -> bool {
+        match self.kind {
+            GateKind::AtMost => observed <= self.threshold,
+            GateKind::AtLeast => observed >= self.threshold,
+        }
+    }
+}
 
 /// One pre-generated query against the service.
 #[derive(Clone)]
@@ -270,6 +328,7 @@ fn main() -> std::io::Result<()> {
         "identical",
     ]);
     let mut baseline: Option<Vec<String>> = None;
+    let (mut worst_p50, mut worst_p95, mut worst_p99, mut best_qps) = (0f64, 0f64, 0f64, 0f64);
     for &threads in THREAD_STEPS {
         let (digests, mut lat, wall) = run_requests(&serve, &regions, &requests, threads);
         let identical = match &baseline {
@@ -290,6 +349,10 @@ fn main() -> std::io::Result<()> {
             quantile(&lat, 0.95) * 1e6,
             quantile(&lat, 0.99) * 1e6,
         );
+        worst_p50 = worst_p50.max(p50);
+        worst_p95 = worst_p95.max(p95);
+        worst_p99 = worst_p99.max(p99);
+        best_qps = best_qps.max(qps);
         table.row([
             format!("{threads}"),
             format!("{wall:.3}"),
@@ -320,6 +383,39 @@ fn main() -> std::io::Result<()> {
          ({errors} deterministic error responses in the mix)"
     );
 
+    // ---- SLO gate --------------------------------------------------------
+    let observed = |name: &str| match name {
+        "p50_latency_us" => worst_p50,
+        "p95_latency_us" => worst_p95,
+        "p99_latency_us" => worst_p99,
+        "qps" => best_qps,
+        other => unreachable!("unknown gate {other}"),
+    };
+    let mut all_pass = true;
+    let mut slo_rows = Vec::new();
+    println!("\nSLO gate:");
+    for gate in SLO_GATES {
+        let value = observed(gate.name);
+        let pass = gate.pass(value);
+        all_pass &= pass;
+        let op = match gate.kind {
+            GateKind::AtMost => "<=",
+            GateKind::AtLeast => ">=",
+        };
+        println!(
+            "  {:16} {value:>12.1} {op} {:>10.1}  {}",
+            gate.name,
+            gate.threshold,
+            if pass { "PASS" } else { "FAIL" }
+        );
+        slo_rows.push(json!({
+            "slo": gate.name,
+            "threshold": gate.threshold,
+            "observed": value,
+            "pass": pass,
+        }));
+    }
+
     emit_json(
         "BENCH_serving",
         &json!({
@@ -338,9 +434,11 @@ fn main() -> std::io::Result<()> {
             },
             "machine_cores": cores,
             "determinism": "ok",
+            "slo_gate": { "pass": all_pass, "slos": slo_rows },
             "rows": rows,
         }),
     )?;
 
+    assert!(all_pass, "serving SLO gate failed — see table above");
     Ok(())
 }

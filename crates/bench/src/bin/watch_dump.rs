@@ -1,0 +1,139 @@
+//! watch_dump — run a seeded two-region fleet schedule with a serving
+//! outage through the watchtower and dump the watch artifacts: the stable
+//! metrics export (Prometheus + span JSON-lines) and the [`WatchReport`]
+//! JSON, both under `experiments/`.
+//!
+//! The bin doubles as the CI smoke check for the watch layer: the pipeline
+//! thread count comes from `SEAGULL_THREADS` (default 4) and the stable
+//! artifact must be **byte-identical** regardless of that value — the
+//! `watch-smoke` CI job runs it at 1 and 8 threads and diffs the files. A
+//! same-seed in-process rerun is also asserted byte-identical before exit.
+
+use seagull_bench::emit_json;
+use seagull_core::pipeline::{AmlPipeline, PipelineConfig};
+use seagull_core::FleetRunner;
+use seagull_obs::Obs;
+use seagull_serve::ServeService;
+use seagull_telemetry::blobstore::{BlobStore, MemoryBlobStore};
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_telemetry::fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
+use seagull_watch::{AccuracyMonitor, SloSpec, WatchEngine, WatchReport};
+use serde_json::json;
+use std::sync::Arc;
+
+const WEEKS: usize = 3;
+const TICKS: u64 = 180;
+const OUTAGE: std::ops::RangeInclusive<u64> = 61..=120;
+
+/// One deterministic simulation: fleet schedule → serve + accuracy monitor,
+/// then 180 virtual minutes of traffic with a region-a outage watched by
+/// the SLO engine. Returns the stable artifact (pipeline stable export +
+/// watch stable export + report JSON) and the report alone.
+fn simulate(seed: u64, threads: usize) -> (String, String) {
+    let mut spec = FleetSpec::small_region(seed);
+    spec.regions[0].servers = 8;
+    spec.regions.push(RegionSpec {
+        name: "region-b".into(),
+        servers: 8,
+    });
+    let start = spec.start_day;
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(WEEKS);
+    let store = Arc::new(MemoryBlobStore::new());
+    let week_days: Vec<i64> = (0..WEEKS as i64).map(|w| start + 7 * w).collect();
+    LoadExtraction::default()
+        .run(&fleet, &regions, &week_days, store.as_ref())
+        .expect("extraction succeeds");
+
+    let serve = ServeService::with_defaults();
+    let monitor = Arc::new(AccuracyMonitor::default());
+    let pipeline = AmlPipeline::new(
+        PipelineConfig {
+            threads,
+            warm_cache: true,
+            ..PipelineConfig::production()
+        },
+        Arc::clone(&store) as Arc<dyn BlobStore>,
+    )
+    .with_deploy_sink(Arc::new(serve.clone()))
+    .with_accuracy_sink(Arc::clone(&monitor) as Arc<_>);
+    let runner = FleetRunner::new(pipeline, regions.clone());
+    runner.run_schedule(&week_days);
+    serve.set_clock_day(start + 7 * WEEKS as i64);
+
+    let mut engine = WatchEngine::new(Obs::new(), runner.pipeline().incidents.clone());
+    engine.add_slo(SloSpec::error_rate("serve-errors", 0.99).with_window(120));
+    let valid: Vec<u64> = regions
+        .iter()
+        .map(|r| {
+            serve
+                .snapshot(r)
+                .expect("schedule published snapshots")
+                .server_ids()
+                .next()
+                .expect("snapshot non-empty")
+        })
+        .collect();
+    for tick in 1..=TICKS {
+        for (r, region) in regions.iter().enumerate() {
+            let outage = region == "region-a" && OUTAGE.contains(&tick);
+            let server = if outage { u64::MAX } else { valid[r] };
+            let (mut good, mut bad) = (0u64, 0u64);
+            for q in 0..4 {
+                match serve.predict(region, server, 1 + ((tick + q) % 48) as usize) {
+                    Ok(_) => good += 1,
+                    Err(_) => bad += 1,
+                }
+            }
+            engine.record("serve-errors", region, tick, good, bad);
+        }
+        engine.evaluate(tick);
+    }
+    monitor.sweep(
+        engine.obs(),
+        engine.incidents(),
+        Some(&runner.pipeline().cache),
+    );
+    let report = WatchReport::collect(&engine, Some(&monitor), TICKS).to_json();
+    let stable = format!(
+        "=== pipeline stable export ===\n{}\n=== watch stable export ===\n{}\n=== watch report ===\n{report}\n",
+        runner.obs().stable_export(),
+        engine.obs().stable_export(),
+    );
+    (stable, report)
+}
+
+fn main() -> std::io::Result<()> {
+    let threads: usize = std::env::var("SEAGULL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (stable, report) = simulate(42, threads);
+
+    println!("=== Watch report (threads={threads}) ===");
+    println!("{report}");
+
+    // Smoke check: a same-seed rerun must reproduce the artifact byte for
+    // byte in-process; the CI job additionally diffs across thread counts.
+    let (stable2, _) = simulate(42, threads);
+    assert_eq!(stable, stable2, "same seed, byte-identical watch dump");
+    println!("\n[smoke: watch dump reproducible at threads={threads}]");
+
+    let report_value: serde_json::Value =
+        serde_json::from_str(&report).expect("report JSON parses");
+    let json_path = emit_json(
+        "watch_dump",
+        &json!({
+            "threads": threads,
+            "ticks": TICKS,
+            "outage_ticks": [*OUTAGE.start(), *OUTAGE.end()],
+            "stable_bytes": stable.len(),
+            "report": report_value,
+        }),
+    )?;
+    let stable_path = json_path.with_file_name("watch_dump_stable.txt");
+    std::fs::write(&stable_path, stable)?;
+    eprintln!("[stable export written to {}]", stable_path.display());
+
+    Ok(())
+}

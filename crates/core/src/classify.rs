@@ -151,6 +151,7 @@ pub fn classify_server(
 /// The Figure 3 breakdown of a fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassificationReport {
+    /// Servers per class, in [`ServerClass`] declaration order.
     pub counts: Vec<(ServerClass, usize)>,
     /// Per-server assignments, in input order.
     pub assignments: Vec<(ServerId, ServerClass)>,

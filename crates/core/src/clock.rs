@@ -12,9 +12,11 @@ use serde::{Deserialize, Serialize};
 /// A recurring job definition.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecurringJob {
+    /// Job name, echoed into every [`JobRun`].
     pub name: String,
     /// Fires on days where `(day - anchor_day) % every_days == 0`.
     pub every_days: i64,
+    /// Day the cadence is anchored at.
     pub anchor_day: i64,
 }
 
@@ -47,7 +49,9 @@ impl RecurringJob {
 /// A record of one job firing.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobRun {
+    /// Name of the job that fired.
     pub name: String,
+    /// Day it fired on.
     pub day: i64,
 }
 
@@ -59,6 +63,8 @@ pub struct JobRun {
 /// A boxed job action, invoked with the firing day.
 type JobAction<'a> = Box<dyn FnMut(i64) + 'a>;
 
+/// The recurring-job scheduler: registered jobs fire in order as the
+/// simulated clock advances day by day.
 pub struct JobScheduler<'a> {
     jobs: Vec<(RecurringJob, JobAction<'a>)>,
 }

@@ -46,9 +46,13 @@ fn stage_rank(stage: &str) -> usize {
 /// Aggregated view over recorded runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DashboardSummary {
+    /// Pipeline runs recorded.
     pub runs: usize,
+    /// Runs blocked before producing predictions.
     pub blocked_runs: usize,
+    /// Prediction documents written across all runs.
     pub total_predictions: usize,
+    /// Accuracy evaluations performed across all runs.
     pub total_evaluations: usize,
     /// Mean stage duration across runs, by stage name, in canonical
     /// pipeline order (unknown stages last, alphabetically).
@@ -56,7 +60,9 @@ pub struct DashboardSummary {
     /// Latest accuracy per region, sorted by region:
     /// (region, window-correct %, load-accurate %).
     pub latest_accuracy: Vec<(String, f64, f64)>,
+    /// Open Warning-severity incidents.
     pub open_warnings: usize,
+    /// Open Critical-severity incidents.
     pub open_criticals: usize,
 }
 

@@ -20,7 +20,12 @@ pub enum DocStoreError {
     /// Serialization or deserialization failed.
     Codec(String),
     /// Document not found.
-    NotFound { collection: String, id: String },
+    NotFound {
+        /// Collection that was queried.
+        collection: String,
+        /// Missing document id.
+        id: String,
+    },
 }
 
 impl fmt::Display for DocStoreError {

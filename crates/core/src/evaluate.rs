@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 /// Evaluation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvaluationConfig {
+    /// Error bound and bucket-ratio threshold (Definitions 1–2).
     pub accuracy: AccuracyConfig,
     /// Days of history a model is trained on before a backup day ("ML models
     /// are trained on one week of data prior to backup day", Section 5.3.1).
@@ -57,7 +58,9 @@ pub fn backup_day_in_week(server: &ServerTelemetry, week_start_day: i64) -> i64 
 /// One server-day evaluation outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackupDayEvaluation {
+    /// Server the evaluation covers.
     pub server_id: u64,
+    /// Backup day that was evaluated.
     pub backup_day: i64,
     /// `None` when the server could not be evaluated (insufficient history,
     /// model failure, missing truth) — such servers keep their default
@@ -141,6 +144,7 @@ pub fn evaluate_fleet_week_all_days(
 /// Definition 9 verdict for one server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerPredictability {
+    /// Server the verdict covers.
     pub server_id: u64,
     /// Weekly backup-day evaluations, oldest first.
     pub weeks: Vec<BackupDayEvaluation>,

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 /// The features extracted for one server in one pipeline run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerFeatures {
+    /// Server the features were extracted for.
     pub server_id: u64,
     /// Days of telemetry available in this input window.
     pub observed_days: f64,

@@ -19,15 +19,20 @@ use std::sync::Arc;
 /// Incident severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
+    /// Informational; no operator action expected.
     Info,
+    /// Degraded but serving; worth a look.
     Warning,
+    /// Requires operator attention (pages in production).
     Critical,
 }
 
 /// Incident lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IncidentState {
+    /// Raised and not yet resolved.
     Open,
+    /// Resolved; kept in the log for history.
     Resolved,
 }
 
@@ -38,12 +43,15 @@ fn default_count() -> u32 {
 /// One incident.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Incident {
+    /// Monotonically increasing id within one manager.
     pub id: u64,
+    /// How bad it is.
     pub severity: Severity,
     /// The component that raised it (e.g. `"validation"`, `"deployment"`).
     pub source: String,
     /// Region the run belonged to.
     pub region: String,
+    /// Latest human-readable description.
     pub message: String,
     /// Dedup fingerprint within `(severity, source, region)`; defaults to
     /// the message.
@@ -52,6 +60,7 @@ pub struct Incident {
     /// How many times this incident was raised while open.
     #[serde(default = "default_count")]
     pub count: u32,
+    /// Current lifecycle state.
     pub state: IncidentState,
 }
 

@@ -30,6 +30,8 @@
 //! * [`fleet`] — the cross-region orchestrator: concurrent region runs with
 //!   deterministic observability merging and a warm-model cache.
 
+#![warn(missing_docs)]
+
 pub mod classify;
 pub mod clock;
 pub mod dashboard;

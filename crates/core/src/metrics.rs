@@ -53,6 +53,7 @@ impl ErrorBound {
 /// Accuracy thresholds (Definitions 1–2 constants).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccuracyConfig {
+    /// The asymmetric error bound (Definition 1).
     pub bound: ErrorBound,
     /// Minimum bucket ratio (in percent) for a prediction to count as
     /// accurate (paper: 90).

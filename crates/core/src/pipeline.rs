@@ -101,7 +101,9 @@ impl PipelineConfig {
 /// Wall-clock timing of one pipeline stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageTiming {
+    /// Stage name (see the `STAGE_ORDER` the dashboard renders).
     pub stage: String,
+    /// Wall-clock time spent in the stage.
     pub duration: Duration,
 }
 
@@ -165,19 +167,27 @@ impl DegradedRun {
 /// The report of one pipeline run (one region, one week).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineRunReport {
+    /// Region the run covered.
     pub region: String,
+    /// First day of the week the run ingested.
     pub week_start_day: i64,
     /// Size of the ingested blob, bytes (Figure 12 plots runtime vs this).
     pub input_bytes: u64,
+    /// Per-stage wall-clock timings, in execution order.
     pub stages: Vec<StageTiming>,
+    /// Servers found in the input window.
     pub servers: usize,
+    /// Telemetry anomalies flagged by validation.
     pub anomalies: usize,
     /// True if validation blocked the run (no downstream stages executed).
     pub blocked: bool,
+    /// Prediction documents written to the store.
     pub predictions_written: usize,
     /// Evaluations of last week's predictions performed this run.
     pub evaluations: usize,
+    /// Aggregate accuracy of those evaluations, when any ran.
     pub accuracy: Option<AccuracySummary>,
+    /// Model version the deployment stage registered, when it ran.
     pub deployed_version: Option<u64>,
     /// Present when the run retried, quarantined, fell back, or was skipped
     /// by the circuit breaker; `None` for a clean run.
@@ -214,10 +224,13 @@ impl PipelineRunReport {
 /// reads).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredictionDoc {
+    /// Region the server belongs to.
     pub region: String,
+    /// Server the prediction is for.
     pub server_id: u64,
     /// The predicted day (index).
     pub day: i64,
+    /// Grid step of `values`, minutes.
     pub step_min: u32,
     /// Predicted load for the whole day.
     pub values: Vec<f64>,
@@ -252,11 +265,17 @@ impl PredictionDoc {
 /// A stored accuracy document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccuracyDoc {
+    /// Region the server belongs to.
     pub region: String,
+    /// Server the evaluation covers.
     pub server_id: u64,
+    /// Backup day that was evaluated.
     pub day: i64,
+    /// Whether the predicted low-load window was correct (Definition 7).
     pub window_correct: bool,
+    /// Whether the predicted load was accurate (Definition 2).
     pub load_accurate: bool,
+    /// Bucket ratio over the predicted window, percent.
     pub window_bucket_ratio: f64,
 }
 
@@ -265,11 +284,15 @@ pub struct AccuracyDoc {
 /// aborting the region's run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeadLetterDoc {
+    /// Region the server belongs to.
     pub region: String,
+    /// Server whose batch was quarantined.
     pub server_id: u64,
+    /// Week the run ingested.
     pub week_start_day: i64,
     /// The stage that quarantined it.
     pub stage: String,
+    /// Why the batch was poisonous.
     pub reason: String,
 }
 
@@ -351,24 +374,74 @@ pub trait DeploySink: Send + Sync {
     }
 }
 
+/// One previously-served prediction scored against the actual load that
+/// arrived a week later (the paper's §5.4 deployment accuracy), as
+/// announced to an [`AccuracySink`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredPrediction {
+    /// Server the prediction was served for.
+    pub server_id: u64,
+    /// Day index the prediction covered.
+    pub day: i64,
+    /// Classification label the server trained under this week (the
+    /// cache-key class, e.g. `stable` / `unstable`).
+    pub class: &'static str,
+    /// Whether the predicted low-load window matched the true one.
+    pub window_correct: bool,
+    /// Whether predicted load in the window was accurate (Definition 9).
+    pub load_accurate: bool,
+    /// Bucket-ratio score of the predicted window, percent.
+    pub window_bucket_ratio: f64,
+}
+
+/// Observer of the accuracy-evaluation stage — the hook an online accuracy
+/// monitor registers to receive served-vs-actual scores as actuals arrive
+/// with the next region-week of telemetry.
+///
+/// Like [`DeploySink`], implementations are called from inside pipeline
+/// runs — possibly from several regions concurrently under
+/// [`AmlPipeline::run_fleet_week`] — and must be cheap and non-blocking.
+/// Region arguments are disjoint across concurrent calls, so an
+/// implementation that keys its state by region stays deterministic; any
+/// cross-region aggregation (and anything that raises incidents) must be
+/// deferred to a serial step after the fleet barrier.
+pub trait AccuracySink: Send + Sync {
+    /// Scores for `region`'s previously-served predictions, evaluated
+    /// against the telemetry of the week starting at `week_start_day`.
+    /// Rows arrive in server order.
+    fn on_scores(&self, region: &str, week_start_day: i64, scores: &[ScoredPrediction]);
+}
+
 /// Collection names in the [`DocStore`].
 pub mod collections {
+    /// Per-server next-week prediction documents.
     pub const PREDICTIONS: &str = "predictions";
+    /// Per-server backup-day accuracy documents.
     pub const ACCURACY: &str = "accuracy";
+    /// Per-server extracted-feature documents.
     pub const FEATURES: &str = "features";
+    /// Run reports, one per `(region, week)`.
     pub const RUNS: &str = "runs";
+    /// Quarantined poison batches.
     pub const DEAD_LETTER: &str = "dead-letter";
 }
 
 /// The pipeline with its shared service handles.
 #[derive(Clone)]
 pub struct AmlPipeline {
+    /// Knobs the run was configured with.
     pub config: PipelineConfig,
+    /// Blob store the runs ingest from.
     pub blobs: Arc<dyn BlobStore>,
+    /// Document store results land in.
     pub docs: DocStore,
+    /// Shared incident log.
     pub incidents: IncidentManager,
+    /// Model version registry fed by the deployment stage.
     pub registry: ModelRegistry,
+    /// Deployment endpoints (the AML endpoint substitute).
     pub endpoints: EndpointSet,
+    /// Retry/backoff/chaos policy threaded through every stage.
     pub resilience: ResiliencePolicy,
     /// Per-region breaker guarding run entry; ticks are day indices.
     pub breaker: CircuitBreaker,
@@ -381,6 +454,10 @@ pub struct AmlPipeline {
     /// Optional serving-layer hook, announced to on every deployment (see
     /// [`DeploySink`]). Shared across fleet scratch clones.
     pub deploy_sink: Option<Arc<dyn DeploySink>>,
+    /// Optional accuracy-monitor hook, announced to whenever the
+    /// accuracy-evaluation stage scores previously-served predictions (see
+    /// [`AccuracySink`]). Shared across fleet scratch clones.
+    pub accuracy_sink: Option<Arc<dyn AccuracySink>>,
 }
 
 impl AmlPipeline {
@@ -410,6 +487,7 @@ impl AmlPipeline {
             obs: Obs::new(),
             cache: Arc::new(ModelCache::new()),
             deploy_sink: None,
+            accuracy_sink: None,
         }
     }
 
@@ -425,6 +503,14 @@ impl AmlPipeline {
     /// region's new model snapshot.
     pub fn with_deploy_sink(mut self, sink: Arc<dyn DeploySink>) -> AmlPipeline {
         self.deploy_sink = Some(sink);
+        self
+    }
+
+    /// Registers an accuracy-monitor hook: every accuracy-evaluation stage
+    /// that scores previously-served predictions announces the per-server
+    /// scores (with classification labels) to `sink`.
+    pub fn with_accuracy_sink(mut self, sink: Arc<dyn AccuracySink>) -> AmlPipeline {
+        self.accuracy_sink = Some(sink);
         self
     }
 
@@ -981,6 +1067,28 @@ impl AmlPipeline {
                 })
             });
         eval_profile.record(self.obs.registry(), "accuracy-eval");
+        // Announce served-vs-actual scores to the online accuracy monitor
+        // before flattening: eval rows index-align with `servers` (and thus
+        // `features`), which is where the classification labels live.
+        if let Some(sink) = &self.accuracy_sink {
+            let scores: Vec<ScoredPrediction> = eval_rows
+                .iter()
+                .zip(&features)
+                .filter_map(|(row, f)| {
+                    row.as_ref().map(|e| ScoredPrediction {
+                        server_id: e.server_id,
+                        day: e.day,
+                        class: f.pattern.label(),
+                        window_correct: e.window_correct,
+                        load_accurate: e.load_accurate,
+                        window_bucket_ratio: e.window_bucket_ratio,
+                    })
+                })
+                .collect();
+            if !scores.is_empty() {
+                sink.on_scores(region, week_start_day, &scores);
+            }
+        }
         let evals: Vec<AccuracyDoc> = eval_rows.into_iter().flatten().collect();
         report.evaluations = evals.len();
         if !evals.is_empty() {

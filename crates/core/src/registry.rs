@@ -42,20 +42,28 @@ impl ModelAccuracy {
 /// Deployment state of a version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VersionState {
+    /// Currently serving its region.
     Deployed,
+    /// Superseded by a newer version.
     Retired,
+    /// Reverted after a bad deploy.
     RolledBack,
 }
 
 /// One tracked model version.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelVersion {
+    /// Region the version serves.
     pub region: String,
+    /// Monotonically increasing version number within the region.
     pub version: u64,
+    /// Forecaster family the version was trained with.
     pub model_name: String,
     /// Week (first day index) whose data trained this version.
     pub trained_week: i64,
+    /// Current deployment state.
     pub state: VersionState,
+    /// Evaluation results attached once the next week scores it.
     pub accuracy: Option<ModelAccuracy>,
 }
 

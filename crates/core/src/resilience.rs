@@ -55,6 +55,7 @@ pub struct StageError {
     /// outages) — permanent errors (missing data, schema violations) fail
     /// immediately.
     pub transient: bool,
+    /// Human-readable cause.
     pub message: String,
 }
 
@@ -251,6 +252,7 @@ impl RetryPolicy {
 /// Outcome of a retried operation, with attempt accounting.
 #[derive(Debug)]
 pub struct RetryResult<T> {
+    /// Final result after all attempts.
     pub outcome: Result<T, StageError>,
     /// Attempts made (≥ 1).
     pub attempts: u32,
@@ -310,7 +312,9 @@ impl Default for BreakerConfig {
 /// Observable per-key breaker status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerSnapshot {
+    /// Current breaker state for the key.
     pub state: BreakerState,
+    /// Failures since the last success.
     pub consecutive_failures: u32,
     /// Times this key has tripped open.
     pub trips: u32,
@@ -597,10 +601,13 @@ impl fmt::Debug for StageChaos {
 /// jitter seed, and the optional stage-fault hook.
 #[derive(Debug, Clone)]
 pub struct ResiliencePolicy {
+    /// Retry-with-backoff policy for every stage.
     pub retry: RetryPolicy,
+    /// Per-region circuit-breaker tuning.
     pub breaker: BreakerConfig,
     /// Base seed for backoff jitter (mixed per stage via [`stage_seed`]).
     pub seed: u64,
+    /// Optional seeded fault-injection hook (tests and chaos drills).
     pub chaos: StageChaos,
 }
 

@@ -23,6 +23,7 @@ pub struct DataProfile {
     /// Inclusive load bounds; CPU percentages are `[0, 100]` but the profile
     /// is deduced, not assumed.
     pub min_load: f64,
+    /// Upper inclusive load bound.
     pub max_load: f64,
     /// Expected grid step in minutes.
     pub grid_min: u32,
@@ -90,20 +91,46 @@ pub enum Anomaly {
     EmptyInput,
     /// A load value outside the (slack-widened) deduced bounds.
     BoundViolation {
+        /// Offending server.
         server_id: u64,
+        /// Offending row's timestamp, minutes.
         timestamp_min: i64,
+        /// The out-of-bounds load value.
         value: f64,
     },
     /// A non-finite load value.
-    NonFiniteValue { server_id: u64, timestamp_min: i64 },
+    NonFiniteValue {
+        /// Offending server.
+        server_id: u64,
+        /// Offending row's timestamp, minutes.
+        timestamp_min: i64,
+    },
     /// A row off the expected grid.
-    OffGridTimestamp { server_id: u64, timestamp_min: i64 },
+    OffGridTimestamp {
+        /// Offending server.
+        server_id: u64,
+        /// Offending row's timestamp, minutes.
+        timestamp_min: i64,
+    },
     /// Two rows for the same (server, timestamp).
-    DuplicateRow { server_id: u64, timestamp_min: i64 },
+    DuplicateRow {
+        /// Offending server.
+        server_id: u64,
+        /// Duplicated timestamp, minutes.
+        timestamp_min: i64,
+    },
     /// A default backup window with non-positive length.
-    InvalidBackupWindow { server_id: u64 },
+    InvalidBackupWindow {
+        /// Offending server.
+        server_id: u64,
+    },
     /// A server whose missing-bucket fraction exceeds the profile threshold.
-    ExcessiveMissingData { server_id: u64, fraction: f64 },
+    ExcessiveMissingData {
+        /// Offending server.
+        server_id: u64,
+        /// Observed missing-bucket fraction.
+        fraction: f64,
+    },
 }
 
 impl Anomaly {
@@ -117,6 +144,7 @@ impl Anomaly {
 /// Validation output.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ValidationReport {
+    /// Every anomaly detected in the batch.
     pub anomalies: Vec<Anomaly>,
     /// Rows inspected.
     pub rows: usize,

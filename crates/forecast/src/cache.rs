@@ -35,7 +35,7 @@
 use crate::diagnostics::series_drift;
 use crate::FittedModel;
 use seagull_timeseries::{TimeSeries, MINUTES_PER_WEEK};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -166,6 +166,10 @@ impl CacheStats {
 /// LRU cache of fitted models, shared across pipeline runs.
 pub struct ModelCache {
     entries: RwLock<BTreeMap<String, CacheEntry>>,
+    /// Keys flagged as regressed by an external monitor: the next lookup
+    /// misses with [`MissReason::Drift`] so the server is refit. Cleared
+    /// when the fresh fit commits.
+    flagged: RwLock<BTreeSet<String>>,
     capacity: usize,
     hits: AtomicU64,
     misses_cold: AtomicU64,
@@ -190,6 +194,7 @@ impl ModelCache {
     pub fn with_capacity(capacity: usize) -> ModelCache {
         ModelCache {
             entries: RwLock::new(BTreeMap::new()),
+            flagged: RwLock::new(BTreeSet::new()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses_cold: AtomicU64::new(0),
@@ -224,6 +229,13 @@ impl ModelCache {
             self.misses_cold.fetch_add(1, Ordering::Relaxed);
             return Lookup::Miss(MissReason::Cold);
         };
+        // An externally flagged regression forces a refit regardless of how
+        // well the cached entry matches: the accuracy monitor observed the
+        // served predictions go wrong, which the fingerprint cannot see.
+        if self.flagged.read().unwrap().contains(key) {
+            self.invalidated_drift.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss(MissReason::Drift);
+        }
         if entry.class != class {
             self.invalidated_class.fetch_add(1, Ordering::Relaxed);
             return Lookup::Miss(MissReason::Class);
@@ -280,6 +292,12 @@ impl ModelCache {
                 entry.stamp = entry.stamp.max(tick);
             }
         }
+        if !updates.is_empty() {
+            let mut flagged = self.flagged.write().unwrap();
+            for u in &updates {
+                flagged.remove(&u.key);
+            }
+        }
         for u in updates {
             entries.insert(
                 u.key,
@@ -319,6 +337,21 @@ impl ModelCache {
     /// Whether an entry exists for `key` (any fingerprint/class).
     pub fn contains(&self, key: &str) -> bool {
         self.entries.read().unwrap().contains_key(key)
+    }
+
+    /// Flags `key` as regressed: its next lookup misses with
+    /// [`MissReason::Drift`], forcing a refit, and the flag clears when the
+    /// fresh fit commits. This is the warm-cache drift gate an online
+    /// accuracy monitor pulls when served predictions score badly against
+    /// the actuals. Call from a serial step (an orchestrator barrier), not
+    /// from inside a parallel region.
+    pub fn flag_drift(&self, key: &str) {
+        self.flagged.write().unwrap().insert(key.to_string());
+    }
+
+    /// Whether `key` is currently flagged for forced refit.
+    pub fn drift_flagged(&self, key: &str) -> bool {
+        self.flagged.read().unwrap().contains(key)
     }
 
     /// The cached fitted model for `key`, if any — a read-only extraction
@@ -459,6 +492,30 @@ mod tests {
             Lookup::Miss(MissReason::Drift)
         ));
         assert_eq!(cache.stats().invalidated_drift, 1);
+    }
+
+    #[test]
+    fn drift_flag_forces_refit_then_clears_on_commit() {
+        let cache = ModelCache::new();
+        let week0 = series(0, 10.0);
+        cache.commit(0, vec![update("a/s1", 42, "stable", &week0)], &[]);
+        cache.flag_drift("a/s1");
+        assert!(cache.drift_flagged("a/s1"));
+        // Even a byte-identical fingerprint must miss while flagged.
+        let week1 = series(1, 10.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "stable", &week1),
+            Lookup::Miss(MissReason::Drift)
+        ));
+        assert_eq!(cache.stats().invalidated_drift, 1);
+        // The fresh fit commits and consumes the flag: next week hits again.
+        cache.commit(1, vec![update("a/s1", 42, "stable", &week1)], &[]);
+        assert!(!cache.drift_flagged("a/s1"));
+        let week2 = series(2, 10.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 42, "stable", &week2),
+            Lookup::Hit(_)
+        ));
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod trace;
 
 pub use export::TimeMode;
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricSample, Registry, SampleValue,
-    Stability,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricId, MetricSample, Registry,
+    SampleValue, Stability,
 };
 pub use profile::{ParallelProfile, WorkerProfile};
 pub use trace::{SpanId, SpanRecord, Tracer};

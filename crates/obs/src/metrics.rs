@@ -136,6 +136,45 @@ pub fn bucket_upper(i: usize) -> f64 {
     2f64.powf((i as i64 + MIN_EXP2) as f64 / 2.0)
 }
 
+/// Lower bound of bucket `i`. Bucket 0 is the non-positive/underflow
+/// catch-all, so its lower bound is 0.0 for interpolation purposes.
+pub fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    bucket_upper(i - 1)
+}
+
+/// A sampled observation annotating one histogram bucket with a pointer to
+/// the trace that produced it, so a tail-latency bucket links back to the
+/// span tree of a concrete query.
+///
+/// Exemplars are reservoir-sampled per bucket and carry wall-clock-adjacent
+/// identity (span ids differ across thread interleavings), so they are
+/// stripped from [`Registry::stable_snapshot`] — they appear only in full
+/// exports. The stable/volatile split is therefore preserved: attaching
+/// exemplars to a [`Stability::Stable`] histogram does not perturb its
+/// stable export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The observed value this exemplar annotates.
+    pub value: f64,
+    /// Raw id of the span recording the sampled operation (resolve against
+    /// the same `Obs` handle's tracer).
+    pub span_id: u64,
+    /// Virtual tick at which the observation was recorded.
+    pub tick: u64,
+}
+
+/// SplitMix64 step — the deterministic hash behind per-bucket reservoir
+/// replacement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// A log-bucketed histogram with p50/p95/p99/max estimation.
 ///
 /// Buckets grow geometrically (factor `sqrt(2)` per bucket), so the quantile
@@ -149,6 +188,10 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     /// Max observation, f64 bits, CAS-updated.
     max_bits: AtomicU64,
+    /// Per-bucket exemplar reservoirs: bucket index → (observations offered
+    /// to that bucket's reservoir, kept exemplar). Off the hot path — the
+    /// mutex is only taken by `observe_exemplar`, merges, and snapshots.
+    exemplars: Mutex<BTreeMap<usize, (u64, Exemplar)>>,
 }
 
 impl Default for Histogram {
@@ -158,6 +201,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exemplars: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -227,8 +271,13 @@ impl Histogram {
 
     /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket tallies.
     ///
-    /// Returns the upper bound of the bucket containing the target rank,
-    /// clamped to the observed maximum; 0.0 when empty.
+    /// Interpolates linearly within the bucket containing the target rank
+    /// (a rank one-third of the way into a bucket's tally lands one-third
+    /// of the way between the bucket's bounds), clamped to the observed
+    /// maximum; 0.0 when empty. Because the estimate is a pure function of
+    /// the bucket tallies, merged histograms report exactly the quantiles
+    /// the whole stream would, and the estimate is always within one bucket
+    /// width (a factor of `sqrt(2)`) of the true quantile.
     pub fn quantile(&self, q: f64) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -237,12 +286,52 @@ impl Histogram {
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= rank {
-                return bucket_upper(i).min(self.max());
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 && cum + c >= rank {
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).min(self.max());
             }
+            cum += c;
         }
         self.max()
+    }
+
+    /// Records one observation and offers `exemplar` to the target bucket's
+    /// reservoir slot.
+    ///
+    /// Each bucket keeps exactly one exemplar, replaced via reservoir
+    /// sampling: the `k`-th offer to a bucket is kept with probability
+    /// `1/k`, decided by a deterministic hash of the exemplar identity and
+    /// the offer count — no hidden RNG state, so a single-threaded replay
+    /// of the same offers keeps the same exemplars.
+    pub fn observe_exemplar(&self, v: f64, exemplar: Exemplar) {
+        self.observe(v);
+        let i = bucket_index(v);
+        let mut slots = self.exemplars.lock().unwrap();
+        match slots.get_mut(&i) {
+            None => {
+                slots.insert(i, (1, exemplar));
+            }
+            Some((seen, kept)) => {
+                *seen += 1;
+                if splitmix64(exemplar.span_id ^ exemplar.value.to_bits()).is_multiple_of(*seen) {
+                    *kept = exemplar;
+                }
+            }
+        }
+    }
+
+    /// The kept exemplars as `(bucket_upper, exemplar)`, ascending by
+    /// bucket.
+    pub fn exemplars(&self) -> Vec<(f64, Exemplar)> {
+        self.exemplars
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(i, (_, ex))| (bucket_upper(*i), ex.clone()))
+            .collect()
     }
 
     /// Non-empty buckets as `(bucket_upper, count)`, for export.
@@ -293,6 +382,27 @@ impl Histogram {
                 ) {
                     Ok(_) => break,
                     Err(seen) => cur = seen,
+                }
+            }
+            let theirs = other.exemplars.lock().unwrap().clone();
+            let mut mine = self.exemplars.lock().unwrap();
+            for (i, (seen, ex)) in theirs {
+                match mine.get_mut(&i) {
+                    // A bucket only this histogram has seen keeps the
+                    // other's slot verbatim.
+                    None => {
+                        mine.insert(i, (seen, ex));
+                    }
+                    // Both sides hold a slot: combine the offer counts and
+                    // keep the side that sampled more offers (ties keep
+                    // ours) — exemplars are full-export-only, so this
+                    // heuristic never touches the stable export.
+                    Some((my_seen, my_ex)) => {
+                        if seen > *my_seen {
+                            *my_ex = ex;
+                        }
+                        *my_seen += seen;
+                    }
                 }
             }
         }
@@ -350,6 +460,9 @@ pub struct HistogramSnapshot {
     pub p99: f64,
     /// `(bucket_upper, count)` for non-empty buckets.
     pub buckets: Vec<(f64, u64)>,
+    /// `(bucket_upper, exemplar)` for buckets holding a sampled exemplar.
+    /// Always empty in stable snapshots (see [`Exemplar`]).
+    pub exemplars: Vec<(f64, Exemplar)>,
 }
 
 /// The fleet-wide metrics registry.
@@ -489,6 +602,7 @@ impl Registry {
                         p95: h.quantile(0.95),
                         p99: h.quantile(0.99),
                         buckets: h.nonzero_buckets(),
+                        exemplars: h.exemplars(),
                     }),
                 },
             })
@@ -496,11 +610,19 @@ impl Registry {
     }
 
     /// Snapshot restricted to [`Stability::Stable`] metrics: the set that
-    /// must be byte-identical across same-seed runs.
+    /// must be byte-identical across same-seed runs. Exemplars are stripped
+    /// even from stable histograms — reservoir slots depend on thread
+    /// interleaving (see [`Exemplar`]).
     pub fn stable_snapshot(&self) -> Vec<MetricSample> {
         self.snapshot()
             .into_iter()
             .filter(|s| s.stability == Stability::Stable)
+            .map(|mut s| {
+                if let SampleValue::Histogram(h) = &mut s.value {
+                    h.exemplars.clear();
+                }
+                s
+            })
             .collect()
     }
 
@@ -588,10 +710,83 @@ mod tests {
         assert_eq!(h.max(), 1000.0);
         let p50 = h.quantile(0.50);
         let p99 = h.quantile(0.99);
-        // Half-octave buckets: estimate within sqrt(2) of the true quantile.
-        assert!(p50 >= 500.0 && p50 <= 500.0 * 2f64.sqrt());
-        assert!(p99 >= 990.0 && p99 <= 990.0 * 2f64.sqrt());
+        // Half-octave buckets with in-bucket interpolation: estimate within
+        // one bucket width (factor sqrt(2)) of the true quantile, either side.
+        let rt2 = 2f64.sqrt();
+        assert!(p50 >= 500.0 / rt2 && p50 <= 500.0 * rt2, "p50 = {p50}");
+        assert!(p99 >= 990.0 / rt2 && p99 <= 990.0 * rt2, "p99 = {p99}");
         assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn bucket_bounds_nest() {
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_lower(i), bucket_upper(i - 1));
+            assert!(bucket_lower(i) < bucket_upper(i));
+        }
+        assert_eq!(bucket_lower(0), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_interpolate_not_pin_to_upper() {
+        // 100 identical observations land in one bucket; interpolated
+        // quantiles must spread across the bucket rather than all reporting
+        // the bucket upper bound (the old pessimistic behaviour).
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(10.0);
+        }
+        let (p10, p90) = (h.quantile(0.10), h.quantile(0.90));
+        assert!(p10 < p90, "interpolation collapsed: p10={p10} p90={p90}");
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_and_stay_out_of_stable_snapshots() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        h.observe_exemplar(
+            4.0,
+            Exemplar {
+                value: 4.0,
+                span_id: 7,
+                tick: 2,
+            },
+        );
+        h.observe(4.0);
+        assert_eq!(h.count(), 2);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].1.span_id, 7);
+        assert_eq!(ex[0].0, bucket_upper(bucket_index(4.0)));
+        // Full snapshot carries the exemplar; the stable snapshot strips it.
+        let full = reg.snapshot();
+        let SampleValue::Histogram(hs) = &full[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(hs.exemplars.len(), 1);
+        let stable = reg.stable_snapshot();
+        let SampleValue::Histogram(hs) = &stable[0].value else {
+            panic!("expected histogram");
+        };
+        assert!(hs.exemplars.is_empty());
+    }
+
+    #[test]
+    fn exemplar_merge_keeps_slots_from_both_sides() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let ex = |id: u64, v: f64| Exemplar {
+            value: v,
+            span_id: id,
+            tick: 0,
+        };
+        a.observe_exemplar(2.0, ex(1, 2.0));
+        b.observe_exemplar(2000.0, ex(2, 2000.0));
+        a.merge(&b);
+        let slots = a.exemplars();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(a.count(), 2);
     }
 
     #[test]

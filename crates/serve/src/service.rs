@@ -13,10 +13,10 @@ use crate::store::SnapshotStore;
 use seagull_core::metrics::{lowest_load_window, LowLoadWindow};
 use seagull_core::pipeline::{DeployEvent, DeploySink};
 use seagull_core::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
-use seagull_obs::{Obs, Stability};
+use seagull_obs::{Exemplar, Obs, Stability};
 use seagull_timeseries::{TimeSeries, Timestamp};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -106,6 +106,9 @@ struct ServeInner {
     breaker: CircuitBreaker,
     obs: Obs,
     clock_day: AtomicI64,
+    /// Per-query sequence number, the span id exemplars carry. Monotonic
+    /// across all clones of the handle.
+    query_seq: AtomicU64,
 }
 
 /// Cloneable handle to the in-process prediction service.
@@ -153,6 +156,7 @@ impl ServeService {
                 breaker,
                 obs,
                 clock_day: AtomicI64::new(0),
+                query_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -250,6 +254,16 @@ impl ServeService {
     }
 
     fn record_latency(&self, region: &str, started: Instant) {
+        // Each request becomes one exemplar offer against its latency
+        // bucket: the per-query sequence number is the trace handle, the
+        // simulated clock day the tick. The histogram's reservoir keeps a
+        // uniformly sampled exemplar per bucket, so slow-tail buckets stay
+        // attributable to a concrete query. The histogram (and therefore
+        // its exemplars) is wall-clock derived and registered volatile —
+        // the stable export never sees either.
+        let latency = started.elapsed().as_secs_f64();
+        let span_id = self.inner.query_seq.fetch_add(1, Ordering::Relaxed);
+        let tick = self.clock_day().max(0) as u64;
         self.inner
             .obs
             .registry()
@@ -258,7 +272,14 @@ impl ServeService {
                 &[("region", region)],
                 Stability::Volatile,
             )
-            .observe(started.elapsed().as_secs_f64());
+            .observe_exemplar(
+                latency,
+                Exemplar {
+                    value: latency,
+                    span_id,
+                    tick,
+                },
+            );
     }
 
     fn finish<T>(
@@ -598,6 +619,25 @@ mod tests {
             serve.predict_batch("west", &[(7, 1)]),
             Err(ServeError::Rejected { .. })
         ));
+    }
+
+    #[test]
+    fn query_exemplars_surface_in_full_export_only() {
+        let serve = service_with_one_server();
+        for _ in 0..20 {
+            serve.predict("west", 7, 4).unwrap();
+        }
+        let full = serve.obs().full_export();
+        assert!(
+            full.contains("# EXEMPLAR seagull_serve_latency_seconds_bucket"),
+            "full export should carry latency exemplars:\n{full}"
+        );
+        assert!(full.contains("span="));
+        // The latency histogram is volatile: neither it nor its exemplars
+        // may leak into the deterministic export.
+        let stable = serve.obs().stable_export();
+        assert!(!stable.contains("seagull_serve_latency_seconds"));
+        assert!(!stable.contains("EXEMPLAR"));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! The watch report: one deterministic JSON artifact summarizing fleet
+//! health.
+//!
+//! [`WatchReport::collect`] snapshots a [`WatchEngine`] (SLO attainment and
+//! burn rates per region, open alerts, open incidents) and optionally an
+//! [`AccuracyMonitor`] (per-region deployment-accuracy trends) into plain
+//! serializable rows. [`WatchReport::to_json`] renders them with
+//! `serde_json` in `BTreeMap`-sorted order, so the artifact is
+//! byte-identical across same-seed runs — the `watch_dump` bench pairs it
+//! with `Obs::stable_export()` as the machine-readable half of the dump.
+
+use crate::accuracy::AccuracyMonitor;
+use crate::engine::WatchEngine;
+use serde::Serialize;
+
+/// Attainment and burn state of one `(SLO, region)` pair.
+#[derive(Clone, Debug, Serialize)]
+pub struct SloRow {
+    /// Objective name.
+    pub slo: String,
+    /// Region the row covers.
+    pub region: String,
+    /// Minimum good-event fraction the objective demands.
+    pub objective: f64,
+    /// Good-event percentage over the SLO's own window.
+    pub attainment_pct: f64,
+    /// Burn rate over each configured pair's long window, `(pair, burn)`.
+    pub burn_rates: Vec<(String, f64)>,
+}
+
+/// One currently firing burn-rate alert.
+#[derive(Clone, Debug, Serialize)]
+pub struct AlertRow {
+    /// Objective whose budget is burning.
+    pub slo: String,
+    /// Region the alert applies to.
+    pub region: String,
+    /// Burn-rate pair that crossed its factor.
+    pub pair: String,
+    /// Incident severity (`Warning` / `Critical`).
+    pub severity: String,
+}
+
+/// One open incident from the shared incident log.
+#[derive(Clone, Debug, Serialize)]
+pub struct IncidentRow {
+    /// Incident severity.
+    pub severity: String,
+    /// Component that raised it (e.g. `slo:serve-errors:fast`).
+    pub source: String,
+    /// Region the incident belongs to.
+    pub region: String,
+    /// Latest human-readable message.
+    pub message: String,
+    /// How many times it was raised while open.
+    pub count: u32,
+}
+
+/// Rolling deployment-accuracy state of one region.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyRow {
+    /// Region the row covers.
+    pub region: String,
+    /// Latest scored week's deployment accuracy, percent.
+    pub latest_pct: f64,
+    /// Latest week minus the mean of the preceding window, percent.
+    pub drift_pct: f64,
+    /// Whether the region is currently below the accuracy bound.
+    pub regressed: bool,
+    /// `(week_start_day, accuracy_pct)` rows, oldest first.
+    pub trend: Vec<(i64, f64)>,
+}
+
+/// Point-in-time fleet-health summary, serializable to deterministic JSON.
+#[derive(Clone, Debug, Serialize)]
+pub struct WatchReport {
+    /// Virtual tick the report was collected at.
+    pub tick: u64,
+    /// Attainment/burn rows for every recorded `(SLO, region)` pair.
+    pub slos: Vec<SloRow>,
+    /// Currently firing burn-rate alerts.
+    pub alerts: Vec<AlertRow>,
+    /// Open incidents in the engine's incident log (all sources, not just
+    /// SLO alerts — model regressions and pipeline incidents included).
+    pub incidents: Vec<IncidentRow>,
+    /// Per-region deployment-accuracy rows (empty without a monitor).
+    pub accuracy: Vec<AccuracyRow>,
+}
+
+impl WatchReport {
+    /// Snapshots `engine` (and `monitor`, when given) at `tick`.
+    pub fn collect(
+        engine: &WatchEngine,
+        monitor: Option<&AccuracyMonitor>,
+        tick: u64,
+    ) -> WatchReport {
+        let regions = engine.regions();
+        let mut slos = Vec::new();
+        for spec in engine.slos() {
+            for region in &regions {
+                let burn_rates = engine
+                    .pairs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.to_string(),
+                            engine.burn_rate(&spec.name, region, tick, p.long),
+                        )
+                    })
+                    .collect();
+                slos.push(SloRow {
+                    slo: spec.name.clone(),
+                    region: region.clone(),
+                    objective: spec.objective,
+                    attainment_pct: engine.attainment_pct(&spec.name, region, tick),
+                    burn_rates,
+                });
+            }
+        }
+        let alerts = engine
+            .open_alerts()
+            .into_iter()
+            .map(|(slo, region, pair, severity)| AlertRow {
+                slo,
+                region,
+                pair: pair.to_string(),
+                severity: format!("{severity:?}"),
+            })
+            .collect();
+        let incidents = engine
+            .incidents()
+            .open()
+            .into_iter()
+            .map(|i| IncidentRow {
+                severity: format!("{:?}", i.severity),
+                source: i.source,
+                region: i.region,
+                message: i.message,
+                count: i.count,
+            })
+            .collect();
+        let accuracy = monitor
+            .map(|m| {
+                let regressed = m.regressed_regions();
+                m.regions()
+                    .into_iter()
+                    .map(|region| AccuracyRow {
+                        latest_pct: m.latest_accuracy_pct(&region).unwrap_or(100.0),
+                        drift_pct: m.drift_pct(&region),
+                        regressed: regressed.contains(&region),
+                        trend: m.trend(&region),
+                        region,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        WatchReport {
+            tick,
+            slos,
+            alerts,
+            incidents,
+            accuracy,
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON. Field order is fixed by
+    /// the struct definitions and rows are pre-sorted, so the output is
+    /// deterministic for deterministic inputs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloSpec;
+    use seagull_core::pipeline::AccuracySink;
+    use seagull_core::IncidentManager;
+    use seagull_obs::Obs;
+
+    #[test]
+    fn report_is_deterministic_and_carries_all_sections() {
+        let build = || {
+            let mut engine = WatchEngine::new(Obs::new(), IncidentManager::new());
+            engine.add_slo(SloSpec::error_rate("serve-errors", 0.99));
+            for t in 1..=60 {
+                engine.record("serve-errors", "west", t, 0, 10);
+                engine.record("serve-errors", "east", t, 10, 0);
+            }
+            engine.evaluate(60);
+            let monitor = AccuracyMonitor::default();
+            monitor.on_scores(
+                "west",
+                7,
+                &[seagull_core::pipeline::ScoredPrediction {
+                    server_id: 1,
+                    day: 7,
+                    class: "stable",
+                    window_correct: false,
+                    load_accurate: false,
+                    window_bucket_ratio: 40.0,
+                }],
+            );
+            monitor.sweep(engine.obs(), engine.incidents(), None);
+            WatchReport::collect(&engine, Some(&monitor), 60).to_json()
+        };
+        let json = build();
+        assert_eq!(json, build(), "report must be byte-identical");
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["tick"], 60u64);
+        assert_eq!(parsed["slos"].as_array().unwrap().len(), 2);
+        assert!(!parsed["alerts"].as_array().unwrap().is_empty());
+        assert!(!parsed["incidents"].as_array().unwrap().is_empty());
+        let acc = &parsed["accuracy"].as_array().unwrap()[0];
+        assert_eq!(acc["region"], "west");
+        assert_eq!(acc["regressed"], true);
+    }
+}

@@ -1,0 +1,191 @@
+//! Declarative service-level objectives and burn-rate alert windows.
+//!
+//! An SLO here is the standard good-events-over-total-events formulation:
+//! every SLI reading the [`crate::WatchEngine`] records is a batch of
+//! *good* and *bad* events at one virtual tick, and the objective is the
+//! minimum good fraction over a window. Latency objectives count an event
+//! good when it is at or under the threshold; staleness objectives emit
+//! one event per observation, good while the deployed snapshot is fresh
+//! enough; availability objectives count probe outcomes.
+//!
+//! ## The virtual clock
+//!
+//! Watch ticks are **virtual minutes**. The pipeline's day-granular
+//! scheduler maps onto it via [`TICKS_PER_DAY`]; serving-side harnesses
+//! that replay query traffic advance it a tick at a time. Burn-rate
+//! windows are expressed in the same unit, so the canonical Google-SRE
+//! pairs (5m/1h fast, 6h/3d slow) translate directly.
+
+use seagull_core::Severity;
+
+/// Virtual ticks per minute — the base unit of the watch clock.
+pub const TICKS_PER_MINUTE: u64 = 1;
+/// Virtual ticks per hour.
+pub const TICKS_PER_HOUR: u64 = 60 * TICKS_PER_MINUTE;
+/// Virtual ticks per day.
+pub const TICKS_PER_DAY: u64 = 24 * TICKS_PER_HOUR;
+
+/// What kind of service-level indicator an [`SloSpec`] evaluates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// Request outcomes: bad events are errors (rejections, failures).
+    ErrorRate,
+    /// Request latencies: an event is good when the observed value is at
+    /// or under `threshold` (same unit the caller observes in).
+    LatencyUnder {
+        /// Latency threshold; observations above it are bad events.
+        threshold: f64,
+    },
+    /// Snapshot staleness: one event per observation, good while the
+    /// serving snapshot is at most `max_days` old.
+    StalenessUnder {
+        /// Maximum tolerated [`staleness`] in days before observations
+        /// count as bad.
+        ///
+        /// [`staleness`]: https://sre.google/workbook/implementing-slos/
+        max_days: i64,
+    },
+    /// Probe outcomes: bad events are unavailable probes.
+    Availability,
+}
+
+/// One declarative service-level objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Objective name, e.g. `serve-errors` — part of incident sources and
+    /// metric labels.
+    pub name: String,
+    /// The indicator this objective evaluates.
+    pub kind: SloKind,
+    /// Minimum good-event fraction, e.g. `0.999`.
+    pub objective: f64,
+    /// Attainment window in virtual ticks (reporting window; burn-rate
+    /// alerts use the pair windows instead).
+    pub window: u64,
+}
+
+impl SloSpec {
+    /// An error-rate objective with a 3-day attainment window.
+    pub fn error_rate(name: &str, objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::ErrorRate,
+            objective,
+            window: 3 * TICKS_PER_DAY,
+        }
+    }
+
+    /// A latency objective: fraction of events at or under `threshold`
+    /// must stay at least `objective` over a 3-day window.
+    pub fn latency_under(name: &str, threshold: f64, objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::LatencyUnder { threshold },
+            objective,
+            window: 3 * TICKS_PER_DAY,
+        }
+    }
+
+    /// A staleness objective: the serving snapshot must be at most
+    /// `max_days` old for at least `objective` of observations over a
+    /// 3-day window.
+    pub fn staleness_under(name: &str, max_days: i64, objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::StalenessUnder { max_days },
+            objective,
+            window: 3 * TICKS_PER_DAY,
+        }
+    }
+
+    /// An availability objective over backup-runner (or other) probes.
+    pub fn availability(name: &str, objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::Availability,
+            objective,
+            window: 3 * TICKS_PER_DAY,
+        }
+    }
+
+    /// Overrides the attainment window (ticks).
+    pub fn with_window(mut self, window: u64) -> SloSpec {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The error budget: the bad-event fraction the objective tolerates,
+    /// floored away from zero so burn rates stay finite.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// One multi-window burn-rate alert rule (Google-SRE style).
+///
+/// The *burn rate* over a window is the bad-event fraction divided by the
+/// error budget: a burn rate of 1.0 spends exactly the budget if sustained
+/// for the whole SLO window. A pair fires when **both** its long and short
+/// windows burn at or above `factor` — the long window proves the burn is
+/// sustained, the short window proves it is still happening (so alerts
+/// clear quickly after recovery).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurnRatePair {
+    /// Pair name (`fast` / `slow`) — part of incident sources and labels.
+    pub name: &'static str,
+    /// Long window, ticks.
+    pub long: u64,
+    /// Short (confirmation) window, ticks.
+    pub short: u64,
+    /// Minimum burn rate over both windows for the alert to fire.
+    pub factor: f64,
+    /// Severity of the incident the pair raises.
+    pub severity: Severity,
+}
+
+/// The canonical pairs: a paging **fast** pair (5m/1h at 14.4× burn,
+/// critical) and a ticketing **slow** pair (6h/3d at 1× burn, warning).
+pub fn default_pairs() -> Vec<BurnRatePair> {
+    vec![
+        BurnRatePair {
+            name: "fast",
+            long: TICKS_PER_HOUR,
+            short: 5 * TICKS_PER_MINUTE,
+            factor: 14.4,
+            severity: Severity::Critical,
+        },
+        BurnRatePair {
+            name: "slow",
+            long: 3 * TICKS_PER_DAY,
+            short: 6 * TICKS_PER_HOUR,
+            factor: 1.0,
+            severity: Severity::Warning,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_floored_positive() {
+        let slo = SloSpec::error_rate("e", 1.0);
+        assert!(slo.budget() > 0.0);
+        let slo = SloSpec::error_rate("e", 0.99);
+        assert!((slo.budget() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_pairs_are_fast_then_slow() {
+        let pairs = default_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].name, "fast");
+        assert!(pairs[0].short < pairs[0].long);
+        assert_eq!(pairs[1].name, "slow");
+        assert!(pairs[1].short < pairs[1].long);
+        assert!(pairs[0].factor > pairs[1].factor);
+        assert_eq!(pairs[0].severity, Severity::Critical);
+        assert_eq!(pairs[1].severity, Severity::Warning);
+    }
+}
