@@ -60,7 +60,9 @@ pub fn is_stable_database(series: &TimeSeries, config: &StableDbConfig) -> bool 
 /// Fleet-level classification result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SqlClassification {
+    /// Databases classified.
     pub databases: usize,
+    /// Databases meeting the Definition 10 stability criterion.
     pub stable: usize,
 }
 

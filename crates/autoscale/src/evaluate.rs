@@ -40,6 +40,7 @@ pub fn sql_fleet_spec(seed: u64, databases: usize) -> FleetSpec {
 /// One Figure 16/17 row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelEvalRow {
+    /// Model name as reported by its [`seagull_forecast::Forecaster`].
     pub model: String,
     /// Databases the model produced a forecast for.
     pub forecasts: usize,
@@ -52,6 +53,7 @@ pub struct ModelEvalRow {
     /// Total training + inference time (Figure 17 separates them; both are
     /// reported).
     pub train_time: Duration,
+    /// Total inference time across databases.
     pub infer_time: Duration,
     /// Time spent computing the error metrics.
     pub eval_time: Duration,

@@ -15,6 +15,8 @@
 //!   NRMSE, MASE) and training/inference/accuracy-evaluation runtime for a
 //!   24-hour-ahead forecast per database.
 
+#![warn(missing_docs)]
+
 pub mod classify;
 pub mod evaluate;
 pub mod policy;

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 /// CPU-percentage units as the telemetry (100 = the largest SKU).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SkuLadder {
+    /// Capacity steps in ascending order.
     pub steps: Vec<f64>,
 }
 
@@ -128,7 +129,9 @@ pub enum SizingMode {
 /// Fleet-level aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PolicySummary {
+    /// Databases simulated.
     pub databases: usize,
+    /// Database-days with both a forecast and truth to evaluate.
     pub evaluated: usize,
     /// Share of evaluated database-days with any throttling, percent.
     pub violation_rate_pct: f64,

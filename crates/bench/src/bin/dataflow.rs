@@ -1,0 +1,377 @@
+//! Dataflow pipeline benchmark: fused per-server operators vs the batch
+//! barrier path, on uniform and skewed fleets.
+//!
+//! Three sections, all seeded:
+//!
+//! 1. **Determinism.** The same two-week schedule runs under every cell of
+//!    the `{Barrier, Dataflow} × {1, 8 threads}` matrix; canonicalized
+//!    outputs (reports, every stored document, the incident log, and
+//!    `Obs::stable_export()`) must be byte-identical across all four cells.
+//!    Exits non-zero on mismatch — the `dataflow-smoke` CI job relies on
+//!    that.
+//! 2. **Straggler scheduling.** A fit-cost workload (fixed sleep per fit,
+//!    with one deliberate ~300× straggler on the skewed fleet) runs under
+//!    both execution modes. The barrier path pays the featurize barrier and
+//!    its chunk-mates *on top of* the straggler; the fused path hides the
+//!    rest of the fleet inside the straggler's fit. The skewed-fleet
+//!    straggler tail ratio (wall / straggler cost) must improve under
+//!    Dataflow in the same run, and the bench asserts it.
+//! 3. **Competitive execution.** The same fleet trains through
+//!    [`CompetitiveForecaster::paper_defaults`] (persistent previous-day vs
+//!    SSA under a shared convergence budget) and the win / early-win /
+//!    budget-skip rates are reported.
+//!
+//! Emits `BENCH_dataflow.json`.
+
+use seagull_bench::{emit_json, fleets, scale, Scale, Table};
+use seagull_core::pipeline::{
+    collections, AmlPipeline, ExecMode, PipelineConfig, PipelineRunReport,
+};
+use seagull_core::FleetRunner;
+use seagull_forecast::{
+    CompetitiveForecaster, FittedModel, ForecastError, Forecaster, PersistentForecast,
+};
+use seagull_telemetry::blobstore::{BlobStore, MemoryBlobStore};
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_timeseries::TimeSeries;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The comparable part of a run report: wall-clock stage durations are
+/// legitimately machine/mode/thread dependent, everything else must match.
+fn semantic_report(report: &PipelineRunReport) -> Value {
+    json!({
+        "region": report.region,
+        "week_start_day": report.week_start_day,
+        "stages": report.stages.iter().map(|s| s.stage.clone()).collect::<Vec<_>>(),
+        "servers": report.servers,
+        "anomalies": report.anomalies,
+        "blocked": report.blocked,
+        "predictions_written": report.predictions_written,
+        "evaluations": report.evaluations,
+        "accuracy": report.accuracy,
+        "deployed_version": report.deployed_version,
+        "degraded": report.degraded,
+    })
+}
+
+/// Everything a schedule produces, canonicalized for equality comparison.
+fn canonical_outputs(runner: &FleetRunner, reports: &[PipelineRunReport]) -> Value {
+    let p = runner.pipeline();
+    let mut docs = Vec::new();
+    for collection in [
+        collections::PREDICTIONS,
+        collections::ACCURACY,
+        collections::FEATURES,
+        collections::RUNS,
+        collections::DEAD_LETTER,
+    ] {
+        let mut ids = p.docs.ids(collection);
+        ids.sort();
+        for id in ids {
+            if collection == collections::RUNS {
+                let run: PipelineRunReport =
+                    p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), semantic_report(&run)));
+            } else {
+                let value: Value = p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), value));
+            }
+        }
+    }
+    let incidents: Vec<Value> = p
+        .incidents
+        .all()
+        .iter()
+        .map(|i| {
+            json!({
+                "severity": format!("{:?}", i.severity),
+                "source": i.source,
+                "region": i.region,
+                "key": i.message_key,
+                "count": i.count,
+            })
+        })
+        .collect();
+    json!({
+        "reports": reports.iter().map(semantic_report).collect::<Vec<_>>(),
+        "docs": docs,
+        "incidents": incidents,
+        "stable_export": runner.obs().stable_export(),
+    })
+}
+
+/// A persistent fit padded with a deterministic sleep — a stand-in for a
+/// model whose training cost dwarfs the rest of the fused operator. The
+/// first fit of the run optionally sleeps `straggler` instead of `base`,
+/// modelling a skewed fleet with one pathologically expensive server.
+/// Predictions are untouched, so outputs stay identical across modes.
+struct SleepyFit {
+    calls: AtomicUsize,
+    base: Duration,
+    straggler: Duration,
+    inner: PersistentForecast,
+}
+
+impl SleepyFit {
+    fn new(base: Duration, straggler: Duration) -> SleepyFit {
+        SleepyFit {
+            calls: AtomicUsize::new(0),
+            base,
+            straggler,
+            inner: PersistentForecast::previous_day(),
+        }
+    }
+}
+
+impl Forecaster for SleepyFit {
+    fn name(&self) -> &'static str {
+        "sleepy-persistent"
+    }
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let first = self.calls.fetch_add(1, Ordering::SeqCst) == 0;
+        std::thread::sleep(if first { self.straggler } else { self.base });
+        self.inner.fit(history)
+    }
+}
+
+/// One timed region-week with the given execution mode and forecaster.
+fn timed_week(
+    store: &Arc<MemoryBlobStore>,
+    exec: ExecMode,
+    threads: usize,
+    forecaster: Arc<dyn Forecaster>,
+    region: &str,
+    start: i64,
+) -> (f64, PipelineRunReport) {
+    let config = PipelineConfig {
+        exec,
+        threads,
+        warm_cache: false,
+        forecaster,
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(config, Arc::clone(store) as Arc<dyn BlobStore>);
+    let t0 = Instant::now();
+    let report = pipeline.run_region_week(region, start);
+    (t0.elapsed().as_secs_f64(), report)
+}
+
+fn mode_name(exec: ExecMode) -> &'static str {
+    match exec {
+        ExecMode::Barrier => "barrier",
+        ExecMode::Dataflow => "dataflow",
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let (servers, det_servers) = match scale() {
+        Scale::Small => (192, 60),
+        Scale::Paper => (512, 200),
+    };
+    const THREADS: usize = 8;
+    let base = Duration::from_millis(2);
+    let straggler = Duration::from_millis(600);
+
+    // ---- Determinism across the mode × thread matrix ---------------------
+    let (det_fleet, det_spec) = fleets::region_fleet(4242, det_servers, 2);
+    let det_region = det_spec.regions[0].name.clone();
+    let det_weeks = vec![det_spec.start_day, det_spec.start_day + 7];
+    let det_store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(
+            &det_fleet,
+            std::slice::from_ref(&det_region),
+            &det_weeks,
+            det_store.as_ref(),
+        )
+        .expect("extraction succeeds");
+
+    let matrix = [
+        (ExecMode::Barrier, 1usize),
+        (ExecMode::Barrier, THREADS),
+        (ExecMode::Dataflow, 1),
+        (ExecMode::Dataflow, THREADS),
+    ];
+    let canon: Vec<Value> = matrix
+        .iter()
+        .map(|&(exec, threads)| {
+            let config = PipelineConfig {
+                exec,
+                threads,
+                ..PipelineConfig::production()
+            };
+            let pipeline = AmlPipeline::new(config, Arc::clone(&det_store) as Arc<dyn BlobStore>);
+            let runner = FleetRunner::new(pipeline, vec![det_region.clone()]);
+            let reports = runner.run_schedule(&det_weeks);
+            canonical_outputs(&runner, &reports)
+        })
+        .collect();
+    for (i, &(exec, threads)) in matrix.iter().enumerate().skip(1) {
+        assert_eq!(
+            canon[0],
+            canon[i],
+            "{}@{}T diverged from barrier@1T: reports, documents, incidents, \
+             and stable exports must be identical across execution modes and \
+             thread counts",
+            mode_name(exec),
+            threads,
+        );
+    }
+    println!(
+        "determinism: {det_servers}-server two-week schedule identical across \
+         {{barrier, dataflow}} x {{1, {THREADS}}} threads\n"
+    );
+
+    // ---- Straggler scheduling: uniform vs skewed fit costs ---------------
+    let (fleet, spec) = fleets::region_fleet(1300, servers, 1);
+    let region = spec.regions[0].name.clone();
+    let start = spec.start_day;
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(
+            &fleet,
+            std::slice::from_ref(&region),
+            &[start],
+            store.as_ref(),
+        )
+        .expect("extraction succeeds");
+
+    let mut table = Table::new([
+        "fleet",
+        "mode",
+        "wall s",
+        "server-weeks/s",
+        "straggler tail",
+    ]);
+    let mut sched = serde_json::Map::new();
+    let mut walls = std::collections::HashMap::new();
+    // Short-lived servers drop out of extraction, so the active population
+    // can be slightly below the spec'd fleet size; the report is the truth.
+    let mut active = 0usize;
+    for (fleet_kind, slow) in [("uniform", base), ("skewed", straggler)] {
+        for exec in [ExecMode::Barrier, ExecMode::Dataflow] {
+            let (wall, report) = timed_week(
+                &store,
+                exec,
+                THREADS,
+                Arc::new(SleepyFit::new(base, slow)),
+                &region,
+                start,
+            );
+            assert!(!report.blocked);
+            active = report.servers;
+            let tail = wall / straggler.as_secs_f64();
+            let tail_cell = if fleet_kind == "skewed" {
+                format!("{tail:.2}x")
+            } else {
+                "-".into()
+            };
+            table.row([
+                fleet_kind.into(),
+                mode_name(exec).into(),
+                format!("{wall:.3}"),
+                format!("{:.1}", active as f64 / wall.max(1e-12)),
+                tail_cell,
+            ]);
+            let row = if fleet_kind == "skewed" {
+                json!({
+                    "wall_s": wall,
+                    "server_weeks_per_s": active as f64 / wall.max(1e-12),
+                    "straggler_tail_ratio": tail,
+                })
+            } else {
+                json!({
+                    "wall_s": wall,
+                    "server_weeks_per_s": active as f64 / wall.max(1e-12),
+                })
+            };
+            sched.insert(format!("{fleet_kind}_{}", mode_name(exec)), row);
+            walls.insert((fleet_kind, mode_name(exec)), wall);
+        }
+    }
+    table.print();
+
+    let barrier_skew = walls[&("skewed", "barrier")];
+    let dataflow_skew = walls[&("skewed", "dataflow")];
+    let tail_improvement = barrier_skew / dataflow_skew.max(1e-12);
+    println!(
+        "\nskewed-fleet straggler tail: barrier {:.2}x vs dataflow {:.2}x of the \
+         straggler's own cost ({tail_improvement:.2}x improvement)",
+        barrier_skew / straggler.as_secs_f64(),
+        dataflow_skew / straggler.as_secs_f64(),
+    );
+    assert!(
+        dataflow_skew < barrier_skew,
+        "fused dataflow must beat the barrier path on a skewed fleet \
+         (barrier {barrier_skew:.3}s vs dataflow {dataflow_skew:.3}s): the \
+         straggler's fit should hide its siblings' featurize+fit work"
+    );
+
+    // ---- Competitive model execution -------------------------------------
+    let racer = Arc::new(CompetitiveForecaster::paper_defaults());
+    let (competitive_wall, competitive_report) = timed_week(
+        &store,
+        ExecMode::Dataflow,
+        THREADS,
+        Arc::clone(&racer) as Arc<dyn Forecaster>,
+        &region,
+        start,
+    );
+    let stats = racer.stats();
+    println!(
+        "\ncompetitive: {} races over {active} servers in {competitive_wall:.3}s \
+         ({} early wins, {} budget skips, {} unraced)",
+        stats.races, stats.early_wins, stats.budget_skips, stats.unraced
+    );
+    // Unraced fits fall to the primary candidate, so the win denominator is
+    // every fit, not just the scored races.
+    let fits = (stats.races + stats.unraced).max(1);
+    let mut wins = Table::new(["candidate", "wins", "win rate"]);
+    for (name, count) in &stats.wins {
+        wins.row([
+            (*name).into(),
+            format!("{count}"),
+            format!("{:.1}%", 100.0 * *count as f64 / fits as f64),
+        ]);
+    }
+    wins.print();
+
+    emit_json(
+        "BENCH_dataflow",
+        &json!({
+            "fleet": {
+                "servers": servers,
+                "active_servers": active,
+                "weeks": 1,
+                "threads": THREADS,
+                "base_fit_ms": base.as_millis() as u64,
+                "straggler_fit_ms": straggler.as_millis() as u64,
+            },
+            "determinism": {
+                "status": "ok",
+                "servers": det_servers,
+                "weeks": det_weeks.len(),
+                "matrix": ["barrier@1", format!("barrier@{THREADS}"),
+                           "dataflow@1", format!("dataflow@{THREADS}")],
+            },
+            "scheduling": Value::Object(sched),
+            "straggler_tail_improvement": tail_improvement,
+            "competitive": {
+                "wall_s": competitive_wall,
+                "predictions_written": competitive_report.predictions_written,
+                "races": stats.races,
+                "early_wins": stats.early_wins,
+                "budget_skips": stats.budget_skips,
+                "unraced": stats.unraced,
+                "wins": stats.wins.iter()
+                    .map(|(name, count)| json!({"candidate": name, "wins": count}))
+                    .collect::<Vec<_>>(),
+            },
+        }),
+    )?;
+
+    Ok(())
+}

@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "fleet_scale",
     "serving",
     "recovery",
+    "dataflow",
     "watch_dump",
 ];
 

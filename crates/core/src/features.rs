@@ -35,6 +35,36 @@ pub struct ServerFeatures {
     pub backup_duration_min: i64,
 }
 
+/// Extracts features for one server: the per-server body of
+/// [`extract_features`], called directly by the dataflow pipeline's fused
+/// operators so featurization flows server-by-server instead of waiting on
+/// a whole-batch barrier.
+pub fn extract_server_features(s: &ExtractedServer, config: &ClassifyConfig) -> ServerFeatures {
+    let len = s.series.len();
+    let missing = s.series.missing_count();
+    let decomposition = decompose(&s.series, s.series.points_per_day());
+    let (daily_seasonal_strength, trend_strength) = decomposition
+        .as_ref()
+        .map(|d| (d.seasonal_strength(), d.trend_strength()))
+        .unwrap_or((0.0, 0.0));
+    let load_anomalies = detect_anomalies(&s.series, &AnomalyConfig::default()).len();
+    ServerFeatures {
+        server_id: s.id.0,
+        observed_days: len as f64 / s.series.points_per_day() as f64,
+        stats: SummaryStats::compute(s.series.values()),
+        missing_fraction: if len == 0 {
+            1.0
+        } else {
+            missing as f64 / len as f64
+        },
+        pattern: classify_series(&s.series, config),
+        daily_seasonal_strength,
+        trend_strength,
+        load_anomalies,
+        backup_duration_min: s.default_backup_end - s.default_backup_start,
+    }
+}
+
 /// Extracts features for every server in a region-week.
 pub fn extract_features(
     servers: &[ExtractedServer],
@@ -42,31 +72,7 @@ pub fn extract_features(
 ) -> Vec<ServerFeatures> {
     servers
         .iter()
-        .map(|s| {
-            let len = s.series.len();
-            let missing = s.series.missing_count();
-            let decomposition = decompose(&s.series, s.series.points_per_day());
-            let (daily_seasonal_strength, trend_strength) = decomposition
-                .as_ref()
-                .map(|d| (d.seasonal_strength(), d.trend_strength()))
-                .unwrap_or((0.0, 0.0));
-            let load_anomalies = detect_anomalies(&s.series, &AnomalyConfig::default()).len();
-            ServerFeatures {
-                server_id: s.id.0,
-                observed_days: len as f64 / s.series.points_per_day() as f64,
-                stats: SummaryStats::compute(s.series.values()),
-                missing_fraction: if len == 0 {
-                    1.0
-                } else {
-                    missing as f64 / len as f64
-                },
-                pattern: classify_series(&s.series, config),
-                daily_seasonal_strength,
-                trend_strength,
-                load_anomalies,
-                backup_duration_min: s.default_backup_end - s.default_backup_start,
-            }
-        })
+        .map(|s| extract_server_features(s, config))
         .collect()
 }
 

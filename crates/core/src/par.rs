@@ -15,6 +15,7 @@
 //! means `threads == 1` costs nothing but a serial loop.
 
 use seagull_obs::{ParallelProfile, WorkerProfile};
+use seagull_telemetry::chaos::InjectedCrash;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -170,6 +171,58 @@ impl ExecPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let chunk = chunk_size(items.len(), threads.max(1).min(items.len().max(1)));
+        self.map_with_chunk(items, threads, chunk, f)
+    }
+
+    /// Task-granular parallel map with per-item panic isolation: every item
+    /// is its own schedulable unit (`chunk == 1`, so a slow item never
+    /// strands queue-mates behind it in a claimed chunk) and a panic inside
+    /// `f` poisons only that item's slot, surfacing as `Err(panic message)`
+    /// instead of aborting the whole map.
+    ///
+    /// This is the scheduling primitive behind the pipeline's fused
+    /// per-server dataflow operators: server-sized tasks with skewed costs,
+    /// where one pathological server must neither stall nor kill its
+    /// siblings. [`InjectedCrash`] panics (chaos kill points simulating
+    /// process death) are *not* isolated — they resume unwinding so recovery
+    /// tests still observe a crash.
+    pub fn map_tasks<T, R, F>(
+        &self,
+        items: &[T],
+        threads: usize,
+        f: F,
+    ) -> (Vec<Result<R, String>>, ParallelProfile)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_with_chunk(items, threads, 1, move |item| {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    if payload.is::<InjectedCrash>() {
+                        resume_unwind(payload);
+                    }
+                    Err(panic_message(payload.as_ref()))
+                }
+            }
+        })
+    }
+
+    fn map_with_chunk<T, R, F>(
+        &self,
+        items: &[T],
+        threads: usize,
+        chunk: usize,
+        f: F,
+    ) -> (Vec<R>, ParallelProfile)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let threads = threads.max(1).min(items.len().max(1));
         let region_start = Instant::now();
         if threads == 1 {
@@ -197,7 +250,7 @@ impl ExecPool {
             f: &f,
             slots: SlotPtr(slots.as_mut_ptr()),
             ranges: partition_ranges(items.len(), threads),
-            chunk: chunk_size(items.len(), threads),
+            chunk,
             next_ordinal: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             profiles: Mutex::new(Vec::with_capacity(threads)),
@@ -352,6 +405,17 @@ fn chunk_size(len: usize, participants: usize) -> usize {
     len.div_ceil(participants * CHUNKS_PER_WORKER).max(1)
 }
 
+/// Renders a caught panic payload for the `Err` side of [`ExecPool::map_tasks`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Claim the next chunk for `ordinal`: drain the own range from the front,
 /// then steal from the *back* of sibling ranges (stealing from the opposite
 /// end keeps the owner and the thief off the same cache lines until the
@@ -483,6 +547,22 @@ where
     F: Fn(&T) -> R + Sync,
 {
     ExecPool::global().map_profiled(items, threads, f)
+}
+
+/// [`ExecPool::map_tasks`] on the process-wide pool: task-granular claims
+/// (one item per chunk) with per-item panic isolation. Used by the fused
+/// dataflow pipeline so a poison or straggler server affects only itself.
+pub fn parallel_map_tasks<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> (Vec<Result<R, String>>, ParallelProfile)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ExecPool::global().map_tasks(items, threads, f)
 }
 
 /// The default worker count: available parallelism, as Dask defaults to the
@@ -629,5 +709,83 @@ mod tests {
     #[test]
     fn configured_threads_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn map_tasks_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1, 2, 8] {
+            let (out, profile) = parallel_map_tasks(&items, threads, |x| x * 3);
+            let got: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            let want: Vec<u64> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(profile.total_items(), 500);
+        }
+    }
+
+    #[test]
+    fn map_tasks_isolates_panics_per_item() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let (out, _) = parallel_map_tasks(&items, threads, |&x| {
+                if x == 13 || x == 77 {
+                    panic!("poison item {x}");
+                }
+                x + 1
+            });
+            assert_eq!(out.len(), 100);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 || i == 77 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poison item"), "got {msg:?}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_tasks_escalates_injected_crashes() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_tasks(&items, 2, |&x| {
+                if x == 3 {
+                    InjectedCrash::die("kill point inside fused op");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("InjectedCrash must not be isolated");
+        assert!(payload.is::<InjectedCrash>());
+    }
+
+    #[test]
+    fn map_tasks_slow_item_does_not_stall_siblings() {
+        use std::sync::Mutex;
+        use std::time::Instant;
+        // With chunked claims a slow item strands the rest of its chunk;
+        // task-granular claims must let every sibling finish while the slow
+        // item is still running.
+        let items: Vec<u32> = (0..40).collect();
+        let done: Mutex<Vec<(u32, Instant)>> = Mutex::new(Vec::new());
+        let (out, _) = ExecPool::global().map_tasks(&items, 2, |&x| {
+            if x == 0 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            done.lock().unwrap().push((x, Instant::now()));
+            x
+        });
+        assert_eq!(out.len(), 40);
+        let done = done.lock().unwrap();
+        let slow_at = done.iter().find(|(x, _)| *x == 0).unwrap().1;
+        let stalled = done
+            .iter()
+            .filter(|(x, at)| *x != 0 && *at > slow_at)
+            .count();
+        assert_eq!(
+            stalled, 0,
+            "{stalled} siblings finished after the straggler"
+        );
     }
 }

@@ -30,17 +30,33 @@
 //! circuit breaker publishes a per-region state gauge, and the parallel
 //! stages record per-worker profiles. `StageTiming`/`stage_duration` are
 //! derived from the finished spans, so existing reports keep working.
+//!
+//! The middle of the run — validation, feature extraction, training and
+//! inference — executes in one of two [`ExecMode`]s. [`ExecMode::Barrier`]
+//! is the classic staged form: every server completes a stage before any
+//! server enters the next. [`ExecMode::Dataflow`] (the production default)
+//! fuses the per-server work into one operator chain — validate → gap-fill
+//! → featurize → fit → predict — scheduled task-granularly on the worker
+//! pool, so a straggler server delays only itself while its siblings flow
+//! to completion. Results are absorbed serially in server input order at
+//! the train-deploy barrier, which is why both modes (at any thread count)
+//! produce byte-identical reports, documents, incidents, and stable
+//! exports. Deployment and accuracy evaluation stay serial barriers: they
+//! mutate region-wide state (the model registry, the serving snapshot)
+//! that must observe one consistent fleet.
 
 use crate::classify::ClassifyConfig;
 use crate::docstore::DocStore;
 use crate::evaluate::{AccuracySummary, EvaluationConfig};
-use crate::features::extract_features;
+use crate::features::{extract_features, extract_server_features, ServerFeatures};
 use crate::incident::{IncidentManager, Severity};
 use crate::metrics::evaluate_low_load;
-use crate::par::{configured_threads, parallel_map, parallel_map_profiled};
+use crate::par::{configured_threads, parallel_map, parallel_map_profiled, parallel_map_tasks};
 use crate::registry::{EndpointSet, ModelAccuracy, ModelRegistry};
 use crate::resilience::{stage_seed, CircuitBreaker, ResiliencePolicy, RetryResult, StageError};
-use crate::validation::{validate_region_week, validate_servers, DataProfile};
+use crate::validation::{
+    validate_region_week, validate_server, validate_servers, Anomaly, DataProfile,
+};
 use seagull_forecast::{CacheUpdate, FittedModel, ForecastError, Forecaster, Lookup, ModelCache};
 use seagull_obs::{Obs, SpanId, Stability};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
@@ -52,6 +68,21 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How the middle of a run (validation → features → train-infer) executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Staged batch execution: every server completes a stage before any
+    /// server enters the next. Retries, exhaustion, and injected faults
+    /// are whole-stage on this path.
+    Barrier,
+    /// Fused per-server operators scheduled task-granularly on the worker
+    /// pool: validate → gap-fill → featurize → fit → predict run as one
+    /// task per server, with per-server retries, panic isolation, and
+    /// dead-letter quarantine. The deterministic input-order absorb keeps
+    /// every output byte-identical to [`ExecMode::Barrier`].
+    Dataflow,
+}
 
 /// Pipeline configuration (the use-case-specific parameters of Section 2.4).
 #[derive(Clone)]
@@ -76,6 +107,9 @@ pub struct PipelineConfig {
     pub fallback_tolerance: f64,
     /// Cap on anomaly reports per kind per run.
     pub max_anomaly_reports: usize,
+    /// Execution mode for the per-server middle of the run (see
+    /// [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl PipelineConfig {
@@ -94,6 +128,7 @@ impl PipelineConfig {
             warm_cache: true,
             fallback_tolerance: 10.0,
             max_anomaly_reports: 20,
+            exec: ExecMode::Dataflow,
         }
     }
 }
@@ -315,6 +350,49 @@ enum CacheOutcome {
     Bypass,
 }
 
+/// What the mid-run stages (validation → features → train-infer →
+/// docstore-write) hand to the shared tail (deployment, accuracy-eval).
+/// The mid-stage drivers return `None` when validation blocks the run.
+struct MidStages {
+    /// Per-server features, index-aligned with the extracted servers.
+    /// `None` marks a server whose fused operator panicked (dataflow only;
+    /// the barrier path always produces `Some`).
+    features: Vec<Option<ServerFeatures>>,
+    /// Prediction documents materialized this run, in server input order.
+    predictions: Vec<PredictionDoc>,
+    /// True when the whole training stage failed (barrier path only) and
+    /// deployment must keep the last-known-good model serving.
+    train_failed: bool,
+}
+
+/// Everything one fused per-server operator produces, absorbed serially in
+/// server input order after the fan-out joins.
+struct FusedServerOutcome {
+    /// The gap-filled series, written back to the fleet slice so accuracy
+    /// evaluation sees the same repaired input the barrier path produces.
+    series: TimeSeries,
+    /// Per-server validation anomaly, if flagged (on the unfilled series).
+    anomaly: Option<Anomaly>,
+    /// Extracted features (extraction itself cannot fail).
+    features: ServerFeatures,
+    /// The backup-day prediction, when the model produced one.
+    prediction: Option<PredictionDoc>,
+    /// Cache consequence, committed serially at the absorb barrier.
+    cache: CacheOutcome,
+    /// Poison reason when the fit failed permanently or exhausted retries.
+    poison: Option<String>,
+    /// Retries burned by this server's fit.
+    retries: u32,
+    /// Virtual backoff accounted by those retries, milliseconds.
+    backoff_ms: u64,
+    /// True when the fit failed by exhausting transient-fault retries.
+    exhausted: bool,
+    /// Wall time of validate + gap-fill + featurize.
+    featurize_wall: Duration,
+    /// Wall time of fit + predict, including retries.
+    model_wall: Duration,
+}
+
 /// Content fingerprint of a training series: FNV-1a over the quantized
 /// sample bytes plus the grid step. The start timestamp is deliberately
 /// excluded so a weekly-periodic server hashes identically week over week;
@@ -526,9 +604,8 @@ impl AmlPipeline {
             .child(run, stage, &[("region", region)], tick)
     }
 
-    /// Ends a stage span and folds its wall duration into the report (so
-    /// [`PipelineRunReport::stage_duration`] keeps working) and the
-    /// per-stage metrics.
+    /// Ends a stage span and folds its wall duration into the report and
+    /// the per-stage metrics.
     fn finish_stage(
         &self,
         report: &mut PipelineRunReport,
@@ -539,6 +616,36 @@ impl AmlPipeline {
     ) {
         self.obs.tracer().end(span, tick);
         let wall = self.obs.tracer().wall_duration(span).unwrap_or_default();
+        self.note_stage(report, stage, region, wall);
+    }
+
+    /// [`AmlPipeline::finish_stage`] with an externally measured wall
+    /// duration: the dataflow path prices the features stage at the summed
+    /// per-server featurize walls measured inside the fused operators,
+    /// since no open span covers that interleaved work.
+    fn finish_stage_with_wall(
+        &self,
+        report: &mut PipelineRunReport,
+        span: SpanId,
+        stage: &str,
+        region: &str,
+        tick: u64,
+        wall: Duration,
+    ) {
+        self.obs.tracer().end_with_wall(span, tick, wall);
+        self.note_stage(report, stage, region, wall);
+    }
+
+    /// Folds a finished stage's wall duration into the report (so
+    /// [`PipelineRunReport::stage_duration`] keeps working) and the
+    /// per-stage metrics.
+    fn note_stage(
+        &self,
+        report: &mut PipelineRunReport,
+        stage: &str,
+        region: &str,
+        wall: Duration,
+    ) {
         let labels = [("region", region), ("stage", stage)];
         let registry = self.obs.registry();
         registry.counter("seagull_stage_runs_total", &labels).inc();
@@ -549,6 +656,19 @@ impl AmlPipeline {
             stage: stage.into(),
             duration: wall,
         });
+    }
+
+    /// Raises one validation anomaly as an incident: blocking anomalies are
+    /// critical, the rest warnings. Shared by both execution modes so the
+    /// incident strings (and therefore the stable export) stay identical.
+    fn raise_validation_anomaly(&self, region: &str, a: &Anomaly) {
+        let severity = if a.is_blocking() {
+            Severity::Critical
+        } else {
+            Severity::Warning
+        };
+        self.incidents
+            .raise(severity, "validation", region, format!("{a:?}"));
     }
 
     /// Runs a stage closure under the retry policy, with the policy's
@@ -690,62 +810,43 @@ impl AmlPipeline {
         report.servers = servers.len();
         self.finish_stage(&mut report, span, "ingestion", region, vt);
 
-        // ---- Data Validation -------------------------------------------------
-        self.resilience.chaos.kill_point("validation", region, tick);
-        let span = self.stage_span(run_span, "validation", region, vt);
-        let validated = self.retry_stage("validation", region, tick, || {
-            Ok((
-                validate_region_week(
-                    &batch,
-                    &self.config.profile,
-                    self.config.max_anomaly_reports,
-                ),
-                validate_servers(&servers, &self.config.profile),
-            ))
-        });
-        degraded.note("validation", &validated);
-        let mut blocked = false;
-        match validated.outcome {
-            Ok((batch_report, server_report)) => {
-                report.anomalies = batch_report.anomalies.len() + server_report.anomalies.len();
-                for a in batch_report
-                    .anomalies
-                    .iter()
-                    .chain(&server_report.anomalies)
-                {
-                    let severity = if a.is_blocking() {
-                        Severity::Critical
-                    } else {
-                        Severity::Warning
-                    };
-                    self.incidents
-                        .raise(severity, "validation", region, format!("{a:?}"));
-                }
-                blocked = batch_report.is_blocked() || server_report.is_blocked();
-            }
-            Err(e) => {
-                // Degraded mode: run unvalidated rather than drop the week.
-                degraded.exhausted_stages.push("validation".into());
-                self.incidents.raise_keyed(
-                    Severity::Warning,
-                    "validation",
-                    region,
-                    "validation-skipped",
-                    format!(
-                        "validation skipped after {} attempt(s): {}",
-                        validated.attempts, e.message
-                    ),
-                );
-            }
-        }
-        // Repair tolerated gaps so downstream models see clean input.
-        if !blocked {
-            for s in &mut servers {
-                seagull_timeseries::fill_gaps(&mut s.series, GapFill::Linear);
-            }
-        }
-        self.finish_stage(&mut report, span, "validation", region, vt);
-        if blocked {
+        // ---- Validation → features → train & infer ---------------------------
+        // The middle of the run is mode-dispatched (see [`ExecMode`]): the
+        // barrier path runs the classic per-stage batches; the dataflow
+        // path fuses the per-server work into one operator chain each,
+        // scheduled task-granularly. Both converge here, at the
+        // train-deploy barrier, with byte-identical outputs.
+        let mid = match self.config.exec {
+            ExecMode::Barrier => self.mid_barrier(
+                region,
+                week_start_day,
+                tick,
+                vt,
+                run_span,
+                &mut report,
+                &mut degraded,
+                &batch,
+                &mut servers,
+            ),
+            ExecMode::Dataflow => self.mid_dataflow(
+                region,
+                week_start_day,
+                tick,
+                vt,
+                run_span,
+                &mut report,
+                &mut degraded,
+                &batch,
+                &mut servers,
+            ),
+        };
+        let Some(MidStages {
+            features,
+            predictions,
+            train_failed,
+        }) = mid
+        else {
+            // Validation blocked the run: nothing downstream executes.
             self.obs
                 .registry()
                 .counter("seagull_pipeline_blocked_total", &[("region", region)])
@@ -755,232 +856,7 @@ impl AmlPipeline {
             self.obs.tracer().end(run_span, vt);
             self.store_run(&report);
             return report;
-        }
-
-        // ---- Feature Extraction ----------------------------------------------
-        self.resilience.chaos.kill_point("features", region, tick);
-        let span = self.stage_span(run_span, "features", region, vt);
-        let features = extract_features(&servers, &self.config.classify);
-        for f in &features {
-            let id = format!("{region}/{}/{week_start_day}", f.server_id);
-            let _ = self.docs.upsert(collections::FEATURES, &id, f);
-        }
-        self.finish_stage(&mut report, span, "features", region, vt);
-
-        // ---- Model Training & Inference ---------------------------------------
-        // One model family serves the whole region (Section 5.4: a single
-        // model for the entire fleet); per-server fitting happens inside
-        // the closure. Predictions target each server's next backup day.
-        //
-        // With the warm cache on, each server first looks up its cached
-        // fitted model (read-only, safe inside the parallel region); a hit
-        // skips the fit and re-anchors the cached prediction by a
-        // whole-week shift. Fresh fits and hit keys are batched and
-        // committed serially in item order after the join, so cache state
-        // is independent of thread count.
-        self.resilience
-            .chaos
-            .kill_point("train-infer", region, tick);
-        let span = self.stage_span(run_span, "train-infer", region, vt);
-        let next_week = week_start_day + 7;
-        let forecaster = Arc::clone(&self.config.forecaster);
-        let grid = self.config.grid_min;
-        let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
-        let threads = self.config.threads;
-        let warm = self.config.warm_cache;
-        let cache = &self.cache;
-        // Classification labels index-align with `servers` (extract_features
-        // maps over them in order); the label is part of the cache key
-        // semantics — a reclassified server must refit.
-        let train_inputs: Vec<(&ExtractedServer, &'static str)> = servers
-            .iter()
-            .zip(&features)
-            .map(|(s, f)| (s, f.pattern.label()))
-            .collect();
-        let trained = self.retry_stage("train-infer", region, tick, || {
-            let (results, profile) =
-                parallel_map_profiled(&train_inputs, threads, |&(s, class)| {
-                    // The server's backup day next week.
-                    let backup_day = s.default_backup_start.day_index() + 7;
-                    let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
-                    let horizon = horizon_days * points_per_day;
-                    let doc_of = |pred: TimeSeries| {
-                        pred.day(backup_day).map(|day| PredictionDoc {
-                            region: region.to_string(),
-                            server_id: s.id.0,
-                            day: backup_day,
-                            step_min: grid,
-                            values: day.into_values(),
-                            duration_min: s.default_backup_end - s.default_backup_start,
-                        })
-                    };
-                    if !warm {
-                        return match forecaster.fit_predict(&s.series, horizon) {
-                            Ok(pred) => Ok((doc_of(pred), CacheOutcome::Bypass)),
-                            // Too little history is the normal young-server case.
-                            Err(ForecastError::InsufficientHistory { .. }) => {
-                                Ok((None, CacheOutcome::Bypass))
-                            }
-                            // Anything else is poison input or a broken model.
-                            Err(e) => Err((s.id.0, e.to_string())),
-                        };
-                    }
-                    let key = format!("{region}/{}", s.id.0);
-                    let fingerprint = series_fingerprint(&s.series);
-                    match cache.lookup(&key, fingerprint, class, &s.series) {
-                        Lookup::Hit(hit) => {
-                            let shifted = hit.fitted.predict(horizon).and_then(|p| {
-                                p.shifted(hit.shift_min).map_err(ForecastError::Series)
-                            });
-                            match shifted {
-                                Ok(pred) => Ok((doc_of(pred), CacheOutcome::Hit(key))),
-                                Err(e) => Err((s.id.0, e.to_string())),
-                            }
-                        }
-                        Lookup::Miss(_) => {
-                            let fit_start = Instant::now();
-                            match forecaster.fit(&s.series) {
-                                Ok(boxed) => {
-                                    let fit_wall = fit_start.elapsed();
-                                    let fitted: Arc<dyn FittedModel> = Arc::from(boxed);
-                                    match fitted.predict(horizon) {
-                                        Ok(pred) => {
-                                            let update = CacheUpdate::new(
-                                                key,
-                                                fingerprint,
-                                                class,
-                                                Arc::clone(&fitted),
-                                                &s.series,
-                                                fit_wall,
-                                            );
-                                            Ok((
-                                                doc_of(pred),
-                                                CacheOutcome::Fresh(Box::new(update)),
-                                            ))
-                                        }
-                                        Err(ForecastError::InsufficientHistory { .. }) => {
-                                            Ok((None, CacheOutcome::Bypass))
-                                        }
-                                        Err(e) => Err((s.id.0, e.to_string())),
-                                    }
-                                }
-                                Err(ForecastError::InsufficientHistory { .. }) => {
-                                    Ok((None, CacheOutcome::Bypass))
-                                }
-                                Err(e) => Err((s.id.0, e.to_string())),
-                            }
-                        }
-                    }
-                });
-            profile.record(self.obs.registry(), "train-infer");
-            Ok(results)
-        });
-        degraded.note("train-infer", &trained);
-        let mut train_failed = false;
-        let mut predictions: Vec<PredictionDoc> = Vec::new();
-        match trained.outcome {
-            Ok(results) => {
-                let mut poison: Vec<(u64, String)> = Vec::new();
-                let mut updates: Vec<CacheUpdate> = Vec::new();
-                let mut hit_keys: Vec<String> = Vec::new();
-                for r in results {
-                    match r {
-                        Ok((doc, outcome)) => {
-                            if let Some(doc) = doc {
-                                predictions.push(doc);
-                            }
-                            match outcome {
-                                CacheOutcome::Hit(key) => hit_keys.push(key),
-                                CacheOutcome::Fresh(update) => updates.push(*update),
-                                CacheOutcome::Bypass => {}
-                            }
-                        }
-                        Err(p) => poison.push(p),
-                    }
-                }
-                if warm {
-                    // Serial, item-ordered commit: deterministic recency.
-                    self.cache.commit(vt, updates, &hit_keys);
-                }
-                if !poison.is_empty() {
-                    // Skip-and-quarantine: poison batches go to the
-                    // dead-letter list; the rest of the region proceeds.
-                    poison.sort_by_key(|(id, _)| *id);
-                    for (server_id, reason) in &poison {
-                        let id = DeadLetterDoc::doc_id(region, *server_id, week_start_day);
-                        let _ = self.docs.upsert(
-                            collections::DEAD_LETTER,
-                            &id,
-                            &DeadLetterDoc {
-                                region: region.to_string(),
-                                server_id: *server_id,
-                                week_start_day,
-                                stage: "train-infer".into(),
-                                reason: reason.clone(),
-                            },
-                        );
-                    }
-                    degraded.quarantined_servers = poison.into_iter().map(|(id, _)| id).collect();
-                    self.incidents.raise_keyed(
-                        Severity::Warning,
-                        "train-infer",
-                        region,
-                        "poison-batch",
-                        format!(
-                            "{} poison server batch(es) quarantined to dead-letter in week \
-                             starting day {week_start_day}",
-                            degraded.quarantined_servers.len()
-                        ),
-                    );
-                }
-            }
-            Err(e) => {
-                train_failed = true;
-                degraded.exhausted_stages.push("train-infer".into());
-                self.incidents.raise_keyed(
-                    Severity::Critical,
-                    "train-infer",
-                    region,
-                    "train-failed",
-                    format!(
-                        "training failed after {} attempt(s): {}",
-                        trained.attempts, e.message
-                    ),
-                );
-            }
-        }
-
-        // Persist predictions (docstore-write), retried as a unit: upserts
-        // are idempotent, so a mid-write fault just replays the batch.
-        let written = self.retry_stage("docstore-write", region, tick, || {
-            let mut n = 0usize;
-            for doc in &predictions {
-                let id = PredictionDoc::doc_id(region, doc.server_id, doc.day);
-                self.docs
-                    .upsert(collections::PREDICTIONS, &id, doc)
-                    .map_err(|e| StageError::permanent(format!("docstore upsert {id}: {e}")))?;
-                n += 1;
-            }
-            Ok(n)
-        });
-        degraded.note("docstore-write", &written);
-        match written.outcome {
-            Ok(n) => report.predictions_written = n,
-            Err(e) => {
-                degraded.exhausted_stages.push("docstore-write".into());
-                self.incidents.raise_keyed(
-                    Severity::Warning,
-                    "docstore-write",
-                    region,
-                    "predictions-dropped",
-                    format!(
-                        "failed to persist predictions after {} attempt(s): {}",
-                        written.attempts, e.message
-                    ),
-                );
-            }
-        }
-        self.finish_stage(&mut report, span, "train-infer", region, vt);
+        };
 
         // ---- Model Deployment --------------------------------------------------
         self.resilience.chaos.kill_point("deployment", region, tick);
@@ -1050,7 +926,7 @@ impl AmlPipeline {
                 let id = PredictionDoc::doc_id(region, s.id.0, day);
                 let doc: PredictionDoc = self.docs.get(collections::PREDICTIONS, &id).ok()?;
                 let truth = s.series.day(day)?;
-                let duration_min = doc.duration_min.max(grid as i64) as u32;
+                let duration_min = doc.duration_min.max(self.config.grid_min as i64) as u32;
                 let eval = evaluate_low_load(
                     &truth,
                     &doc.into_series(),
@@ -1069,20 +945,23 @@ impl AmlPipeline {
         eval_profile.record(self.obs.registry(), "accuracy-eval");
         // Announce served-vs-actual scores to the online accuracy monitor
         // before flattening: eval rows index-align with `servers` (and thus
-        // `features`), which is where the classification labels live.
+        // `features`), which is where the classification labels live. A
+        // server whose fused operator panicked has no features and is
+        // skipped (it has no fresh prediction either way).
         if let Some(sink) = &self.accuracy_sink {
             let scores: Vec<ScoredPrediction> = eval_rows
                 .iter()
                 .zip(&features)
-                .filter_map(|(row, f)| {
-                    row.as_ref().map(|e| ScoredPrediction {
+                .filter_map(|(row, f)| match (row, f) {
+                    (Some(e), Some(f)) => Some(ScoredPrediction {
                         server_id: e.server_id,
                         day: e.day,
                         class: f.pattern.label(),
                         window_correct: e.window_correct,
                         load_accurate: e.load_accurate,
                         window_bucket_ratio: e.window_bucket_ratio,
-                    })
+                    }),
+                    _ => None,
                 })
                 .collect();
             if !scores.is_empty() {
@@ -1149,6 +1028,631 @@ impl AmlPipeline {
     fn store_run(&self, report: &PipelineRunReport) {
         let id = format!("{}/{}", report.region, report.week_start_day);
         let _ = self.docs.upsert(collections::RUNS, &id, report);
+    }
+
+    /// Fits one server's model and materializes its backup-day prediction —
+    /// the per-server body of the train-infer stage, shared verbatim by the
+    /// barrier and dataflow execution paths.
+    ///
+    /// With the warm cache on, the server first looks up its cached fitted
+    /// model (read-only, safe inside a parallel region); a hit skips the
+    /// fit and re-anchors the cached prediction by a whole-week shift. The
+    /// returned [`CacheOutcome`] is the deferred write side: the caller
+    /// commits fresh fits and hit recency serially in item order after the
+    /// join, so cache state never depends on worker interleaving.
+    ///
+    /// `Err` carries the `(server_id, reason)` poison record; too little
+    /// history is the normal young-server case and yields `Ok((None, _))`.
+    fn fit_server(
+        &self,
+        s: &ExtractedServer,
+        class: &'static str,
+        region: &str,
+        next_week: i64,
+    ) -> Result<(Option<PredictionDoc>, CacheOutcome), (u64, String)> {
+        let forecaster = &self.config.forecaster;
+        let grid = self.config.grid_min;
+        let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
+        // The server's backup day next week.
+        let backup_day = s.default_backup_start.day_index() + 7;
+        let horizon_days = (backup_day + 1 - next_week).max(1) as usize;
+        let horizon = horizon_days * points_per_day;
+        let doc_of = |pred: TimeSeries| {
+            pred.day(backup_day).map(|day| PredictionDoc {
+                region: region.to_string(),
+                server_id: s.id.0,
+                day: backup_day,
+                step_min: grid,
+                values: day.into_values(),
+                duration_min: s.default_backup_end - s.default_backup_start,
+            })
+        };
+        if !self.config.warm_cache {
+            return match forecaster.fit_predict(&s.series, horizon) {
+                Ok(pred) => Ok((doc_of(pred), CacheOutcome::Bypass)),
+                // Too little history is the normal young-server case.
+                Err(ForecastError::InsufficientHistory { .. }) => Ok((None, CacheOutcome::Bypass)),
+                // Anything else is poison input or a broken model.
+                Err(e) => Err((s.id.0, e.to_string())),
+            };
+        }
+        let key = format!("{region}/{}", s.id.0);
+        let fingerprint = series_fingerprint(&s.series);
+        match self.cache.lookup(&key, fingerprint, class, &s.series) {
+            Lookup::Hit(hit) => {
+                let shifted = hit
+                    .fitted
+                    .predict(horizon)
+                    .and_then(|p| p.shifted(hit.shift_min).map_err(ForecastError::Series));
+                match shifted {
+                    Ok(pred) => Ok((doc_of(pred), CacheOutcome::Hit(key))),
+                    Err(e) => Err((s.id.0, e.to_string())),
+                }
+            }
+            Lookup::Miss(_) => {
+                let fit_start = Instant::now();
+                match forecaster.fit(&s.series) {
+                    Ok(boxed) => {
+                        let fit_wall = fit_start.elapsed();
+                        let fitted: Arc<dyn FittedModel> = Arc::from(boxed);
+                        match fitted.predict(horizon) {
+                            Ok(pred) => {
+                                let update = CacheUpdate::new(
+                                    key,
+                                    fingerprint,
+                                    class,
+                                    Arc::clone(&fitted),
+                                    &s.series,
+                                    fit_wall,
+                                );
+                                Ok((doc_of(pred), CacheOutcome::Fresh(Box::new(update))))
+                            }
+                            Err(ForecastError::InsufficientHistory { .. }) => {
+                                Ok((None, CacheOutcome::Bypass))
+                            }
+                            Err(e) => Err((s.id.0, e.to_string())),
+                        }
+                    }
+                    Err(ForecastError::InsufficientHistory { .. }) => {
+                        Ok((None, CacheOutcome::Bypass))
+                    }
+                    Err(e) => Err((s.id.0, e.to_string())),
+                }
+            }
+        }
+    }
+
+    /// The barrier middle: validation, feature extraction, and
+    /// training/inference as whole-fleet batch stages — every server
+    /// completes a stage before any server enters the next. Retries,
+    /// exhaustion, and injected faults are whole-stage on this path.
+    /// Returns `None` when validation blocks the run.
+    #[allow(clippy::too_many_arguments)]
+    fn mid_barrier(
+        &self,
+        region: &str,
+        week_start_day: i64,
+        tick: i64,
+        vt: u64,
+        run_span: SpanId,
+        report: &mut PipelineRunReport,
+        degraded: &mut DegradedRun,
+        batch: &RegionWeekBatch,
+        servers: &mut [ExtractedServer],
+    ) -> Option<MidStages> {
+        // ---- Data Validation -------------------------------------------------
+        self.resilience.chaos.kill_point("validation", region, tick);
+        let span = self.stage_span(run_span, "validation", region, vt);
+        let validated = self.retry_stage("validation", region, tick, || {
+            Ok((
+                validate_region_week(batch, &self.config.profile, self.config.max_anomaly_reports),
+                validate_servers(servers, &self.config.profile),
+            ))
+        });
+        degraded.note("validation", &validated);
+        let mut blocked = false;
+        match validated.outcome {
+            Ok((batch_report, server_report)) => {
+                report.anomalies = batch_report.anomalies.len() + server_report.anomalies.len();
+                for a in batch_report
+                    .anomalies
+                    .iter()
+                    .chain(&server_report.anomalies)
+                {
+                    self.raise_validation_anomaly(region, a);
+                }
+                blocked = batch_report.is_blocked() || server_report.is_blocked();
+            }
+            Err(e) => {
+                // Degraded mode: run unvalidated rather than drop the week.
+                degraded.exhausted_stages.push("validation".into());
+                self.incidents.raise_keyed(
+                    Severity::Warning,
+                    "validation",
+                    region,
+                    "validation-skipped",
+                    format!(
+                        "validation skipped after {} attempt(s): {}",
+                        validated.attempts, e.message
+                    ),
+                );
+            }
+        }
+        // Repair tolerated gaps so downstream models see clean input.
+        if !blocked {
+            for s in servers.iter_mut() {
+                seagull_timeseries::fill_gaps(&mut s.series, GapFill::Linear);
+            }
+        }
+        self.finish_stage(report, span, "validation", region, vt);
+        if blocked {
+            return None;
+        }
+
+        // ---- Feature Extraction ----------------------------------------------
+        self.resilience.chaos.kill_point("features", region, tick);
+        let span = self.stage_span(run_span, "features", region, vt);
+        let features = extract_features(servers, &self.config.classify);
+        for f in &features {
+            let id = format!("{region}/{}/{week_start_day}", f.server_id);
+            let _ = self.docs.upsert(collections::FEATURES, &id, f);
+        }
+        self.finish_stage(report, span, "features", region, vt);
+
+        // ---- Model Training & Inference ---------------------------------------
+        // One model family serves the whole region (Section 5.4: a single
+        // model for the entire fleet); per-server fitting happens inside
+        // [`AmlPipeline::fit_server`]. Predictions target each server's
+        // next backup day.
+        self.resilience
+            .chaos
+            .kill_point("train-infer", region, tick);
+        let span = self.stage_span(run_span, "train-infer", region, vt);
+        let next_week = week_start_day + 7;
+        let threads = self.config.threads;
+        // Classification labels index-align with `servers` (extract_features
+        // maps over them in order); the label is part of the cache key
+        // semantics — a reclassified server must refit.
+        let train_inputs: Vec<(&ExtractedServer, &'static str)> = servers
+            .iter()
+            .zip(&features)
+            .map(|(s, f)| (s, f.pattern.label()))
+            .collect();
+        let trained = self.retry_stage("train-infer", region, tick, || {
+            let (results, profile) =
+                parallel_map_profiled(&train_inputs, threads, |&(s, class)| {
+                    self.fit_server(s, class, region, next_week)
+                });
+            profile.record(self.obs.registry(), "train-infer");
+            Ok(results)
+        });
+        degraded.note("train-infer", &trained);
+        let mut train_failed = false;
+        let mut predictions: Vec<PredictionDoc> = Vec::new();
+        match trained.outcome {
+            Ok(results) => {
+                let mut poison: Vec<(u64, String)> = Vec::new();
+                let mut updates: Vec<CacheUpdate> = Vec::new();
+                let mut hit_keys: Vec<String> = Vec::new();
+                for r in results {
+                    match r {
+                        Ok((doc, outcome)) => {
+                            if let Some(doc) = doc {
+                                predictions.push(doc);
+                            }
+                            match outcome {
+                                CacheOutcome::Hit(key) => hit_keys.push(key),
+                                CacheOutcome::Fresh(update) => updates.push(*update),
+                                CacheOutcome::Bypass => {}
+                            }
+                        }
+                        Err(p) => poison.push(p),
+                    }
+                }
+                if self.config.warm_cache {
+                    // Serial, item-ordered commit: deterministic recency.
+                    self.cache.commit(vt, updates, &hit_keys);
+                }
+                self.quarantine_poison(region, week_start_day, degraded, poison);
+            }
+            Err(e) => {
+                train_failed = true;
+                degraded.exhausted_stages.push("train-infer".into());
+                self.incidents.raise_keyed(
+                    Severity::Critical,
+                    "train-infer",
+                    region,
+                    "train-failed",
+                    format!(
+                        "training failed after {} attempt(s): {}",
+                        trained.attempts, e.message
+                    ),
+                );
+            }
+        }
+
+        report.predictions_written = self.write_predictions(region, tick, degraded, &predictions);
+        self.finish_stage(report, span, "train-infer", region, vt);
+
+        Some(MidStages {
+            features: features.into_iter().map(Some).collect(),
+            predictions,
+            train_failed,
+        })
+    }
+
+    /// The dataflow middle: batch-level validation, then one *fused*
+    /// operator chain per server — validate → gap-fill → featurize → fit →
+    /// predict — scheduled task-granularly on the worker pool and absorbed
+    /// serially in server input order at the train-deploy barrier.
+    ///
+    /// Differences from [`AmlPipeline::mid_barrier`] are entirely in *when*
+    /// work happens, never in *what* a clean run produces: its reports,
+    /// documents, incidents, and stable export are byte-identical across
+    /// the two paths (and across thread counts). Fault granularity does
+    /// differ, deliberately: retries, exhaustion, and panics are
+    /// per-server here — a poison server dead-letters only itself and can
+    /// never fail the whole stage, so `train_failed` is always false on
+    /// this path.
+    #[allow(clippy::too_many_arguments)]
+    fn mid_dataflow(
+        &self,
+        region: &str,
+        week_start_day: i64,
+        tick: i64,
+        vt: u64,
+        run_span: SpanId,
+        report: &mut PipelineRunReport,
+        degraded: &mut DegradedRun,
+        batch: &RegionWeekBatch,
+        servers: &mut [ExtractedServer],
+    ) -> Option<MidStages> {
+        // ---- Data Validation (batch-level) -------------------------------------
+        // Per-server missing-data checks move into the fused operators; the
+        // blocking decision must precede the fan-out, and only batch-level
+        // anomalies (plus the empty-fleet guard) can block, so this part
+        // stays a whole-batch step.
+        self.resilience.chaos.kill_point("validation", region, tick);
+        let span = self.stage_span(run_span, "validation", region, vt);
+        let validated = self.retry_stage("validation", region, tick, || {
+            Ok(validate_region_week(
+                batch,
+                &self.config.profile,
+                self.config.max_anomaly_reports,
+            ))
+        });
+        degraded.note("validation", &validated);
+        let mut blocked = false;
+        let mut server_validation = false;
+        match validated.outcome {
+            Ok(batch_report) => {
+                server_validation = true;
+                report.anomalies = batch_report.anomalies.len();
+                for a in &batch_report.anomalies {
+                    self.raise_validation_anomaly(region, a);
+                }
+                blocked = batch_report.is_blocked();
+                if servers.is_empty() {
+                    // An empty fleet can never reach the fused operators;
+                    // surface the blocking EmptyInput here, exactly as the
+                    // barrier path's whole-fleet validate_servers does.
+                    let server_report = validate_servers(servers, &self.config.profile);
+                    report.anomalies += server_report.anomalies.len();
+                    for a in &server_report.anomalies {
+                        self.raise_validation_anomaly(region, a);
+                    }
+                    blocked = blocked || server_report.is_blocked();
+                }
+            }
+            Err(e) => {
+                // Degraded mode: run unvalidated rather than drop the week
+                // (the fused operators skip per-server validation too).
+                degraded.exhausted_stages.push("validation".into());
+                self.incidents.raise_keyed(
+                    Severity::Warning,
+                    "validation",
+                    region,
+                    "validation-skipped",
+                    format!(
+                        "validation skipped after {} attempt(s): {}",
+                        validated.attempts, e.message
+                    ),
+                );
+            }
+        }
+        self.finish_stage(report, span, "validation", region, vt);
+        if blocked {
+            return None;
+        }
+
+        // ---- Fused per-server operators ----------------------------------------
+        // Both stage kill-points fire serially at the fan-out boundary so
+        // crash-recovery semantics match the barrier path; so do the stage
+        // spans, created in barrier order (features before train-infer) and
+        // finished retroactively, which keeps stable span ids identical.
+        self.resilience.chaos.kill_point("features", region, tick);
+        let features_span = self.stage_span(run_span, "features", region, vt);
+        self.resilience
+            .chaos
+            .kill_point("train-infer", region, tick);
+        let fused_span = self.stage_span(run_span, "train-infer", region, vt);
+        let next_week = week_start_day + 7;
+        let base_seed = stage_seed(self.resilience.seed, "train-infer", region, tick);
+        let chaos = &self.resilience.chaos;
+        let retry = &self.resilience.retry;
+        let (results, profile) = parallel_map_tasks(servers, self.config.threads, |s| {
+            let feat_start = Instant::now();
+            let anomaly = if server_validation {
+                validate_server(s, &self.config.profile)
+            } else {
+                None
+            };
+            // Repair tolerated gaps locally; the filled series is written
+            // back at the absorb barrier so accuracy evaluation sees the
+            // same repaired input the barrier path produces.
+            let mut series = s.series.clone();
+            seagull_timeseries::fill_gaps(&mut series, GapFill::Linear);
+            let filled = ExtractedServer {
+                id: s.id,
+                series,
+                default_backup_start: s.default_backup_start,
+                default_backup_end: s.default_backup_end,
+            };
+            let features = extract_server_features(&filled, &self.config.classify);
+            let class = features.pattern.label();
+            let featurize_wall = feat_start.elapsed();
+
+            // Per-server retry loop: the stage-level chaos hook and the
+            // server-granular hook both inject ahead of the real fit, and a
+            // transient fault burns only this server's retry budget. The
+            // seed mixes the server id so jitter schedules are independent.
+            let model_start = Instant::now();
+            let seed = base_seed ^ s.id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let fitted = retry.run(seed, |attempt| {
+                if chaos.should_fail("train-infer", region, tick, attempt)
+                    || chaos.should_fail_server("train-infer", region, s.id.0, tick, attempt)
+                {
+                    return Err(StageError::transient(format!(
+                        "injected train-infer fault (attempt {attempt})"
+                    )));
+                }
+                self.fit_server(&filled, class, region, next_week)
+                    .map_err(|(_, reason)| StageError::permanent(reason))
+            });
+            let model_wall = model_start.elapsed();
+            let retries = fitted.attempts.saturating_sub(1);
+            let (prediction, cache, poison, exhausted) = match fitted.outcome {
+                Ok((doc, cache)) => (doc, cache, None, false),
+                Err(e) => {
+                    let reason = if e.transient {
+                        format!(
+                            "train-infer retries exhausted after {} attempt(s): {}",
+                            fitted.attempts, e.message
+                        )
+                    } else {
+                        e.message
+                    };
+                    (None, CacheOutcome::Bypass, Some(reason), e.transient)
+                }
+            };
+            FusedServerOutcome {
+                series: filled.series,
+                anomaly,
+                features,
+                prediction,
+                cache,
+                poison,
+                retries,
+                backoff_ms: fitted.backoff_ms,
+                exhausted,
+                featurize_wall,
+                model_wall,
+            }
+        });
+
+        // ---- Deterministic absorb ----------------------------------------------
+        // Everything order-sensitive — incidents, docs, cache commits, span
+        // records, metric folds — happens here, serially, in server input
+        // order, so outputs are independent of worker interleaving.
+        profile.record(self.obs.registry(), "train-infer");
+        let tracer = self.obs.tracer();
+        let mut features: Vec<Option<ServerFeatures>> = Vec::with_capacity(servers.len());
+        let mut predictions: Vec<PredictionDoc> = Vec::new();
+        let mut updates: Vec<CacheUpdate> = Vec::new();
+        let mut hit_keys: Vec<String> = Vec::new();
+        let mut poison: Vec<(u64, String)> = Vec::new();
+        let mut total_retries = 0u32;
+        let mut total_backoff = 0u64;
+        let mut exhausted_servers = 0u64;
+        let mut featurize_wall = Duration::ZERO;
+        for (i, result) in results.into_iter().enumerate() {
+            let server_id = servers[i].id.0;
+            match result {
+                Ok(out) => {
+                    servers[i].series = out.series;
+                    if let Some(a) = &out.anomaly {
+                        report.anomalies += 1;
+                        self.raise_validation_anomaly(region, a);
+                    }
+                    let id = format!("{region}/{server_id}/{week_start_day}");
+                    let _ = self.docs.upsert(collections::FEATURES, &id, &out.features);
+                    features.push(Some(out.features));
+                    let sid = server_id.to_string();
+                    tracer.child_complete(
+                        fused_span,
+                        "fused-op",
+                        &[("region", region), ("server", &sid)],
+                        vt,
+                        vt,
+                        out.featurize_wall + out.model_wall,
+                    );
+                    featurize_wall += out.featurize_wall;
+                    total_retries += out.retries;
+                    total_backoff += out.backoff_ms;
+                    if out.exhausted {
+                        exhausted_servers += 1;
+                    }
+                    if let Some(reason) = out.poison {
+                        poison.push((server_id, reason));
+                    } else if let Some(doc) = out.prediction {
+                        predictions.push(doc);
+                    }
+                    match out.cache {
+                        CacheOutcome::Hit(key) => hit_keys.push(key),
+                        CacheOutcome::Fresh(update) => updates.push(*update),
+                        CacheOutcome::Bypass => {}
+                    }
+                }
+                Err(panic_msg) => {
+                    // Per-server panic isolation: the panicking operator
+                    // quarantines only its own server — no features, no
+                    // prediction, unfilled series; siblings are untouched.
+                    features.push(None);
+                    poison.push((server_id, format!("fused operator panicked: {panic_msg}")));
+                }
+            }
+        }
+        if self.config.warm_cache {
+            // Serial, item-ordered commit: deterministic recency.
+            self.cache.commit(vt, updates, &hit_keys);
+        }
+
+        // Fold per-server retry accounting into the same stage-level series
+        // the barrier path records through its observed retry wrapper: one
+        // virtual stage attempt plus every per-server retry, so a clean
+        // run's stable export is byte-identical across execution modes.
+        let labels = [("region", region), ("stage", "train-infer")];
+        let registry = self.obs.registry();
+        registry
+            .counter("seagull_retry_attempts_total", &labels)
+            .add(1 + u64::from(total_retries));
+        if total_retries > 0 {
+            registry
+                .counter("seagull_retries_total", &labels)
+                .add(u64::from(total_retries));
+            registry
+                .histogram("seagull_retry_backoff_ms", &labels)
+                .observe(total_backoff as f64);
+            *degraded
+                .retries
+                .entry("train-infer".to_string())
+                .or_insert(0) += total_retries;
+            degraded.backoff_ms += total_backoff;
+        }
+        if exhausted_servers > 0 {
+            // Counts exhausted retry units: whole stages on the barrier
+            // path, individual servers here — the stage itself never fails.
+            registry
+                .counter("seagull_retry_exhausted_total", &labels)
+                .add(exhausted_servers);
+        }
+        self.quarantine_poison(region, week_start_day, degraded, poison);
+
+        // The features stage is priced at the summed per-server featurize
+        // walls and finishes (retroactively) before train-infer, keeping
+        // the `report.stages` execution-order contract.
+        self.finish_stage_with_wall(
+            report,
+            features_span,
+            "features",
+            region,
+            vt,
+            featurize_wall,
+        );
+
+        report.predictions_written = self.write_predictions(region, tick, degraded, &predictions);
+        self.finish_stage(report, fused_span, "train-infer", region, vt);
+
+        Some(MidStages {
+            features,
+            predictions,
+            train_failed: false,
+        })
+    }
+
+    /// Quarantines poison servers to the dead-letter list and raises the
+    /// keyed incident; shared by both execution modes so documents and
+    /// incident strings stay identical. No-op on an empty list.
+    fn quarantine_poison(
+        &self,
+        region: &str,
+        week_start_day: i64,
+        degraded: &mut DegradedRun,
+        mut poison: Vec<(u64, String)>,
+    ) {
+        if poison.is_empty() {
+            return;
+        }
+        // Skip-and-quarantine: poison batches go to the dead-letter list;
+        // the rest of the region proceeds.
+        poison.sort_by_key(|(id, _)| *id);
+        for (server_id, reason) in &poison {
+            let id = DeadLetterDoc::doc_id(region, *server_id, week_start_day);
+            let _ = self.docs.upsert(
+                collections::DEAD_LETTER,
+                &id,
+                &DeadLetterDoc {
+                    region: region.to_string(),
+                    server_id: *server_id,
+                    week_start_day,
+                    stage: "train-infer".into(),
+                    reason: reason.clone(),
+                },
+            );
+        }
+        degraded.quarantined_servers = poison.into_iter().map(|(id, _)| id).collect();
+        self.incidents.raise_keyed(
+            Severity::Warning,
+            "train-infer",
+            region,
+            "poison-batch",
+            format!(
+                "{} poison server batch(es) quarantined to dead-letter in week \
+                 starting day {week_start_day}",
+                degraded.quarantined_servers.len()
+            ),
+        );
+    }
+
+    /// Persists predictions (the docstore-write sub-step), retried as a
+    /// unit: upserts are idempotent, so a mid-write fault just replays the
+    /// batch. Returns the number written (zero when retries exhausted).
+    fn write_predictions(
+        &self,
+        region: &str,
+        tick: i64,
+        degraded: &mut DegradedRun,
+        predictions: &[PredictionDoc],
+    ) -> usize {
+        let written = self.retry_stage("docstore-write", region, tick, || {
+            let mut n = 0usize;
+            for doc in predictions {
+                let id = PredictionDoc::doc_id(region, doc.server_id, doc.day);
+                self.docs
+                    .upsert(collections::PREDICTIONS, &id, doc)
+                    .map_err(|e| StageError::permanent(format!("docstore upsert {id}: {e}")))?;
+                n += 1;
+            }
+            Ok(n)
+        });
+        degraded.note("docstore-write", &written);
+        match written.outcome {
+            Ok(n) => n,
+            Err(e) => {
+                degraded.exhausted_stages.push("docstore-write".into());
+                self.incidents.raise_keyed(
+                    Severity::Warning,
+                    "docstore-write",
+                    region,
+                    "predictions-dropped",
+                    format!(
+                        "failed to persist predictions after {} attempt(s): {}",
+                        written.attempts, e.message
+                    ),
+                );
+                0
+            }
+        }
     }
 
     /// Runs one week for every region, fanning the regions out across the
@@ -1395,7 +1899,13 @@ mod tests {
             }),
             ..ResiliencePolicy::default()
         };
-        let pipeline = AmlPipeline::with_resilience(base.config, base.blobs, policy);
+        // Whole-stage retry accounting is the barrier path's contract; the
+        // dataflow path retries per server (covered below).
+        let config = PipelineConfig {
+            exec: ExecMode::Barrier,
+            ..base.config
+        };
+        let pipeline = AmlPipeline::with_resilience(config, base.blobs, policy);
         let report = pipeline.run_region_week("region-a", start);
         assert!(!report.blocked);
         assert!(report.predictions_written > 0);
@@ -1403,6 +1913,31 @@ mod tests {
         assert_eq!(degraded.retries.get("train-infer"), Some(&2));
         assert!(degraded.backoff_ms > 0);
         assert!(degraded.exhausted_stages.is_empty());
+    }
+
+    #[test]
+    fn dataflow_retries_injected_faults_per_server() {
+        let (base, start) = setup(10, 1);
+        let policy = ResiliencePolicy {
+            chaos: StageChaos::from_fn(|stage, _, _, attempt| {
+                stage == "train-infer" && attempt <= 2
+            }),
+            ..ResiliencePolicy::default()
+        };
+        let pipeline = AmlPipeline::with_resilience(base.config, base.blobs, policy);
+        let report = pipeline.run_region_week("region-a", start);
+        assert!(!report.blocked);
+        assert!(report.predictions_written > 0);
+        let degraded = report.degraded.expect("retries recorded");
+        // Every server's fused operator burned two retries of its own
+        // budget; the fold sums them into the stage entry.
+        assert_eq!(
+            degraded.retries.get("train-infer"),
+            Some(&(2 * report.servers as u32))
+        );
+        assert!(degraded.backoff_ms > 0);
+        assert!(degraded.exhausted_stages.is_empty());
+        assert!(degraded.quarantined_servers.is_empty());
     }
 
     #[test]

@@ -519,11 +519,19 @@ pub type StageFaultHook = Arc<dyn Fn(&str, &str, i64, u32) -> bool + Send + Sync
 /// crash point).
 pub type StageKillHook = Arc<dyn Fn(&str, &str, i64) -> bool + Send + Sync>;
 
+/// Test hook injecting *server-granular* faults into the fused dataflow
+/// pipeline: called with `(stage, region, server_id, tick, attempt)` inside
+/// each per-server operator's retry loop, returns whether that attempt
+/// fails. Unlike [`StageFaultHook`], an exhausted server-granular fault
+/// quarantines only that server — siblings keep flowing.
+pub type ServerFaultHook = Arc<dyn Fn(&str, &str, u64, i64, u32) -> bool + Send + Sync>;
+
 /// Optional stage-fault injection carried by [`ResiliencePolicy`].
 #[derive(Clone, Default)]
 pub struct StageChaos {
     hook: Option<StageFaultHook>,
     kill: Option<StageKillHook>,
+    server_hook: Option<ServerFaultHook>,
 }
 
 impl StageChaos {
@@ -538,7 +546,18 @@ impl StageChaos {
     ) -> StageChaos {
         StageChaos {
             hook: Some(Arc::new(hook)),
-            kill: None,
+            ..StageChaos::default()
+        }
+    }
+
+    /// Injects per-server faults per the hook (dataflow pipeline only; the
+    /// batch-barrier path has no per-server retry loop to consult it).
+    pub fn from_server_fn(
+        hook: impl Fn(&str, &str, u64, i64, u32) -> bool + Send + Sync + 'static,
+    ) -> StageChaos {
+        StageChaos {
+            server_hook: Some(Arc::new(hook)),
+            ..StageChaos::default()
         }
     }
 
@@ -546,8 +565,8 @@ impl StageChaos {
     /// boundary where the hook returns true.
     pub fn kill_at(hook: impl Fn(&str, &str, i64) -> bool + Send + Sync + 'static) -> StageChaos {
         StageChaos {
-            hook: None,
             kill: Some(Arc::new(hook)),
+            ..StageChaos::default()
         }
     }
 
@@ -567,6 +586,21 @@ impl StageChaos {
             .is_some_and(|h| h(stage, region, tick, attempt))
     }
 
+    /// Whether this attempt of `stage` for a specific server should fail
+    /// (consulted by the dataflow pipeline's per-server operators).
+    pub fn should_fail_server(
+        &self,
+        stage: &str,
+        region: &str,
+        server: u64,
+        tick: i64,
+        attempt: u32,
+    ) -> bool {
+        self.server_hook
+            .as_ref()
+            .is_some_and(|h| h(stage, region, server, tick, attempt))
+    }
+
     /// Stage-boundary kill-point: the pipeline calls this at the entry of
     /// every stage; if the kill hook fires, the simulated process dies on
     /// the spot via [`InjectedCrash`] (no return, no cleanup — recovery must
@@ -582,13 +616,18 @@ impl fmt::Debug for StageChaos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "StageChaos(fault: {}, kill: {})",
+            "StageChaos(fault: {}, kill: {}, server_fault: {})",
             if self.hook.is_some() {
                 "hooked"
             } else {
                 "none"
             },
             if self.kill.is_some() {
+                "hooked"
+            } else {
+                "none"
+            },
+            if self.server_hook.is_some() {
                 "hooked"
             } else {
                 "none"

@@ -317,6 +317,22 @@ pub fn validate_region_week(
     }
 }
 
+/// Validates one reassembled server series for missing-data density: the
+/// per-server half of [`validate_servers`], called directly by the dataflow
+/// pipeline's fused operators (the batch-level `EmptyInput` check stays a
+/// serial pre-fan-out concern because blocking must be decided before any
+/// server starts flowing).
+pub fn validate_server(s: &ExtractedServer, profile: &DataProfile) -> Option<Anomaly> {
+    if s.series.is_empty() {
+        return None;
+    }
+    let fraction = s.series.missing_count() as f64 / s.series.len() as f64;
+    (fraction > profile.max_missing_fraction).then_some(Anomaly::ExcessiveMissingData {
+        server_id: s.id.0,
+        fraction,
+    })
+}
+
 /// Validates reassembled per-server series for missing-data density.
 pub fn validate_servers(servers: &[ExtractedServer], profile: &DataProfile) -> ValidationReport {
     let mut report = ValidationReport {
@@ -329,16 +345,7 @@ pub fn validate_servers(servers: &[ExtractedServer], profile: &DataProfile) -> V
     }
     for s in servers {
         report.rows += s.series.len();
-        if s.series.is_empty() {
-            continue;
-        }
-        let fraction = s.series.missing_count() as f64 / s.series.len() as f64;
-        if fraction > profile.max_missing_fraction {
-            report.anomalies.push(Anomaly::ExcessiveMissingData {
-                server_id: s.id.0,
-                fraction,
-            });
-        }
+        report.anomalies.extend(validate_server(s, profile));
     }
     report
 }

@@ -26,7 +26,10 @@ pub enum FitMethod {
     Exact,
     /// Full-gradient descent with the given iteration budget (Prophet-like
     /// per-series optimization cost).
-    GradientDescent { iterations: usize },
+    GradientDescent {
+        /// Number of full-gradient iterations.
+        iterations: usize,
+    },
 }
 
 /// Additive-model hyperparameters.

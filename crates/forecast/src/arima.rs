@@ -25,11 +25,17 @@ use serde::{Deserialize, Serialize};
 /// A full ARIMA order: `(p, d, q) × (P, D, Q)` with seasonal period `s`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ArimaOrder {
+    /// Non-seasonal autoregressive order.
     pub p: usize,
+    /// Non-seasonal differencing order.
     pub d: usize,
+    /// Non-seasonal moving-average order.
     pub q: usize,
+    /// Seasonal autoregressive order.
     pub sp: usize,
+    /// Seasonal differencing order.
     pub sd: usize,
+    /// Seasonal moving-average order.
     pub sq: usize,
     /// Seasonal period in grid points (e.g. 288 for daily at 5-minute grid).
     pub period: usize,

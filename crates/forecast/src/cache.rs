@@ -79,13 +79,17 @@ pub enum MissReason {
 /// A successful lookup: the cached fitted model plus how far (in minutes)
 /// its prediction must be shifted to anchor at the new history's end.
 pub struct CachedFit {
+    /// The cached fitted model, shared with the cache entry.
     pub fitted: Arc<dyn FittedModel>,
+    /// Minutes to shift the prediction so it anchors at the new history end.
     pub shift_min: i64,
 }
 
 /// Outcome of [`ModelCache::lookup`].
 pub enum Lookup {
+    /// A reusable fitted model was found.
     Hit(CachedFit),
+    /// No reusable entry; the caller must fit cold.
     Miss(MissReason),
 }
 
@@ -105,6 +109,7 @@ pub struct CacheUpdate {
 }
 
 impl CacheUpdate {
+    /// Packages a cold fit for the serial commit barrier.
     pub fn new(
         key: impl Into<String>,
         fingerprint: u64,
@@ -133,11 +138,17 @@ impl CacheUpdate {
 /// for a given input stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
+    /// Lookups served from the cache.
     pub hits: u64,
+    /// Lookups that found no entry at all.
     pub misses_cold: u64,
+    /// Entries invalidated because the series fingerprint changed.
     pub invalidated_fingerprint: u64,
+    /// Entries invalidated because the server changed class.
     pub invalidated_class: u64,
+    /// Entries invalidated by an accuracy drift flag.
     pub invalidated_drift: u64,
+    /// Entries evicted by the capacity sweep.
     pub evictions: u64,
     /// Cold-fit wall time skipped by hits (sum of the original fit cost of
     /// every reused entry). Wall-clock derived: volatile.
@@ -145,6 +156,7 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total lookups that required a cold fit, for any reason.
     pub fn misses(&self) -> u64 {
         self.misses_cold
             + self.invalidated_fingerprint
@@ -187,10 +199,12 @@ impl Default for ModelCache {
 }
 
 impl ModelCache {
+    /// A cache with the default capacity.
     pub fn new() -> ModelCache {
         ModelCache::default()
     }
 
+    /// A cache holding at most `capacity` fitted models.
     pub fn with_capacity(capacity: usize) -> ModelCache {
         ModelCache {
             entries: RwLock::new(BTreeMap::new()),
@@ -206,14 +220,17 @@ impl ModelCache {
         }
     }
 
+    /// The configured capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of cached fitted models.
     pub fn len(&self) -> usize {
         self.entries.read().unwrap().len()
     }
 
+    /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -371,6 +388,7 @@ impl ModelCache {
             .map(|e| Arc::clone(&e.fitted))
     }
 
+    /// Point-in-time counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -408,10 +426,8 @@ mod tests {
 
     impl FittedModel for DummyFit {
         fn predict(&self, horizon: usize) -> Result<TimeSeries, ForecastError> {
-            Ok(
-                TimeSeries::from_fn(self.anchor, self.step_min, horizon, |_| self.value)
-                    .map_err(ForecastError::Series)?,
-            )
+            TimeSeries::from_fn(self.anchor, self.step_min, horizon, |_| self.value)
+                .map_err(ForecastError::Series)
         }
     }
 

@@ -1,0 +1,428 @@
+//! Competitive model execution — the §5/Figure 11 model-selection results
+//! turned into a per-server racing [`Forecaster`].
+//!
+//! The paper compares SSA against the persistent heuristics per server class
+//! and finds no single winner: persistent forecast wins on stable and
+//! patterned servers while SSA earns its training cost only on a minority of
+//! unstable ones. Instead of routing on a detected class (see
+//! [`crate::select`]), this module *races* the candidates on a holdout and
+//! keeps the winner:
+//!
+//! 1. Hold out the last full day of the training history; train every
+//!    candidate on the prefix (cheapest candidate first).
+//! 2. Score each candidate by its in-bound fraction on the holdout day —
+//!    the same over/under tolerance the paper's accuracy definition uses
+//!    ([`PatternThresholds::in_bound_fraction`]).
+//! 3. Stop early when a candidate's holdout score clears the early-win
+//!    threshold (the cheap persistent model usually ends the race before
+//!    the expensive one starts), and skip any candidate whose estimated
+//!    cost would overrun the race's shared convergence budget.
+//! 4. Refit the winner on the full history.
+//!
+//! The race is deterministic: candidate order, holdout split, scoring, and
+//! the points-based cost model are all pure functions of the input series,
+//! so a fleet run with a competitive forecaster stays byte-identical across
+//! thread counts.
+
+use crate::persistent::PersistentForecast;
+use crate::select::PatternThresholds;
+use crate::ssa::SsaForecaster;
+use crate::{FittedModel, ForecastError, Forecaster};
+use seagull_timeseries::{TimeSeries, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One entrant in the competitive race.
+#[derive(Clone)]
+pub struct Candidate {
+    /// The model family to race.
+    pub forecaster: Arc<dyn Forecaster>,
+    /// Coarse static cost estimate per training point, relative to a
+    /// persistent heuristic at 1. Used by the shared convergence budget to
+    /// decide whether this candidate may start at all.
+    pub cost_weight: u64,
+}
+
+impl Candidate {
+    /// Wraps a forecaster with its cost weight.
+    pub fn new(forecaster: Arc<dyn Forecaster>, cost_weight: u64) -> Candidate {
+        Candidate {
+            forecaster,
+            cost_weight: cost_weight.max(1),
+        }
+    }
+}
+
+/// Tuning for [`CompetitiveForecaster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompetitiveConfig {
+    /// Holdout in-bound fraction at which the race stops early.
+    pub early_win_ratio: f64,
+    /// Over/under tolerance used to score holdout predictions.
+    pub thresholds: PatternThresholds,
+    /// Shared convergence budget per race, in cost points
+    /// (`cost_weight × training points`). A candidate whose estimated cost
+    /// would overrun the remaining budget is skipped — unless nothing has
+    /// scored yet, so a race always produces a winner.
+    pub budget_points: u64,
+}
+
+impl Default for CompetitiveConfig {
+    fn default() -> Self {
+        CompetitiveConfig {
+            early_win_ratio: 0.95,
+            thresholds: PatternThresholds::default(),
+            // Roomy enough for a persistent pass plus one SSA fit over a
+            // multi-week 5-minute-grid history; tighten to starve expensive
+            // candidates sooner.
+            budget_points: 250_000,
+        }
+    }
+}
+
+/// How one candidate fared in a race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Candidate model name.
+    pub name: &'static str,
+    /// Holdout in-bound fraction; `None` if the candidate was skipped
+    /// (budget) or failed to fit.
+    pub score: Option<f64>,
+    /// Whether the shared budget prevented this candidate from starting.
+    pub budget_skipped: bool,
+}
+
+/// The outcome of one competitive race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// Name of the winning candidate.
+    pub winner: &'static str,
+    /// Per-candidate scores in race (cheapest-first) order.
+    pub scores: Vec<CandidateScore>,
+    /// Whether the race stopped at the early-win threshold.
+    pub early_win: bool,
+    /// Whether the history was too short to hold out a day (the primary
+    /// candidate won by default, unraced).
+    pub unraced: bool,
+}
+
+/// Cumulative race statistics (atomic: shared across pipeline threads).
+#[derive(Debug, Default)]
+pub struct CompetitiveStats {
+    races: AtomicU64,
+    early_wins: AtomicU64,
+    budget_skips: AtomicU64,
+    unraced: AtomicU64,
+    wins: Vec<AtomicU64>,
+}
+
+/// A snapshot of [`CompetitiveStats`], cheap to serialize into bench output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Races run (holdout actually scored).
+    pub races: u64,
+    /// Races ended at the early-win threshold.
+    pub early_wins: u64,
+    /// Candidates skipped because the budget was exhausted.
+    pub budget_skips: u64,
+    /// Fits where the history was too short to race.
+    pub unraced: u64,
+    /// `(candidate name, wins)` in race order.
+    pub wins: Vec<(&'static str, u64)>,
+}
+
+/// Races a cheap persistent forecaster against an expensive model per fit
+/// and keeps whichever converges first within a shared budget.
+pub struct CompetitiveForecaster {
+    candidates: Vec<Candidate>,
+    config: CompetitiveConfig,
+    stats: CompetitiveStats,
+}
+
+impl CompetitiveForecaster {
+    /// Builds a racer over explicit candidates, cheapest first. The first
+    /// candidate is the *primary*: it also serves as the fallback when the
+    /// history is too short to hold out a scoring day.
+    pub fn new(candidates: Vec<Candidate>, config: CompetitiveConfig) -> CompetitiveForecaster {
+        assert!(
+            !candidates.is_empty(),
+            "a race needs at least one candidate"
+        );
+        let wins = candidates.iter().map(|_| AtomicU64::new(0)).collect();
+        CompetitiveForecaster {
+            candidates,
+            config,
+            stats: CompetitiveStats {
+                wins,
+                ..CompetitiveStats::default()
+            },
+        }
+    }
+
+    /// The paper-shaped race: persistent previous-day (the production
+    /// default, cost 1/point) vs. SSA (the strongest §5 challenger, cost
+    /// weighted for its Hankel SVD).
+    pub fn paper_defaults() -> CompetitiveForecaster {
+        CompetitiveForecaster::new(
+            vec![
+                Candidate::new(Arc::new(PersistentForecast::previous_day()), 1),
+                Candidate::new(Arc::new(SsaForecaster::default()), 32),
+            ],
+            CompetitiveConfig::default(),
+        )
+    }
+
+    /// Snapshot of cumulative race statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            races: self.stats.races.load(Ordering::Relaxed),
+            early_wins: self.stats.early_wins.load(Ordering::Relaxed),
+            budget_skips: self.stats.budget_skips.load(Ordering::Relaxed),
+            unraced: self.stats.unraced.load(Ordering::Relaxed),
+            wins: self
+                .candidates
+                .iter()
+                .zip(&self.stats.wins)
+                .map(|(c, w)| (c.forecaster.name(), w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Runs the race and returns the winning fitted model (refit on the full
+    /// history) together with the per-candidate report.
+    pub fn race(
+        &self,
+        history: &TimeSeries,
+    ) -> Result<(Box<dyn FittedModel>, RaceReport), ForecastError> {
+        let Some(split) = holdout_split(history) else {
+            // Too short to score: the primary candidate wins by default.
+            self.stats.unraced.fetch_add(1, Ordering::Relaxed);
+            self.stats.wins[0].fetch_add(1, Ordering::Relaxed);
+            let fitted = self.candidates[0].forecaster.fit(history)?;
+            return Ok((
+                fitted,
+                RaceReport {
+                    winner: self.candidates[0].forecaster.name(),
+                    scores: Vec::new(),
+                    early_win: false,
+                    unraced: true,
+                },
+            ));
+        };
+        let (train, truth) = split;
+        let horizon = truth.len();
+
+        let mut scores = Vec::with_capacity(self.candidates.len());
+        let mut spent = 0u64;
+        let mut early_win = false;
+        for candidate in &self.candidates {
+            let name = candidate.forecaster.name();
+            if early_win {
+                scores.push(CandidateScore {
+                    name,
+                    score: None,
+                    budget_skipped: false,
+                });
+                continue;
+            }
+            let cost = candidate.cost_weight * train.len() as u64;
+            let scored_any = scores.iter().any(|s: &CandidateScore| s.score.is_some());
+            if scored_any && spent + cost > self.config.budget_points {
+                self.stats.budget_skips.fetch_add(1, Ordering::Relaxed);
+                scores.push(CandidateScore {
+                    name,
+                    score: None,
+                    budget_skipped: true,
+                });
+                continue;
+            }
+            spent += cost;
+            let score = candidate
+                .forecaster
+                .fit_predict(&train, horizon)
+                .ok()
+                .and_then(|pred| {
+                    self.config
+                        .thresholds
+                        .in_bound_fraction(pred.values(), truth.values())
+                });
+            if score.is_some_and(|s| s >= self.config.early_win_ratio) {
+                early_win = true;
+            }
+            scores.push(CandidateScore {
+                name,
+                score,
+                budget_skipped: false,
+            });
+        }
+
+        // Best holdout score wins; ties go to the earlier (cheaper) entrant.
+        let winner_idx = scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.score.map(|v| (i, v)))
+            .max_by(|(ia, va), (ib, vb)| {
+                va.partial_cmp(vb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i);
+
+        match winner_idx {
+            Some(i) => {
+                self.stats.races.fetch_add(1, Ordering::Relaxed);
+                if early_win {
+                    self.stats.early_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                self.stats.wins[i].fetch_add(1, Ordering::Relaxed);
+                let fitted = self.candidates[i].forecaster.fit(history)?;
+                Ok((
+                    fitted,
+                    RaceReport {
+                        winner: self.candidates[i].forecaster.name(),
+                        scores,
+                        early_win,
+                        unraced: false,
+                    },
+                ))
+            }
+            // Every candidate failed on the holdout split; surface the
+            // primary's error on the full history (typically
+            // InsufficientHistory, which the pipeline bypasses).
+            None => Err(self.candidates[0]
+                .forecaster
+                .fit(history)
+                .map(|_| ForecastError::Numerical("no candidate scored the holdout".into()))
+                .unwrap_or_else(|e| e)),
+        }
+    }
+}
+
+/// Splits a history into `(train prefix, last-full-day holdout)`, or `None`
+/// when the history cannot spare a scoring day.
+fn holdout_split(history: &TimeSeries) -> Option<(TimeSeries, TimeSeries)> {
+    let day = history.last_full_day()?;
+    let day_start = Timestamp::from_days(day);
+    let train = history.slice(history.start(), day_start).ok()?;
+    // Keep at least one full day of training data so the cheap persistent
+    // candidates can participate in their own race.
+    if train.len() < train.points_per_day() {
+        return None;
+    }
+    let truth = history.day(day)?;
+    Some((train, truth))
+}
+
+impl Forecaster for CompetitiveForecaster {
+    fn name(&self) -> &'static str {
+        "competitive"
+    }
+
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        self.race(history).map(|(fitted, _)| fitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{detect_pattern, HistoryPattern};
+    use crate::testutil::daily_sine;
+    use seagull_timeseries::Timestamp;
+
+    fn flat(days: usize) -> TimeSeries {
+        TimeSeries::from_fn(Timestamp::from_days(100), 15, days * 96, |_| 25.0).unwrap()
+    }
+
+    #[test]
+    fn persistent_wins_patterned_histories_like_the_selector_would() {
+        // Where the selector would route to a persistent variant, the race's
+        // winner must be the persistent candidate too (winner parity).
+        let racer = CompetitiveForecaster::paper_defaults();
+        for history in [flat(7), daily_sine(7, 15)] {
+            let pattern = detect_pattern(&history, &PatternThresholds::default());
+            assert_ne!(pattern, HistoryPattern::None, "history must be patterned");
+            let (_, report) = racer.race(&history).unwrap();
+            assert_eq!(report.winner, "persistent-prev-day");
+            assert!(report.early_win, "persistent should end the race early");
+        }
+        let stats = racer.stats();
+        assert_eq!(stats.races, 2);
+        assert_eq!(stats.early_wins, 2);
+        assert_eq!(stats.wins[0], ("persistent-prev-day", 2));
+        assert_eq!(stats.wins[1].1, 0);
+    }
+
+    #[test]
+    fn early_win_skips_the_expensive_candidate() {
+        let racer = CompetitiveForecaster::paper_defaults();
+        let (_, report) = racer.race(&daily_sine(7, 15)).unwrap();
+        assert!(report.early_win);
+        assert_eq!(report.scores.len(), 2);
+        assert!(report.scores[0].score.is_some());
+        assert_eq!(report.scores[1].score, None, "SSA never started");
+        assert!(!report.scores[1].budget_skipped);
+    }
+
+    #[test]
+    fn budget_starves_the_expensive_candidate() {
+        // A ramp defeats previous-day persistence (every day differs by more
+        // than the tolerance), so without a budget SSA would get its turn.
+        let ramp = TimeSeries::from_fn(Timestamp::from_days(100), 15, 7 * 96, |t| {
+            t.day_index() as f64 * 40.0
+        })
+        .unwrap();
+        let tight = CompetitiveForecaster::new(
+            vec![
+                Candidate::new(Arc::new(PersistentForecast::previous_day()), 1),
+                Candidate::new(Arc::new(SsaForecaster::default()), 32),
+            ],
+            CompetitiveConfig {
+                budget_points: 1_000,
+                ..CompetitiveConfig::default()
+            },
+        );
+        let (_, report) = tight.race(&ramp).unwrap();
+        assert!(
+            report.scores[1].budget_skipped,
+            "SSA must be budget-skipped"
+        );
+        assert_eq!(report.winner, "persistent-prev-day");
+        assert_eq!(tight.stats().budget_skips, 1);
+    }
+
+    #[test]
+    fn short_history_falls_back_to_primary_unraced() {
+        let short = flat(1);
+        let racer = CompetitiveForecaster::paper_defaults();
+        let (_, report) = racer.race(&short).unwrap();
+        assert!(report.unraced);
+        assert_eq!(report.winner, "persistent-prev-day");
+        assert_eq!(racer.stats().unraced, 1);
+        assert_eq!(racer.stats().races, 0);
+    }
+
+    #[test]
+    fn race_is_deterministic() {
+        let history = daily_sine(14, 15);
+        let a = CompetitiveForecaster::paper_defaults();
+        let b = CompetitiveForecaster::paper_defaults();
+        let (fit_a, rep_a) = a.race(&history).unwrap();
+        let (fit_b, rep_b) = b.race(&history).unwrap();
+        assert_eq!(rep_a, rep_b);
+        let pa = fit_a.predict(96).unwrap();
+        let pb = fit_b.predict(96).unwrap();
+        assert_eq!(pa.values(), pb.values());
+    }
+
+    #[test]
+    fn winner_is_refit_on_the_full_history() {
+        // Previous-day persistence refit on the full history must replicate
+        // the *last* day, not the last training day.
+        let history = daily_sine(7, 15);
+        let racer = CompetitiveForecaster::paper_defaults();
+        let (fitted, _) = racer.race(&history).unwrap();
+        let pred = fitted.predict(96).unwrap();
+        assert_eq!(pred.values(), &history.values()[6 * 96..]);
+    }
+}

@@ -17,6 +17,7 @@ pub struct DriftVerdict {
     pub level_shift: f64,
     /// Scale ratio σ₁/σ₀ (1.0 when both are degenerate).
     pub scale_ratio: f64,
+    /// Whether either signal crossed its drift threshold.
     pub drifted: bool,
 }
 
@@ -129,7 +130,9 @@ pub fn pacf(series: &[f64], max_lag: usize) -> Vec<f64> {
 /// residuals are not white noise.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LjungBox {
+    /// The portmanteau statistic value.
     pub statistic: f64,
+    /// Number of autocorrelation lags summed.
     pub lags: usize,
 }
 

@@ -21,9 +21,12 @@
 //! split lets the evaluation harness time training and inference separately
 //! (paper Figure 11(a)).
 
+#![warn(missing_docs)]
+
 pub mod additive;
 pub mod arima;
 pub mod cache;
+pub mod competitive;
 pub mod diagnostics;
 pub mod feedforward;
 pub mod persistent;
@@ -36,6 +39,9 @@ use std::fmt;
 pub use additive::{AdditiveConfig, AdditiveForecaster};
 pub use arima::{ArimaConfig, ArimaForecaster, ArimaOrder};
 pub use cache::{CacheStats, CacheUpdate, CachedFit, Lookup, MissReason, ModelCache};
+pub use competitive::{
+    Candidate, CandidateScore, CompetitiveConfig, CompetitiveForecaster, RaceReport, StatsSnapshot,
+};
 pub use diagnostics::{acf, ljung_box, pacf, series_drift, suggest_orders, DriftVerdict, LjungBox};
 pub use feedforward::{FeedForwardConfig, FeedForwardForecaster};
 pub use persistent::{PersistentForecast, PersistentVariant};
@@ -46,7 +52,12 @@ pub use ssa::{SsaConfig, SsaForecaster};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ForecastError {
     /// The model needs more history than was provided.
-    InsufficientHistory { needed: usize, got: usize },
+    InsufficientHistory {
+        /// Minimum points the model requires.
+        needed: usize,
+        /// Points actually provided.
+        got: usize,
+    },
     /// The history contains NaN/infinite values; models require gap-filled
     /// input (see `seagull_timeseries::fill_gaps`).
     NonFiniteHistory,

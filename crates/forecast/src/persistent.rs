@@ -17,8 +17,11 @@ use serde::{Deserialize, Serialize};
 /// Which persistent-forecast heuristic to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PersistentVariant {
+    /// Average of the same grid slot over the previous week.
     PreviousWeekAverage,
+    /// Replicate the most recent same day-of-week.
     PreviousEquivalentDay,
+    /// Replicate the previous day (the production default).
     PreviousDay,
 }
 

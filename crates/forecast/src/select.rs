@@ -20,9 +20,13 @@ use std::sync::Arc;
 /// fleet classifier's pattern hierarchy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HistoryPattern {
+    /// A constant (mean-predictable) history.
     Stable,
+    /// Each day conforms to the previous day.
     Daily,
+    /// Each day conforms to the same day one week earlier.
     Weekly,
+    /// No detected pattern (unstable).
     None,
 }
 
@@ -55,7 +59,13 @@ impl PatternThresholds {
         err <= self.over && -err <= self.under
     }
 
-    fn ratio_ok(&self, predicted: &[f64], truth: &[f64]) -> bool {
+    /// Fraction of comparable points where `predicted` lands within the
+    /// over/under tolerance of `truth` (NaN truths are skipped, NaN
+    /// predictions count as misses); `None` when nothing is comparable.
+    ///
+    /// This is the scoring primitive behind both pattern detection and the
+    /// competitive-execution race in [`crate::competitive`].
+    pub fn in_bound_fraction(&self, predicted: &[f64], truth: &[f64]) -> Option<f64> {
         let mut hits = 0usize;
         let mut total = 0usize;
         for (&p, &t) in predicted.iter().zip(truth) {
@@ -67,7 +77,12 @@ impl PatternThresholds {
                 hits += 1;
             }
         }
-        total > 0 && hits as f64 / total as f64 >= self.ratio
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    fn ratio_ok(&self, predicted: &[f64], truth: &[f64]) -> bool {
+        self.in_bound_fraction(predicted, truth)
+            .is_some_and(|f| f >= self.ratio)
     }
 }
 

@@ -252,13 +252,50 @@ fn span_to_json(out: &mut String, s: &SpanRecord, mode: TimeMode) {
         if let Some(wall) = s.wall {
             let _ = write!(out, ",\"wall_us\":{}", wall.as_micros());
         }
+        if s.volatile {
+            out.push_str(",\"volatile\":true");
+        }
     }
     out.push('}');
 }
 
 /// Render spans as JSON-lines, one span object per line, in start order.
+///
+/// In [`TimeMode::Stable`], volatile spans (per-item operator detail, see
+/// [`SpanRecord::volatile`]) are dropped and the surviving ids/seq are
+/// renumbered compactly — the stable dump is byte-identical to one from a
+/// run that never emitted them, so execution strategies that decompose a
+/// stage differently still compare equal. Children of a dropped span are
+/// re-parented to their nearest retained ancestor.
 pub fn spans_to_json_lines(spans: &[SpanRecord], mode: TimeMode) -> String {
     let mut out = String::new();
+    if mode == TimeMode::Stable && spans.iter().any(|s| s.volatile) {
+        let parent_of: BTreeMap<u64, Option<u64>> =
+            spans.iter().map(|s| (s.id, s.parent)).collect();
+        let mut new_id: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in spans.iter().filter(|s| !s.volatile) {
+            let next = new_id.len() as u64 + 1;
+            new_id.insert(s.id, next);
+        }
+        for s in spans.iter().filter(|s| !s.volatile) {
+            let mut r = s.clone();
+            r.id = new_id[&s.id];
+            let mut parent = s.parent;
+            r.parent = loop {
+                match parent {
+                    None => break None,
+                    Some(p) => match new_id.get(&p) {
+                        Some(mapped) => break Some(*mapped),
+                        None => parent = parent_of.get(&p).copied().flatten(),
+                    },
+                }
+            };
+            r.seq = r.id - 1;
+            span_to_json(&mut out, &r, mode);
+            out.push('\n');
+        }
+        return out;
+    }
     for s in spans {
         span_to_json(&mut out, s, mode);
         out.push('\n');
@@ -302,6 +339,7 @@ pub fn parse_span_json_lines(text: &str) -> Result<Vec<SpanRecord>, String> {
             start_tick: get_u64("start_tick").ok_or_else(|| err("missing start_tick"))?,
             end_tick: get_u64("end_tick"),
             wall: get_u64("wall_us").map(std::time::Duration::from_micros),
+            volatile: matches!(obj.get("volatile"), Some(json::Value::Bool(true))),
         });
     }
     Ok(spans)
@@ -700,6 +738,49 @@ mod tests {
                 TimeMode::Full => assert!(parsed.iter().all(|s| s.wall.is_some())),
             }
         }
+    }
+
+    #[test]
+    fn stable_span_dump_drops_and_renumbers_volatile_spans() {
+        use std::time::Duration;
+        // A "fused" trace: stage span with per-item volatile children, then
+        // a later stage. The stable dump must be byte-identical to a trace
+        // that never recorded the volatile spans.
+        let fused = Tracer::new();
+        let root = fused.start("run-week", &[("region", "west")], 0);
+        let stage = fused.child(root, "train-infer", &[], 1);
+        for server in 0..3 {
+            fused.child_complete(
+                stage,
+                "fused-op",
+                &[("server", &server.to_string())],
+                1,
+                1,
+                Duration::from_millis(server),
+            );
+        }
+        fused.end(stage, 2);
+        let later = fused.child(root, "deployment", &[], 2);
+        fused.end(later, 3);
+        fused.end(root, 3);
+
+        let plain = Tracer::new();
+        let root = plain.start("run-week", &[("region", "west")], 0);
+        let stage = plain.child(root, "train-infer", &[], 1);
+        plain.end(stage, 2);
+        let later = plain.child(root, "deployment", &[], 2);
+        plain.end(later, 3);
+        plain.end(root, 3);
+
+        assert_eq!(
+            spans_to_json_lines(&fused.spans(), TimeMode::Stable),
+            spans_to_json_lines(&plain.spans(), TimeMode::Stable),
+        );
+        // The full dump keeps the operator spans, flagged volatile.
+        let full = spans_to_json_lines(&fused.spans(), TimeMode::Full);
+        assert_eq!(full.matches("\"volatile\":true").count(), 3);
+        let parsed = parse_span_json_lines(&full).expect("parse full dump");
+        assert_eq!(parsed.iter().filter(|s| s.volatile).count(), 3);
     }
 
     #[test]

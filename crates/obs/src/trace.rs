@@ -39,6 +39,12 @@ pub struct SpanRecord {
     pub end_tick: Option<u64>,
     /// Wall-clock duration, set at `end`. Never part of stable exports.
     pub wall: Option<Duration>,
+    /// Volatile spans carry wall-timing detail only (per-item operator
+    /// spans recorded by [`Tracer::child_complete`]): they appear in full
+    /// exports but are dropped — and the remaining ids renumbered — in
+    /// stable exports, so execution strategies that differ only in how
+    /// they decompose a stage stay byte-identical on the stable surface.
+    pub volatile: bool,
 }
 
 impl SpanRecord {
@@ -128,10 +134,59 @@ impl Tracer {
                 start_tick,
                 end_tick: None,
                 wall: None,
+                volatile: false,
             },
             started: Instant::now(),
         });
         SpanId(id)
+    }
+
+    /// Record an already-completed span under `parent` with an explicit,
+    /// externally measured wall duration.
+    ///
+    /// Parallel operators cannot call [`Tracer::child`]/[`Tracer::end`]
+    /// directly without making span ids depend on thread interleaving, so
+    /// the fused dataflow pipeline measures each per-server operator's wall
+    /// time off-thread and commits the span *retroactively* at the serial
+    /// absorb barrier, in server input order — span ids, seq, and structure
+    /// stay deterministic across thread counts.
+    ///
+    /// The recorded span is [volatile](SpanRecord::volatile): per-item
+    /// operator spans are wall-timing detail, visible in full exports and
+    /// chrome traces but excluded from the stable export, whose span dump
+    /// must not depend on how a stage was decomposed.
+    pub fn child_complete(
+        &self,
+        parent: SpanId,
+        name: &str,
+        labels: &[(&str, &str)],
+        start_tick: u64,
+        end_tick: u64,
+        wall: Duration,
+    ) -> SpanId {
+        let id = self.start_impl(name, labels, Some(parent.0), start_tick);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(active) = inner.spans.get_mut(id.0 as usize - 1) {
+            active.record.end_tick = Some(end_tick.max(start_tick));
+            active.record.wall = Some(wall);
+            active.record.volatile = true;
+        }
+        id
+    }
+
+    /// Finish a span at the given virtual tick with an explicit, externally
+    /// measured wall duration instead of this tracer's own clock. Used for
+    /// stages whose cost is the sum of per-item operator walls measured
+    /// inside a parallel region (e.g. the fused pipeline's featurize
+    /// sub-stage). First end wins, like [`Tracer::end`].
+    pub fn end_with_wall(&self, span: SpanId, end_tick: u64, wall: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(active) = inner.spans.get_mut(span.0 as usize - 1) {
+            if active.record.end_tick.is_none() {
+                active.record.end_tick = Some(end_tick.max(active.record.start_tick));
+                active.record.wall = Some(wall);
+            }
+        }
     }
 
     /// Finish a span at the given virtual tick, capturing wall duration.
@@ -196,6 +251,38 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn child_complete_records_finished_span_with_given_wall() {
+        let t = Tracer::new();
+        let root = t.start("run-week", &[], 0);
+        let wall = Duration::from_millis(42);
+        let op = t.child_complete(root, "fused-op", &[("server", "7")], 3, 3, wall);
+        t.end(root, 9);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[1].name, "fused-op");
+        assert_eq!(spans[1].end_tick, Some(3));
+        assert_eq!(spans[1].wall, Some(wall));
+        assert!(spans[1].volatile, "retroactive op spans are volatile");
+        assert!(!spans[0].volatile);
+        assert_eq!(t.wall_duration(op), Some(wall));
+        assert_eq!(t.finished_spans().len(), 2);
+    }
+
+    #[test]
+    fn end_with_wall_overrides_the_tracer_clock() {
+        let t = Tracer::new();
+        let s = t.start("features", &[], 2);
+        let wall = Duration::from_millis(7);
+        t.end_with_wall(s, 2, wall);
+        t.end_with_wall(s, 9, Duration::from_millis(99));
+        let spans = t.spans();
+        assert_eq!(spans[0].end_tick, Some(2), "first end wins");
+        assert_eq!(spans[0].wall, Some(wall));
+        assert!(!spans[0].volatile);
+    }
 
     #[test]
     fn parent_links_and_ticks() {

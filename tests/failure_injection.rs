@@ -401,6 +401,87 @@ fn poison_batches_are_quarantined_not_fatal() {
     );
 }
 
+/// Per-server fault granularity (dataflow): a server whose train-infer
+/// attempts all fail exhausts only its *own* retry budget and dead-letters
+/// only itself — siblings' predictions are byte-identical to a chaos-free
+/// run, deployment proceeds, and no fallback is recorded.
+#[test]
+fn per_server_fault_quarantines_only_that_server() {
+    let (_, store, region, start) = fleet_and_store(12, 1, 16);
+
+    // Chaos-free baseline.
+    let clean = AmlPipeline::new(
+        PipelineConfig::production(),
+        Arc::clone(&store) as Arc<dyn BlobStore>,
+    );
+    let clean_report = clean.run_region_week(&region, start);
+    assert!(clean_report.degraded.is_none(), "baseline must be clean");
+
+    // Server 3's train-infer faults on every attempt.
+    let policy = ResiliencePolicy {
+        chaos: StageChaos::from_server_fn(|stage, _, server_id, _, _| {
+            stage == "train-infer" && server_id == 3
+        }),
+        ..ResiliencePolicy::default()
+    };
+    let pipeline = AmlPipeline::with_resilience(
+        PipelineConfig::production(),
+        Arc::clone(&store) as Arc<dyn BlobStore>,
+        policy,
+    );
+    let report = pipeline.run_region_week(&region, start);
+
+    assert!(!report.blocked, "one poisoned server never blocks the run");
+    assert_eq!(
+        report.deployed_version, clean_report.deployed_version,
+        "deployment proceeds on the healthy majority"
+    );
+    let degraded = report.degraded.expect("quarantine recorded");
+    assert_eq!(degraded.quarantined_servers, vec![3]);
+    assert!(!degraded.fallback_deployed);
+    assert_eq!(
+        degraded.retries.get("train-infer"),
+        Some(&4),
+        "only the poisoned server burned its five-attempt budget"
+    );
+    let doc: DeadLetterDoc = pipeline
+        .docs
+        .get(
+            collections::DEAD_LETTER,
+            &DeadLetterDoc::doc_id(&region, 3, start),
+        )
+        .expect("quarantined server has a dead-letter doc");
+    assert_eq!(doc.stage, "train-infer");
+    assert!(
+        doc.reason
+            .contains("train-infer retries exhausted after 5 attempt(s)"),
+        "unexpected reason: {}",
+        doc.reason
+    );
+
+    // Siblings' predictions are byte-identical to the clean run.
+    let preds = |p: &AmlPipeline| -> Vec<(String, serde_json::Value)> {
+        let mut ids = p.docs.ids(collections::PREDICTIONS);
+        ids.sort();
+        ids.into_iter()
+            .map(|id| {
+                let v: serde_json::Value = p.docs.get(collections::PREDICTIONS, &id).unwrap();
+                (id, v)
+            })
+            .collect()
+    };
+    let sibling_preds: Vec<_> = preds(&clean)
+        .into_iter()
+        .filter(|(id, _)| !id.starts_with(&format!("{region}/3/")))
+        .collect();
+    assert_eq!(
+        sibling_preds,
+        preds(&pipeline),
+        "siblings must be untouched by the quarantined server"
+    );
+    assert_eq!(report.predictions_written, sibling_preds.len());
+}
+
 /// Deploy failure mid-schedule: the failing week keeps serving the
 /// last-known-good version, its predictions still land, and the next clean
 /// week deploys a fresh version over it.

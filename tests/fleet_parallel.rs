@@ -1,16 +1,25 @@
 //! Fleet-parallelism integration tests: a same-seed fleet week must produce
-//! byte-identical outputs whether it runs on one worker thread or eight,
-//! and a regional outage must stay contained — the healthy region's outputs
-//! are unaffected by a sibling region failing mid-fleet-week.
+//! byte-identical outputs whether it runs on one worker thread or eight —
+//! and whether the middle of each run executes as batch barriers or as
+//! fused per-server dataflow operators. A regional outage must stay
+//! contained (the healthy region's outputs are unaffected by a sibling
+//! region failing mid-fleet-week), and a straggler server in dataflow mode
+//! must not stall its siblings.
 
 use seagull::core::fleet::FleetRunner;
-use seagull::core::pipeline::{collections, AmlPipeline, PipelineConfig, PipelineRunReport};
+use seagull::core::pipeline::{
+    collections, AmlPipeline, ExecMode, PipelineConfig, PipelineRunReport,
+};
+use seagull::forecast::{FittedModel, ForecastError, Forecaster, PersistentForecast};
 use seagull::telemetry::blobstore::MemoryBlobStore;
 use seagull::telemetry::chaos::{ChaosBlobStore, ChaosConfig};
 use seagull::telemetry::extract::LoadExtraction;
 use seagull::telemetry::fleet::{FleetGenerator, FleetSpec, RegionSpec, ServerTelemetry};
+use seagull::timeseries::TimeSeries;
 use serde_json::{json, Value};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Two regions, `weeks` weeks of telemetry, extracted into a shared store.
 fn two_region_store(seed: u64, weeks: usize) -> (Arc<MemoryBlobStore>, Vec<String>, Vec<i64>) {
@@ -132,6 +141,119 @@ fn fleet_week_outputs_are_byte_identical_across_thread_counts() {
     assert_eq!(
         outputs[0], outputs[1],
         "threads=1 and threads=8 fleet schedules diverged"
+    );
+}
+
+/// The other axis of the determinism guarantee: the fused dataflow path
+/// and the batch barrier path produce byte-identical canonical outputs —
+/// reports, stored documents, incident log, stable export — at both one
+/// and eight threads, over a three-week two-region schedule with the warm
+/// cache on.
+#[test]
+fn dataflow_and_barrier_outputs_are_byte_identical() {
+    let (store, regions, week_days) = two_region_store(4242, 3);
+    let mut outputs = Vec::new();
+    for exec in [ExecMode::Barrier, ExecMode::Dataflow] {
+        for threads in [1usize, 8] {
+            let config = PipelineConfig {
+                threads,
+                exec,
+                ..PipelineConfig::production()
+            };
+            let pipeline = AmlPipeline::new(
+                config,
+                Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+            );
+            let runner = FleetRunner::new(pipeline, regions.to_vec());
+            let reports = runner.run_schedule(&week_days);
+            outputs.push((
+                format!("{exec:?} x{threads}"),
+                canonical_outputs(runner.pipeline(), &reports),
+            ));
+        }
+    }
+    for (label, output) in &outputs[1..] {
+        assert_eq!(
+            &outputs[0].1, output,
+            "{} diverged from {}",
+            label, outputs[0].0
+        );
+    }
+}
+
+/// A forecaster that makes one fit a deliberate straggler (~100× the cost
+/// of a persistent fit) and records every fit's completion instant.
+struct SlowFirstFit {
+    calls: AtomicUsize,
+    finished: Mutex<Vec<(bool, Instant)>>,
+    inner: PersistentForecast,
+    delay: Duration,
+}
+
+impl Forecaster for SlowFirstFit {
+    fn name(&self) -> &'static str {
+        "slow-first-fit"
+    }
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let slow = self.calls.fetch_add(1, Ordering::SeqCst) == 0;
+        if slow {
+            std::thread::sleep(self.delay);
+        }
+        let out = self.inner.fit(history);
+        self.finished.lock().unwrap().push((slow, Instant::now()));
+        out
+    }
+}
+
+/// Task-granular dataflow scheduling: while one server's fused operator
+/// sleeps in its fit, every sibling's fused operator must run to completion
+/// on the remaining workers — no sibling may finish after the straggler.
+/// (The barrier path cannot make this guarantee: its chunked claims stall
+/// the straggler's chunk-mates behind it.)
+#[test]
+fn straggler_server_does_not_stall_siblings_in_dataflow() {
+    let mut spec = FleetSpec::small_region(9001);
+    spec.regions[0].servers = 40;
+    let start = spec.start_day;
+    let fleet = FleetGenerator::new(spec).generate_weeks(1);
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(&fleet, &["region-a".into()], &[start], store.as_ref())
+        .unwrap();
+
+    let slow = Arc::new(SlowFirstFit {
+        calls: AtomicUsize::new(0),
+        finished: Mutex::new(Vec::new()),
+        inner: PersistentForecast::previous_day(),
+        delay: Duration::from_millis(2500),
+    });
+    let config = PipelineConfig {
+        threads: 4,
+        warm_cache: false,
+        forecaster: Arc::clone(&slow) as Arc<dyn Forecaster>,
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(config, store);
+    let report = pipeline.run_region_week("region-a", start);
+    assert!(!report.blocked);
+    assert_eq!(report.servers, 40);
+    assert!(report.predictions_written > 0);
+
+    let finished = slow.finished.lock().unwrap();
+    assert_eq!(finished.len(), 40, "every server fit exactly once");
+    let slow_finish = finished
+        .iter()
+        .find(|(is_slow, _)| *is_slow)
+        .expect("the straggler fit ran")
+        .1;
+    let stalled = finished
+        .iter()
+        .filter(|(is_slow, t)| !*is_slow && *t >= slow_finish)
+        .count();
+    assert_eq!(
+        stalled, 0,
+        "{stalled} sibling(s) finished after the straggler — fused operators \
+         must flow around a slow server"
     );
 }
 
