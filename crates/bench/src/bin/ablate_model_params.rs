@@ -11,7 +11,7 @@ use seagull_core::evaluate::{evaluate_fleet_week, AccuracySummary, EvaluationCon
 use seagull_forecast::additive::FitMethod;
 use seagull_forecast::{
     AdditiveConfig, AdditiveForecaster, FeedForwardConfig, FeedForwardForecaster, Forecaster,
-    SsaConfig, SsaForecaster,
+    SsaConfig, SsaForecaster, SsaKernel,
 };
 use serde_json::json;
 use std::time::Instant;
@@ -56,6 +56,7 @@ fn main() -> std::io::Result<()> {
             window,
             energy: 0.92,
             max_rank,
+            kernel: SsaKernel::Auto,
         });
         run(&model, "ssa", format!("window={window} rank<={max_rank}"));
     }

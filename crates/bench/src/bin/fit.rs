@@ -1,0 +1,357 @@
+//! Fit-path benchmark: the fast-fit kernel layer end to end.
+//!
+//! Measures cold-fit throughput (server-weeks/s) of the fast path —
+//! randomized SSA subspace kernel + same-shape fit batching + scratch-pooled
+//! linalg — against a dense-forced solo-fit configuration that reproduces
+//! the old hot path, on the same fleet `BENCH_fleet_scale.json` uses. Emits
+//! `BENCH_fit.json` with both rows, the measured speedup, forecast parity
+//! against the dense path, the warm-cache hit breakdown (exact vs
+//! similarity-keyed reuses, reported separately), and a four-way
+//! determinism cross-check.
+//!
+//! Always asserted, machine-independent (all seed-deterministic):
+//!   * determinism: canonical outputs byte-identical across
+//!     `{Barrier, Dataflow} × {1, 8 threads}`;
+//!   * parity: every pipeline prediction of the fast path within
+//!     [`RANDOMIZED_PARITY_TOL`] of the dense path's, same document set;
+//!   * warm cache: hit rate above the exact-bytes 50% plateau, with
+//!     similarity reuses > 0 and counted separately.
+//!
+//! Asserted only under `SEAGULL_FIT_ASSERT=1` (wall-clock, machine-
+//! dependent — the `fit-smoke` CI job sets it):
+//!   * the fast path is ≥ [`SPEEDUP_GATE`]x the dense-forced path measured
+//!     on the same machine.
+
+use seagull_bench::{emit_json, scale, Scale, Table};
+use seagull_core::pipeline::{
+    collections, AmlPipeline, ExecMode, PipelineConfig, PipelineRunReport, PredictionDoc,
+};
+use seagull_core::FleetRunner;
+use seagull_forecast::ssa::RANDOMIZED_PARITY_TOL;
+use seagull_forecast::{SsaConfig, SsaForecaster, SsaKernel};
+use seagull_telemetry::blobstore::MemoryBlobStore;
+use seagull_telemetry::extract::LoadExtraction;
+use seagull_telemetry::fleet::{ClassMix, FleetGenerator, FleetSpec, ServerTelemetry};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cold-fit throughput recorded by the seed `BENCH_fleet_scale.json` run
+/// (threads=1, dense Jacobi, solo fits) — the baseline ROADMAP item 4
+/// targets. The hard gate compares against the dense path *measured on the
+/// same machine*; this constant only contextualizes the JSON record.
+const BASELINE_SERVER_WEEKS_PER_S: f64 = 51.6;
+
+/// Required measured speedup of the fast path over the dense-forced path.
+const SPEEDUP_GATE: f64 = 5.0;
+
+/// One pipeline with the SSA forecaster pinned to `kernel`.
+fn pipeline(
+    store: &Arc<MemoryBlobStore>,
+    kernel: SsaKernel,
+    exec: ExecMode,
+    threads: usize,
+    fit_batch: usize,
+    warm_cache: bool,
+) -> AmlPipeline {
+    let config = PipelineConfig {
+        threads,
+        warm_cache,
+        exec,
+        fit_batch,
+        forecaster: Arc::new(SsaForecaster::new(SsaConfig {
+            kernel,
+            ..SsaConfig::default()
+        })),
+        ..PipelineConfig::production()
+    };
+    AmlPipeline::new(
+        config,
+        Arc::clone(store) as Arc<dyn seagull_telemetry::blobstore::BlobStore>,
+    )
+}
+
+/// The comparable part of a run report: wall-clock stage durations are
+/// legitimately machine/thread dependent, everything else must match.
+fn semantic_report(report: &PipelineRunReport) -> Value {
+    json!({
+        "region": report.region,
+        "week_start_day": report.week_start_day,
+        "stages": report.stages.iter().map(|s| s.stage.clone()).collect::<Vec<_>>(),
+        "servers": report.servers,
+        "anomalies": report.anomalies,
+        "blocked": report.blocked,
+        "predictions_written": report.predictions_written,
+        "evaluations": report.evaluations,
+        "accuracy": report.accuracy,
+        "deployed_version": report.deployed_version,
+        "degraded": report.degraded,
+    })
+}
+
+/// Everything a schedule produces, canonicalized for equality comparison.
+fn canonical_outputs(runner: &FleetRunner, reports: &[PipelineRunReport]) -> Value {
+    let p = runner.pipeline();
+    let mut docs = Vec::new();
+    for collection in [
+        collections::PREDICTIONS,
+        collections::ACCURACY,
+        collections::FEATURES,
+        collections::RUNS,
+        collections::DEAD_LETTER,
+    ] {
+        let mut ids = p.docs.ids(collection);
+        ids.sort();
+        for id in ids {
+            if collection == collections::RUNS {
+                let run: PipelineRunReport =
+                    p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), semantic_report(&run)));
+            } else {
+                let value: Value = p.docs.get(collection, &id).expect("listed doc exists");
+                docs.push((format!("{collection}/{id}"), value));
+            }
+        }
+    }
+    json!({
+        "reports": reports.iter().map(semantic_report).collect::<Vec<_>>(),
+        "docs": docs,
+        "stable_export": runner.obs().stable_export(),
+    })
+}
+
+/// All prediction documents of a pipeline, sorted by id.
+fn predictions(p: &AmlPipeline) -> Vec<(String, PredictionDoc)> {
+    let mut ids = p.docs.ids(collections::PREDICTIONS);
+    ids.sort();
+    ids.into_iter()
+        .map(|id| {
+            let doc: PredictionDoc = p.docs.get(collections::PREDICTIONS, &id).unwrap();
+            (id, doc)
+        })
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let (per_region_unit, weeks) = match scale() {
+        Scale::Small => (2, 3),
+        Scale::Paper => (12, 4),
+    };
+    let mut spec = FleetSpec::four_regions(90, per_region_unit);
+    // Pattern-heavy class mix: the fit-cost story is about servers whose
+    // series carry structure (SSA on a flat stable server is trivial at any
+    // kernel), and the similarity-reuse story is about patterned servers
+    // whose bytes jitter week over week while their shape persists. The
+    // paper's production mix is ~95% stable/short-lived, which leaves both
+    // populations nearly empty at bench scale — so the fit bench skews the
+    // mix toward them and says so in the JSON record.
+    spec.mix = ClassMix {
+        short_lived: 0.10,
+        stable: 0.30,
+        daily: 0.35,
+        weekly: 0.15,
+        unstable: 0.10,
+    };
+    let regions: Vec<String> = spec.regions.iter().map(|r| r.name.clone()).collect();
+    let servers: usize = spec.regions.iter().map(|r| r.servers).sum();
+    let start = spec.start_day;
+    let week_days: Vec<i64> = (0..weeks as i64).map(|w| start + 7 * w).collect();
+    let fleet: Vec<ServerTelemetry> = FleetGenerator::new(spec).generate_weeks(weeks);
+
+    let store = Arc::new(MemoryBlobStore::new());
+    LoadExtraction::default()
+        .run(&fleet, &regions, &week_days, store.as_ref())
+        .expect("extraction succeeds");
+
+    let server_weeks = (servers * weeks) as f64;
+    println!(
+        "Fit path: {} regions, {servers} servers, {weeks} weeks ({server_weeks} server-weeks)\n",
+        regions.len()
+    );
+
+    // ---- Determinism matrix ----------------------------------------------
+    // The fast path (auto kernel + batching), warm cache on, across both
+    // execution modes and two thread counts: canonical outputs must be
+    // byte-identical in all four cells.
+    let mut cells: Vec<(String, Value)> = Vec::new();
+    for exec in [ExecMode::Barrier, ExecMode::Dataflow] {
+        for threads in [1usize, 8] {
+            let runner = FleetRunner::new(
+                pipeline(&store, SsaKernel::Auto, exec, threads, 16, true),
+                regions.clone(),
+            );
+            let reports = runner.run_schedule(&week_days);
+            cells.push((
+                format!("{exec:?} x{threads}"),
+                canonical_outputs(&runner, &reports),
+            ));
+        }
+    }
+    for (label, outputs) in &cells[1..] {
+        assert_eq!(
+            &cells[0].1, outputs,
+            "{label} diverged from {} — reports, documents, or stable export",
+            cells[0].0
+        );
+    }
+    println!(
+        "determinism: {} cells byte-identical ({})\n",
+        cells.len(),
+        cells
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // ---- Cold-fit throughput: dense-forced solo vs fast path -------------
+    // The dense row reproduces the pre-optimization hot path: full cyclic
+    // Jacobi on the Gram matrix, one fit per server, no batching. Both rows
+    // run threads=1 so the comparison is single-core, like the recorded
+    // baseline.
+    let dense_runner = FleetRunner::new(
+        pipeline(&store, SsaKernel::Dense, ExecMode::Dataflow, 1, 1, false),
+        regions.clone(),
+    );
+    let t0 = Instant::now();
+    dense_runner.run_schedule(&week_days);
+    let dense_s = t0.elapsed().as_secs_f64();
+
+    let fast_runner = FleetRunner::new(
+        pipeline(&store, SsaKernel::Auto, ExecMode::Dataflow, 1, 16, false),
+        regions.clone(),
+    );
+    let t0 = Instant::now();
+    fast_runner.run_schedule(&week_days);
+    let fast_s = t0.elapsed().as_secs_f64();
+
+    let dense_tput = server_weeks / dense_s.max(1e-12);
+    let fast_tput = server_weeks / fast_s.max(1e-12);
+    let speedup = dense_s / fast_s.max(1e-12);
+
+    let mut table = Table::new(["path", "wall s", "server-weeks/s", "speedup"]);
+    table.row([
+        "dense solo (old)".to_string(),
+        format!("{dense_s:.3}"),
+        format!("{dense_tput:.1}"),
+        "1.00x".to_string(),
+    ]);
+    table.row([
+        "fast (randomized + batched)".to_string(),
+        format!("{fast_s:.3}"),
+        format!("{fast_tput:.1}"),
+        format!("{speedup:.2}x"),
+    ]);
+    table.print();
+    println!(
+        "\nrecorded seed baseline: {BASELINE_SERVER_WEEKS_PER_S} server-weeks/s \
+         (BENCH_fleet_scale.json, threads=1)\n"
+    );
+
+    // ---- Forecast parity vs the dense path -------------------------------
+    // Same document ids, every predicted value within the published
+    // randomized-kernel tolerance.
+    let dense_preds = predictions(dense_runner.pipeline());
+    let fast_preds = predictions(fast_runner.pipeline());
+    assert_eq!(
+        dense_preds.iter().map(|(id, _)| id).collect::<Vec<_>>(),
+        fast_preds.iter().map(|(id, _)| id).collect::<Vec<_>>(),
+        "fast and dense paths must predict the same server-days"
+    );
+    let mut parity_max = 0.0f64;
+    for ((_, d), (_, f)) in dense_preds.iter().zip(&fast_preds) {
+        assert_eq!(d.values.len(), f.values.len());
+        for (a, b) in d.values.iter().zip(&f.values) {
+            parity_max = parity_max.max((a - b).abs());
+        }
+    }
+    assert!(
+        parity_max <= RANDOMIZED_PARITY_TOL,
+        "fast-path forecast diverges from dense by {parity_max}, \
+         tolerance {RANDOMIZED_PARITY_TOL}"
+    );
+    println!(
+        "parity: {} predictions, max |fast - dense| = {parity_max:.2e} \
+         (tolerance {RANDOMIZED_PARITY_TOL:.0e})\n",
+        fast_preds.len()
+    );
+
+    // ---- Warm cache: exact + similarity-keyed reuse ----------------------
+    let warm_runner = FleetRunner::new(
+        pipeline(&store, SsaKernel::Auto, ExecMode::Dataflow, 1, 16, true),
+        regions.clone(),
+    );
+    let t0 = Instant::now();
+    warm_runner.run_schedule(&week_days);
+    let warm_s = t0.elapsed().as_secs_f64();
+    let stats = warm_runner.cache_stats();
+    println!(
+        "warm cache: hit rate {:.1}% ({} exact + {} similarity reuses, {} misses), \
+         {warm_s:.3}s wall",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.hits_similarity,
+        stats.misses()
+    );
+    assert!(
+        stats.hit_rate() > 0.5,
+        "similarity-keyed cache must beat the exact-bytes 50% plateau: {stats:?}"
+    );
+    assert!(
+        stats.hits_similarity > 0,
+        "the similarity key must account for reuses beyond exact-bytes hits: {stats:?}"
+    );
+
+    // ---- Machine-dependent gate ------------------------------------------
+    let assert_mode = std::env::var("SEAGULL_FIT_ASSERT").map_or(false, |v| v == "1");
+    if assert_mode {
+        assert!(
+            speedup >= SPEEDUP_GATE,
+            "fast path is {speedup:.2}x the dense path, gate is {SPEEDUP_GATE}x"
+        );
+        println!("\nassert mode: speedup {speedup:.2}x >= {SPEEDUP_GATE}x gate");
+    }
+
+    emit_json(
+        "BENCH_fit",
+        &json!({
+            "fleet": {
+                "regions": regions.len(),
+                "servers": servers,
+                "weeks": weeks,
+                "server_weeks": server_weeks,
+                "forecaster": "ssa",
+                "class_mix": "pattern-heavy (10% short-lived, 30% stable, 35% daily, \
+                              15% weekly, 10% unstable) — not the paper's production mix",
+            },
+            "determinism": "ok",
+            "baseline_recorded_server_weeks_per_s": BASELINE_SERVER_WEEKS_PER_S,
+            "dense": {
+                "wall_s": dense_s,
+                "server_weeks_per_s": dense_tput,
+            },
+            "fast": {
+                "wall_s": fast_s,
+                "server_weeks_per_s": fast_tput,
+            },
+            "speedup_vs_dense": speedup,
+            "speedup_vs_recorded_baseline": fast_tput / BASELINE_SERVER_WEEKS_PER_S,
+            "parity": {
+                "predictions": fast_preds.len(),
+                "max_abs_diff": parity_max,
+                "tolerance": RANDOMIZED_PARITY_TOL,
+            },
+            "warm": {
+                "wall_s": warm_s,
+                "hit_rate": stats.hit_rate(),
+                "hits_exact": stats.hits,
+                "hits_similarity": stats.hits_similarity,
+                "misses": stats.misses(),
+            },
+            "assert_mode": assert_mode,
+            "speedup_gate": SPEEDUP_GATE,
+        }),
+    )?;
+
+    Ok(())
+}

@@ -148,6 +148,10 @@ fn main() -> std::io::Result<()> {
     println!("determinism: threads=1 == threads=8 (reports, docs, incidents, stable export)\n");
 
     // ---- Scaling × cache matrix ------------------------------------------
+    // Thread rows beyond the machine's real core count measure scheduler
+    // oversubscription, not scaling: they are marked and their speedup is
+    // reported as null rather than pretending to be a parallelism result.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     let mut table = Table::new([
         "threads",
@@ -161,6 +165,7 @@ fn main() -> std::io::Result<()> {
     let server_weeks = (servers * weeks) as f64;
     let mut cold_base = f64::NAN;
     for &threads in THREAD_STEPS {
+        let oversubscribed = threads > cores;
         let cold_runner = FleetRunner::new(pipeline(&store, threads, false), regions.clone());
         let t0 = Instant::now();
         cold_runner.run_schedule(&week_days);
@@ -178,24 +183,30 @@ fn main() -> std::io::Result<()> {
         let speedup_vs_1 = cold_base / cold_s.max(1e-12);
         let cache_speedup = cold_s / warm_s.max(1e-12);
         table.row([
-            format!("{threads}"),
+            format!("{threads}{}", if oversubscribed { "*" } else { "" }),
             format!("{cold_s:.3}"),
             format!("{warm_s:.3}"),
             format!("{cache_speedup:.2}x"),
             format!("{:.1}%", stats.hit_rate() * 100.0),
             format!("{:.3}", stats.saved_wall.as_secs_f64()),
-            format!("{speedup_vs_1:.2}x"),
+            if oversubscribed {
+                "n/a".to_string()
+            } else {
+                format!("{speedup_vs_1:.2}x")
+            },
         ]);
         rows.push(json!({
             "threads": threads,
+            "oversubscribed": oversubscribed,
             "cold_wall_s": cold_s,
             "warm_wall_s": warm_s,
             "cold_server_weeks_per_s": server_weeks / cold_s.max(1e-12),
             "warm_server_weeks_per_s": server_weeks / warm_s.max(1e-12),
-            "speedup_vs_1_thread": speedup_vs_1,
+            "speedup_vs_1_thread": if oversubscribed { Value::Null } else { json!(speedup_vs_1) },
             "cache_speedup": cache_speedup,
             "cache": {
                 "hits": stats.hits,
+                "hits_similarity": stats.hits_similarity,
                 "misses": stats.misses(),
                 "hit_rate": stats.hit_rate(),
                 "saved_wall_s": stats.saved_wall.as_secs_f64(),
@@ -205,10 +216,9 @@ fn main() -> std::io::Result<()> {
     }
     table.print();
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nnote: machine has {cores} core(s); thread speedup is bounded by that, \
-         cache speedup is not"
+        "\nnote: machine has {cores} core(s); rows marked * run more threads than \
+         cores and measure oversubscription, not scaling — their speedup is null"
     );
 
     emit_json(

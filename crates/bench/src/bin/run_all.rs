@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "serving",
     "recovery",
     "dataflow",
+    "fit",
     "watch_dump",
 ];
 

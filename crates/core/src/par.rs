@@ -406,7 +406,7 @@ fn chunk_size(len: usize, participants: usize) -> usize {
 }
 
 /// Renders a caught panic payload for the `Err` side of [`ExecPool::map_tasks`].
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -60,6 +60,7 @@ use crate::validation::{
 use seagull_forecast::{CacheUpdate, FittedModel, ForecastError, Forecaster, Lookup, ModelCache};
 use seagull_obs::{Obs, SpanId, Stability};
 use seagull_telemetry::blobstore::{BlobKey, BlobStore};
+use seagull_telemetry::chaos::InjectedCrash;
 use seagull_telemetry::columnar::checksum64;
 use seagull_telemetry::csv_quantized;
 use seagull_telemetry::extract::{ExtractedServer, RegionWeekBatch};
@@ -110,6 +111,13 @@ pub struct PipelineConfig {
     /// Execution mode for the per-server middle of the run (see
     /// [`ExecMode`]).
     pub exec: ExecMode,
+    /// Maximum servers per same-shape fit batch on the dataflow path
+    /// (1 = fit every server individually). Same-shape servers are grouped
+    /// in input order and their cold fits go through one
+    /// [`Forecaster::fit_batch`] invocation, which shares the fitting
+    /// workspace (and, for the randomized SSA kernel, the sketch) across
+    /// the batch; the per-fit results are bitwise identical to solo fits.
+    pub fit_batch: usize,
 }
 
 impl PipelineConfig {
@@ -129,6 +137,7 @@ impl PipelineConfig {
             fallback_tolerance: 10.0,
             max_anomaly_reports: 20,
             exec: ExecMode::Dataflow,
+            fit_batch: 16,
         }
     }
 }
@@ -350,6 +359,19 @@ enum CacheOutcome {
     Bypass,
 }
 
+/// How one server's train-infer item will be served, resolved once (one
+/// counted cache probe) before the fit so shape batches can be formed from
+/// the servers that actually need a cold fit.
+enum FitPath {
+    /// Warm cache off: fit cold, no cache writes.
+    Bypass,
+    /// Warm-cache hit: serve the cached model, re-anchored.
+    Hit(seagull_forecast::CachedFit, String),
+    /// Warm-cache miss: fit cold and package the entry for the serial
+    /// commit barrier.
+    Miss { key: String, fingerprint: u64 },
+}
+
 /// What the mid-run stages (validation → features → train-infer →
 /// docstore-write) hand to the shared tail (deployment, accuracy-eval).
 /// The mid-stage drivers return `None` when validation blocks the run.
@@ -379,6 +401,9 @@ struct FusedServerOutcome {
     prediction: Option<PredictionDoc>,
     /// Cache consequence, committed serially at the absorb barrier.
     cache: CacheOutcome,
+    /// Kernel label of the cold fit, when one ran (None on cache hits,
+    /// bypasses without a fit, and failures).
+    fit_kernel: Option<&'static str>,
     /// Poison reason when the fit failed permanently or exhausted retries.
     poison: Option<String>,
     /// Retries burned by this server's fit.
@@ -1049,8 +1074,42 @@ impl AmlPipeline {
         class: &'static str,
         region: &str,
         next_week: i64,
-    ) -> Result<(Option<PredictionDoc>, CacheOutcome), (u64, String)> {
-        let forecaster = &self.config.forecaster;
+    ) -> Result<(Option<PredictionDoc>, CacheOutcome, Option<&'static str>), (u64, String)> {
+        let path = self.fit_path(s, class, region);
+        self.finish_fit(s, class, region, next_week, &path, &mut None)
+    }
+
+    /// Resolves how a server's fit will be served: a warm-cache probe (one
+    /// counted lookup) when the cache is on, else a plain cold fit. Safe to
+    /// call from inside a parallel region; the probe is read-only.
+    fn fit_path(&self, s: &ExtractedServer, class: &str, region: &str) -> FitPath {
+        if !self.config.warm_cache {
+            return FitPath::Bypass;
+        }
+        let key = format!("{region}/{}", s.id.0);
+        let fingerprint = series_fingerprint(&s.series);
+        match self.cache.lookup(&key, fingerprint, class, &s.series) {
+            Lookup::Hit(hit) => FitPath::Hit(hit, key),
+            Lookup::Miss(_) => FitPath::Miss { key, fingerprint },
+        }
+    }
+
+    /// Completes one server's train-infer item for an already-resolved
+    /// [`FitPath`]. On the cold paths a pre-computed fit (from a shape
+    /// batch) is consumed from `prefit` when present — its results are
+    /// bitwise identical to a solo fit by the [`Forecaster::fit_batch`]
+    /// contract — otherwise the forecaster fits here. Returns the
+    /// prediction doc, the cache consequence, and the fit-kernel label of
+    /// any cold fit that ran.
+    fn finish_fit(
+        &self,
+        s: &ExtractedServer,
+        class: &'static str,
+        region: &str,
+        next_week: i64,
+        path: &FitPath,
+        prefit: &mut Option<(Result<Box<dyn FittedModel>, ForecastError>, Duration)>,
+    ) -> Result<(Option<PredictionDoc>, CacheOutcome, Option<&'static str>), (u64, String)> {
         let grid = self.config.grid_min;
         let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
         // The server's backup day next week.
@@ -1067,58 +1126,258 @@ impl AmlPipeline {
                 duration_min: s.default_backup_end - s.default_backup_start,
             })
         };
-        if !self.config.warm_cache {
-            return match forecaster.fit_predict(&s.series, horizon) {
-                Ok(pred) => Ok((doc_of(pred), CacheOutcome::Bypass)),
-                // Too little history is the normal young-server case.
-                Err(ForecastError::InsufficientHistory { .. }) => Ok((None, CacheOutcome::Bypass)),
-                // Anything else is poison input or a broken model.
+        if let FitPath::Hit(hit, key) = path {
+            let shifted = hit
+                .fitted
+                .predict(horizon)
+                .and_then(|p| p.shifted(hit.shift_min).map_err(ForecastError::Series));
+            return match shifted {
+                Ok(pred) => Ok((doc_of(pred), CacheOutcome::Hit(key.clone()), None)),
                 Err(e) => Err((s.id.0, e.to_string())),
             };
         }
-        let key = format!("{region}/{}", s.id.0);
-        let fingerprint = series_fingerprint(&s.series);
-        match self.cache.lookup(&key, fingerprint, class, &s.series) {
-            Lookup::Hit(hit) => {
-                let shifted = hit
-                    .fitted
-                    .predict(horizon)
-                    .and_then(|p| p.shifted(hit.shift_min).map_err(ForecastError::Series));
-                match shifted {
-                    Ok(pred) => Ok((doc_of(pred), CacheOutcome::Hit(key))),
-                    Err(e) => Err((s.id.0, e.to_string())),
-                }
+        // Cold fit (cache off or probe missed). Fit-then-predict rather
+        // than `fit_predict` so the resolved kernel label is observable;
+        // the bytes are identical.
+        let fit_start = Instant::now();
+        let (fit, fit_wall) = match prefit.take() {
+            Some((fit, wall)) => (fit, wall),
+            None => {
+                let fit = self.config.forecaster.fit(&s.series);
+                (fit, fit_start.elapsed())
             }
-            Lookup::Miss(_) => {
-                let fit_start = Instant::now();
-                match forecaster.fit(&s.series) {
-                    Ok(boxed) => {
-                        let fit_wall = fit_start.elapsed();
-                        let fitted: Arc<dyn FittedModel> = Arc::from(boxed);
-                        match fitted.predict(horizon) {
-                            Ok(pred) => {
-                                let update = CacheUpdate::new(
-                                    key,
-                                    fingerprint,
+        };
+        match fit {
+            Ok(boxed) => {
+                let kernel = boxed.fit_kernel();
+                let fitted: Arc<dyn FittedModel> = Arc::from(boxed);
+                match fitted.predict(horizon) {
+                    Ok(pred) => {
+                        let outcome = match path {
+                            FitPath::Miss { key, fingerprint } => {
+                                CacheOutcome::Fresh(Box::new(CacheUpdate::new(
+                                    key.clone(),
+                                    *fingerprint,
                                     class,
                                     Arc::clone(&fitted),
                                     &s.series,
                                     fit_wall,
-                                );
-                                Ok((doc_of(pred), CacheOutcome::Fresh(Box::new(update))))
+                                )))
                             }
-                            Err(ForecastError::InsufficientHistory { .. }) => {
-                                Ok((None, CacheOutcome::Bypass))
-                            }
-                            Err(e) => Err((s.id.0, e.to_string())),
-                        }
+                            _ => CacheOutcome::Bypass,
+                        };
+                        Ok((doc_of(pred), outcome, Some(kernel)))
                     }
                     Err(ForecastError::InsufficientHistory { .. }) => {
-                        Ok((None, CacheOutcome::Bypass))
+                        Ok((None, CacheOutcome::Bypass, Some(kernel)))
                     }
                     Err(e) => Err((s.id.0, e.to_string())),
                 }
             }
+            // Too little history is the normal young-server case.
+            Err(ForecastError::InsufficientHistory { .. }) => {
+                Ok((None, CacheOutcome::Bypass, None))
+            }
+            // Anything else is poison input or a broken model.
+            Err(e) => Err((s.id.0, e.to_string())),
+        }
+    }
+
+    /// Runs one same-shape fit batch as a single pool task: per-server
+    /// prep (validate → gap-fill → featurize → cache probe), one shared
+    /// [`Forecaster::fit_batch`] kernel invocation for the members that
+    /// need a cold fit, then each server's retry loop and finish.
+    ///
+    /// Panic isolation stays per-server throughout: every phase that runs
+    /// model or validation code for one server runs under its own
+    /// [`isolate`], and a panic inside the *shared* fit invocation simply
+    /// discards the batch results so every member falls back to a solo fit
+    /// under its own isolation — a poison server quarantines alone even
+    /// mid-batch. Results are keyed by server index.
+    fn run_fit_batch(
+        &self,
+        batch: &[usize],
+        servers: &[ExtractedServer],
+        region: &str,
+        tick: i64,
+        next_week: i64,
+        server_validation: bool,
+    ) -> Vec<(usize, Result<FusedServerOutcome, String>)> {
+        let base_seed = stage_seed(self.resilience.seed, "train-infer", region, tick);
+        let chaos = &self.resilience.chaos;
+        let retry = &self.resilience.retry;
+
+        struct Prep {
+            filled: ExtractedServer,
+            anomaly: Option<Anomaly>,
+            features: ServerFeatures,
+            class: &'static str,
+            path: FitPath,
+            featurize_wall: Duration,
+        }
+
+        // Phase 1: per-server prep. The cache probe is counted here, once
+        // per server, so batch membership below reflects real cold fits.
+        let prepared: Vec<(usize, Result<Prep, String>)> = batch
+            .iter()
+            .map(|&i| {
+                let s = &servers[i];
+                let prep = isolate(|| {
+                    let feat_start = Instant::now();
+                    let anomaly = if server_validation {
+                        validate_server(s, &self.config.profile)
+                    } else {
+                        None
+                    };
+                    // Repair tolerated gaps locally; the filled series is
+                    // written back at the absorb barrier so accuracy
+                    // evaluation sees the same repaired input the barrier
+                    // path produces.
+                    let mut series = s.series.clone();
+                    seagull_timeseries::fill_gaps(&mut series, GapFill::Linear);
+                    let filled = ExtractedServer {
+                        id: s.id,
+                        series,
+                        default_backup_start: s.default_backup_start,
+                        default_backup_end: s.default_backup_end,
+                    };
+                    let features = extract_server_features(&filled, &self.config.classify);
+                    let class = features.pattern.label();
+                    let path = self.fit_path(&filled, class, region);
+                    Prep {
+                        filled,
+                        anomaly,
+                        features,
+                        class,
+                        path,
+                        featurize_wall: feat_start.elapsed(),
+                    }
+                });
+                (i, prep)
+            })
+            .collect();
+
+        // Phase 2: one shared kernel invocation for the batch's cold fits.
+        let cold: Vec<usize> = prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, (_, prep))| match prep {
+                Ok(p) if !matches!(p.path, FitPath::Hit(..)) => Some(slot),
+                _ => None,
+            })
+            .collect();
+        let mut prefits: Vec<Option<(Result<Box<dyn FittedModel>, ForecastError>, Duration)>> =
+            prepared.iter().map(|_| None).collect();
+        if cold.len() > 1 {
+            let histories: Vec<&TimeSeries> = cold
+                .iter()
+                .map(|&slot| match &prepared[slot].1 {
+                    Ok(p) => &p.filled.series,
+                    Err(_) => unreachable!("cold slots come from prepared servers"),
+                })
+                .collect();
+            let batch_start = Instant::now();
+            if let Ok(fits) = isolate(|| self.config.forecaster.fit_batch(&histories)) {
+                // Even wall split: it only feeds volatile timing metrics
+                // and the cache's saved-wall credit.
+                let share = batch_start.elapsed() / cold.len() as u32;
+                for (&slot, fit) in cold.iter().zip(fits) {
+                    prefits[slot] = Some((fit, share));
+                }
+            }
+        }
+
+        // Phase 3: per-server retry loop and finish. The stage-level chaos
+        // hook and the server-granular hook both inject ahead of the real
+        // fit, and a transient fault burns only this server's retry
+        // budget; the pre-computed batch fit is consumed by the first
+        // non-injected attempt (later attempts refit solo — identical
+        // bytes). The seed mixes the server id so jitter schedules are
+        // independent.
+        prepared
+            .into_iter()
+            .zip(prefits)
+            .map(|((i, prep), mut prefit)| {
+                let s = &servers[i];
+                let out = match prep {
+                    Err(msg) => Err(msg),
+                    Ok(p) => isolate(move || {
+                        let model_start = Instant::now();
+                        let seed = base_seed ^ s.id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let fitted = retry.run(seed, |attempt| {
+                            if chaos.should_fail("train-infer", region, tick, attempt)
+                                || chaos.should_fail_server(
+                                    "train-infer",
+                                    region,
+                                    s.id.0,
+                                    tick,
+                                    attempt,
+                                )
+                            {
+                                return Err(StageError::transient(format!(
+                                    "injected train-infer fault (attempt {attempt})"
+                                )));
+                            }
+                            self.finish_fit(
+                                &p.filled,
+                                p.class,
+                                region,
+                                next_week,
+                                &p.path,
+                                &mut prefit,
+                            )
+                            .map_err(|(_, reason)| StageError::permanent(reason))
+                        });
+                        let model_wall = model_start.elapsed();
+                        let retries = fitted.attempts.saturating_sub(1);
+                        let (prediction, cache, fit_kernel, poison, exhausted) =
+                            match fitted.outcome {
+                                Ok((doc, cache, kernel)) => (doc, cache, kernel, None, false),
+                                Err(e) => {
+                                    let reason = if e.transient {
+                                        format!(
+                                            "train-infer retries exhausted after {} attempt(s): {}",
+                                            fitted.attempts, e.message
+                                        )
+                                    } else {
+                                        e.message
+                                    };
+                                    (None, CacheOutcome::Bypass, None, Some(reason), e.transient)
+                                }
+                            };
+                        FusedServerOutcome {
+                            series: p.filled.series,
+                            anomaly: p.anomaly,
+                            features: p.features,
+                            prediction,
+                            cache,
+                            fit_kernel,
+                            poison,
+                            retries,
+                            backoff_ms: fitted.backoff_ms,
+                            exhausted,
+                            featurize_wall: p.featurize_wall,
+                            model_wall,
+                        }
+                    }),
+                };
+                (i, out)
+            })
+            .collect()
+    }
+
+    /// Folds the run's cold-fit kernel labels into the stable metric
+    /// `seagull_fit_kernel_total{region, kernel}` at the serial absorb, so
+    /// the counts are deterministic and identical across execution modes.
+    fn record_fit_kernels(&self, region: &str, counts: &BTreeMap<&'static str, u64>) {
+        let registry = self.obs.registry();
+        for (&kernel, &n) in counts {
+            registry
+                .counter(
+                    "seagull_fit_kernel_total",
+                    &[("region", region), ("kernel", kernel)],
+                )
+                .add(n);
         }
     }
 
@@ -1234,11 +1493,15 @@ impl AmlPipeline {
                 let mut poison: Vec<(u64, String)> = Vec::new();
                 let mut updates: Vec<CacheUpdate> = Vec::new();
                 let mut hit_keys: Vec<String> = Vec::new();
+                let mut kernel_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
                 for r in results {
                     match r {
-                        Ok((doc, outcome)) => {
+                        Ok((doc, outcome, kernel)) => {
                             if let Some(doc) = doc {
                                 predictions.push(doc);
+                            }
+                            if let Some(kernel) = kernel {
+                                *kernel_counts.entry(kernel).or_insert(0) += 1;
                             }
                             match outcome {
                                 CacheOutcome::Hit(key) => hit_keys.push(key),
@@ -1253,6 +1516,7 @@ impl AmlPipeline {
                     // Serial, item-ordered commit: deterministic recency.
                     self.cache.commit(vt, updates, &hit_keys);
                 }
+                self.record_fit_kernels(region, &kernel_counts);
                 self.quarantine_poison(region, week_start_day, degraded, poison);
             }
             Err(e) => {
@@ -1377,96 +1641,74 @@ impl AmlPipeline {
             .kill_point("train-infer", region, tick);
         let fused_span = self.stage_span(run_span, "train-infer", region, vt);
         let next_week = week_start_day + 7;
-        let base_seed = stage_seed(self.resilience.seed, "train-infer", region, tick);
-        let chaos = &self.resilience.chaos;
-        let retry = &self.resilience.retry;
-        let (results, profile) = parallel_map_tasks(servers, self.config.threads, |s| {
-            let feat_start = Instant::now();
-            let anomaly = if server_validation {
-                validate_server(s, &self.config.profile)
-            } else {
-                None
-            };
-            // Repair tolerated gaps locally; the filled series is written
-            // back at the absorb barrier so accuracy evaluation sees the
-            // same repaired input the barrier path produces.
-            let mut series = s.series.clone();
-            seagull_timeseries::fill_gaps(&mut series, GapFill::Linear);
-            let filled = ExtractedServer {
-                id: s.id,
-                series,
-                default_backup_start: s.default_backup_start,
-                default_backup_end: s.default_backup_end,
-            };
-            let features = extract_server_features(&filled, &self.config.classify);
-            let class = features.pattern.label();
-            let featurize_wall = feat_start.elapsed();
 
-            // Per-server retry loop: the stage-level chaos hook and the
-            // server-granular hook both inject ahead of the real fit, and a
-            // transient fault burns only this server's retry budget. The
-            // seed mixes the server id so jitter schedules are independent.
-            let model_start = Instant::now();
-            let seed = base_seed ^ s.id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            let fitted = retry.run(seed, |attempt| {
-                if chaos.should_fail("train-infer", region, tick, attempt)
-                    || chaos.should_fail_server("train-infer", region, s.id.0, tick, attempt)
-                {
-                    return Err(StageError::transient(format!(
-                        "injected train-infer fault (attempt {attempt})"
-                    )));
+        // Group same-shape servers (in input order) into fit batches: each
+        // batch is one pool task whose cold fits run through one shared
+        // [`Forecaster::fit_batch`] kernel invocation. `fit_batch = 1`
+        // degenerates to one server per task.
+        let cap = self.config.fit_batch.max(1);
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut open: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+        for (i, s) in servers.iter().enumerate() {
+            let shape = (s.series.len(), s.series.step_min());
+            match open.get(&shape) {
+                Some(&b) if batches[b].len() < cap => batches[b].push(i),
+                _ => {
+                    open.insert(shape, batches.len());
+                    batches.push(vec![i]);
                 }
-                self.fit_server(&filled, class, region, next_week)
-                    .map_err(|(_, reason)| StageError::permanent(reason))
-            });
-            let model_wall = model_start.elapsed();
-            let retries = fitted.attempts.saturating_sub(1);
-            let (prediction, cache, poison, exhausted) = match fitted.outcome {
-                Ok((doc, cache)) => (doc, cache, None, false),
-                Err(e) => {
-                    let reason = if e.transient {
-                        format!(
-                            "train-infer retries exhausted after {} attempt(s): {}",
-                            fitted.attempts, e.message
-                        )
-                    } else {
-                        e.message
-                    };
-                    (None, CacheOutcome::Bypass, Some(reason), e.transient)
-                }
-            };
-            FusedServerOutcome {
-                series: filled.series,
-                anomaly,
-                features,
-                prediction,
-                cache,
-                poison,
-                retries,
-                backoff_ms: fitted.backoff_ms,
-                exhausted,
-                featurize_wall,
-                model_wall,
             }
+        }
+        let (batch_results, profile) = parallel_map_tasks(&batches, self.config.threads, |batch| {
+            self.run_fit_batch(batch, servers, region, tick, next_week, server_validation)
         });
+
+        // Flatten back into server input order. A panic that escapes a
+        // whole batch task (outside the per-server isolation inside
+        // [`AmlPipeline::run_fit_batch`]) poisons every member.
+        let mut results: Vec<Option<Result<FusedServerOutcome, String>>> =
+            (0..servers.len()).map(|_| None).collect();
+        for (batch, outcome) in batches.iter().zip(batch_results) {
+            match outcome {
+                Ok(per_server) => {
+                    for (i, r) in per_server {
+                        results[i] = Some(r);
+                    }
+                }
+                Err(msg) => {
+                    for &i in batch {
+                        results[i] = Some(Err(msg.clone()));
+                    }
+                }
+            }
+        }
 
         // ---- Deterministic absorb ----------------------------------------------
         // Everything order-sensitive — incidents, docs, cache commits, span
         // records, metric folds — happens here, serially, in server input
         // order, so outputs are independent of worker interleaving.
         profile.record(self.obs.registry(), "train-infer");
+        // The fan-out above is per *batch*, but `seagull_parallel_items_total`
+        // is a stable metric that counts servers on the barrier path — top
+        // it up by the difference so cross-mode exports stay byte-identical.
+        self.obs
+            .registry()
+            .counter("seagull_parallel_items_total", &[("stage", "train-infer")])
+            .add((servers.len() - batches.len()) as u64);
         let tracer = self.obs.tracer();
         let mut features: Vec<Option<ServerFeatures>> = Vec::with_capacity(servers.len());
         let mut predictions: Vec<PredictionDoc> = Vec::new();
         let mut updates: Vec<CacheUpdate> = Vec::new();
         let mut hit_keys: Vec<String> = Vec::new();
         let mut poison: Vec<(u64, String)> = Vec::new();
+        let mut kernel_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut total_retries = 0u32;
         let mut total_backoff = 0u64;
         let mut exhausted_servers = 0u64;
         let mut featurize_wall = Duration::ZERO;
         for (i, result) in results.into_iter().enumerate() {
             let server_id = servers[i].id.0;
+            let result = result.expect("every server slot is filled by its batch");
             match result {
                 Ok(out) => {
                     servers[i].series = out.series;
@@ -1497,6 +1739,9 @@ impl AmlPipeline {
                     } else if let Some(doc) = out.prediction {
                         predictions.push(doc);
                     }
+                    if let Some(kernel) = out.fit_kernel {
+                        *kernel_counts.entry(kernel).or_insert(0) += 1;
+                    }
                     match out.cache {
                         CacheOutcome::Hit(key) => hit_keys.push(key),
                         CacheOutcome::Fresh(update) => updates.push(*update),
@@ -1516,6 +1761,7 @@ impl AmlPipeline {
             // Serial, item-ordered commit: deterministic recency.
             self.cache.commit(vt, updates, &hit_keys);
         }
+        self.record_fit_kernels(region, &kernel_counts);
 
         // Fold per-server retry accounting into the same stage-level series
         // the barrier path records through its observed retry wrapper: one
@@ -1731,6 +1977,11 @@ impl AmlPipeline {
         registry
             .counter("seagull_model_cache_hits_total", &[])
             .store(stats.hits);
+        // Similarity-keyed reuses are counted apart from exact-bytes hits so
+        // the accuracy monitor can veto the similarity path independently.
+        registry
+            .counter("seagull_model_cache_similarity_hits_total", &[])
+            .store(stats.hits_similarity);
         for (reason, n) in [
             ("cold", stats.misses_cold),
             ("fingerprint", stats.invalidated_fingerprint),
@@ -1776,6 +2027,23 @@ impl AmlPipeline {
             reports.extend(self.run_fleet_week(regions, week));
         }
         reports
+    }
+}
+
+/// Runs `f` with per-call panic isolation: an ordinary panic becomes an
+/// `Err` carrying its message, while [`InjectedCrash`] payloads (chaos kill
+/// points simulating process death) are re-raised so crash-recovery tests
+/// still observe a dying process. Mirrors the isolation contract of
+/// [`parallel_map_tasks`] for code that runs *inside* a multi-server task.
+fn isolate<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            if payload.is::<InjectedCrash>() {
+                std::panic::resume_unwind(payload);
+            }
+            Err(crate::par::panic_message(payload.as_ref()))
+        }
     }
 }
 

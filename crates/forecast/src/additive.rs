@@ -129,23 +129,31 @@ impl Forecaster for AdditiveForecaster {
         let t0 = history.start();
         let span_min = (history.end() - history.start()) as f64;
 
-        // Build the design matrix once.
+        // Build the design matrix once (pool-backed: steady-state fits reuse
+        // the previous fit's buffer).
         let mut scratch = Vec::with_capacity(dim);
-        let mut design = Matrix::zeros(n, dim);
+        let mut design = Matrix::zeros_pooled(n, dim);
         for i in 0..n {
             self.features(history.timestamp_at(i), t0, span_min, &mut scratch);
             design.row_mut(i).copy_from_slice(&scratch);
         }
         // Center the target for conditioning.
         let mean = history.mean();
-        let y: Vec<f64> = history.values().iter().map(|v| v - mean).collect();
+        let mut y = seagull_linalg::scratch::take(n);
+        y.extend(history.values().iter().map(|v| v - mean));
 
-        let coef = match self.config.fit {
-            FitMethod::Exact => ridge_regression(&design, &y, self.config.ridge_lambda)?,
-            FitMethod::GradientDescent { iterations } => {
-                gradient_descent(&design, &y, self.config.ridge_lambda, iterations)
-            }
+        let fit_result = match self.config.fit {
+            FitMethod::Exact => ridge_regression(&design, &y, self.config.ridge_lambda),
+            FitMethod::GradientDescent { iterations } => Ok(gradient_descent(
+                &design,
+                &y,
+                self.config.ridge_lambda,
+                iterations,
+            )),
         };
+        design.recycle();
+        seagull_linalg::scratch::recycle(y);
+        let coef = fit_result?;
 
         Ok(Box::new(FittedAdditive {
             forecaster: *self,
@@ -252,6 +260,21 @@ mod tests {
             fit: FitMethod::Exact,
             ..AdditiveConfig::default()
         })
+    }
+
+    #[test]
+    fn repeated_fits_reuse_scratch_buffers() {
+        let hist = daily_sine(3, 15);
+        let model = exact();
+        // First fit seeds this thread's pool; later fits draw from it.
+        model.fit(&hist).unwrap();
+        let before = seagull_linalg::scratch::stats();
+        model.fit(&hist).unwrap();
+        let after = seagull_linalg::scratch::stats();
+        assert!(
+            after.reuses > before.reuses,
+            "second fit reused no scratch buffers ({before:?} -> {after:?})"
+        );
     }
 
     #[test]

@@ -306,8 +306,8 @@ fn fit_order(
             got: w.len(),
         });
     }
-    let mut design = Matrix::zeros(n_rows, n_cols);
-    let mut target = Vec::with_capacity(n_rows);
+    let mut design = Matrix::zeros_pooled(n_rows, n_cols);
+    let mut target = seagull_linalg::scratch::take(n_rows);
     for (r, t) in (start..w.len()).enumerate() {
         let row = design.row_mut(r);
         row[0] = 1.0;
@@ -319,7 +319,10 @@ fn fit_order(
         }
         target.push(w[t]);
     }
-    let mut coef = least_squares(&design, &target)?;
+    let ls = least_squares(&design, &target);
+    design.recycle();
+    seagull_linalg::scratch::recycle(target);
+    let mut coef = ls?;
 
     // Stage 3: CSS refinement with a numerical gradient.
     if refine_iterations > 0 {
@@ -349,8 +352,8 @@ fn fit_order(
 /// Long-AR residual estimation for Hannan–Rissanen stage one.
 fn long_ar_residuals(w: &[f64], m: usize) -> Result<Vec<f64>, ForecastError> {
     let n_rows = w.len() - m;
-    let mut design = Matrix::zeros(n_rows, m + 1);
-    let mut target = Vec::with_capacity(n_rows);
+    let mut design = Matrix::zeros_pooled(n_rows, m + 1);
+    let mut target = seagull_linalg::scratch::take(n_rows);
     for (r, t) in (m..w.len()).enumerate() {
         let row = design.row_mut(r);
         row[0] = 1.0;
@@ -359,7 +362,10 @@ fn long_ar_residuals(w: &[f64], m: usize) -> Result<Vec<f64>, ForecastError> {
         }
         target.push(w[t]);
     }
-    let coef = least_squares(&design, &target)?;
+    let ls = least_squares(&design, &target);
+    design.recycle();
+    seagull_linalg::scratch::recycle(target);
+    let coef = ls?;
     let mut resid = vec![0.0f64; w.len()];
     for t in m..w.len() {
         let mut pred = coef[0];
@@ -539,6 +545,21 @@ mod tests {
             refine_iterations: 20,
             prescreen: false,
         })
+    }
+
+    #[test]
+    fn repeated_fits_reuse_scratch_buffers() {
+        let hist = daily_sine(3, 15);
+        let model = nonseasonal();
+        // First fit seeds this thread's pool; later fits draw from it.
+        model.fit(&hist).unwrap();
+        let before = seagull_linalg::scratch::stats();
+        model.fit(&hist).unwrap();
+        let after = seagull_linalg::scratch::stats();
+        assert!(
+            after.reuses > before.reuses,
+            "second fit reused no scratch buffers ({before:?} -> {after:?})"
+        );
     }
 
     #[test]

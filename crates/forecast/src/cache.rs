@@ -11,7 +11,13 @@
 //!   input ⇒ identical fit), or
 //! * the server is classified *stable*, the new history has the same shape,
 //!   and [`crate::diagnostics::series_drift`] does not flag a level/scale
-//!   shift against the statistics captured at fit time.
+//!   shift against the statistics captured at fit time, or
+//! * the new history's quantized shape sketch ([`shape_sketch`]) matches
+//!   the one captured at fit time and the same drift gate passes — a
+//!   *similarity* reuse, counted separately in
+//!   [`CacheStats::hits_similarity`] so the accuracy monitor can veto the
+//!   looser key (via [`ModelCache::flag_drift`]) without touching exact
+//!   reuse.
 //!
 //! Reuse across weeks is sound because every forecaster here anchors its
 //! prediction at `history.end()` and is translation-equivariant under
@@ -44,6 +50,60 @@ use std::time::Duration;
 /// eviction is exercised by tests.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
+/// Segments in the quantized shape sketch.
+const SKETCH_BUCKETS: usize = 16;
+/// Sketch quantization step, in units of the series' own standard deviation.
+const SKETCH_QUANTUM: f64 = 0.25;
+
+/// Quantized shape sketch of a series.
+///
+/// The series is split into [`SKETCH_BUCKETS`] equal segments; each
+/// segment's mean is z-scored against the whole series, quantized to
+/// [`SKETCH_QUANTUM`]-sigma steps, clamped to an `i8`, and the 16 signed
+/// bucket values are packed into a `u128`. Two sketches are *similar*
+/// ([`sketches_similar`]) when every bucket agrees to within one quantum —
+/// exact equality would make reuse hostage to quantization-boundary jitter
+/// (a segment mean sitting at 0.24σ one week and 0.26σ the next). The
+/// sketch is deliberately much coarser than the byte fingerprint, which is
+/// why the cache only consults it behind the drift gate.
+pub fn shape_sketch(values: &[f64]) -> u128 {
+    if values.is_empty() {
+        return 0;
+    }
+    let (mean, std) = mean_std(values);
+    let scale = std.max(1e-9);
+    let n = values.len();
+    let mut packed = 0u128;
+    for b in 0..SKETCH_BUCKETS {
+        let lo = b * n / SKETCH_BUCKETS;
+        let hi = ((b + 1) * n / SKETCH_BUCKETS).max(lo + 1).min(n);
+        let q = if lo >= hi {
+            0i8
+        } else {
+            let seg = &values[lo..hi];
+            let seg_mean = seg.iter().sum::<f64>() / seg.len() as f64;
+            let z = (seg_mean - mean) / scale / SKETCH_QUANTUM;
+            z.round().clamp(i8::MIN as f64 + 1.0, i8::MAX as f64) as i8
+        };
+        packed |= (q as u8 as u128) << (8 * b);
+    }
+    packed
+}
+
+/// Whether two shape sketches describe the same normalized shape: every
+/// bucket's quantized z-score within one [`SKETCH_QUANTUM`] step of its
+/// counterpart. Identical sketches are trivially similar.
+pub fn sketches_similar(a: u128, b: u128) -> bool {
+    for bucket in 0..SKETCH_BUCKETS {
+        let qa = ((a >> (8 * bucket)) & 0xff) as u8 as i8;
+        let qb = ((b >> (8 * bucket)) & 0xff) as u8 as i8;
+        if (i16::from(qa) - i16::from(qb)).abs() > 1 {
+            return false;
+        }
+    }
+    true
+}
+
 struct CacheEntry {
     fingerprint: u64,
     class: String,
@@ -55,6 +115,8 @@ struct CacheEntry {
     /// Summary statistics of the training history, the drift baseline.
     mean: f64,
     std: f64,
+    /// Quantized shape sketch of the training history, the similarity key.
+    sketch: u128,
     /// Wall time the original cold fit took; credited to
     /// [`CacheStats::saved_wall`] on every hit.
     fit_wall: Duration,
@@ -83,6 +145,9 @@ pub struct CachedFit {
     pub fitted: Arc<dyn FittedModel>,
     /// Minutes to shift the prediction so it anchors at the new history end.
     pub shift_min: i64,
+    /// True when the hit came from the quantized-shape similarity key
+    /// rather than an exact fingerprint match or stable-class reuse.
+    pub similarity: bool,
 }
 
 /// Outcome of [`ModelCache::lookup`].
@@ -105,6 +170,7 @@ pub struct CacheUpdate {
     len: usize,
     mean: f64,
     std: f64,
+    sketch: u128,
     fit_wall: Duration,
 }
 
@@ -129,6 +195,7 @@ impl CacheUpdate {
             len: history.len(),
             mean,
             std,
+            sketch: shape_sketch(history.values()),
             fit_wall,
         }
     }
@@ -138,8 +205,13 @@ impl CacheUpdate {
 /// for a given input stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache by exact fingerprint or stable-class
+    /// reuse.
     pub hits: u64,
+    /// Lookups served via the quantized-shape similarity key. Kept apart
+    /// from `hits` so the accuracy monitor can judge the looser key on its
+    /// own record.
+    pub hits_similarity: u64,
     /// Lookups that found no entry at all.
     pub misses_cold: u64,
     /// Entries invalidated because the series fingerprint changed.
@@ -164,13 +236,15 @@ impl CacheStats {
             + self.invalidated_drift
     }
 
-    /// Hits over total lookups; 0.0 when nothing was looked up.
+    /// Hits (exact and similarity) over total lookups; 0.0 when nothing was
+    /// looked up.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses();
+        let served = self.hits + self.hits_similarity;
+        let total = served + self.misses();
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
@@ -184,6 +258,7 @@ pub struct ModelCache {
     flagged: RwLock<BTreeSet<String>>,
     capacity: usize,
     hits: AtomicU64,
+    hits_similarity: AtomicU64,
     misses_cold: AtomicU64,
     invalidated_fingerprint: AtomicU64,
     invalidated_class: AtomicU64,
@@ -211,6 +286,7 @@ impl ModelCache {
             flagged: RwLock::new(BTreeSet::new()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
+            hits_similarity: AtomicU64::new(0),
             misses_cold: AtomicU64::new(0),
             invalidated_fingerprint: AtomicU64::new(0),
             invalidated_class: AtomicU64::new(0),
@@ -267,21 +343,30 @@ impl ModelCache {
             return Lookup::Miss(MissReason::Fingerprint);
         }
         if entry.fingerprint == fingerprint {
-            self.record_hit(entry);
+            self.record_hit(entry, false);
             return Lookup::Hit(CachedFit {
                 fitted: Arc::clone(&entry.fitted),
                 shift_min: delta,
+                similarity: false,
             });
         }
         // Changed bytes: stable servers may still reuse the fit if the
-        // series has not drifted from the baseline captured at fit time.
-        if class == "stable" {
+        // series has not drifted from the baseline captured at fit time,
+        // and any other server whose quantized shape sketch is still
+        // similar to the one captured at fit time gets a *similarity*
+        // reuse behind the same drift gate. The entry itself is never
+        // rewritten on a similarity hit — only recency moves (at commit),
+        // so a veto via `flag_drift` restores a clean cold fit.
+        let stable = class == "stable";
+        let similar = !stable && sketches_similar(entry.sketch, shape_sketch(history.values()));
+        if stable || similar {
             let verdict = series_drift(entry.mean, entry.std, history.values());
             if !verdict.drifted {
-                self.record_hit(entry);
+                self.record_hit(entry, similar);
                 return Lookup::Hit(CachedFit {
                     fitted: Arc::clone(&entry.fitted),
                     shift_min: delta,
+                    similarity: similar,
                 });
             }
             self.invalidated_drift.fetch_add(1, Ordering::Relaxed);
@@ -291,8 +376,12 @@ impl ModelCache {
         Lookup::Miss(MissReason::Fingerprint)
     }
 
-    fn record_hit(&self, entry: &CacheEntry) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+    fn record_hit(&self, entry: &CacheEntry, similarity: bool) {
+        if similarity {
+            self.hits_similarity.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
         self.saved_wall_ns
             .fetch_add(entry.fit_wall.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -327,6 +416,7 @@ impl ModelCache {
                     len: u.len,
                     mean: u.mean,
                     std: u.std,
+                    sketch: u.sketch,
                     fit_wall: u.fit_wall,
                     stamp: tick,
                 },
@@ -392,6 +482,7 @@ impl ModelCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            hits_similarity: self.hits_similarity.load(Ordering::Relaxed),
             misses_cold: self.misses_cold.load(Ordering::Relaxed),
             invalidated_fingerprint: self.invalidated_fingerprint.load(Ordering::Relaxed),
             invalidated_class: self.invalidated_class.load(Ordering::Relaxed),
@@ -441,6 +532,18 @@ mod tests {
         .unwrap()
     }
 
+    /// A daily sawtooth: same grid as [`series`] but a distinctly
+    /// non-constant shape, so its sketch differs from any constant series.
+    fn ramp(start_week: i64, level: f64, amplitude: f64) -> TimeSeries {
+        TimeSeries::from_fn(
+            Timestamp::from_minutes(start_week * MINUTES_PER_WEEK),
+            30,
+            7 * 48,
+            |t| level + amplitude * ((t.minutes() / 30) % 48) as f64 / 48.0,
+        )
+        .unwrap()
+    }
+
     fn update(key: &str, fp: u64, class: &str, history: &TimeSeries) -> CacheUpdate {
         let fitted: Arc<dyn FittedModel> = Arc::new(DummyFit {
             value: 1.0,
@@ -476,11 +579,13 @@ mod tests {
         let cache = ModelCache::new();
         let week0 = series(0, 10.0);
         cache.commit(0, vec![update("a/s1", 42, "daily-pattern", &week0)], &[]);
-        let week1 = series(1, 10.0);
+        // Changed bytes *and* changed shape: no exact or similarity reuse.
+        let reshaped = ramp(1, 10.0, 40.0);
         assert!(matches!(
-            cache.lookup("a/s1", 43, "daily-pattern", &week1),
+            cache.lookup("a/s1", 43, "daily-pattern", &reshaped),
             Lookup::Miss(MissReason::Fingerprint)
         ));
+        let week1 = series(1, 10.0);
         assert!(matches!(
             cache.lookup("a/s1", 42, "no-pattern", &week1),
             Lookup::Miss(MissReason::Class)
@@ -488,6 +593,85 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.invalidated_fingerprint, 1);
         assert_eq!(stats.invalidated_class, 1);
+    }
+
+    #[test]
+    fn similarity_reuse_on_matching_sketch() {
+        let cache = ModelCache::new();
+        let week0 = ramp(0, 10.0, 40.0);
+        cache.commit(0, vec![update("a/s1", 42, "daily-pattern", &week0)], &[]);
+        // Different bytes, non-stable class, same quantized shape: the
+        // similarity key serves the hit and it is counted separately.
+        let week1 = ramp(1, 10.0, 40.0);
+        match cache.lookup("a/s1", 99, "daily-pattern", &week1) {
+            Lookup::Hit(hit) => {
+                assert!(hit.similarity);
+                assert_eq!(hit.shift_min, MINUTES_PER_WEEK);
+            }
+            Lookup::Miss(r) => panic!("expected similarity hit, got {r:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.hits_similarity, 1);
+        assert!(stats.hit_rate() > 0.99, "similarity hits count in hit_rate");
+
+        // The accuracy monitor can veto the looser key: a drift flag forces
+        // the next lookup to refit even though the sketch still matches.
+        cache.flag_drift("a/s1");
+        assert!(matches!(
+            cache.lookup("a/s1", 99, "daily-pattern", &week1),
+            Lookup::Miss(MissReason::Drift)
+        ));
+    }
+
+    #[test]
+    fn similarity_reuse_blocked_by_level_drift() {
+        let cache = ModelCache::new();
+        let week0 = ramp(0, 10.0, 40.0);
+        cache.commit(0, vec![update("a/s1", 42, "daily-pattern", &week0)], &[]);
+        // The sketch is z-scored, so a pure level/scale shift leaves it
+        // unchanged — exactly the case the drift gate must catch.
+        let shifted = ramp(1, 80.0, 40.0);
+        assert!(matches!(
+            cache.lookup("a/s1", 99, "daily-pattern", &shifted),
+            Lookup::Miss(MissReason::Drift)
+        ));
+        assert_eq!(cache.stats().invalidated_drift, 1);
+        assert_eq!(cache.stats().hits_similarity, 0);
+    }
+
+    #[test]
+    fn shape_sketch_quantizes_and_discriminates() {
+        let flat = series(0, 10.0);
+        let saw = ramp(0, 10.0, 40.0);
+        // Constant series: every bucket is exactly mean, sketch is zero.
+        assert_eq!(shape_sketch(flat.values()), 0);
+        assert_ne!(shape_sketch(saw.values()), shape_sketch(flat.values()));
+        // Scale/level invariance (the drift gate owns those dimensions).
+        let scaled = ramp(0, 50.0, 80.0);
+        assert_eq!(shape_sketch(saw.values()), shape_sketch(scaled.values()));
+        assert_eq!(shape_sketch(&[]), 0);
+        // A saw is far more than one quantum from flat in some bucket.
+        assert!(!sketches_similar(
+            shape_sketch(saw.values()),
+            shape_sketch(flat.values())
+        ));
+    }
+
+    #[test]
+    fn sketch_similarity_tolerates_one_quantum_of_jitter() {
+        let a = shape_sketch(ramp(0, 10.0, 40.0).values());
+        assert!(sketches_similar(a, a), "similarity is reflexive");
+        // Nudge one bucket by exactly one quantum: still similar — this is
+        // the quantization-boundary jitter noisy same-shape servers show
+        // week over week.
+        let bucket0 = (a & 0xff) as u8 as i8;
+        let jittered = (a & !0xffu128) | (bucket0.wrapping_add(1) as u8 as u128);
+        assert!(sketches_similar(a, jittered));
+        assert!(sketches_similar(jittered, a), "similarity is symmetric");
+        // Two quanta in a single bucket is a different shape.
+        let moved = (a & !0xffu128) | (bucket0.wrapping_add(2) as u8 as u128);
+        assert!(!sketches_similar(a, moved));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::{check_history, FittedModel, ForecastError, Forecaster};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use seagull_linalg::{kernel, scratch};
 use seagull_timeseries::TimeSeries;
 use serde::{Deserialize, Serialize};
 
@@ -104,22 +105,25 @@ impl Forecaster for FeedForwardForecaster {
         let mut rng = ChaCha8Rng::seed_from_u64(c.seed);
         let mut net = Mlp::new(c.context_len, &c.hidden, c.prediction_len, &mut rng);
         let mut adam = AdamState::new(&net);
+        let mut grads = net.zero_grads();
+        let mut ws = TrainScratch::new(&net);
 
         let mut step = 0usize;
         for _epoch in 0..c.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(c.batch_size) {
-                let mut grads = net.zero_grads();
+                grads.zero();
                 for &start in chunk {
                     let x = &norm[start..start + c.context_len];
                     let y = &norm[start + c.context_len..start + c.context_len + c.prediction_len];
-                    net.accumulate_gradients(x, y, &mut grads);
+                    net.accumulate_gradients(x, y, &mut grads, &mut ws);
                 }
                 let scale = 1.0 / chunk.len() as f64;
                 step += 1;
                 adam.apply(&mut net, &grads, scale, c.learning_rate, step);
             }
         }
+        ws.recycle();
 
         Ok(Box::new(FittedFeedForward {
             net,
@@ -186,6 +190,58 @@ struct Grads {
     b: Vec<Vec<f64>>,
 }
 
+impl Grads {
+    fn zero(&mut self) {
+        for g in self.w.iter_mut().chain(self.b.iter_mut()) {
+            g.fill(0.0);
+        }
+    }
+}
+
+/// Flat training workspace borrowed from the thread-local scratch pool so
+/// the per-sample forward/backward passes allocate nothing.
+struct TrainScratch {
+    /// All layer activations concatenated: the input block, then each
+    /// layer's post-activation output block.
+    acts: Vec<f64>,
+    /// Start offset of each activation block in `acts`, plus an end sentinel.
+    offsets: Vec<usize>,
+    /// Backpropagated error for the current layer.
+    delta: Vec<f64>,
+    /// Error being assembled for the previous layer.
+    prev: Vec<f64>,
+}
+
+impl TrainScratch {
+    fn new(net: &Mlp) -> TrainScratch {
+        let input = net.layers[0].in_dim;
+        let mut offsets = Vec::with_capacity(net.layers.len() + 2);
+        offsets.push(0);
+        let mut total = input;
+        let mut widest = input;
+        for l in &net.layers {
+            offsets.push(total);
+            total += l.out_dim;
+            widest = widest.max(l.out_dim);
+        }
+        offsets.push(total);
+        let mut acts = scratch::take(total);
+        acts.resize(total, 0.0);
+        TrainScratch {
+            acts,
+            offsets,
+            delta: scratch::take(widest),
+            prev: scratch::take(widest),
+        }
+    }
+
+    fn recycle(self) {
+        scratch::recycle(self.acts);
+        scratch::recycle(self.delta);
+        scratch::recycle(self.prev);
+    }
+}
+
 impl Mlp {
     fn new(input: usize, hidden: &[usize], output: usize, rng: &mut ChaCha8Rng) -> Mlp {
         let mut dims = vec![input];
@@ -225,7 +281,7 @@ impl Mlp {
             let mut z = vec![0.0f64; layer.out_dim];
             for (o, zo) in z.iter_mut().enumerate() {
                 let wrow = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
-                *zo = layer.b[o] + wrow.iter().zip(&a).map(|(w, v)| w * v).sum::<f64>();
+                *zo = layer.b[o] + kernel::dot(wrow, &a);
             }
             if li + 1 < self.layers.len() {
                 for v in &mut z {
@@ -238,65 +294,66 @@ impl Mlp {
     }
 
     /// Forward + backward for one sample, accumulating dL/dθ for the
-    /// squared-error loss `mean((ŷ - y)²)` into `grads`.
-    fn accumulate_gradients(&self, x: &[f64], y: &[f64], grads: &mut Grads) {
-        // Forward, keeping activations.
-        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+    /// squared-error loss `mean((ŷ - y)²)` into `grads`. Activations and
+    /// error vectors live in `ws`; nothing is allocated per sample.
+    fn accumulate_gradients(&self, x: &[f64], y: &[f64], grads: &mut Grads, ws: &mut TrainScratch) {
+        let nl = self.layers.len();
+        // Forward, keeping every activation block in the flat buffer.
+        ws.acts[..x.len()].copy_from_slice(x);
         for (li, layer) in self.layers.iter().enumerate() {
-            let a = &acts[li];
-            let mut z = vec![0.0f64; layer.out_dim];
+            let (lo, mid, hi) = (ws.offsets[li], ws.offsets[li + 1], ws.offsets[li + 2]);
+            let (head, tail) = ws.acts.split_at_mut(mid);
+            let a = &head[lo..];
+            let z = &mut tail[..hi - mid];
             for (o, zo) in z.iter_mut().enumerate() {
                 let wrow = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
-                *zo = layer.b[o] + wrow.iter().zip(a).map(|(w, v)| w * v).sum::<f64>();
+                *zo = layer.b[o] + kernel::dot(wrow, a);
             }
-            if li + 1 < self.layers.len() {
-                for v in &mut z {
+            if li + 1 < nl {
+                for v in z.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            acts.push(z);
         }
         // Backward.
-        let out = acts.last().expect("at least one layer");
-        let mut delta: Vec<f64> = out
-            .iter()
-            .zip(y)
-            .map(|(p, t)| 2.0 * (p - t) / y.len() as f64)
-            .collect();
-        for li in (0..self.layers.len()).rev() {
+        let out = &ws.acts[ws.offsets[nl]..ws.offsets[nl + 1]];
+        ws.delta.clear();
+        ws.delta.extend(
+            out.iter()
+                .zip(y)
+                .map(|(p, t)| 2.0 * (p - t) / y.len() as f64),
+        );
+        for li in (0..nl).rev() {
             let layer = &self.layers[li];
-            let a_in = &acts[li];
+            let a_in = &ws.acts[ws.offsets[li]..ws.offsets[li + 1]];
             // Gradients for this layer.
-            for (o, &d) in delta.iter().enumerate() {
+            for (o, &d) in ws.delta.iter().enumerate() {
                 if d == 0.0 {
                     continue;
                 }
                 grads.b[li][o] += d;
                 let grow = &mut grads.w[li][o * layer.in_dim..(o + 1) * layer.in_dim];
-                for (g, &v) in grow.iter_mut().zip(a_in) {
-                    *g += d * v;
-                }
+                kernel::axpy(grow, d, a_in);
             }
             if li == 0 {
                 break;
             }
             // Propagate delta through weights and the previous ReLU.
-            let mut prev = vec![0.0f64; layer.in_dim];
-            for (o, &d) in delta.iter().enumerate() {
+            ws.prev.clear();
+            ws.prev.resize(layer.in_dim, 0.0);
+            for (o, &d) in ws.delta.iter().enumerate() {
                 if d == 0.0 {
                     continue;
                 }
                 let wrow = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
-                for (p, &w) in prev.iter_mut().zip(wrow) {
-                    *p += d * w;
-                }
+                kernel::axpy(&mut ws.prev, d, wrow);
             }
-            for (p, &a) in prev.iter_mut().zip(&acts[li]) {
+            for (p, &a) in ws.prev.iter_mut().zip(a_in) {
                 if a <= 0.0 {
-                    *p = 0.0; // ReLU gate (acts[li] is post-activation).
+                    *p = 0.0; // ReLU gate (a_in is post-activation).
                 }
             }
-            delta = prev;
+            std::mem::swap(&mut ws.delta, &mut ws.prev);
         }
     }
 }
@@ -437,6 +494,21 @@ mod tests {
         let mut cfg = fast_config();
         cfg.stride = 0;
         assert!(FeedForwardForecaster::new(cfg).fit(&hist).is_err());
+    }
+
+    #[test]
+    fn repeated_fits_reuse_scratch_buffers() {
+        let hist = daily_sine(3, 15);
+        let model = FeedForwardForecaster::new(fast_config());
+        // First fit seeds this thread's pool; later fits draw from it.
+        model.fit(&hist).unwrap();
+        let before = seagull_linalg::scratch::stats();
+        model.fit(&hist).unwrap();
+        let after = seagull_linalg::scratch::stats();
+        assert!(
+            after.reuses > before.reuses,
+            "second fit reused no scratch buffers ({before:?} -> {after:?})"
+        );
     }
 
     #[test]

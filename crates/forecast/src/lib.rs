@@ -38,7 +38,10 @@ use std::fmt;
 
 pub use additive::{AdditiveConfig, AdditiveForecaster};
 pub use arima::{ArimaConfig, ArimaForecaster, ArimaOrder};
-pub use cache::{CacheStats, CacheUpdate, CachedFit, Lookup, MissReason, ModelCache};
+pub use cache::{
+    shape_sketch, sketches_similar, CacheStats, CacheUpdate, CachedFit, Lookup, MissReason,
+    ModelCache,
+};
 pub use competitive::{
     Candidate, CandidateScore, CompetitiveConfig, CompetitiveForecaster, RaceReport, StatsSnapshot,
 };
@@ -46,7 +49,7 @@ pub use diagnostics::{acf, ljung_box, pacf, series_drift, suggest_orders, DriftV
 pub use feedforward::{FeedForwardConfig, FeedForwardForecaster};
 pub use persistent::{PersistentForecast, PersistentVariant};
 pub use select::{detect_pattern, ClassAwareForecaster, HistoryPattern, PatternThresholds};
-pub use ssa::{SsaConfig, SsaForecaster};
+pub use ssa::{SsaConfig, SsaForecaster, SsaKernel};
 
 /// Errors produced by forecasting models.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +104,14 @@ impl From<seagull_linalg::LinalgError> for ForecastError {
 pub trait FittedModel: Send + Sync {
     /// Predicts the next `horizon` points.
     fn predict(&self, horizon: usize) -> Result<TimeSeries, ForecastError>;
+
+    /// Stable label of the numerical kernel that produced this fit (e.g.
+    /// `"ssa-randomized"`, `"ssa-dense"`). The pipeline exports per-kernel
+    /// fit counts so kernel selection is observable in production; models
+    /// with a single fitting path report `"default"`.
+    fn fit_kernel(&self) -> &'static str {
+        "default"
+    }
 }
 
 /// A forecasting model family.
@@ -123,6 +134,28 @@ pub trait Forecaster: Send + Sync {
         horizon: usize,
     ) -> Result<TimeSeries, ForecastError> {
         self.fit(history)?.predict(horizon)
+    }
+
+    /// Fits a batch of histories in one kernel invocation.
+    ///
+    /// The pipeline groups same-shape (same length / step) servers and hands
+    /// each group here so implementations can hoist shape-dependent setup —
+    /// sketches, factorization workspace — across the batch. Two contracts
+    /// hold for every implementation:
+    ///
+    /// 1. **Parity**: result `i` is bitwise identical to `self.fit(&histories[i])`
+    ///    run in isolation (batching is a pure performance optimization);
+    /// 2. **Isolation**: one history failing to fit yields an `Err` in its
+    ///    slot only — the rest of the batch still fits.
+    ///
+    /// The default implementation fits sequentially, which already satisfies
+    /// both (and reuses factorization buffers through the thread-local
+    /// scratch pool).
+    fn fit_batch(
+        &self,
+        histories: &[&TimeSeries],
+    ) -> Vec<Result<Box<dyn FittedModel>, ForecastError>> {
+        histories.iter().map(|h| self.fit(h)).collect()
     }
 }
 

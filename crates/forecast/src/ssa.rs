@@ -15,9 +15,40 @@
 //!    and iterate it to produce the forecast.
 
 use crate::{check_history, FittedModel, ForecastError, Forecaster};
-use seagull_linalg::{hankel_matrix, hankelize, thin_svd, Matrix};
+use seagull_linalg::{
+    hankel_gram, hankel_matrix, hankelize, kernel, scratch, thin_svd, truncated_eigh_with_sketch,
+    Matrix,
+};
 use seagull_timeseries::TimeSeries;
 use serde::{Deserialize, Serialize};
+
+/// Which factorization backs the SSA fit.
+///
+/// The fitted forecast is pinned to the dense path within
+/// [`RANDOMIZED_PARITY_TOL`]; kernel choice is a performance decision, not a
+/// model change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SsaKernel {
+    /// Pick automatically: randomized when the window comfortably exceeds
+    /// the sketched subspace (`L ≥ 2·(max_rank + oversample)`), dense
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Full cyclic-Jacobi eigendecomposition of the trajectory SVD — the
+    /// reference path.
+    Dense,
+    /// Randomized truncated subspace of the trajectory Gram matrix.
+    Randomized,
+}
+
+/// Maximum absolute forecast divergence between the randomized and dense
+/// kernels, on the 0–100 load scale. Degenerate eigenvalue pairs (pure
+/// sinusoids split across two equal-σ components) allow the two paths to
+/// pick different bases for the same signal subspace; everything the LRR and
+/// reconstruction consume is subspace-invariant, so the divergence stays at
+/// numerical-noise level. Asserted by the parity test suite and the fit
+/// bench.
+pub const RANDOMIZED_PARITY_TOL: f64 = 5e-3;
 
 /// SSA hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +62,9 @@ pub struct SsaConfig {
     pub energy: f64,
     /// Hard cap on the number of retained components.
     pub max_rank: usize,
+    /// Factorization backend (defaults to [`SsaKernel::Auto`]).
+    #[serde(default)]
+    pub kernel: SsaKernel,
 }
 
 impl Default for SsaConfig {
@@ -39,8 +73,26 @@ impl Default for SsaConfig {
             window: 72, // 6 hours at 5-minute granularity
             energy: 0.92,
             max_rank: 12,
+            kernel: SsaKernel::Auto,
         }
     }
+}
+
+/// Sketch columns beyond `max_rank` for the randomized kernel (the
+/// oversampling parameter of the range finder).
+const OVERSAMPLE: usize = 8;
+
+/// Power iterations for the randomized kernel.
+const POWER_ITERS: usize = 2;
+
+/// Base seed for the Gaussian sketch. The effective seed mixes in the
+/// problem shape only — never the server or batch position — so a given
+/// `(window, rank)` always draws the same sketch and batched fits are
+/// bitwise identical to solo fits.
+const SKETCH_SEED: u64 = 0x5ea9_0111_7af1_75eb;
+
+fn sketch_seed(l: usize, q: usize) -> u64 {
+    SKETCH_SEED ^ ((l as u64) << 32) ^ q as u64
 }
 
 /// The SSA forecaster.
@@ -59,20 +111,32 @@ impl SsaForecaster {
     pub fn config(&self) -> &SsaConfig {
         &self.config
     }
-}
 
-impl Default for SsaForecaster {
-    fn default() -> Self {
-        SsaForecaster::new(SsaConfig::default())
-    }
-}
-
-impl Forecaster for SsaForecaster {
-    fn name(&self) -> &'static str {
-        "ssa"
+    /// Sketch width `q = min(max_rank + oversample, L)` of the randomized
+    /// kernel for this configuration.
+    fn sketch_width(&self) -> usize {
+        (self.config.max_rank + OVERSAMPLE).min(self.config.window)
     }
 
-    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+    /// The kernel [`SsaKernel::Auto`] resolves to for this configuration:
+    /// randomized only when the window strictly exceeds twice the sketch
+    /// width (below that the subspace projection saves nothing over dense
+    /// Jacobi, which is also the fallback rule inside the eigensolver).
+    pub fn resolved_kernel(&self) -> SsaKernel {
+        match self.config.kernel {
+            SsaKernel::Auto => {
+                if self.config.window > 2 * self.sketch_width() {
+                    SsaKernel::Randomized
+                } else {
+                    SsaKernel::Dense
+                }
+            }
+            k => k,
+        }
+    }
+
+    /// Window sanity + history validation shared by both kernels.
+    fn validate(&self, history: &TimeSeries) -> Result<(), ForecastError> {
         let l = self.config.window;
         if l < 2 {
             return Err(ForecastError::Numerical(
@@ -81,7 +145,12 @@ impl Forecaster for SsaForecaster {
         }
         // Need at least 2L points so that K = n - L + 1 > L (a proper
         // trajectory matrix) and the LRR has data to run on.
-        check_history(history, 2 * l)?;
+        check_history(history, 2 * l)
+    }
+
+    /// Reference path: full trajectory-matrix SVD via dense cyclic Jacobi.
+    fn fit_dense(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let l = self.config.window;
         // No centering: the DC level is captured by the leading eigentriple,
         // keeping the linear recurrence valid on the raw signal.
         let traj = hankel_matrix(history.values(), l);
@@ -141,15 +210,9 @@ impl Forecaster for SsaForecaster {
             let mut m = Matrix::zeros_pooled(l, traj_cols);
             for c in 0..rank {
                 let s = svd.sigma[c];
+                let vc = svd.v.col(c);
                 for i in 0..l {
-                    let us = svd.u[(i, c)] * s;
-                    if us == 0.0 {
-                        continue;
-                    }
-                    let row = m.row_mut(i);
-                    for (j, r) in row.iter_mut().enumerate() {
-                        *r += us * svd.v[(j, c)];
-                    }
+                    kernel::axpy(m.row_mut(i), svd.u[(i, c)] * s, &vc);
                 }
             }
             m
@@ -163,7 +226,163 @@ impl Forecaster for SsaForecaster {
             signal,
             lrr,
             template: history.clone(),
+            kernel: "ssa-dense",
         }))
+    }
+
+    /// Fast path: randomized truncated eigendecomposition of the trajectory
+    /// Gram matrix, with the projection and reconstruction fused into
+    /// convolution-style axpys over the raw series (the `L × K` trajectory
+    /// matrix is never materialized).
+    fn fit_randomized(
+        &self,
+        history: &TimeSeries,
+        sketch: &Matrix,
+    ) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let s = history.values();
+        let n = s.len();
+        let l = self.config.window;
+        let k = n - l + 1;
+        let g = hankel_gram(s, l);
+        // Total spectral energy Σ σ² = trace(G): the truncated path never
+        // sees the tail of the spectrum, but the trace carries its sum
+        // exactly, so energy-based rank selection matches the dense rule.
+        let total: f64 = (0..l).map(|i| g[(i, i)]).sum();
+        let eig_result = truncated_eigh_with_sketch(&g, sketch.rows(), sketch, POWER_ITERS);
+        g.recycle();
+        let eig = eig_result?;
+
+        // Pick the signal subspace by cumulative energy (λ = σ²).
+        let mut rank = 0;
+        let mut acc = 0.0;
+        for &lambda in &eig.values {
+            if rank >= self.config.max_rank {
+                break;
+            }
+            rank += 1;
+            acc += lambda.max(0.0);
+            if total > 0.0 && acc / total >= self.config.energy {
+                break;
+            }
+        }
+        let rank = rank.max(1);
+
+        // Verticality check on the last coordinate of each eigenvector
+        // (rows of vectors_t are the left singular vectors of the
+        // trajectory matrix).
+        let mut v2 = 0.0;
+        for c in 0..rank {
+            let pi = eig.vectors_t[(c, l - 1)];
+            v2 += pi * pi;
+        }
+        if v2 >= 1.0 - 1e-9 {
+            eig.recycle();
+            return Err(ForecastError::Numerical(
+                "SSA series is non-forecastable (vertical signal subspace)".into(),
+            ));
+        }
+        // R_j = (1/(1-v²)) Σ_i π_i · U_i[j], j = 0..L-1.
+        let mut lrr = vec![0.0f64; l - 1];
+        for c in 0..rank {
+            let urow = eig.vectors_t.row(c);
+            kernel::axpy(&mut lrr, urow[l - 1], &urow[..l - 1]);
+        }
+        for r in &mut lrr {
+            *r /= 1.0 - v2;
+        }
+
+        // Signal reconstruction without V: the rank-r trajectory
+        // approximation is U_r (U_rᵀ A); both products run as contiguous
+        // axpys over series windows. First P = U_rᵀ A (rank × K)…
+        let mut p = Matrix::zeros_pooled(rank, k);
+        for c in 0..rank {
+            let urow = eig.vectors_t.row(c);
+            let prow = p.row_mut(c);
+            for (i, &u) in urow.iter().enumerate() {
+                kernel::axpy(prow, u, &s[i..i + k]);
+            }
+        }
+        // …then the anti-diagonal sums of U_r P, accumulated directly into
+        // the signal buffer (fused hankelization — the L × K approximation
+        // is never materialized either).
+        let mut sums = scratch::take(n);
+        sums.resize(n, 0.0);
+        for c in 0..rank {
+            let urow = eig.vectors_t.row(c);
+            let prow = p.row(c);
+            for (i, &u) in urow.iter().enumerate() {
+                kernel::axpy(&mut sums[i..i + k], u, prow);
+            }
+        }
+        p.recycle();
+        eig.recycle();
+        // Divide each anti-diagonal sum by its cell count to finish the
+        // diagonal averaging.
+        for (t, v) in sums.iter_mut().enumerate() {
+            let count = (t + 1).min(l).min(k).min(n - t);
+            *v /= count as f64;
+        }
+
+        Ok(Box::new(FittedSsa {
+            signal: sums,
+            lrr,
+            template: history.clone(),
+            kernel: "ssa-randomized",
+        }))
+    }
+}
+
+impl Default for SsaForecaster {
+    fn default() -> Self {
+        SsaForecaster::new(SsaConfig::default())
+    }
+}
+
+impl Forecaster for SsaForecaster {
+    fn name(&self) -> &'static str {
+        "ssa"
+    }
+
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        self.validate(history)?;
+        match self.resolved_kernel() {
+            SsaKernel::Randomized => {
+                let l = self.config.window;
+                let q = self.sketch_width();
+                let sketch = seagull_linalg::gaussian_sketch(q, l, sketch_seed(l, q));
+                let out = self.fit_randomized(history, &sketch);
+                sketch.recycle();
+                out
+            }
+            _ => self.fit_dense(history),
+        }
+    }
+
+    /// One kernel invocation for a same-shape batch: the Gaussian sketch is
+    /// drawn once per group and shared across every member, and the pooled
+    /// Gram/projection workspace recycles exact-size between consecutive
+    /// fits. Results are bitwise identical to solo fits (the sketch depends
+    /// only on shape and seed), and a failing member yields an `Err` in its
+    /// slot without disturbing the rest.
+    fn fit_batch(
+        &self,
+        histories: &[&TimeSeries],
+    ) -> Vec<Result<Box<dyn FittedModel>, ForecastError>> {
+        if self.resolved_kernel() != SsaKernel::Randomized {
+            return histories.iter().map(|h| self.fit(h)).collect();
+        }
+        let l = self.config.window;
+        let q = self.sketch_width();
+        let sketch = seagull_linalg::gaussian_sketch(q, l, sketch_seed(l, q));
+        let out = histories
+            .iter()
+            .map(|h| {
+                self.validate(h)?;
+                self.fit_randomized(h, &sketch)
+            })
+            .collect();
+        sketch.recycle();
+        out
     }
 }
 
@@ -173,6 +392,8 @@ struct FittedSsa {
     /// Linear recurrence coefficients, length `L-1`.
     lrr: Vec<f64>,
     template: TimeSeries,
+    /// Which factorization produced this fit.
+    kernel: &'static str,
 }
 
 impl FittedModel for FittedSsa {
@@ -198,6 +419,10 @@ impl FittedModel for FittedSsa {
             buf[self.signal.len()..].to_vec(),
         )?)
     }
+
+    fn fit_kernel(&self) -> &'static str {
+        self.kernel
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +438,7 @@ mod tests {
             window: 48,
             energy: 0.999,
             max_rank: 8,
+            kernel: SsaKernel::Auto,
         });
         let pred = model.fit_predict(&hist, 96).unwrap();
         let truth = daily_sine(4, 15);
@@ -240,6 +466,7 @@ mod tests {
             window: 30,
             energy: 0.9999,
             max_rank: 4,
+            kernel: SsaKernel::Auto,
         });
         let pred = model.fit_predict(&hist, 20).unwrap();
         // The trend should keep rising.
@@ -300,6 +527,7 @@ mod tests {
             window: 48,
             energy: 0.999,
             max_rank: 8,
+            kernel: SsaKernel::Auto,
         });
         // First fit seeds this thread's pool; later fits draw from it.
         model.fit(&hist).unwrap();
@@ -319,7 +547,131 @@ mod tests {
             window: 1,
             energy: 0.9,
             max_rank: 3,
+            kernel: SsaKernel::Auto,
         });
         assert!(model.fit(&hist).is_err());
+    }
+
+    fn with_kernel(kernel: SsaKernel) -> SsaForecaster {
+        SsaForecaster::new(SsaConfig {
+            kernel,
+            ..SsaConfig::default()
+        })
+    }
+
+    #[test]
+    fn auto_resolves_randomized_for_default_config() {
+        // Default window 72 ≥ 2·(12+8): the fast path must be the default.
+        assert_eq!(
+            SsaForecaster::default().resolved_kernel(),
+            SsaKernel::Randomized
+        );
+        // A window too small to amortize the sketch stays dense.
+        let small = SsaForecaster::new(SsaConfig {
+            window: 24,
+            energy: 0.92,
+            max_rank: 12,
+            kernel: SsaKernel::Auto,
+        });
+        assert_eq!(small.resolved_kernel(), SsaKernel::Dense);
+    }
+
+    #[test]
+    fn fit_kernel_labels_report_the_path_taken() {
+        let hist = daily_sine(3, 5);
+        let fast = with_kernel(SsaKernel::Randomized).fit(&hist).unwrap();
+        assert_eq!(fast.fit_kernel(), "ssa-randomized");
+        let dense = with_kernel(SsaKernel::Dense).fit(&hist).unwrap();
+        assert_eq!(dense.fit_kernel(), "ssa-dense");
+    }
+
+    #[test]
+    fn randomized_forecast_parity_with_dense() {
+        // Forecast-level parity on a realistic mixed signal, pinned to the
+        // published tolerance.
+        let hist = TimeSeries::from_fn(Timestamp::from_days(7), 5, 2016, |t| {
+            let m = t.minutes() as f64;
+            45.0 + 25.0 * (2.0 * std::f64::consts::PI * m / 1440.0).sin()
+                + 8.0 * (2.0 * std::f64::consts::PI * m / 360.0).cos()
+                + 3.0 * ((m / 35.0).sin() * (m / 11.0).cos())
+        })
+        .unwrap();
+        let fast = with_kernel(SsaKernel::Randomized)
+            .fit_predict(&hist, 288)
+            .unwrap();
+        let dense = with_kernel(SsaKernel::Dense)
+            .fit_predict(&hist, 288)
+            .unwrap();
+        let max_diff = fast
+            .values()
+            .iter()
+            .zip(dense.values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_diff <= RANDOMIZED_PARITY_TOL,
+            "kernel divergence {max_diff} exceeds tolerance {RANDOMIZED_PARITY_TOL}"
+        );
+    }
+
+    #[test]
+    fn randomized_constant_series_forecasts_constant() {
+        let hist = TimeSeries::from_fn(Timestamp::from_days(5), 5, 600, |_| 42.0).unwrap();
+        let pred = with_kernel(SsaKernel::Randomized)
+            .fit_predict(&hist, 50)
+            .unwrap();
+        for v in pred.values() {
+            assert!((v - 42.0).abs() < 0.5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn batched_fit_is_bitwise_identical_to_solo() {
+        let histories: Vec<TimeSeries> = (0..4)
+            .map(|i| {
+                TimeSeries::from_fn(Timestamp::from_days(3), 5, 400, |t| {
+                    let m = t.minutes() as f64;
+                    40.0 + (5 + i) as f64 * (m / (100.0 + i as f64)).sin()
+                })
+                .unwrap()
+            })
+            .collect();
+        let model = SsaForecaster::default();
+        assert_eq!(model.resolved_kernel(), SsaKernel::Randomized);
+        let refs: Vec<&TimeSeries> = histories.iter().collect();
+        let batched = model.fit_batch(&refs);
+        for (h, b) in histories.iter().zip(batched) {
+            let solo = model.fit(h).unwrap().predict(96).unwrap();
+            let batch_pred = b.unwrap().predict(96).unwrap();
+            for (x, y) in solo.values().iter().zip(batch_pred.values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "batched fit diverged from solo");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fit_isolates_failures() {
+        let good = daily_sine(3, 5);
+        let mut bad = daily_sine(3, 5);
+        bad.values_mut()[7] = f64::NAN;
+        let model = SsaForecaster::default();
+        let results = model.fit_batch(&[&good, &bad, &good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ForecastError::NonFiniteHistory)));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn randomized_fits_reuse_scratch_buffers() {
+        let hist = daily_sine(3, 5);
+        let model = with_kernel(SsaKernel::Randomized);
+        model.fit(&hist).unwrap();
+        let before = seagull_linalg::scratch::stats();
+        model.fit(&hist).unwrap();
+        let after = seagull_linalg::scratch::stats();
+        assert!(
+            after.reuses > before.reuses,
+            "second randomized fit reused no scratch buffers ({before:?} -> {after:?})"
+        );
     }
 }

@@ -31,6 +31,18 @@ fn series(start_week: i64, value: f64) -> TimeSeries {
     .unwrap()
 }
 
+/// Same grid as [`series`] but a daily sawtooth, so its quantized shape
+/// sketch differs from any constant series (blocks similarity reuse).
+fn ramp(start_week: i64) -> TimeSeries {
+    TimeSeries::from_fn(
+        Timestamp::from_minutes(start_week * MINUTES_PER_WEEK),
+        30,
+        7 * 48,
+        |t| 10.0 + 40.0 * ((t.minutes() / 30) % 48) as f64 / 48.0,
+    )
+    .unwrap()
+}
+
 fn update(key: &str, fingerprint: u64, class: &str, history: &TimeSeries) -> CacheUpdate {
     let fitted: Arc<dyn FittedModel> = Arc::new(DummyFit {
         anchor: history.end(),
@@ -122,12 +134,19 @@ proptest! {
             cache.lookup("a/s", fingerprint, "stable", &later),
             Lookup::Miss(MissReason::Class)
         ));
-        // Changed fingerprint on a non-stable class: fingerprint miss.
+        // Changed fingerprint AND changed shape on a non-stable class:
+        // fingerprint miss (the similarity sketch does not match either).
         if other_fingerprint != fingerprint {
             prop_assert!(matches!(
-                cache.lookup("a/s", other_fingerprint, class, &later),
+                cache.lookup("a/s", other_fingerprint, class, &ramp(weeks_ahead)),
                 Lookup::Miss(MissReason::Fingerprint)
             ));
+            // Changed fingerprint but unchanged shape: the similarity key
+            // serves the hit and it lands in the separate counter.
+            match cache.lookup("a/s", other_fingerprint, class, &later) {
+                Lookup::Hit(hit) => prop_assert!(hit.similarity),
+                Lookup::Miss(r) => prop_assert!(false, "expected similarity hit, got {r:?}"),
+            }
         }
         // Unknown key: cold miss.
         prop_assert!(matches!(
@@ -136,9 +155,10 @@ proptest! {
         ));
 
         let stats = cache.stats();
-        let lookups = 3 + u64::from(other_fingerprint != fingerprint);
-        prop_assert_eq!(stats.hits + stats.misses(), lookups);
+        let lookups = 3 + 2 * u64::from(other_fingerprint != fingerprint);
+        prop_assert_eq!(stats.hits + stats.hits_similarity + stats.misses(), lookups);
         prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.hits_similarity, u64::from(other_fingerprint != fingerprint));
         prop_assert_eq!(stats.misses_cold, 1);
     }
 

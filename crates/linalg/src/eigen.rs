@@ -32,11 +32,13 @@ pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, 
     // Work on the symmetrized copy to be robust to tiny asymmetries from
     // accumulated floating-point error in Gram computations.
     let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
-    let mut v = Matrix::identity(n);
+    // Accumulate rotations into Vᵀ so each rotation touches two contiguous
+    // rows instead of two strided columns; transposed back in `finish`.
+    let mut vt = Matrix::identity(n);
     if n <= 1 {
         return Ok(SymmetricEigen {
             values: (0..n).map(|i| m[(i, i)]).collect(),
-            vectors: v,
+            vectors: vt,
         });
     }
 
@@ -50,7 +52,7 @@ pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, 
             }
         }
         if off.sqrt() <= eps {
-            return Ok(finish(m, v));
+            return Ok(finish(m, vt));
         }
         for p in 0..n - 1 {
             for q in p + 1..n {
@@ -69,25 +71,29 @@ pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, 
                 };
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
-                // Apply the rotation to rows/cols p and q of M.
-                for k in 0..n {
-                    let mkp = m[(k, p)];
-                    let mkq = m[(k, q)];
-                    m[(k, p)] = c * mkp - s * mkq;
-                    m[(k, q)] = s * mkp + c * mkq;
+                // Apply the rotation to columns p and q of M — one pass over
+                // the rows, two in-row accesses each.
+                for chunk in m.data_mut().chunks_exact_mut(n) {
+                    let mkp = chunk[p];
+                    let mkq = chunk[q];
+                    chunk[p] = c * mkp - s * mkq;
+                    chunk[q] = s * mkp + c * mkq;
                 }
-                for k in 0..n {
-                    let mpk = m[(p, k)];
-                    let mqk = m[(q, k)];
-                    m[(p, k)] = c * mpk - s * mqk;
-                    m[(q, k)] = s * mpk + c * mqk;
+                // And to rows p and q: two contiguous slices, zipped.
+                let (rp, rq) = m.row_pair_mut(p, q);
+                for (x, y) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let mpk = *x;
+                    let mqk = *y;
+                    *x = c * mpk - s * mqk;
+                    *y = s * mpk + c * mqk;
                 }
-                // Accumulate the rotation into V.
-                for k in 0..n {
-                    let vkp = v[(k, p)];
-                    let vkq = v[(k, q)];
-                    v[(k, p)] = c * vkp - s * vkq;
-                    v[(k, q)] = s * vkp + c * vkq;
+                // Accumulate the rotation into Vᵀ (rows p, q — contiguous).
+                let (vp, vq) = vt.row_pair_mut(p, q);
+                for (x, y) in vp.iter_mut().zip(vq.iter_mut()) {
+                    let vkp = *x;
+                    let vkq = *y;
+                    *x = c * vkp - s * vkq;
+                    *y = s * vkp + c * vkq;
                 }
             }
         }
@@ -100,7 +106,7 @@ pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, 
         }
     }
     if off.sqrt() <= eps * 1e3 {
-        Ok(finish(m, v))
+        Ok(finish(m, vt))
     } else {
         Err(LinalgError::NoConvergence {
             iterations: max_sweeps,
@@ -108,7 +114,9 @@ pub fn symmetric_eigen(a: &Matrix, max_sweeps: usize) -> Result<SymmetricEigen, 
     }
 }
 
-fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
+/// Sorts eigenpairs descending and transposes the accumulated Vᵀ back into
+/// column-per-eigenvector orientation.
+fn finish(m: Matrix, vt: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -117,7 +125,7 @@ fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
             .expect("finite eigenvalues")
     });
     let values = order.iter().map(|&i| m[(i, i)]).collect();
-    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    let vectors = Matrix::from_fn(n, n, |i, j| vt[(order[j], i)]);
     SymmetricEigen { values, vectors }
 }
 

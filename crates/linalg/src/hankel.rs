@@ -26,6 +26,48 @@ pub fn hankel_matrix(series: &[f64], window: usize) -> Matrix {
     Matrix::from_rows(l, k, data)
 }
 
+/// The Gram matrix `H Hᵀ` of the trajectory embedding, computed directly
+/// from the series without materializing the `L × K` Hankel matrix.
+///
+/// `G[i][j] = Σ_t series[i+t]·series[j+t]` over the `K = n − L + 1` window
+/// positions. The first row is computed by direct sliding dot products and
+/// every later entry by the O(1) diagonal recurrence
+/// `G[i][j] = G[i−1][j−1] − s[i−1]s[j−1] + s[i−1+K]s[j−1+K]`, so the whole
+/// matrix costs `O(L·n)` instead of the `O(L²·K)` of `hankel_matrix + gram`.
+/// The diagonal is recomputed with exact dot products (it carries the total
+/// energy used for SSA rank selection, so it should not accumulate
+/// recurrence drift).
+///
+/// The result is pool-backed — recycle it in batched fits. Panics on the
+/// same window bounds as [`hankel_matrix`].
+pub fn hankel_gram(series: &[f64], window: usize) -> Matrix {
+    assert!(
+        window > 0 && window <= series.len(),
+        "SSA window {} out of range for series of length {}",
+        window,
+        series.len()
+    );
+    let l = window;
+    let k = series.len() - window + 1;
+    let mut g = Matrix::zeros_pooled(l, l);
+    for j in 0..l {
+        g[(0, j)] = crate::kernel::dot(&series[0..k], &series[j..j + k]);
+    }
+    for i in 1..l {
+        for j in i..l {
+            g[(i, j)] = g[(i - 1, j - 1)] - series[i - 1] * series[j - 1]
+                + series[i - 1 + k] * series[j - 1 + k];
+        }
+    }
+    for i in 0..l {
+        g[(i, i)] = crate::kernel::norm_sq(&series[i..i + k]);
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
+}
+
 /// Inverse of the Hankel embedding: averages the anti-diagonals of an
 /// `L × K` matrix back into a series of length `L + K - 1`.
 ///
@@ -97,5 +139,41 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oversized_window_panics() {
         hankel_matrix(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn hankel_gram_matches_explicit_product() {
+        let s: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.31).sin() * 40.0 + 50.0 + (i % 7) as f64)
+            .collect();
+        for window in [1, 2, 12, 48, 60] {
+            let g = hankel_gram(&s, window);
+            let h = hankel_matrix(&s, window);
+            let explicit = h.matmul(&h.transpose()).unwrap();
+            let scale = explicit[(0, 0)].abs().max(1.0);
+            assert!(
+                g.max_abs_diff(&explicit) < 1e-9 * scale,
+                "window {window}: diff {}",
+                g.max_abs_diff(&explicit)
+            );
+            g.recycle();
+        }
+    }
+
+    #[test]
+    fn hankel_gram_is_symmetric() {
+        let s: Vec<f64> = (0..50).map(|i| ((i * i) % 13) as f64).collect();
+        let g = hankel_gram(&s, 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hankel_gram_oversized_window_panics() {
+        hankel_gram(&[1.0, 2.0], 3);
     }
 }

@@ -1,0 +1,160 @@
+//! Chunked, FMA-friendly vector kernels.
+//!
+//! Every hot inner loop in this crate bottoms out in one of two shapes: a
+//! dot product (`Σ aᵢ·bᵢ`) or an axpy (`yᵢ += α·xᵢ`). Written naively over
+//! indexed elements those loops carry bounds checks and a single serial
+//! accumulator, which blocks the compiler from keeping several
+//! fused-multiply-adds in flight. The kernels here process both operands in
+//! fixed-width chunks with independent accumulators — `chunks_exact` erases
+//! the bounds checks and the 4/8-wide accumulator banks give the backend
+//! straight-line code it can vectorize — and handle the ragged tail
+//! separately.
+//!
+//! Accumulation order is fixed by the chunk layout, so results are
+//! deterministic for a given input (they differ from a serial left-to-right
+//! sum by the usual floating-point reassociation, which every caller in
+//! this workspace tolerates).
+
+/// Chunk width for the dot-product accumulator bank.
+const DOT_LANES: usize = 8;
+
+/// Dot product `Σ aᵢ·bᵢ` over the common prefix of `a` and `b`, computed
+/// with an 8-wide accumulator bank.
+///
+/// Debug builds assert equal lengths; release builds silently use the
+/// shorter slice, matching `Iterator::zip`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot operands must be equal length");
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; DOT_LANES];
+    let mut ca = a.chunks_exact(DOT_LANES);
+    let mut cb = b.chunks_exact(DOT_LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..DOT_LANES {
+            acc[l] = xa[l].mul_add(xb[l], acc[l]);
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail = x.mul_add(*y, tail);
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// `y[i] += alpha * x[i]` over the common prefix, in 4-wide chunks.
+#[inline]
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len(), "axpy operands must be equal length");
+    if alpha == 0.0 {
+        return;
+    }
+    let n = y.len().min(x.len());
+    let (y, x) = (&mut y[..n], &x[..n]);
+    let mut cy = y.chunks_exact_mut(4);
+    let mut cx = x.chunks_exact(4);
+    for (wy, wx) in (&mut cy).zip(&mut cx) {
+        wy[0] = wx[0].mul_add(alpha, wy[0]);
+        wy[1] = wx[1].mul_add(alpha, wy[1]);
+        wy[2] = wx[2].mul_add(alpha, wy[2]);
+        wy[3] = wx[3].mul_add(alpha, wy[3]);
+    }
+    for (py, px) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *py = px.mul_add(alpha, *py);
+    }
+}
+
+/// `y[i] -= alpha * x[i]` over the common prefix — the subtraction twin of
+/// [`axpy`], used by the triangular solvers.
+#[inline]
+pub fn axmy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    axpy(y, -alpha, x);
+}
+
+/// Squared Euclidean norm `Σ aᵢ²`.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// `y[i] *= alpha` in place.
+#[inline]
+pub fn scale(y: &mut [f64], alpha: f64) {
+    for v in y {
+        *v *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, k: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(k) % 97) as f64 / 7.0 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_serial_sum() {
+        for n in [0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let a = series(n, 31);
+            let b = series(n, 17);
+            let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let chunked = dot(&a, &b);
+            assert!(
+                (serial - chunked).abs() <= 1e-9 * serial.abs().max(1.0),
+                "n={n}: serial {serial} vs chunked {chunked}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_serial_update() {
+        for n in [0, 1, 2, 3, 4, 5, 11, 100] {
+            let x = series(n, 13);
+            let mut y = series(n, 29);
+            let mut expect = y.clone();
+            for (e, v) in expect.iter_mut().zip(&x) {
+                *e += 2.5 * v;
+            }
+            axpy(&mut y, 2.5, &x);
+            for (a, b) in y.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let x = vec![f64::MAX; 8];
+        let mut y = series(8, 3);
+        let before = y.clone();
+        axpy(&mut y, 0.0, &x);
+        assert_eq!(y, before);
+    }
+
+    #[test]
+    fn axmy_subtracts() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![10.0; 5];
+        axmy(&mut y, 2.0, &x);
+        assert_eq!(y, vec![8.0, 6.0, 4.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_sq_and_scale() {
+        let mut v = vec![3.0, 4.0];
+        assert!((norm_sq(&v) - 25.0).abs() < 1e-12);
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn dot_deterministic_across_calls() {
+        let a = series(1023, 41);
+        let b = series(1023, 43);
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+}

@@ -6,24 +6,33 @@
 //! for free (ML.NET's SSA decomposition, Prophet's penalized regression,
 //! ARIMA's least-squares fits). This crate provides the from-scratch
 //! equivalents: a row-major dense [`Matrix`], Cholesky and QR solvers, ridge
-//! regression, a cyclic-Jacobi symmetric eigendecomposition, a thin SVD built
-//! on it, and Hankel-matrix helpers for singular spectrum analysis.
+//! regression, a cyclic-Jacobi symmetric eigendecomposition, a randomized
+//! truncated eigensolver for when only the leading subspace is needed, a thin
+//! SVD, and Hankel-matrix helpers for singular spectrum analysis.
 //!
-//! Matrices here are small (SSA windows are ≤ a few hundred columns), so the
-//! implementations favor clarity and numerical robustness over blocking or
-//! SIMD; all hot paths are still allocation-free inner loops over contiguous
-//! rows.
+//! Matrices here are small (SSA windows are ≤ a few hundred columns), so
+//! blocking is unnecessary — but the inner loops matter. Every hot path
+//! bottoms out in the chunked FMA kernels of [`kernel`] (multi-accumulator
+//! dot/axpy over contiguous rows, no per-element bounds checks) and borrows
+//! its buffers from the thread-local [`scratch`] pool so steady-state fitting
+//! is allocation-free.
 
 pub mod eigen;
 pub mod hankel;
+pub mod kernel;
 pub mod matrix;
+pub mod randomized;
 pub mod scratch;
 pub mod solve;
 pub mod svd;
 
 pub use eigen::{symmetric_eigen, SymmetricEigen};
-pub use hankel::{hankel_matrix, hankelize};
+pub use hankel::{hankel_gram, hankel_matrix, hankelize};
 pub use matrix::{LinalgError, Matrix};
+pub use randomized::{
+    gaussian_sketch, truncated_eigh, truncated_eigh_with_sketch, SubspaceConfig, SubspaceRng,
+    TruncatedEigh,
+};
 pub use scratch::ScratchStats;
 pub use solve::{cholesky_solve, least_squares, ridge_regression};
 pub use svd::{thin_svd, ThinSvd};

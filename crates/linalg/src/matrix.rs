@@ -142,6 +142,28 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Simultaneous mutable borrows of two distinct rows. Panics if `i == j`.
+    #[inline]
+    pub fn row_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j, "row_pair_mut requires distinct rows");
+        let cols = self.cols;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        let lo_row = &mut head[lo * cols..(lo + 1) * cols];
+        let hi_row = &mut tail[..cols];
+        if i < j {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
     /// The transpose (pool-backed; recycle it in hot loops).
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros_pooled(self.cols, self.rows);
@@ -163,21 +185,34 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both operands.
+        self.matmul_into(rhs, &mut out);
+        Ok(out)
+    }
+
+    /// Like [`Matrix::matmul`] but the output borrows from this thread's
+    /// [`crate::scratch`] pool — pair with [`Matrix::recycle`] in hot loops.
+    pub fn matmul_pooled(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros_pooled(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        Ok(out)
+    }
+
+    /// `out += self * rhs` with `out` pre-zeroed by the callers above.
+    /// i-k-j loop order keeps the inner axpy contiguous in both operands.
+    fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in arow.iter().enumerate() {
+                crate::kernel::axpy(orow, a, rhs.row(k));
             }
         }
-        Ok(out)
     }
 
     /// Matrix-vector product `self * x`.
@@ -189,25 +224,21 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+            .map(|i| crate::kernel::dot(self.row(i), x))
             .collect())
     }
 
     /// Gram matrix `selfᵀ * self` (symmetric, cols × cols), computed without
-    /// materializing the transpose.
+    /// materializing the transpose: each input row rank-1-updates the upper
+    /// triangle through contiguous axpys.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros_pooled(n, n);
         for r in 0..self.rows {
             let row = self.row(r);
             for i in 0..n {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in i..n {
-                    g[(i, j)] += a * row[j];
-                }
+                let grow = &mut g.data[i * n + i..(i + 1) * n];
+                crate::kernel::axpy(grow, row[i], &row[i..]);
             }
         }
         for i in 0..n {
@@ -328,6 +359,38 @@ mod tests {
         let g = a.gram();
         let explicit = a.transpose().matmul(&a).unwrap();
         assert!(g.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn row_pair_mut_either_order() {
+        let mut m = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        {
+            let (r2, r0) = m.row_pair_mut(2, 0);
+            assert_eq!(r2, &[4.0, 5.0]);
+            assert_eq!(r0, &[0.0, 1.0]);
+            r2[0] = -1.0;
+        }
+        assert_eq!(m[(2, 0)], -1.0);
+        let (r0, r1) = m.row_pair_mut(0, 1);
+        assert_eq!(r0, &[0.0, 1.0]);
+        assert_eq!(r1, &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn row_pair_mut_same_row_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        let _ = m.row_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn matmul_pooled_matches_matmul() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let b = Matrix::from_fn(3, 5, |i, j| ((i * 5 + j) % 7) as f64);
+        let plain = a.matmul(&b).unwrap();
+        let pooled = a.matmul_pooled(&b).unwrap();
+        assert_eq!(plain.data(), pooled.data());
+        pooled.recycle();
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Linear solvers: Cholesky, Householder QR least squares, ridge regression.
+//!
+//! All three route their inner loops through the chunked FMA kernels in
+//! [`crate::kernel`] and borrow workspace from the thread-local
+//! [`crate::scratch`] pool, so repeated fits are allocation-free.
 
+use crate::kernel;
 use crate::matrix::{LinalgError, Matrix};
+use crate::scratch;
 
 /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
 /// factorization (`A = L Lᵀ`).
@@ -12,34 +18,34 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             rhs: (b.len(), 1),
         });
     }
-    // Factorize into a lower triangle stored densely.
-    let mut l = vec![0.0f64; n * n];
+    // Factorize into a lower triangle stored densely (pooled workspace).
+    // Row-prefix dot products replace the indexed k-loops.
+    let mut l = scratch::take(n * n);
+    l.resize(n * n, 0.0);
     for i in 0..n {
-        for j in 0..=i {
-            let mut sum = a[(i, j)];
-            for k in 0..j {
-                sum -= l[i * n + k] * l[j * n + k];
-            }
-            if i == j {
-                if sum <= 0.0 || !sum.is_finite() {
-                    return Err(LinalgError::NotPositiveDefinite);
-                }
-                l[i * n + i] = sum.sqrt();
-            } else {
-                l[i * n + j] = sum / l[j * n + j];
-            }
+        let (head, tail) = l.split_at_mut(i * n);
+        let li = &mut tail[..n];
+        for j in 0..i {
+            let lj = &head[j * n..j * n + j + 1];
+            let sum = a[(i, j)] - kernel::dot(&li[..j], &lj[..j]);
+            li[j] = sum / lj[j];
         }
+        let diag = a[(i, i)] - kernel::norm_sq(&li[..i]);
+        if diag <= 0.0 || !diag.is_finite() {
+            scratch::recycle(l);
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        li[i] = diag.sqrt();
     }
     // Forward substitution: L y = b.
-    let mut y = vec![0.0f64; n];
+    let mut y = scratch::take(n);
     for i in 0..n {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[i * n + k] * y[k];
-        }
-        y[i] = sum / l[i * n + i];
+        let row = &l[i * n..i * n + i];
+        let sum = b[i] - kernel::dot(row, &y);
+        y.push(sum / l[i * n + i]);
     }
-    // Back substitution: Lᵀ x = y.
+    // Back substitution: Lᵀ x = y (column access is strided; n is small
+    // enough here that the walk is cache-resident anyway).
     let mut x = vec![0.0f64; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
@@ -48,11 +54,17 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
         x[i] = sum / l[i * n + i];
     }
+    scratch::recycle(y);
+    scratch::recycle(l);
     Ok(x)
 }
 
 /// Solves the least-squares problem `min ||A x - b||₂` for a tall matrix
 /// (`rows >= cols`) via Householder QR with implicit Q application.
+///
+/// Internally works on `Aᵀ` so each Householder reflector touches
+/// *contiguous* rows (the columns of `A`), letting the whole O(m·n²)
+/// triangularization run through the chunked dot/axpy kernels.
 pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let (m, n) = a.shape();
     if b.len() != m {
@@ -64,64 +76,62 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     if m < n {
         return Err(LinalgError::RankDeficient);
     }
-    let mut r = a.clone();
-    let mut rhs = b.to_vec();
+    // at row j = column j of A, contiguous. R accumulates transposed in at:
+    // R[i][j] = at[(j, i)] for j >= i.
+    let mut at = a.transpose();
+    let mut rhs = scratch::take(m);
+    rhs.extend_from_slice(b);
+    let mut v = scratch::take(m);
+    let cleanup = |at: Matrix, rhs: Vec<f64>, v: Vec<f64>| {
+        at.recycle();
+        scratch::recycle(rhs);
+        scratch::recycle(v);
+    };
     // Householder triangularization, applying each reflector to rhs as we go.
     for k in 0..n {
-        // Compute the norm of the k-th column below the diagonal.
-        let mut norm = 0.0;
-        for i in k..m {
-            norm += r[(i, k)] * r[(i, k)];
-        }
-        let norm = norm.sqrt();
+        let norm = kernel::norm_sq(&at.row(k)[k..]).sqrt();
         if norm < 1e-14 {
+            cleanup(at, rhs, v);
             return Err(LinalgError::RankDeficient);
         }
-        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let akk = at[(k, k)];
+        let alpha = if akk >= 0.0 { -norm } else { norm };
         // v = x - alpha * e_k, normalized implicitly through vtv.
-        let mut v = vec![0.0f64; m - k];
-        v[0] = r[(k, k)] - alpha;
-        for i in k + 1..m {
-            v[i - k] = r[(i, k)];
-        }
-        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        v.clear();
+        v.extend_from_slice(&at.row(k)[k..]);
+        v[0] = akk - alpha;
+        let vtv = kernel::norm_sq(&v);
         if vtv < 1e-300 {
             continue; // Column already triangular.
         }
-        // Apply H = I - 2 v vᵀ / vᵀv to the remaining columns of R.
+        // Apply H = I - 2 v vᵀ / vᵀv to the remaining columns of A
+        // (= remaining rows of at, each a contiguous slice).
         for j in k..n {
-            let mut dot = 0.0;
-            for i in k..m {
-                dot += v[i - k] * r[(i, j)];
-            }
-            let scale = 2.0 * dot / vtv;
-            for i in k..m {
-                r[(i, j)] -= scale * v[i - k];
-            }
+            let row = &mut at.row_mut(j)[k..];
+            let d = kernel::dot(&v, row);
+            kernel::axmy(row, 2.0 * d / vtv, &v);
         }
         // And to the right-hand side.
-        let mut dot = 0.0;
-        for i in k..m {
-            dot += v[i - k] * rhs[i];
-        }
-        let scale = 2.0 * dot / vtv;
-        for i in k..m {
-            rhs[i] -= scale * v[i - k];
-        }
+        let tail = &mut rhs[k..];
+        let d = kernel::dot(&v, tail);
+        kernel::axmy(tail, 2.0 * d / vtv, &v);
     }
-    // Back substitution on the n×n upper triangle.
+    // Back substitution on the n×n upper triangle (strided reads of Rᵀ —
+    // n is small, the triangle is cache-resident).
     let mut x = vec![0.0f64; n];
     for i in (0..n).rev() {
         let mut sum = rhs[i];
         for j in i + 1..n {
-            sum -= r[(i, j)] * x[j];
+            sum -= at[(j, i)] * x[j];
         }
-        let d = r[(i, i)];
+        let d = at[(i, i)];
         if d.abs() < 1e-12 {
+            cleanup(at, rhs, v);
             return Err(LinalgError::RankDeficient);
         }
         x[i] = sum / d;
     }
+    cleanup(at, rhs, v);
     Ok(x)
 }
 
@@ -142,15 +152,17 @@ pub fn ridge_regression(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, 
     for i in 0..gram.rows() {
         gram[(i, i)] += lambda;
     }
-    // Aᵀ b without materializing the transpose.
+    // Aᵀ b without materializing the transpose: one contiguous axpy per row.
     let n = a.cols();
-    let mut atb = vec![0.0f64; n];
+    let mut atb = scratch::take(n);
+    atb.resize(n, 0.0);
     for (i, &bi) in b.iter().enumerate() {
-        for (j, &v) in a.row(i).iter().enumerate() {
-            atb[j] += v * bi;
-        }
+        kernel::axpy(&mut atb, bi, a.row(i));
     }
-    cholesky_solve(&gram, &atb)
+    let x = cholesky_solve(&gram, &atb);
+    gram.recycle();
+    scratch::recycle(atb);
+    x
 }
 
 #[cfg(test)]

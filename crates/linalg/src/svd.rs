@@ -33,19 +33,24 @@ impl ThinSvd {
         let mut out = Matrix::zeros(rows, cols);
         for c in 0..k {
             let s = self.sigma[c];
+            let vc = self.v.col(c);
             for i in 0..rows {
-                let us = self.u[(i, c)] * s;
-                if us == 0.0 {
-                    continue;
-                }
-                for j in 0..cols {
-                    out[(i, j)] += us * self.v[(j, c)];
-                }
+                crate::kernel::axpy(out.row_mut(i), self.u[(i, c)] * s, &vc);
             }
         }
         out
     }
 }
+
+/// Relative floor under which a singular value is treated as zero when
+/// recovering the paired singular vectors: the Gram squaring limits σ
+/// accuracy to ~√ε·σ₀, so dividing by a σ below that floor amplifies
+/// eigensolver noise into garbage directions — the corresponding columns
+/// are left as zero vectors instead. Near-rank-deficient inputs (e.g. the
+/// trajectory Gram of a constant-load server) hit this constantly; an
+/// absolute threshold does not scale with the series magnitude and let
+/// noise columns through.
+pub const SIGMA_RELATIVE_FLOOR: f64 = 1e-8;
 
 /// Computes a thin SVD by eigendecomposing whichever Gram matrix
 /// (`AᵀA` or `AAᵀ`) is smaller, then recovering the other factor.
@@ -69,16 +74,18 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
         let eig = symmetric_eigen(&gram, 100)?;
         gram.recycle();
         let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let floor = sigma.first().copied().unwrap_or(0.0) * SIGMA_RELATIVE_FLOOR;
         let v = eig.vectors; // n×n, columns are right singular vectors.
         let mut u = Matrix::zeros(m, k);
         for c in 0..k {
+            let s = sigma[c];
+            if s <= floor || s <= 0.0 {
+                continue; // Numerically zero: leave the column as zeros.
+            }
             let vc = v.col(c);
             let av = a.matvec(&vc)?;
-            let s = sigma[c];
-            if s > 1e-300 {
-                for i in 0..m {
-                    u[(i, c)] = av[i] / s;
-                }
+            for i in 0..m {
+                u[(i, c)] = av[i] / s;
             }
         }
         let v_thin = Matrix::from_fn(n, k, |i, j| v[(i, j)]);
@@ -95,16 +102,18 @@ pub fn thin_svd(a: &Matrix) -> Result<ThinSvd, LinalgError> {
         let eig = symmetric_eigen(&aat, 100)?;
         aat.recycle();
         let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let floor = sigma.first().copied().unwrap_or(0.0) * SIGMA_RELATIVE_FLOOR;
         let u = eig.vectors; // m×m.
         let mut v = Matrix::zeros(n, k);
         for c in 0..k {
+            let s = sigma[c];
+            if s <= floor || s <= 0.0 {
+                continue; // Numerically zero: leave the column as zeros.
+            }
             let uc = u.col(c);
             let atu = at.matvec(&uc)?;
-            let s = sigma[c];
-            if s > 1e-300 {
-                for i in 0..n {
-                    v[(i, c)] = atu[i] / s;
-                }
+            for i in 0..n {
+                v[(i, c)] = atu[i] / s;
             }
         }
         at.recycle();
@@ -185,5 +194,57 @@ mod tests {
         let a = Matrix::zeros(0, 3);
         let svd = thin_svd(&a).unwrap();
         assert!(svd.sigma.is_empty());
+    }
+
+    #[test]
+    fn flat_server_trajectory_is_numerically_rank_one() {
+        // A constant-load server embeds into a rank-1 Hankel matrix whose
+        // Gram matrix is maximally rank-deficient. The recovered factors
+        // must stay finite and the sub-floor columns exactly zero — with an
+        // absolute σ threshold the tiny trailing σ's (~1e-13 relative)
+        // passed the guard and produced noise-amplified vectors.
+        let series = vec![57.25f64; 64];
+        let a = crate::hankel::hankel_matrix(&series, 16);
+        let svd = thin_svd(&a).unwrap();
+        assert_eq!(svd.effective_rank(1e-8), 1);
+        assert!(svd.sigma[0] > 0.0);
+        for v in svd.u.data().iter().chain(svd.v.data()) {
+            assert!(v.is_finite());
+        }
+        // The trajectory matrix is wide (16×49), so the *recovered* factor is
+        // V = AᵀU/σ — its sub-floor columns are the ones that must be zeroed.
+        for c in 1..svd.sigma.len() {
+            if svd.sigma[c] <= svd.sigma[0] * SIGMA_RELATIVE_FLOOR {
+                for i in 0..svd.v.rows() {
+                    assert_eq!(svd.v[(i, c)], 0.0, "v column {c} not zeroed");
+                }
+            }
+        }
+        // Rank-1 reconstruction still reproduces the constant series.
+        let r1 = svd.reconstruct(1);
+        assert!(r1.max_abs_diff(&a) < 1e-6 * 57.25 * 64.0);
+    }
+
+    #[test]
+    fn near_rank_deficient_gram_columns_zeroed_not_noisy() {
+        // Constant plus a whisper of structure: trailing singular values sit
+        // ~15 orders below σ₀. Their vector columns must be zero, not noise.
+        let series: Vec<f64> = (0..80)
+            .map(|i| 40.0 + 1e-9 * (i as f64 * 0.4).sin())
+            .collect();
+        let a = crate::hankel::hankel_matrix(&series, 20);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.effective_rank(1e-8) <= 3);
+        let floor = svd.sigma[0] * SIGMA_RELATIVE_FLOOR;
+        // Wide input → V is the recovered factor; each column is either a
+        // unit vector or exactly zero, never noise.
+        for c in 0..svd.sigma.len() {
+            let norm: f64 = (0..svd.v.rows()).map(|i| svd.v[(i, c)].powi(2)).sum();
+            if svd.sigma[c] <= floor {
+                assert_eq!(norm, 0.0, "column {c} should be exactly zero");
+            } else {
+                assert!((norm - 1.0).abs() < 1e-6, "column {c} norm {norm}");
+            }
+        }
     }
 }

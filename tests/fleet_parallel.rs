@@ -10,6 +10,7 @@ use seagull::core::fleet::FleetRunner;
 use seagull::core::pipeline::{
     collections, AmlPipeline, ExecMode, PipelineConfig, PipelineRunReport,
 };
+use seagull::core::resilience::{ResiliencePolicy, StageChaos};
 use seagull::forecast::{FittedModel, ForecastError, Forecaster, PersistentForecast};
 use seagull::telemetry::blobstore::MemoryBlobStore;
 use seagull::telemetry::chaos::{ChaosBlobStore, ChaosConfig};
@@ -230,6 +231,11 @@ fn straggler_server_does_not_stall_siblings_in_dataflow() {
     let config = PipelineConfig {
         threads: 4,
         warm_cache: false,
+        // Solo fit batches: same-shape batching (`fit_batch > 1`) coarsens
+        // the scheduling unit to the batch by design — a straggler then
+        // stalls only its own batch-mates. This test pins the per-server
+        // granularity that `fit_batch = 1` guarantees.
+        fit_batch: 1,
         forecaster: Arc::clone(&slow) as Arc<dyn Forecaster>,
         ..PipelineConfig::production()
     };
@@ -450,4 +456,159 @@ fn canonical_predictions(pipeline: &AmlPipeline) -> Vec<(String, Value)> {
             (id, v)
         })
         .collect()
+}
+
+/// Same-shape fit batching is a pure scheduling optimization: dataflow runs
+/// at batch widths 1 (solo), 3, and 16 produce byte-identical canonical
+/// outputs — including under per-server chaos, where one server's first
+/// train-infer attempt faults transiently and must recover by retry
+/// regardless of which batch it landed in.
+#[test]
+fn fit_batch_width_never_changes_outputs() {
+    let (store, regions, week_days) = two_region_store(5150, 2);
+    let outputs: Vec<(usize, String)> = [1usize, 3, 16]
+        .iter()
+        .map(|&fit_batch| {
+            let config = PipelineConfig {
+                threads: 4,
+                exec: ExecMode::Dataflow,
+                fit_batch,
+                ..PipelineConfig::production()
+            };
+            let policy = ResiliencePolicy {
+                chaos: StageChaos::from_server_fn(|stage, _, server_id, _, attempt| {
+                    stage == "train-infer" && server_id == 2 && attempt == 0
+                }),
+                ..ResiliencePolicy::default()
+            };
+            let pipeline = AmlPipeline::with_resilience(
+                config,
+                Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+                policy,
+            );
+            let runner = FleetRunner::new(pipeline, regions.clone());
+            let reports = runner.run_schedule(&week_days);
+            (fit_batch, canonical_outputs(runner.pipeline(), &reports))
+        })
+        .collect();
+    for (width, output) in &outputs[1..] {
+        assert_eq!(
+            &outputs[0].1, output,
+            "fit_batch={} diverged from fit_batch={}",
+            width, outputs[0].0
+        );
+    }
+}
+
+/// A forecaster that panics on every fit of one specific history: the first
+/// series it ever sees is remembered and poisons all later fits of the same
+/// bytes, so the marked server keeps panicking whether it is fitted through
+/// a shared batch kernel or a solo fallback.
+struct PanicOnMarkedHistory {
+    marked: Mutex<Option<Vec<f64>>>,
+    panics: AtomicUsize,
+    inner: PersistentForecast,
+}
+
+impl Forecaster for PanicOnMarkedHistory {
+    fn name(&self) -> &'static str {
+        "panic-on-marked-history"
+    }
+    fn fit(&self, history: &TimeSeries) -> Result<Box<dyn FittedModel>, ForecastError> {
+        let mut marked = self.marked.lock().unwrap();
+        let mine = match marked.as_ref() {
+            None => {
+                *marked = Some(history.values().to_vec());
+                true
+            }
+            Some(m) => m == history.values(),
+        };
+        drop(marked);
+        if mine {
+            self.panics.fetch_add(1, Ordering::SeqCst);
+            panic!("marked server fit panicked");
+        }
+        self.inner.fit(history)
+    }
+}
+
+/// A server whose fit panics *inside a shared fit batch* quarantines alone:
+/// the batch kernel's results are discarded, every batch-mate refits solo
+/// and lands its prediction byte-identically to a clean run, and only the
+/// poison server is dead-lettered. `threads: 1` makes the first-ever fit
+/// call (the marked one) deterministically the first server of the first
+/// batch.
+#[test]
+fn poisoned_server_in_fit_batch_quarantines_alone() {
+    let (store, regions, week_days) = two_region_store(6006, 1);
+
+    // Clean baseline with the real forecaster.
+    let clean_config = PipelineConfig {
+        threads: 1,
+        exec: ExecMode::Dataflow,
+        warm_cache: false,
+        fit_batch: 16,
+        forecaster: Arc::new(PersistentForecast::previous_day()),
+        ..PipelineConfig::production()
+    };
+    let clean = AmlPipeline::new(
+        clean_config,
+        Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+    );
+    let clean_report = clean.run_region_week("region-a", week_days[0]);
+    assert!(clean_report.degraded.is_none(), "baseline must be clean");
+
+    let poison = Arc::new(PanicOnMarkedHistory {
+        marked: Mutex::new(None),
+        panics: AtomicUsize::new(0),
+        inner: PersistentForecast::previous_day(),
+    });
+    let config = PipelineConfig {
+        threads: 1,
+        exec: ExecMode::Dataflow,
+        warm_cache: false,
+        fit_batch: 16,
+        forecaster: Arc::clone(&poison) as Arc<dyn Forecaster>,
+        ..PipelineConfig::production()
+    };
+    let pipeline = AmlPipeline::new(
+        config,
+        Arc::clone(&store) as Arc<dyn seagull::telemetry::blobstore::BlobStore>,
+    );
+    let report = pipeline.run_region_week("region-a", week_days[0]);
+
+    assert!(
+        !report.blocked,
+        "a panicking batch member never blocks the run"
+    );
+    assert!(
+        poison.panics.load(Ordering::SeqCst) >= 2,
+        "the marked fit must panic in the shared batch kernel AND in its solo fallback"
+    );
+    let degraded = report.degraded.expect("quarantine recorded");
+    assert_eq!(
+        degraded.quarantined_servers.len(),
+        1,
+        "exactly the marked server quarantines: {:?}",
+        degraded.quarantined_servers
+    );
+    let marked_id = degraded.quarantined_servers[0];
+    assert_eq!(
+        pipeline.docs.count(collections::DEAD_LETTER),
+        1,
+        "one dead-letter doc for the marked server"
+    );
+
+    // Batch-mates are byte-identical to the clean run.
+    let marked_prefix = format!("region-a/{marked_id}/");
+    let sibling_preds: Vec<(String, Value)> = canonical_predictions(&clean)
+        .into_iter()
+        .filter(|(id, _)| !id.starts_with(&marked_prefix))
+        .collect();
+    assert_eq!(
+        sibling_preds,
+        canonical_predictions(&pipeline),
+        "batch-mates must refit solo and match the clean run exactly"
+    );
+    assert_eq!(report.predictions_written, sibling_preds.len());
 }
