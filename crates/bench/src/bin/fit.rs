@@ -303,7 +303,7 @@ fn main() -> std::io::Result<()> {
     );
 
     // ---- Machine-dependent gate ------------------------------------------
-    let assert_mode = std::env::var("SEAGULL_FIT_ASSERT").map_or(false, |v| v == "1");
+    let assert_mode = std::env::var("SEAGULL_FIT_ASSERT").is_ok_and(|v| v == "1");
     if assert_mode {
         assert!(
             speedup >= SPEEDUP_GATE,

@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "dataflow",
     "fit",
     "watch_dump",
+    "loadtest",
 ];
 
 fn main() {

@@ -1,0 +1,624 @@
+//! Load-testing harness: seeded open/closed-loop generators, arrival-rate
+//! sweeps, knee finding, and overload classification.
+//!
+//! Methodology follows Meta's "Load Testing for ML Model Serving Systems
+//! at Scale" (see `PAPERS.md`):
+//!
+//! * **Open loop** ([`OpenLoop`]): requests arrive on a schedule drawn
+//!   from a seeded exponential (Poisson) process at a target rate,
+//!   *regardless* of whether earlier requests finished. Latency is
+//!   **sojourn time** — completion minus *scheduled* arrival — so queueing
+//!   delay under saturation is measured instead of hidden (the
+//!   coordinated-omission trap closed-loop measurements fall into).
+//! * **Closed loop** ([`ClosedLoop`]): a fixed worker pool where each
+//!   worker fires its next request the moment the previous one completes.
+//!   Measures service time and peak sustainable throughput at a given
+//!   concurrency, but self-throttles under overload.
+//! * **Rate sweep → knee** ([`find_knee`]): run the open loop at
+//!   increasing offered rates; the *knee* is the highest rate the system
+//!   still absorbs — achieved throughput tracks offered (within
+//!   [`KNEE_ABSORB_FRACTION`]) and tail latency stays under its bound.
+//!   Past the knee the queue grows without bound and sojourn p99 explodes.
+//! * **Overload: shed vs degrade** ([`OverloadStats`]): a healthy
+//!   overloaded server *sheds* (fast, cheap rejections via the circuit
+//!   breaker) rather than *degrades* (serving everyone slower and slower).
+//!
+//! Every generator is seeded and its request schedule deterministic;
+//! response digests use FNV-1a folded in request order, so a digest is
+//! comparable across thread counts and machines.
+
+use seagull_telemetry::chaos::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A sweep point "absorbs" its offered rate when achieved QPS is at least
+/// this fraction of offered.
+pub const KNEE_ABSORB_FRACTION: f64 = 0.95;
+
+// ---------------------------------------------------------------------------
+// FNV digests
+// ---------------------------------------------------------------------------
+
+/// FNV-1a offset basis — the seed for [`fnv1a_fold`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a running hash. Chain calls to digest a
+/// response; fold per-request digests in request order for a run digest.
+pub fn fnv1a_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Folds an `f64` slice into the hash via exact bit patterns (no
+/// formatting, no rounding — byte-identical or not at all).
+pub fn fnv1a_fold_f64s(mut hash: u64, values: &[f64]) -> u64 {
+    for v in values {
+        hash = fnv1a_fold(hash, &v.to_bits().to_le_bytes());
+    }
+    hash
+}
+
+/// Folds a `u64` into the hash.
+pub fn fnv1a_fold_u64(hash: u64, value: u64) -> u64 {
+    fnv1a_fold(hash, &value.to_le_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Run results
+// ---------------------------------------------------------------------------
+
+/// The outcome of one generator run.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// Per-request latency, microseconds, sorted ascending. Open-loop runs
+    /// record sojourn time (completion − scheduled arrival); closed-loop
+    /// runs record service time.
+    pub latencies_us: Vec<f64>,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+    /// Offered arrival rate (open loop only).
+    pub offered_qps: Option<f64>,
+    /// Requests completed per wall-clock second.
+    pub achieved_qps: f64,
+    /// FNV-1a digest of every response, folded in request order —
+    /// identical across thread counts for a deterministic target.
+    pub digest: u64,
+}
+
+impl LoadRun {
+    /// The `q`-quantile latency in microseconds (nearest-rank).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        quantile(&self.latencies_us, q)
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0.0 if empty).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn finish_run(
+    mut per_request: Vec<(usize, u64, f64)>,
+    wall_s: f64,
+    offered_qps: Option<f64>,
+) -> LoadRun {
+    // Reassemble request order regardless of which thread ran what, so
+    // the digest is thread-count independent.
+    per_request.sort_unstable_by_key(|(i, _, _)| *i);
+    let digest = per_request
+        .iter()
+        .fold(FNV_OFFSET, |h, (_, d, _)| fnv1a_fold_u64(h, *d));
+    let mut latencies_us: Vec<f64> = per_request.iter().map(|(_, _, l)| *l).collect();
+    latencies_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LoadRun {
+        achieved_qps: per_request.len() as f64 / wall_s.max(1e-12),
+        latencies_us,
+        wall_s,
+        offered_qps,
+        digest,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open loop
+// ---------------------------------------------------------------------------
+
+/// Seeded open-loop (Poisson-arrival) load generator.
+///
+/// ```
+/// use seagull_bench::loadtest::OpenLoop;
+///
+/// let gen = OpenLoop::new(7).rate_qps(10_000.0).requests(1_000);
+/// let arrivals = gen.arrivals();
+/// assert_eq!(arrivals.len(), 1_000);
+/// // The schedule is monotone, seeded, and deterministic.
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// assert_eq!(arrivals, OpenLoop::new(7).rate_qps(10_000.0).requests(1_000).arrivals());
+/// // Mean inter-arrival ≈ 1/rate.
+/// let mean = arrivals.last().unwrap() / 999.0;
+/// assert!((mean - 1e-4).abs() < 2e-5, "mean inter-arrival {mean}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    seed: u64,
+    rate_qps: f64,
+    requests: usize,
+}
+
+impl OpenLoop {
+    /// A generator with the given schedule seed (1k QPS, 1k requests until
+    /// overridden).
+    pub fn new(seed: u64) -> OpenLoop {
+        OpenLoop {
+            seed,
+            rate_qps: 1_000.0,
+            requests: 1_000,
+        }
+    }
+
+    /// Sets the offered arrival rate, queries per second.
+    pub fn rate_qps(mut self, rate_qps: f64) -> OpenLoop {
+        assert!(rate_qps > 0.0, "rate must be positive");
+        self.rate_qps = rate_qps;
+        self
+    }
+
+    /// Sets the number of requests in the schedule.
+    pub fn requests(mut self, requests: usize) -> OpenLoop {
+        self.requests = requests;
+        self
+    }
+
+    /// Number of requests this generator will issue.
+    pub fn len(&self) -> usize {
+        self.requests
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+
+    /// The offered rate, queries per second.
+    pub fn offered_qps(&self) -> f64 {
+        self.rate_qps
+    }
+
+    /// The scheduled arrival times (seconds from run start): a seeded
+    /// Poisson process with exponential inter-arrivals at the target rate.
+    pub fn arrivals(&self) -> Vec<f64> {
+        let mut rng = DetRng::new(self.seed);
+        let mut t = 0.0f64;
+        (0..self.requests)
+            .map(|_| {
+                // Inverse-CDF exponential; clamp u away from 0 so ln stays
+                // finite.
+                let u = rng.next_f64().max(1e-12);
+                t += -u.ln() / self.rate_qps;
+                t
+            })
+            .collect()
+    }
+
+    /// Fires the schedule at `query` from `threads` workers (requests are
+    /// round-robined). `query` receives the request index and returns a
+    /// digest of its response; latency is sojourn time against the
+    /// *scheduled* arrival, so queueing under overload is visible.
+    pub fn run<F>(&self, threads: usize, query: F) -> LoadRun
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread");
+        let arrivals = self.arrivals();
+        let query = &query;
+        let started = Instant::now();
+        let mut per_request: Vec<(usize, u64, f64)> = Vec::with_capacity(self.requests);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let arrivals = &arrivals;
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(arrivals.len() / threads + 1);
+                        for (i, &scheduled) in arrivals.iter().enumerate() {
+                            if i % threads != t {
+                                continue;
+                            }
+                            // Hold the open-loop schedule: sleep off large
+                            // gaps, spin the tail for sub-scheduler-quantum
+                            // precision.
+                            loop {
+                                let now = started.elapsed().as_secs_f64();
+                                let wait = scheduled - now;
+                                if wait <= 0.0 {
+                                    break;
+                                }
+                                if wait > 500e-6 {
+                                    std::thread::sleep(std::time::Duration::from_secs_f64(
+                                        wait - 250e-6,
+                                    ));
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                            let digest = query(i);
+                            let done = started.elapsed().as_secs_f64();
+                            out.push((i, digest, (done - scheduled).max(0.0) * 1e6));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_request.extend(handle.join().expect("load worker panicked"));
+            }
+        });
+        finish_run(
+            per_request,
+            started.elapsed().as_secs_f64(),
+            Some(self.rate_qps),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop
+// ---------------------------------------------------------------------------
+
+/// Closed-loop load generator: a fixed pool of workers, each firing its
+/// next request as soon as the previous completes.
+///
+/// ```
+/// use seagull_bench::loadtest::ClosedLoop;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let calls = AtomicUsize::new(0);
+/// let run = ClosedLoop::new(4).requests(100).run(|i| {
+///     calls.fetch_add(1, Ordering::Relaxed);
+///     i as u64 // a deterministic per-request digest
+/// });
+/// assert_eq!(calls.load(Ordering::Relaxed), 100);
+/// assert_eq!(run.latencies_us.len(), 100);
+/// // Same digests in request order → same run digest, any worker count.
+/// assert_eq!(run.digest, ClosedLoop::new(1).requests(100).run(|i| i as u64).digest);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    workers: usize,
+    requests: usize,
+}
+
+impl ClosedLoop {
+    /// A generator with `workers` concurrent callers (1k requests until
+    /// overridden).
+    pub fn new(workers: usize) -> ClosedLoop {
+        assert!(workers > 0, "at least one worker");
+        ClosedLoop {
+            workers,
+            requests: 1_000,
+        }
+    }
+
+    /// Sets the total number of requests across all workers.
+    pub fn requests(mut self, requests: usize) -> ClosedLoop {
+        self.requests = requests;
+        self
+    }
+
+    /// Number of requests this generator will issue.
+    pub fn len(&self) -> usize {
+        self.requests
+    }
+
+    /// Whether the run would issue no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Drives `query` from the worker pool; workers pull the next request
+    /// index from a shared counter, so the pool stays busy end to end.
+    /// Latency is pure service time.
+    pub fn run<F>(&self, query: F) -> LoadRun
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
+        let next = AtomicUsize::new(0);
+        let query = &query;
+        let next = &next;
+        let total = self.requests;
+        let started = Instant::now();
+        let mut per_request: Vec<(usize, u64, f64)> = Vec::with_capacity(total);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let q0 = Instant::now();
+                            let digest = query(i);
+                            out.push((i, digest, q0.elapsed().as_secs_f64() * 1e6));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_request.extend(handle.join().expect("load worker panicked"));
+            }
+        });
+        finish_run(per_request, started.elapsed().as_secs_f64(), None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps and the knee
+// ---------------------------------------------------------------------------
+
+/// One point of an arrival-rate sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Arrival rate the generator offered.
+    pub offered_qps: f64,
+    /// Throughput the system actually delivered.
+    pub achieved_qps: f64,
+    /// Median sojourn latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile sojourn latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile sojourn latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl SweepPoint {
+    /// Builds a point from an open-loop [`LoadRun`].
+    pub fn from_run(run: &LoadRun) -> SweepPoint {
+        SweepPoint {
+            offered_qps: run.offered_qps.unwrap_or(run.achieved_qps),
+            achieved_qps: run.achieved_qps,
+            p50_us: run.quantile_us(0.50),
+            p95_us: run.quantile_us(0.95),
+            p99_us: run.quantile_us(0.99),
+        }
+    }
+
+    /// Whether the system absorbed this offered rate: achieved throughput
+    /// within [`KNEE_ABSORB_FRACTION`] of offered and p99 under the bound.
+    pub fn absorbed(&self, p99_bound_us: f64) -> bool {
+        self.achieved_qps >= KNEE_ABSORB_FRACTION * self.offered_qps && self.p99_us <= p99_bound_us
+    }
+}
+
+/// Index of the knee in an ascending-rate sweep: the **last** point that
+/// absorbed its offered rate *before* the first point that did not.
+/// `None` when even the first point is past saturation.
+///
+/// Points after the first non-absorbed one are ignored even if they
+/// nominally absorb again — a saturated system's achieved-vs-offered
+/// ratio is noisy, and a knee is by definition the *first* break.
+pub fn find_knee(points: &[SweepPoint], p99_bound_us: f64) -> Option<usize> {
+    let mut knee = None;
+    for (i, point) in points.iter().enumerate() {
+        if point.absorbed(p99_bound_us) {
+            knee = Some(i);
+        } else {
+            break;
+        }
+    }
+    knee
+}
+
+// ---------------------------------------------------------------------------
+// Overload classification
+// ---------------------------------------------------------------------------
+
+/// How a system behaved under deliberate overload: shedding (fast
+/// rejections) versus degrading (everyone waits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadStats {
+    /// Requests answered normally.
+    pub served: usize,
+    /// Requests rejected fast (breaker open — the *shed* path).
+    pub shed: usize,
+    /// Median latency of shed responses, microseconds.
+    pub shed_p50_us: f64,
+    /// Median latency of served responses, microseconds.
+    pub served_p50_us: f64,
+}
+
+impl OverloadStats {
+    /// Classifies per-request `(latency_us, was_shed)` outcomes.
+    pub fn classify(outcomes: &[(f64, bool)]) -> OverloadStats {
+        let mut shed: Vec<f64> = outcomes
+            .iter()
+            .filter(|(_, s)| *s)
+            .map(|(l, _)| *l)
+            .collect();
+        let mut served: Vec<f64> = outcomes
+            .iter()
+            .filter(|(_, s)| !*s)
+            .map(|(l, _)| *l)
+            .collect();
+        shed.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        served.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        OverloadStats {
+            served: served.len(),
+            shed: shed.len(),
+            shed_p50_us: quantile(&shed, 0.50),
+            served_p50_us: quantile(&served, 0.50),
+        }
+    }
+
+    /// Fraction of requests shed.
+    pub fn shed_fraction(&self) -> f64 {
+        let total = self.served + self.shed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_schedule_is_seeded_and_monotone() {
+        let a = OpenLoop::new(42).rate_qps(5_000.0).requests(500).arrivals();
+        let b = OpenLoop::new(42).rate_qps(5_000.0).requests(500).arrivals();
+        let c = OpenLoop::new(43).rate_qps(5_000.0).requests(500).arrivals();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival tracks 1/rate within sampling noise.
+        let mean = a.last().unwrap() / (a.len() - 1) as f64;
+        assert!((mean - 1.0 / 5_000.0).abs() < 0.3 / 5_000.0);
+    }
+
+    #[test]
+    fn open_loop_digest_is_thread_count_independent() {
+        let gen = OpenLoop::new(9).rate_qps(200_000.0).requests(2_000);
+        let one = gen.run(1, |i| (i as u64).wrapping_mul(0x9e37_79b9));
+        let four = gen.run(4, |i| (i as u64).wrapping_mul(0x9e37_79b9));
+        assert_eq!(one.digest, four.digest);
+        assert_eq!(one.latencies_us.len(), 2_000);
+        assert_eq!(four.latencies_us.len(), 2_000);
+    }
+
+    #[test]
+    fn closed_loop_bounds_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        let inflight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let run = ClosedLoop::new(3).requests(300).run(|i| {
+            let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            i as u64
+        });
+        assert_eq!(run.latencies_us.len(), 300);
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 3, "closed loop must bound concurrency, saw {peak}");
+    }
+
+    #[test]
+    fn knee_finder_locates_the_break_on_a_synthetic_curve() {
+        // Classic saturation curve: absorbs 10k/20k/40k, breaks at 80k.
+        let points = vec![
+            SweepPoint {
+                offered_qps: 10_000.0,
+                achieved_qps: 10_000.0,
+                p50_us: 5.0,
+                p95_us: 9.0,
+                p99_us: 15.0,
+            },
+            SweepPoint {
+                offered_qps: 20_000.0,
+                achieved_qps: 19_800.0,
+                p50_us: 5.0,
+                p95_us: 10.0,
+                p99_us: 18.0,
+            },
+            SweepPoint {
+                offered_qps: 40_000.0,
+                achieved_qps: 39_200.0,
+                p50_us: 6.0,
+                p95_us: 12.0,
+                p99_us: 30.0,
+            },
+            SweepPoint {
+                offered_qps: 80_000.0,
+                achieved_qps: 52_000.0,
+                p50_us: 900.0,
+                p95_us: 4_000.0,
+                p99_us: 9_000.0,
+            },
+            SweepPoint {
+                offered_qps: 160_000.0,
+                achieved_qps: 51_000.0,
+                p50_us: 5_000.0,
+                p95_us: 20_000.0,
+                p99_us: 50_000.0,
+            },
+        ];
+        assert_eq!(find_knee(&points, 1_000.0), Some(2));
+        // A tight p99 bound moves the knee earlier.
+        assert_eq!(find_knee(&points, 16.0), Some(0));
+        // A hopeless bound: no point qualifies.
+        assert_eq!(find_knee(&points, 1.0), None);
+    }
+
+    #[test]
+    fn knee_ignores_recovery_after_the_first_break() {
+        let absorbed = SweepPoint {
+            offered_qps: 10_000.0,
+            achieved_qps: 10_000.0,
+            p50_us: 5.0,
+            p95_us: 9.0,
+            p99_us: 15.0,
+        };
+        let broken = SweepPoint {
+            offered_qps: 20_000.0,
+            achieved_qps: 9_000.0,
+            p50_us: 500.0,
+            p95_us: 2_000.0,
+            p99_us: 8_000.0,
+        };
+        let phantom = SweepPoint {
+            offered_qps: 40_000.0,
+            achieved_qps: 39_000.0,
+            p50_us: 5.0,
+            p95_us: 9.0,
+            p99_us: 15.0,
+        };
+        assert_eq!(
+            find_knee(&[absorbed, broken, phantom], 1_000.0),
+            Some(0),
+            "post-break recovery is noise, not a knee"
+        );
+    }
+
+    #[test]
+    fn overload_stats_classify_shed_vs_served() {
+        let outcomes: Vec<(f64, bool)> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (1.0, true) // shed fast
+                } else {
+                    (50.0, false) // served slower
+                }
+            })
+            .collect();
+        let stats = OverloadStats::classify(&outcomes);
+        assert_eq!(stats.shed, 50);
+        assert_eq!(stats.served, 50);
+        assert!((stats.shed_fraction() - 0.5).abs() < 1e-12);
+        assert!(stats.shed_p50_us < stats.served_p50_us);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable() {
+        let h = fnv1a_fold_f64s(FNV_OFFSET, &[1.0, 2.5, -3.75]);
+        assert_eq!(h, fnv1a_fold_f64s(FNV_OFFSET, &[1.0, 2.5, -3.75]));
+        assert_ne!(h, fnv1a_fold_f64s(FNV_OFFSET, &[1.0, 2.5, -3.74]));
+        // NaN payloads digest by bit pattern, not comparison.
+        let n = fnv1a_fold_f64s(FNV_OFFSET, &[f64::NAN]);
+        assert_eq!(n, fnv1a_fold_f64s(FNV_OFFSET, &[f64::NAN]));
+    }
+}

@@ -372,6 +372,16 @@ enum FitPath {
     Miss { key: String, fingerprint: u64 },
 }
 
+/// Result of one server's train-infer item: the prediction doc (`None` for
+/// young servers), the deferred cache write, and the fit-kernel label of any
+/// cold fit that ran — or the `(server_id, reason)` poison record.
+type FitOutcome =
+    Result<(Option<PredictionDoc>, CacheOutcome, Option<&'static str>), (u64, String)>;
+
+/// A pre-computed fit from a shape batch, consumed in place of a solo fit:
+/// the kernel result plus the wall time attributed to that slot.
+type Prefit = (Result<Box<dyn FittedModel>, ForecastError>, Duration);
+
 /// What the mid-run stages (validation → features → train-infer →
 /// docstore-write) hand to the shared tail (deployment, accuracy-eval).
 /// The mid-stage drivers return `None` when validation blocks the run.
@@ -1074,7 +1084,7 @@ impl AmlPipeline {
         class: &'static str,
         region: &str,
         next_week: i64,
-    ) -> Result<(Option<PredictionDoc>, CacheOutcome, Option<&'static str>), (u64, String)> {
+    ) -> FitOutcome {
         let path = self.fit_path(s, class, region);
         self.finish_fit(s, class, region, next_week, &path, &mut None)
     }
@@ -1108,8 +1118,8 @@ impl AmlPipeline {
         region: &str,
         next_week: i64,
         path: &FitPath,
-        prefit: &mut Option<(Result<Box<dyn FittedModel>, ForecastError>, Duration)>,
-    ) -> Result<(Option<PredictionDoc>, CacheOutcome, Option<&'static str>), (u64, String)> {
+        prefit: &mut Option<Prefit>,
+    ) -> FitOutcome {
         let grid = self.config.grid_min;
         let points_per_day = (seagull_timeseries::MINUTES_PER_DAY / grid as i64) as usize;
         // The server's backup day next week.
@@ -1266,8 +1276,7 @@ impl AmlPipeline {
                 _ => None,
             })
             .collect();
-        let mut prefits: Vec<Option<(Result<Box<dyn FittedModel>, ForecastError>, Duration)>> =
-            prepared.iter().map(|_| None).collect();
+        let mut prefits: Vec<Option<Prefit>> = prepared.iter().map(|_| None).collect();
         if cold.len() > 1 {
             let histories: Vec<&TimeSeries> = cold
                 .iter()

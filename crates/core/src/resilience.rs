@@ -26,6 +26,7 @@ use seagull_obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 pub use seagull_telemetry::chaos::{DetRng, InjectedCrash};
@@ -288,6 +289,57 @@ impl BreakerState {
             BreakerState::Open => 2.0,
         }
     }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> BreakerState {
+        match v {
+            1 => BreakerState::HalfOpen,
+            2 => BreakerState::Open,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+/// A lock-free, read-only view of one key's breaker state.
+///
+/// High-rate admission checks (the serving read path) cannot afford the
+/// breaker's `RwLock` on every request. A probe is a shared atomic cell the
+/// breaker updates on every state transition for its key; reading it is a
+/// single `Acquire` load. Obtain one per key up front (it is cheap to clone)
+/// and consult it per request.
+///
+/// A probe observes transitions made through *any* clone of the breaker it
+/// came from; it never mutates state and never consumes half-open probes.
+#[derive(Clone)]
+pub struct BreakerProbe {
+    cell: Arc<AtomicU8>,
+}
+
+impl BreakerProbe {
+    /// The key's current state (closed if the key has never transitioned).
+    pub fn state(&self) -> BreakerState {
+        BreakerState::from_u8(self.cell.load(Ordering::Acquire))
+    }
+
+    /// Whether requests for this key should be shed right now.
+    pub fn is_open(&self) -> bool {
+        self.state() == BreakerState::Open
+    }
+}
+
+impl fmt::Debug for BreakerProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BreakerProbe")
+            .field("state", &self.state())
+            .finish()
+    }
 }
 
 /// Circuit-breaker tuning.
@@ -349,6 +401,10 @@ impl KeyState {
 pub struct CircuitBreaker {
     config: BreakerConfig,
     inner: Arc<RwLock<HashMap<String, KeyState>>>,
+    /// Per-key state mirrors for lock-free [`BreakerProbe`] reads. Written
+    /// under the `inner` write lock at every transition, so a probe can
+    /// never observe a state `inner` has moved past.
+    cells: Arc<RwLock<HashMap<String, Arc<AtomicU8>>>>,
 }
 
 impl CircuitBreaker {
@@ -357,12 +413,51 @@ impl CircuitBreaker {
         CircuitBreaker {
             config,
             inner: Arc::new(RwLock::new(HashMap::new())),
+            cells: Arc::new(RwLock::new(HashMap::new())),
         }
     }
 
     /// The configured thresholds.
     pub fn config(&self) -> BreakerConfig {
         self.config
+    }
+
+    /// A lock-free read-only probe for `key`'s state, for hot read paths
+    /// that cannot afford [`CircuitBreaker::state`]'s lock per request.
+    /// Does not create breaker state for the key (the key only enters the
+    /// state machine when failures or successes are recorded).
+    pub fn probe(&self, key: &str) -> BreakerProbe {
+        BreakerProbe {
+            cell: self.cell(key),
+        }
+    }
+
+    /// Lock order is `inner` before `cells`, everywhere: transitions hold
+    /// the `inner` write guard while mirroring into `cells`, and this
+    /// seeding path holds an `inner` read guard across the insert so a
+    /// concurrent transition (which would need the write guard) can neither
+    /// race the seed stale nor deadlock against it.
+    fn cell(&self, key: &str) -> Arc<AtomicU8> {
+        if let Some(cell) = self.cells.read().get(key) {
+            return Arc::clone(cell);
+        }
+        let inner = self.inner.read();
+        let state = inner.get(key).map_or(BreakerState::Closed, |ks| ks.state);
+        let mut cells = self.cells.write();
+        Arc::clone(
+            cells
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(AtomicU8::new(state.to_u8()))),
+        )
+    }
+
+    /// Mirrors a transition into the key's probe cell (no-op when nobody
+    /// has requested a probe for the key yet — the cell is seeded from
+    /// `inner` on first request). Callers hold the `inner` write guard.
+    fn sync_cell(&self, key: &str, state: BreakerState) {
+        if let Some(cell) = self.cells.read().get(key) {
+            cell.store(state.to_u8(), Ordering::Release);
+        }
     }
 
     /// Whether a request for `key` may proceed at `tick`. An open breaker
@@ -375,6 +470,7 @@ impl CircuitBreaker {
             BreakerState::Open => {
                 if tick - ks.opened_at_tick >= self.config.cooldown_ticks {
                     ks.state = BreakerState::HalfOpen;
+                    self.sync_cell(key, BreakerState::HalfOpen);
                     true
                 } else {
                     false
@@ -391,6 +487,7 @@ impl CircuitBreaker {
         let ks = map.entry(key.to_string()).or_insert_with(KeyState::closed);
         if ks.state == BreakerState::HalfOpen {
             ks.state = BreakerState::Closed;
+            self.sync_cell(key, BreakerState::Closed);
             incidents.resolve_matching("circuit-breaker", key);
             incidents.raise_keyed(
                 Severity::Info,
@@ -417,6 +514,7 @@ impl CircuitBreaker {
                     ks.state = BreakerState::Open;
                     ks.opened_at_tick = tick;
                     ks.trips += 1;
+                    self.sync_cell(key, BreakerState::Open);
                     incidents.raise_keyed(
                         Severity::Critical,
                         "circuit-breaker",
@@ -433,6 +531,7 @@ impl CircuitBreaker {
                 ks.state = BreakerState::Open;
                 ks.opened_at_tick = tick;
                 ks.trips += 1;
+                self.sync_cell(key, BreakerState::Open);
                 incidents.raise_keyed(
                     Severity::Warning,
                     "circuit-breaker",
@@ -801,6 +900,35 @@ mod tests {
             "trip incident resolved on recovery"
         );
         assert_eq!(incidents.open_count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn lock_free_probe_tracks_every_transition() {
+        let incidents = IncidentManager::new();
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            trip_threshold: 1,
+            cooldown_ticks: 10,
+        });
+        // A probe taken before any state exists reads closed, and taking it
+        // does not create breaker state for the key.
+        let probe = breaker.probe("west");
+        assert_eq!(probe.state(), BreakerState::Closed);
+        assert!(!probe.is_open());
+        assert_eq!(breaker.snapshot("west").trips, 0);
+
+        breaker.record_failure("west", 0, &incidents);
+        assert!(probe.is_open(), "trip visible through the probe");
+        assert!(breaker.allow("west", 10));
+        assert_eq!(probe.state(), BreakerState::HalfOpen);
+        breaker.record_success("west", 10, &incidents);
+        assert_eq!(probe.state(), BreakerState::Closed);
+
+        // A probe taken after transitions is seeded from existing state.
+        breaker.record_failure("east", 0, &incidents);
+        assert!(breaker.probe("east").is_open());
+        // Probes observe transitions made through breaker clones too.
+        breaker.clone().allow("east", 10);
+        assert_eq!(breaker.probe("east").state(), BreakerState::HalfOpen);
     }
 
     #[test]

@@ -57,9 +57,9 @@ const SKETCH_QUANTUM: f64 = 0.25;
 
 /// Quantized shape sketch of a series.
 ///
-/// The series is split into [`SKETCH_BUCKETS`] equal segments; each
+/// The series is split into `SKETCH_BUCKETS` equal segments; each
 /// segment's mean is z-scored against the whole series, quantized to
-/// [`SKETCH_QUANTUM`]-sigma steps, clamped to an `i8`, and the 16 signed
+/// `SKETCH_QUANTUM`-sigma steps, clamped to an `i8`, and the 16 signed
 /// bucket values are packed into a `u128`. Two sketches are *similar*
 /// ([`sketches_similar`]) when every bucket agrees to within one quantum —
 /// exact equality would make reuse hostage to quantization-boundary jitter
@@ -91,7 +91,7 @@ pub fn shape_sketch(values: &[f64]) -> u128 {
 }
 
 /// Whether two shape sketches describe the same normalized shape: every
-/// bucket's quantized z-score within one [`SKETCH_QUANTUM`] step of its
+/// bucket's quantized z-score within one `SKETCH_QUANTUM` step of its
 /// counterpart. Identical sketches are trivially similar.
 pub fn sketches_similar(a: u128, b: u128) -> bool {
     for bucket in 0..SKETCH_BUCKETS {

@@ -1,0 +1,290 @@
+//! In-flight request coalescing: identical `(region, epoch, server,
+//! horizon)` predictions share one computation.
+//!
+//! When many readers ask the same question at the same instant — the
+//! thundering-herd shape right after a deploy, or hot servers under fan-in
+//! — only the first (*leader*) computes; the rest (*followers*) park on
+//! the leader's cell and receive a clone of its result. Because the key
+//! includes the snapshot epoch, a follower can never be handed a result
+//! computed from a different snapshot than the one it resolved: the
+//! coalesced answer is byte-identical to what the follower would have
+//! computed itself.
+//!
+//! ## Cell lifecycle
+//!
+//! 1. Leader takes the key's shard lock, finds no cell, inserts one, and
+//!    releases the lock before computing (the map lock is never held
+//!    across a prediction).
+//! 2. Followers that arrive while the cell is in the map clone its `Arc`,
+//!    release the shard lock, and wait on the cell's condvar.
+//! 3. The leader fills the cell, notifies all waiters, then removes the
+//!    key — late arrivals after removal simply become leaders of a new
+//!    cell, which is correct (the result was already broadcast and the
+//!    computation is idempotent).
+//!
+//! The leader fills the cell through a drop guard, so even a panicking
+//! computation releases followers (with an error) instead of stranding
+//! them.
+//!
+//! Coalescing only pays when the computation is expensive relative to a
+//! map probe (model-backed horizons, large slices); the service gates it
+//! behind [`crate::ServeService::set_coalescing`].
+
+use crate::service::ServeError;
+use seagull_timeseries::TimeSeries;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+// std sync primitives, not parking_lot: the condvar-wait shape is the
+// whole point here, and these mutexes are held for nanoseconds.
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shards for the in-flight map; power of two, mask-indexed.
+const COALESCE_SHARDS: usize = 16;
+
+/// Identity of one in-flight prediction. `region` is the address of the
+/// region context's interned name (stable for the context's lifetime), so
+/// key construction allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CoalesceKey {
+    /// Address of the region's interned name (`Arc<str>` data pointer).
+    pub region: usize,
+    /// Snapshot epoch the query resolved — results never cross epochs.
+    pub epoch: u64,
+    /// Queried server id.
+    pub server: u64,
+    /// Queried horizon, steps.
+    pub horizon: u64,
+}
+
+impl CoalesceKey {
+    fn shard(&self) -> usize {
+        // Cheap avalanche over the fields; only shard balance matters.
+        let mut h = self.region as u64 ^ self.epoch.rotate_left(17);
+        h ^= self.server.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= self.horizon.rotate_left(33);
+        h = (h ^ (h >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (h >> 32) as usize & (COALESCE_SHARDS - 1)
+    }
+}
+
+type CoalesceResult = Result<TimeSeries, ServeError>;
+
+/// Poisoning-tolerant lock: a leader panicking inside `compute` must not
+/// wedge every later query on a poisoned map/cell.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct Cell {
+    done: Mutex<Option<CoalesceResult>>,
+    cv: Condvar,
+}
+
+/// One shard of the in-flight map: keys currently being computed, each
+/// pointing at the cell its followers wait on.
+type CoalesceShard = Mutex<HashMap<CoalesceKey, Arc<Cell>>>;
+
+/// The in-flight map: one mutexed hash map per shard plus a hit counter.
+pub(crate) struct Coalescer {
+    shards: Box<[CoalesceShard]>,
+    hits: AtomicU64,
+}
+
+/// Fills the cell on drop if the computation never did (panic in the
+/// leader's closure), so followers wake with an error instead of hanging.
+struct FillOnDrop<'c> {
+    cell: &'c Cell,
+    filled: bool,
+}
+
+impl Drop for FillOnDrop<'_> {
+    fn drop(&mut self) {
+        if !self.filled {
+            let mut done = lock(&self.cell.done);
+            if done.is_none() {
+                *done = Some(Err(ServeError::BadRequest(
+                    "coalesced computation aborted".into(),
+                )));
+            }
+            drop(done);
+            self.cell.cv.notify_all();
+        }
+    }
+}
+
+impl Coalescer {
+    pub(crate) fn new() -> Coalescer {
+        Coalescer {
+            shards: (0..COALESCE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests coalesced into another computation so far (volatile: the
+    /// count depends entirely on arrival timing).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs `compute` as the leader for `key`, or waits for an in-flight
+    /// leader and returns a clone of its result. The bool is `true` when
+    /// this call was coalesced into another (a follower).
+    pub(crate) fn run(
+        &self,
+        key: CoalesceKey,
+        compute: impl FnOnce() -> CoalesceResult,
+    ) -> (CoalesceResult, bool) {
+        let shard = &self.shards[key.shard()];
+        let cell = {
+            let mut map = lock(shard);
+            match map.entry(key) {
+                Entry::Occupied(occupied) => {
+                    let cell = Arc::clone(occupied.get());
+                    drop(map);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let mut done = lock(&cell.done);
+                    while done.is_none() {
+                        done = cell
+                            .cv
+                            .wait(done)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                    return (done.clone().expect("filled"), true);
+                }
+                Entry::Vacant(vacant) => {
+                    let cell = Arc::new(Cell {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    vacant.insert(Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        let mut guard = FillOnDrop {
+            cell: &cell,
+            filled: false,
+        };
+        let result = compute();
+        {
+            let mut done = lock(&cell.done);
+            *done = Some(result.clone());
+        }
+        guard.filled = true;
+        cell.cv.notify_all();
+        lock(shard).remove(&key);
+        (result, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seagull_timeseries::Timestamp;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn key(server: u64) -> CoalesceKey {
+        CoalesceKey {
+            region: 0x1000,
+            epoch: 1,
+            server,
+            horizon: 4,
+        }
+    }
+
+    fn series(value: f64) -> TimeSeries {
+        TimeSeries::new(Timestamp::from_days(0), 30, vec![value; 4]).unwrap()
+    }
+
+    #[test]
+    fn solo_caller_leads_and_cleans_up() {
+        let co = Coalescer::new();
+        let (result, coalesced) = co.run(key(7), || Ok(series(1.0)));
+        assert!(!coalesced);
+        assert_eq!(result.unwrap().values(), &[1.0; 4]);
+        assert_eq!(co.hits(), 0);
+        // The cell was removed: a second run leads again.
+        let (_, coalesced) = co.run(key(7), || Ok(series(2.0)));
+        assert!(!coalesced);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_compute_once() {
+        let co = Arc::new(Coalescer::new());
+        let computed = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let co = Arc::clone(&co);
+                    let computed = &computed;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        co.run(key(7), || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            // Widen the in-flight window so followers pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(series(9.0))
+                        })
+                    })
+                })
+                .collect();
+            let mut followers = 0;
+            for handle in handles {
+                let (result, coalesced) = handle.join().unwrap();
+                assert_eq!(result.unwrap().values(), &[9.0; 4]);
+                followers += usize::from(coalesced);
+            }
+            // Every thread got the answer; at most a handful recomputed
+            // (a late arrival after cleanup legitimately leads again).
+            let leads = computed.load(Ordering::Relaxed);
+            assert_eq!(followers as u64, co.hits());
+            assert_eq!(leads + followers, 8);
+        });
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let co = Coalescer::new();
+        let (_, c1) = co.run(key(1), || Ok(series(1.0)));
+        let (_, c2) = co.run(key(2), || Ok(series(2.0)));
+        assert!(!c1 && !c2);
+        assert_eq!(co.hits(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_releases_followers() {
+        let co = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let co_leader = Arc::clone(&co);
+        let barrier_leader = Arc::clone(&barrier);
+        let leader = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                co_leader.run(key(7), || {
+                    barrier_leader.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("leader died");
+                })
+            }));
+            assert!(result.is_err());
+        });
+        barrier.wait();
+        // Arrive while the leader is inside compute(): either coalesce
+        // into the doomed cell (and get the abort error) or lead a fresh
+        // cell after cleanup (and succeed) — both are live outcomes.
+        let (result, coalesced) = co.run(key(7), || Ok(series(1.0)));
+        if coalesced {
+            assert!(matches!(result, Err(ServeError::BadRequest(_))));
+        } else {
+            assert!(result.is_ok());
+        }
+        leader.join().unwrap();
+    }
+}

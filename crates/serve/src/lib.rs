@@ -17,22 +17,30 @@
 //!    deployed [`PredictionDoc`](seagull_core::pipeline::PredictionDoc)s,
 //!    attaching fitted models from the warm cache when available.
 //! 2. The snapshot is published into the [`SnapshotStore`] via an atomic
-//!    **epoch swap**: the store writes the region's *standby* slot, then
-//!    flips the epoch. Readers never lock against a deploy.
+//!    **pointer swap**: the store installs the new snapshot in one atomic
+//!    store and retires the old one to an epoch GC that frees it only
+//!    after every in-flight reader pin has drained. Readers never lock
+//!    against a deploy — or against anything else.
 //! 3. When deployment *fails*, the sink's fallback hook leaves the store
 //!    untouched: the **last-known-good** snapshot keeps serving, mirroring
 //!    the model registry's fallback rule.
 //!
 //! ## Read path
 //!
-//! Admission control consults the shared per-region
+//! The hot path is **lock-free end to end**: a query pins the store's GC
+//! epoch (two thread-private atomic stores), resolves its region through
+//! a 16-way sharded copy-on-write map, borrows the snapshot straight off
+//! an atomic pointer — no `RwLock`, no `Arc` refcount traffic — and
+//! checks admission against a lock-free
+//! [`BreakerProbe`](seagull_core::resilience::BreakerProbe) mirror of the
+//! shared per-region
 //! [`CircuitBreaker`](seagull_core::resilience::CircuitBreaker)
 //! (read-only — the service never consumes the pipeline's half-open
-//! probes). Admitted queries clone one `Arc<ModelSnapshot>` and answer
-//! from it: horizons inside the materialized day are zero-copy slices;
+//! probes). Horizons inside the materialized day are zero-copy slices;
 //! longer horizons and other days run the cached fitted model. Batched
-//! queries acquire the snapshot once, so every response in a batch comes
-//! from the same epoch.
+//! queries resolve the snapshot once, so every response in a batch comes
+//! from the same epoch, and identical in-flight `(server, horizon)`
+//! queries can be coalesced so one computation fans out to all waiters.
 //!
 //! Every request lands in a [`seagull_obs`] registry: stable
 //! request/outcome counters and staleness histograms (deterministic across
@@ -49,14 +57,19 @@
 //! journaled epoch when the newest snapshot blob is torn. See `DESIGN.md`
 //! §12.
 //!
-//! See `DESIGN.md` §11 for the memory-ordering argument and the staleness
-//! model.
+//! See `DESIGN.md` §11 for the staleness model and §16 for the lock-free
+//! read path's memory-ordering argument.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the one exception is the `shard` module,
+// whose epoch-GC read path needs raw-pointer derefs and carries a safety
+// argument on every unsafe block (see its module docs and DESIGN.md §16).
+#![deny(unsafe_code)]
 
+mod coalesce;
 pub mod persist;
 pub mod service;
+mod shard;
 pub mod snapshot;
 pub mod store;
 
@@ -66,4 +79,4 @@ pub use persist::{
 };
 pub use service::{ServeError, ServeService};
 pub use snapshot::{ModelSnapshot, ServedServer};
-pub use store::SnapshotStore;
+pub use store::{GcStats, SnapshotStore, StoreStats};

@@ -7,16 +7,38 @@
 //! [`AmlPipeline::with_deploy_sink`](seagull_core::pipeline::AmlPipeline::with_deploy_sink)
 //! makes every successful deployment publish a fresh snapshot — and every
 //! failed deployment keep the last-known-good snapshot serving.
+//!
+//! ## The per-query fast path
+//!
+//! A query executes exactly one epoch pin and then runs entirely on
+//! pre-resolved, contention-free state. The key structure is the
+//! `RegionCtx`: built once per region (on its first query) and cached in
+//! a lock-free `ShardedMap` sharing the store's epoch GC, it holds
+//! everything the hot path would otherwise have to look up per request —
+//! the region's snapshot slot (an atomic pointer), a lock-free
+//! [`BreakerProbe`] mirroring the shared breaker's state, and the
+//! `Arc<Counter>`/`Arc<Histogram>` metric handles (resolving a handle
+//! through the registry takes its global mutex and allocates a label set;
+//! doing that two or three times per query was a measurable fraction of
+//! the old 14µs p50). Admission is one atomic load, outcome accounting one
+//! atomic increment, and the snapshot itself is *borrowed* from the slot
+//! under the pin — no `Arc` refcount traffic at all.
+//!
+//! Wall-clock latency histograms stay per-query, but exemplar *offers*
+//! (which take the histogram's reservoir mutex) are sampled one-in-64 per
+//! thread; the histogram's buckets see every observation either way.
 
+use crate::coalesce::{CoalesceKey, Coalescer};
+use crate::shard::{PinGuard, ShardedMap};
 use crate::snapshot::ModelSnapshot;
-use crate::store::SnapshotStore;
+use crate::store::{RegionSlot, SnapshotStore};
 use seagull_core::metrics::{lowest_load_window, LowLoadWindow};
 use seagull_core::pipeline::{DeployEvent, DeploySink};
-use seagull_core::resilience::{BreakerConfig, BreakerState, CircuitBreaker};
-use seagull_obs::{Exemplar, Obs, Stability};
+use seagull_core::resilience::{BreakerConfig, BreakerProbe, CircuitBreaker};
+use seagull_obs::{Counter, Exemplar, Histogram, Obs, Stability};
 use seagull_timeseries::{TimeSeries, Timestamp};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -101,13 +123,46 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// One region's pre-resolved hot-path state: the snapshot slot, a
+/// lock-free breaker mirror, and cached metric handles. Built on the
+/// region's first query and immutable afterwards — deploys mutate the
+/// slot's interior pointer, breaker transitions mirror into the probe's
+/// cell, and the handles point at live registry entries, so nothing here
+/// ever needs invalidation.
+struct RegionCtx {
+    /// Interned region name; its address doubles as the coalescing key's
+    /// region identity.
+    name: Arc<str>,
+    slot: Arc<RegionSlot>,
+    probe: BreakerProbe,
+    ok: Arc<Counter>,
+    err: Arc<Counter>,
+    rejected: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    latency: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+}
+
+/// Exemplar offers are sampled one-in-N per thread: offers take the
+/// histogram's reservoir mutex, and under multi-thread load that mutex
+/// was the next contention point after the locks the sharded store
+/// removed. Bucket counts still see every observation.
+const EXEMPLAR_SAMPLE_EVERY: u64 = 64;
+
+thread_local! {
+    static EXEMPLAR_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 struct ServeInner {
     store: SnapshotStore,
     breaker: CircuitBreaker,
     obs: Obs,
+    ctxs: ShardedMap<Arc<RegionCtx>>,
+    coalescer: Coalescer,
+    coalesce: AtomicBool,
     clock_day: AtomicI64,
-    /// Per-query sequence number, the span id exemplars carry. Monotonic
-    /// across all clones of the handle.
+    /// Sequence number for sampled exemplar span ids. Monotonic across
+    /// all clones of the handle.
     query_seq: AtomicU64,
 }
 
@@ -155,6 +210,9 @@ impl ServeService {
                 store: SnapshotStore::new(),
                 breaker,
                 obs,
+                ctxs: ShardedMap::new(),
+                coalescer: Coalescer::new(),
+                coalesce: AtomicBool::new(false),
                 clock_day: AtomicI64::new(0),
                 query_seq: AtomicU64::new(0),
             }),
@@ -165,6 +223,33 @@ impl ServeService {
     /// (nothing ever trips it unless failures are recorded into it).
     pub fn with_defaults() -> ServeService {
         ServeService::new(Obs::new(), CircuitBreaker::new(BreakerConfig::default()))
+    }
+
+    /// Enables in-flight request coalescing and returns the handle —
+    /// builder-style sugar over [`ServeService::set_coalescing`].
+    pub fn with_coalescing(self) -> ServeService {
+        self.set_coalescing(true);
+        self
+    }
+
+    /// Turns coalescing of identical in-flight `(server, horizon)`
+    /// predictions on or off (off by default). Coalesced responses are
+    /// byte-identical to uncoalesced ones — the coalescing key pins the
+    /// snapshot epoch — so this only trades a map probe per query against
+    /// deduplicating expensive model-backed horizons under fan-in.
+    pub fn set_coalescing(&self, enabled: bool) {
+        self.inner.coalesce.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether in-flight coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.inner.coalesce.load(Ordering::Relaxed)
+    }
+
+    /// Requests that were answered by another in-flight computation so
+    /// far. Timing-dependent by nature (volatile).
+    pub fn coalesced_total(&self) -> u64 {
+        self.inner.coalescer.hits()
     }
 
     /// The observability handle requests are recorded into.
@@ -190,7 +275,7 @@ impl ServeService {
     }
 
     /// Publishes a snapshot, making it the region's serving state via an
-    /// atomic epoch swap. Returns the new epoch. In-flight readers keep
+    /// atomic pointer swap. Returns the new epoch. In-flight readers keep
     /// whatever snapshot they already hold.
     pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
         let region = snapshot.region().to_string();
@@ -205,7 +290,32 @@ impl ServeService {
             .set(servers);
         reg.histogram("seagull_serve_staleness_days", &labels)
             .observe(staleness);
+        self.publish_store_metrics();
         epoch
+    }
+
+    /// Exports the store's shard/GC statistics as gauges. Publish-time
+    /// only — the read path never touches the registry.
+    fn publish_store_metrics(&self) {
+        let reg = self.inner.obs.registry();
+        let stats = self.inner.store.stats();
+        for (i, publishes) in stats.publishes_per_shard.iter().enumerate() {
+            if *publishes > 0 {
+                let shard = i.to_string();
+                let labels = [("shard", shard.as_str())];
+                reg.gauge("seagull_serve_shard_publishes", &labels)
+                    .set(*publishes as f64);
+                reg.gauge("seagull_serve_shard_regions", &labels)
+                    .set(stats.regions_per_shard[i] as f64);
+            }
+        }
+        reg.gauge("seagull_serve_snapshots_retired", &[])
+            .set(stats.snapshots_retired as f64);
+        let gc = self.inner.store.gc_stats();
+        reg.gauge_with("seagull_serve_gc_freed", &[], Stability::Volatile)
+            .set(gc.freed_total as f64);
+        reg.gauge_with("seagull_serve_reader_slots", &[], Stability::Volatile)
+            .set(gc.reader_slots as f64);
     }
 
     /// The region's current snapshot, or `None` before the first publish.
@@ -214,7 +324,7 @@ impl ServeService {
         self.inner.store.load(region)
     }
 
-    /// The region's swap epoch (0 before the first publish).
+    /// The region's deploy epoch (0 before the first publish).
     pub fn epoch(&self, region: &str) -> u64 {
         self.inner.store.epoch(region)
     }
@@ -232,47 +342,65 @@ impl ServeService {
             .map(|s| (self.clock_day() - s.week_start_day()).max(0))
     }
 
-    fn admit(&self, region: &str) -> Result<(), ServeError> {
-        if self.inner.breaker.state(region) == BreakerState::Open {
-            self.record(region, "rejected");
-            return Err(ServeError::Rejected {
-                region: region.to_string(),
-            });
+    /// The region's cached hot-path context, building it on first query.
+    /// The rebuilt-after-insert lookup is safe because `ShardedMap` reads
+    /// always observe the latest published node.
+    fn ctx<'p>(&self, region: &str, pin: &'p PinGuard) -> &'p RegionCtx {
+        if let Some(ctx) = self.inner.ctxs.get(region, pin) {
+            return ctx;
         }
-        Ok(())
-    }
-
-    fn record(&self, region: &str, outcome: &str) {
+        let gc = self.inner.store.gc();
+        self.inner.ctxs.get_or_insert(region, gc, pin, || {
+            let reg = self.inner.obs.registry();
+            let labels = [("region", region)];
+            Arc::new(RegionCtx {
+                name: Arc::from(region),
+                slot: self.inner.store.slot_or_insert(region, pin),
+                probe: self.inner.breaker.probe(region),
+                ok: reg.counter(
+                    "seagull_serve_requests_total",
+                    &[("region", region), ("outcome", "ok")],
+                ),
+                err: reg.counter(
+                    "seagull_serve_requests_total",
+                    &[("region", region), ("outcome", "error")],
+                ),
+                rejected: reg.counter(
+                    "seagull_serve_requests_total",
+                    &[("region", region), ("outcome", "rejected")],
+                ),
+                coalesced: reg.counter_with(
+                    "seagull_serve_coalesced_total",
+                    &labels,
+                    Stability::Volatile,
+                ),
+                latency: reg.histogram_with(
+                    "seagull_serve_latency_seconds",
+                    &labels,
+                    Stability::Volatile,
+                ),
+                batch_size: reg.histogram("seagull_serve_batch_size", &labels),
+            })
+        });
         self.inner
-            .obs
-            .registry()
-            .counter(
-                "seagull_serve_requests_total",
-                &[("region", region), ("outcome", outcome)],
-            )
-            .inc();
+            .ctxs
+            .get(region, pin)
+            .expect("context visible after insert")
     }
 
-    fn record_latency(&self, region: &str, started: Instant) {
-        // Each request becomes one exemplar offer against its latency
-        // bucket: the per-query sequence number is the trace handle, the
-        // simulated clock day the tick. The histogram's reservoir keeps a
-        // uniformly sampled exemplar per bucket, so slow-tail buckets stay
-        // attributable to a concrete query. The histogram (and therefore
-        // its exemplars) is wall-clock derived and registered volatile —
-        // the stable export never sees either.
+    /// Records the wall-clock latency (every observation) and offers a
+    /// sampled exemplar (one in [`EXEMPLAR_SAMPLE_EVERY`] per thread).
+    fn observe_latency(&self, ctx: &RegionCtx, started: Instant) {
         let latency = started.elapsed().as_secs_f64();
-        let span_id = self.inner.query_seq.fetch_add(1, Ordering::Relaxed);
-        let tick = self.clock_day().max(0) as u64;
-        self.inner
-            .obs
-            .registry()
-            .histogram_with(
-                "seagull_serve_latency_seconds",
-                &[("region", region)],
-                Stability::Volatile,
-            )
-            .observe_exemplar(
+        let sampled = EXEMPLAR_TICK.with(|tick| {
+            let n = tick.get();
+            tick.set(n.wrapping_add(1));
+            n % EXEMPLAR_SAMPLE_EVERY == 0
+        });
+        if sampled {
+            let span_id = self.inner.query_seq.fetch_add(1, Ordering::Relaxed);
+            let tick = self.clock_day().max(0) as u64;
+            ctx.latency.observe_exemplar(
                 latency,
                 Exemplar {
                     value: latency,
@@ -280,17 +408,31 @@ impl ServeService {
                     tick,
                 },
             );
+        } else {
+            ctx.latency.observe(latency);
+        }
     }
 
     fn finish<T>(
         &self,
-        region: &str,
+        ctx: &RegionCtx,
         started: Instant,
         result: Result<T, ServeError>,
     ) -> Result<T, ServeError> {
-        self.record(region, if result.is_ok() { "ok" } else { "error" });
-        self.record_latency(region, started);
+        if result.is_ok() {
+            ctx.ok.inc();
+        } else {
+            ctx.err.inc();
+        }
+        self.observe_latency(ctx, started);
         result
+    }
+
+    fn shed(ctx: &RegionCtx, region: &str) -> ServeError {
+        ctx.rejected.inc();
+        ServeError::Rejected {
+            region: region.to_string(),
+        }
     }
 
     /// Predicts the next `horizon` steps for one server, anchored at the
@@ -308,15 +450,32 @@ impl ServeService {
         horizon: usize,
     ) -> Result<TimeSeries, ServeError> {
         let started = Instant::now();
-        self.admit(region)?;
-        let result = self.predict_on(self.lookup(region)?.as_ref(), region, server_id, horizon);
-        self.finish(region, started, result)
-    }
-
-    fn lookup(&self, region: &str) -> Result<Arc<ModelSnapshot>, ServeError> {
-        self.snapshot(region).ok_or_else(|| ServeError::NoSnapshot {
+        let pin = self.inner.store.gc().pin();
+        let ctx = self.ctx(region, &pin);
+        if ctx.probe.is_open() {
+            return Err(Self::shed(ctx, region));
+        }
+        let snapshot = ctx.slot.read(&pin).ok_or_else(|| ServeError::NoSnapshot {
             region: region.to_string(),
-        })
+        })?;
+        let result = if self.coalescing() {
+            let key = CoalesceKey {
+                region: Arc::as_ptr(&ctx.name) as *const u8 as usize,
+                epoch: snapshot.epoch(),
+                server: server_id,
+                horizon: horizon as u64,
+            };
+            let (result, coalesced) = self.inner.coalescer.run(key, || {
+                self.predict_on(snapshot, region, server_id, horizon)
+            });
+            if coalesced {
+                ctx.coalesced.inc();
+            }
+            result
+        } else {
+            self.predict_on(snapshot, region, server_id, horizon)
+        };
+        self.finish(ctx, started, result)
     }
 
     fn predict_on(
@@ -367,9 +526,16 @@ impl ServeService {
         day: i64,
     ) -> Result<TimeSeries, ServeError> {
         let started = Instant::now();
-        self.admit(region)?;
-        let result = self.predict_day_on(self.lookup(region)?.as_ref(), region, server_id, day);
-        self.finish(region, started, result)
+        let pin = self.inner.store.gc().pin();
+        let ctx = self.ctx(region, &pin);
+        if ctx.probe.is_open() {
+            return Err(Self::shed(ctx, region));
+        }
+        let snapshot = ctx.slot.read(&pin).ok_or_else(|| ServeError::NoSnapshot {
+            region: region.to_string(),
+        })?;
+        let result = self.predict_day_on(snapshot, region, server_id, day);
+        self.finish(ctx, started, result)
     }
 
     fn predict_day_on(
@@ -428,10 +594,16 @@ impl ServeService {
         day: i64,
     ) -> Result<LowLoadWindow, ServeError> {
         let started = Instant::now();
-        self.admit(region)?;
-        let snapshot = self.lookup(region)?;
+        let pin = self.inner.store.gc().pin();
+        let ctx = self.ctx(region, &pin);
+        if ctx.probe.is_open() {
+            return Err(Self::shed(ctx, region));
+        }
+        let snapshot = ctx.slot.read(&pin).ok_or_else(|| ServeError::NoSnapshot {
+            region: region.to_string(),
+        })?;
         let result = (|| {
-            let series = self.predict_day_on(snapshot.as_ref(), region, server_id, day)?;
+            let series = self.predict_day_on(snapshot, region, server_id, day)?;
             let duration = snapshot
                 .server(server_id)
                 .map(|s| s.duration_min() as u32)
@@ -440,7 +612,7 @@ impl ServeService {
                 duration_min: duration,
             })
         })();
-        self.finish(region, started, result)
+        self.finish(ctx, started, result)
     }
 
     /// Answers a batch of `(server_id, horizon)` queries against a single
@@ -448,6 +620,11 @@ impl ServeService {
     /// the same epoch, even if a deploy lands mid-batch. Responses are in
     /// input order. Admission and snapshot lookup are batch-level: an open
     /// breaker or missing snapshot fails the whole batch.
+    ///
+    /// The batch is vectorized over the snapshot: the snapshot is resolved
+    /// once, duplicate `(server, horizon)` entries reuse the first answer
+    /// (cheap `Arc`-view clones), and outcome counters are added once per
+    /// batch instead of once per item.
     pub fn predict_batch(
         &self,
         region: &str,
@@ -457,22 +634,36 @@ impl ServeService {
         if requests.is_empty() {
             return Err(ServeError::BadRequest("empty batch".into()));
         }
-        self.admit(region)?;
-        let snapshot = self.lookup(region)?;
-        self.inner
-            .obs
-            .registry()
-            .histogram("seagull_serve_batch_size", &[("region", region)])
-            .observe(requests.len() as f64);
-        let responses = requests
-            .iter()
-            .map(|&(server_id, horizon)| {
-                let result = self.predict_on(snapshot.as_ref(), region, server_id, horizon);
-                self.record(region, if result.is_ok() { "ok" } else { "error" });
-                result
-            })
-            .collect();
-        self.record_latency(region, started);
+        let pin = self.inner.store.gc().pin();
+        let ctx = self.ctx(region, &pin);
+        if ctx.probe.is_open() {
+            return Err(Self::shed(ctx, region));
+        }
+        let snapshot = ctx.slot.read(&pin).ok_or_else(|| ServeError::NoSnapshot {
+            region: region.to_string(),
+        })?;
+        ctx.batch_size.observe(requests.len() as f64);
+        let mut responses: Vec<Result<TimeSeries, ServeError>> = Vec::with_capacity(requests.len());
+        let mut ok = 0u64;
+        for (i, &(server_id, horizon)) in requests.iter().enumerate() {
+            // In-batch dedup: identical queries share one computation.
+            // Batches are small, so the linear probe beats hashing.
+            let result = match requests[..i]
+                .iter()
+                .position(|&prior| prior == (server_id, horizon))
+            {
+                Some(j) => responses[j].clone(),
+                None => self.predict_on(snapshot, region, server_id, horizon),
+            };
+            ok += u64::from(result.is_ok());
+            responses.push(result);
+        }
+        ctx.ok.add(ok);
+        let errors = requests.len() as u64 - ok;
+        if errors > 0 {
+            ctx.err.add(errors);
+        }
+        self.observe_latency(ctx, started);
         Ok(responses)
     }
 }
@@ -501,6 +692,7 @@ impl DeploySink for ServeService {
 mod tests {
     use super::*;
     use seagull_core::pipeline::PredictionDoc;
+    use seagull_core::resilience::BreakerState;
 
     fn doc(server_id: u64, day: i64, values: Vec<f64>) -> PredictionDoc {
         PredictionDoc {
@@ -603,6 +795,22 @@ mod tests {
     }
 
     #[test]
+    fn batch_dedup_reuses_identical_queries() {
+        let serve = service_with_one_server();
+        let out = serve
+            .predict_batch("west", &[(7, 4), (7, 4), (7, 4), (7, 2)])
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        let first = out[0].as_ref().unwrap();
+        for dup in &out[1..3] {
+            let dup = dup.as_ref().unwrap();
+            assert_eq!(dup.values(), first.values());
+            assert!(dup.shares_storage(first), "dedup should reuse the view");
+        }
+        assert_eq!(out[3].as_ref().unwrap().values(), &[0.0, 1.0]);
+    }
+
+    #[test]
     fn open_breaker_sheds_requests() {
         let serve = service_with_one_server();
         // Trip the breaker: default threshold is 3 consecutive failures.
@@ -619,6 +827,34 @@ mod tests {
             serve.predict_batch("west", &[(7, 1)]),
             Err(ServeError::Rejected { .. })
         ));
+    }
+
+    #[test]
+    fn breaker_trip_after_first_query_still_sheds() {
+        // The probe is created on the region's first query; later
+        // transitions must flow through its mirror cell.
+        let serve = service_with_one_server();
+        assert!(serve.predict("west", 7, 4).is_ok());
+        let incidents = seagull_core::incident::IncidentManager::new();
+        for _ in 0..3 {
+            serve.breaker().record_failure("west", 0, &incidents);
+        }
+        assert!(matches!(
+            serve.predict("west", 7, 4),
+            Err(ServeError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn coalesced_responses_match_uncoalesced() {
+        let serve = service_with_one_server();
+        let plain = serve.predict("west", 7, 6).unwrap();
+        serve.set_coalescing(true);
+        assert!(serve.coalescing());
+        let coalesced = serve.predict("west", 7, 6).unwrap();
+        assert_eq!(plain.values(), coalesced.values());
+        assert_eq!(plain.start(), coalesced.start());
+        assert_eq!(plain.step_min(), coalesced.step_min());
     }
 
     #[test]
@@ -647,5 +883,20 @@ mod tests {
         serve.set_clock_day(21);
         assert_eq!(serve.staleness_days("west"), Some(14));
         assert_eq!(serve.staleness_days("east"), None);
+    }
+
+    #[test]
+    fn shard_metrics_export_at_publish_time() {
+        let serve = service_with_one_server();
+        let stable = serve.obs().stable_export();
+        assert!(
+            stable.contains("seagull_serve_shard_publishes"),
+            "shard publish gauges missing:\n{stable}"
+        );
+        assert!(stable.contains("seagull_serve_snapshots_retired"));
+        // GC progress is timing-dependent and must stay out of the
+        // deterministic export.
+        assert!(!stable.contains("seagull_serve_gc_freed"));
+        assert!(!stable.contains("seagull_serve_reader_slots"));
     }
 }

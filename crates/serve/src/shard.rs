@@ -1,0 +1,561 @@
+//! Epoch-based reclamation and sharded copy-on-write maps: the lock-free
+//! substrate under [`crate::SnapshotStore`].
+//!
+//! The serving read path must scale linearly with reader threads, which
+//! rules out *any* shared lock — and also rules out a naive `Arc` clone
+//! per query, because bumping one shared refcount is a contended
+//! read-modify-write on the same cache line from every reader. What this
+//! module provides instead is the classic RCU shape:
+//!
+//! * **Readers pin an epoch** ([`EpochGc::pin`]): one store to a
+//!   thread-private slot, after which raw pointers published through
+//!   [`Swap`] or [`ShardedMap`] may be dereferenced for the lifetime of the
+//!   pin guard. No lock, no shared-line RMW, no refcount traffic.
+//! * **Publishers swap and retire**: installing a new value atomically
+//!   swaps a pointer; the old value is *retired* — tagged with the next GC
+//!   epoch and queued — rather than dropped. A retired value is freed only
+//!   once every reader slot is either idle or pinned at an epoch at least
+//!   as new as the retirement tag, at which point no pin can still reach
+//!   the old pointer. Publishers never block readers; readers never wait
+//!   on publishers.
+//!
+//! ## Why a reader can never observe a torn or freed value
+//!
+//! The pin protocol is three `SeqCst` operations: load the GC epoch, store
+//! it into the thread's slot, then load the shared pointer. Retirement is
+//! the mirror image: swap the pointer (`SeqCst`), `fetch_add` the GC epoch
+//! (`SeqCst`), tag the retired value with the *new* epoch, and free it only
+//! after scanning every slot (`SeqCst` loads) and finding each one idle or
+//! pinned at ≥ the tag. In the single total order `SeqCst` gives us, a
+//! reader whose slot scan appeared idle must have stored its pin *after*
+//! the scan — which is after the epoch bump, which is after the pointer
+//! swap — so its subsequent pointer load can only see the *new* pointer.
+//! Conversely a reader pinned at an epoch `< tag` pinned before the bump,
+//! and the scan observes its pin and defers the free. Either way no
+//! dereference of a freed pointer is possible. Values themselves are
+//! immutable after publication (they are `Arc`ed snapshots or frozen map
+//! nodes), so there is nothing to tear: the pointer swap is the only
+//! mutation, and it is atomic.
+//!
+//! The pure Acquire/Release pairing that remains load-bearing: the
+//! publisher's pointer *swap* is a Release of everything written while
+//! building the value, and the reader's pointer *load* is an Acquire — a
+//! reader that observes the new pointer observes the fully built value
+//! behind it. `SeqCst` is only needed where a store must not be reordered
+//! after a later load (the pin-slot store vs. the pointer load, and the
+//! swap vs. the slot scan); everything else is the ordinary
+//! publish/subscribe pairing.
+//!
+//! ## Cost model
+//!
+//! Pin/unpin is two uncontended atomic stores on a cache line owned by the
+//! pinning thread (slots are padded to 128 bytes). Retirement scans are
+//! O(threads) and run only at publish time — deploys are orders of
+//! magnitude rarer than queries, exactly the asymmetry the serving
+//! workload has. Memory overhead is bounded by "values retired since the
+//! oldest in-flight pin", i.e. a handful of superseded snapshots for at
+//! most microseconds at a time.
+//!
+//! This is the one module in the crate that needs `unsafe` (dereferencing
+//! the published pointers and reconstituting `Arc`s from raw): the crate
+//! is `deny(unsafe_code)` with a scoped allow here, and every unsafe block
+//! carries its invariant.
+
+#![allow(unsafe_code)]
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of shards region keys hash across. A power of two so the shard
+/// pick is a mask, sized so that even a many-core reader fleet rarely has
+/// two regions contend for the same shard's (publish-time-only) lock.
+pub(crate) const SHARDS: usize = 16;
+
+/// One reader's pin slot, padded to two cache lines so pin/unpin traffic
+/// from different threads never false-shares.
+#[repr(align(128))]
+struct ReaderSlot {
+    /// 0 = idle; otherwise the GC epoch this thread pinned.
+    pinned: AtomicU64,
+    /// Reentrancy depth. Only the owning thread writes it; `Relaxed` is
+    /// enough because it is never read by another thread for ordering.
+    depth: AtomicUsize,
+}
+
+impl ReaderSlot {
+    fn new() -> ReaderSlot {
+        ReaderSlot {
+            pinned: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// What a publisher hands the GC for deferred destruction.
+type Retired = Box<dyn Send + Sync>;
+
+/// Deferred-reclamation state shared by every lock-free structure of one
+/// store: a global epoch, the registered reader slots, and the retire
+/// queue.
+pub(crate) struct EpochGc {
+    /// Monotonic GC epoch; starts at 1 so a pinned slot is never 0.
+    epoch: AtomicU64,
+    /// Every reader slot ever registered (slots are per `(thread, store)`
+    /// and live as long as the store; an exited thread's slot stays idle).
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+    /// Retired values, tagged with the epoch after which they are
+    /// unreachable. Publisher-side only.
+    retired: Mutex<Vec<(u64, Retired)>>,
+    /// Unique id used by the thread-local slot cache.
+    id: u64,
+    /// Values handed to the GC so far (monotonic).
+    retired_total: AtomicU64,
+    /// Values actually freed so far (monotonic, wall-timing dependent).
+    freed_total: AtomicU64,
+}
+
+/// Global source of `EpochGc` ids (never recycled, so a thread-local cache
+/// entry can never alias a new GC).
+static GC_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's reader slots, one per `EpochGc` it has pinned. Small
+    /// linear map: a process talks to a handful of stores at most.
+    static SLOTS: RefCell<Vec<(u64, Arc<ReaderSlot>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl EpochGc {
+    pub(crate) fn new() -> Arc<EpochGc> {
+        Arc::new(EpochGc {
+            epoch: AtomicU64::new(1),
+            readers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            id: GC_IDS.fetch_add(1, Ordering::Relaxed),
+            retired_total: AtomicU64::new(0),
+            freed_total: AtomicU64::new(0),
+        })
+    }
+
+    /// This thread's slot for this GC, registering one on first use (the
+    /// only time a reader ever takes a lock, and only the registration
+    /// lock — never one shared with the publish path's retire queue).
+    fn slot(&self) -> Arc<ReaderSlot> {
+        SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some((_, slot)) = slots.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(slot);
+            }
+            let slot = Arc::new(ReaderSlot::new());
+            self.readers.lock().push(Arc::clone(&slot));
+            slots.push((self.id, Arc::clone(&slot)));
+            slot
+        })
+    }
+
+    /// Pins the current epoch, licensing raw-pointer reads until the guard
+    /// drops. Reentrant: a nested pin keeps the outer (older) epoch, which
+    /// is conservative and therefore safe.
+    pub(crate) fn pin(self: &Arc<Self>) -> PinGuard {
+        let slot = self.slot();
+        if slot.depth.load(Ordering::Relaxed) == 0 {
+            // SeqCst store: must not be reordered after the pointer loads
+            // that follow under this pin (see module docs).
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            slot.pinned.store(epoch, Ordering::SeqCst);
+        }
+        slot.depth.fetch_add(1, Ordering::Relaxed);
+        PinGuard { slot }
+    }
+
+    /// Retires a value that was just swapped out of a published pointer.
+    /// The caller must guarantee no *new* reader can reach it (its pointer
+    /// has been replaced); in-flight pins are what the epoch tag defends.
+    pub(crate) fn retire(&self, value: Retired) {
+        let tag = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.retired_total.fetch_add(1, Ordering::Relaxed);
+        self.retired.lock().push((tag, value));
+        self.collect();
+    }
+
+    /// Frees every retired value whose tag no in-flight pin predates.
+    /// Called from publish paths; cheap when nothing is reclaimable.
+    pub(crate) fn collect(&self) {
+        let min_pinned = {
+            let readers = self.readers.lock();
+            readers
+                .iter()
+                .map(|slot| slot.pinned.load(Ordering::SeqCst))
+                .filter(|&pin| pin != 0)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let mut retired = self.retired.lock();
+        let before = retired.len();
+        // An entry tagged `t` is unreachable once every active pin is at
+        // an epoch >= t (a pin at epoch e can hold values retired at tags
+        // > e only if it pinned before the tag's bump — impossible).
+        retired.retain(|(tag, _)| *tag > min_pinned);
+        let freed = (before - retired.len()) as u64;
+        if freed > 0 {
+            self.freed_total.fetch_add(freed, Ordering::Relaxed);
+        }
+    }
+
+    /// Values handed to the GC so far (deterministic per publish/insert
+    /// schedule).
+    pub(crate) fn retired_total(&self) -> u64 {
+        self.retired_total.load(Ordering::Relaxed)
+    }
+
+    /// Values actually freed so far (depends on reader timing: volatile).
+    pub(crate) fn freed_total(&self) -> u64 {
+        self.freed_total.load(Ordering::Relaxed)
+    }
+
+    /// Reader slots registered so far (one per thread that ever pinned).
+    pub(crate) fn reader_slots(&self) -> usize {
+        self.readers.lock().len()
+    }
+}
+
+impl Drop for EpochGc {
+    fn drop(&mut self) {
+        // The store is gone: no pin can be created anymore, and a live pin
+        // would imply a live `Arc<EpochGc>` — so the queue is safe to
+        // drain. (`Retired` boxes drop here; `Arc` contents this GC
+        // protected drop their refcount, freeing unless a caller still
+        // holds a clone.)
+        self.retired.get_mut().clear();
+    }
+}
+
+/// RAII pin: readers hold it across every raw-pointer dereference.
+pub(crate) struct PinGuard {
+    slot: Arc<ReaderSlot>,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        if self.slot.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // Release: everything read under the pin happens-before the
+            // unpin a collecting publisher observes.
+            self.slot.pinned.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// An epoch-protected `Arc<T>` cell: lock-free reads, swap-and-retire
+/// writes. The serving store's per-region snapshot pointer.
+pub(crate) struct Swap<T: Send + Sync + 'static> {
+    /// Raw pointer from `Arc::into_raw`; null = nothing published.
+    ptr: AtomicU64,
+    _marker: std::marker::PhantomData<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> Swap<T> {
+    pub(crate) fn empty() -> Swap<T> {
+        Swap {
+            ptr: AtomicU64::new(0),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Publishes `value`, retiring the previous one through `gc`.
+    pub(crate) fn store(&self, value: Arc<T>, gc: &EpochGc) {
+        let raw = Arc::into_raw(value) as u64;
+        // Release side of the publish pairing: the swap makes the fully
+        // built value visible to any reader that Acquire-loads the new
+        // pointer. SeqCst additionally orders it before the epoch bump and
+        // slot scan inside `retire` (see module docs).
+        let old = self.ptr.swap(raw, Ordering::SeqCst);
+        if old != 0 {
+            // SAFETY: `old` came from `Arc::into_raw` in a previous
+            // `store` and has not been reconstituted since (the swap is
+            // the unique handoff). Wrapping it back into an `Arc` moves
+            // ownership of that strong count into the retire queue.
+            let arc = unsafe { Arc::from_raw(old as *const T) };
+            gc.retire(Box::new(arc));
+        }
+    }
+
+    /// Borrows the current value under `pin`. The reference lives as long
+    /// as the pin, not the cell — the GC defers any free past the unpin.
+    pub(crate) fn read<'p>(&self, _pin: &'p PinGuard) -> Option<&'p T> {
+        let raw = self.ptr.load(Ordering::SeqCst);
+        if raw == 0 {
+            return None;
+        }
+        // SAFETY: `raw` was published by `store` and is either current or
+        // retired-but-not-freed: the caller's pin predates any retirement
+        // tag that could free it (module-level protocol), so the pointee
+        // is alive for at least the pin's lifetime.
+        Some(unsafe { &*(raw as *const T) })
+    }
+
+    /// Clones the current `Arc` under a pin, for callers that need to
+    /// outlive it. One refcount RMW — keep off per-query hot paths.
+    pub(crate) fn load(&self, pin: &PinGuard) -> Option<Arc<T>> {
+        let raw = self.read(pin)? as *const T;
+        // SAFETY: the pin keeps the strong count >= 1 throughout (no free
+        // can retire past an in-flight pin), so incrementing then
+        // reconstituting yields a valid owned clone.
+        unsafe {
+            Arc::increment_strong_count(raw);
+            Some(Arc::from_raw(raw))
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for Swap<T> {
+    fn drop(&mut self) {
+        let raw = *self.ptr.get_mut();
+        if raw != 0 {
+            // SAFETY: exclusive access (drop); the pointer is the uniquely
+            // owned product of `Arc::into_raw`.
+            drop(unsafe { Arc::from_raw(raw as *const T) });
+        }
+    }
+}
+
+/// FNV-1a over the region name — the shard pick and the map probe share it.
+pub(crate) fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A frozen sorted-by-key map node: readers binary-search it in place.
+type MapNode<V> = Vec<(String, V)>;
+
+/// A string-keyed map sharded by key hash, with lock-free reads and
+/// copy-on-write inserts: the region → slot index of the serving store.
+///
+/// Reads bin the key into a shard, load that shard's frozen node under a
+/// pin, and binary-search it — no lock, no refcount. Inserts (first deploy
+/// or first query of a region — rare) take the shard's write mutex, build
+/// a new node, swap it in, and retire the old node through the shared GC.
+pub(crate) struct ShardedMap<V: Clone + Send + Sync + 'static> {
+    shards: Box<[MapShard<V>]>,
+}
+
+struct MapShard<V: Clone + Send + Sync + 'static> {
+    node: Swap<MapNode<V>>,
+    write: Mutex<()>,
+}
+
+impl<V: Clone + Send + Sync + 'static> ShardedMap<V> {
+    pub(crate) fn new() -> ShardedMap<V> {
+        ShardedMap {
+            shards: (0..SHARDS)
+                .map(|_| MapShard {
+                    node: Swap::empty(),
+                    write: Mutex::new(()),
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &MapShard<V> {
+        &self.shards[(fnv1a(key) as usize) & (SHARDS - 1)]
+    }
+
+    /// The shard index a key bins into (for per-shard metrics).
+    pub(crate) fn shard_index(key: &str) -> usize {
+        (fnv1a(key) as usize) & (SHARDS - 1)
+    }
+
+    /// Lock-free lookup under a pin.
+    pub(crate) fn get<'p>(&self, key: &str, pin: &'p PinGuard) -> Option<&'p V> {
+        let node = self.shard(key).node.read(pin)?;
+        node.binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &node[i].1)
+    }
+
+    /// Returns the value for `key`, inserting `make()`'s value if absent.
+    /// Takes the shard write lock; meant for publish/first-query paths.
+    pub(crate) fn get_or_insert(
+        &self,
+        key: &str,
+        gc: &EpochGc,
+        pin: &PinGuard,
+        make: impl FnOnce() -> V,
+    ) -> V {
+        let shard = self.shard(key);
+        let _write = shard.write.lock();
+        // Re-check under the lock: a racing inserter may have won.
+        if let Some(node) = shard.node.read(pin) {
+            if let Ok(i) = node.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+                return node[i].1.clone();
+            }
+        }
+        let value = make();
+        let mut next: MapNode<V> = shard.node.read(pin).map(|n| n.to_vec()).unwrap_or_default();
+        let at = next
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .unwrap_err();
+        next.insert(at, (key.to_string(), value.clone()));
+        shard.node.store(Arc::new(next), gc);
+        value
+    }
+
+    /// Every key across all shards, ascending. (Production callers track
+    /// published regions separately; this is a test-side invariant check.)
+    #[cfg(test)]
+    pub(crate) fn keys(&self, pin: &PinGuard) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.node.read(pin))
+            .flat_map(|node| node.iter().map(|(k, _)| k.clone()))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Number of keys binned into each shard (for per-shard metrics).
+    pub(crate) fn shard_sizes(&self, pin: &PinGuard) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.node.read(pin).map_or(0, |n| n.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn swap_reads_latest_and_retires_old() {
+        let gc = EpochGc::new();
+        let cell: Swap<u64> = Swap::empty();
+        {
+            let pin = gc.pin();
+            assert!(cell.read(&pin).is_none());
+        }
+        cell.store(Arc::new(1), &gc);
+        cell.store(Arc::new(2), &gc);
+        let pin = gc.pin();
+        assert_eq!(cell.read(&pin), Some(&2));
+        assert_eq!(cell.load(&pin), Some(Arc::new(2)));
+        assert_eq!(gc.retired_total(), 1, "first value retired");
+    }
+
+    #[test]
+    fn gc_defers_frees_past_inflight_pins() {
+        let gc = EpochGc::new();
+        let cell: Swap<u64> = Swap::empty();
+        cell.store(Arc::new(1), &gc);
+        let pin = gc.pin();
+        let held = cell.read(&pin).unwrap();
+        cell.store(Arc::new(2), &gc);
+        // The old value is retired but must not be freed while we pin.
+        assert_eq!(*held, 1);
+        assert_eq!(gc.freed_total(), 0, "pin blocks reclamation");
+        drop(pin);
+        cell.store(Arc::new(3), &gc);
+        assert_eq!(gc.freed_total(), 2, "both old values reclaimed");
+    }
+
+    #[test]
+    fn nested_pins_keep_the_outer_epoch() {
+        let gc = EpochGc::new();
+        let cell: Swap<u64> = Swap::empty();
+        cell.store(Arc::new(1), &gc);
+        let outer = gc.pin();
+        let held = cell.read(&outer).unwrap();
+        {
+            let inner = gc.pin();
+            cell.store(Arc::new(2), &gc);
+            assert_eq!(cell.read(&inner), Some(&2));
+            drop(inner);
+            // Inner unpin must not unpin the outer guard.
+            assert_eq!(*held, 1);
+            assert_eq!(gc.freed_total(), 0);
+        }
+        drop(outer);
+        gc.collect();
+        assert_eq!(gc.freed_total(), 1);
+    }
+
+    #[test]
+    fn sharded_map_inserts_and_reads_across_shards() {
+        let gc = EpochGc::new();
+        let map: ShardedMap<Arc<String>> = ShardedMap::new();
+        let keys: Vec<String> = (0..100).map(|i| format!("region-{i:03}")).collect();
+        {
+            let pin = gc.pin();
+            for k in &keys {
+                assert!(map.get(k, &pin).is_none());
+                map.get_or_insert(k, &gc, &pin, || Arc::new(k.to_uppercase()));
+            }
+            for k in &keys {
+                assert_eq!(map.get(k, &pin).unwrap().as_str(), k.to_uppercase());
+            }
+            assert_eq!(map.keys(&pin), {
+                let mut sorted = keys.clone();
+                sorted.sort();
+                sorted
+            });
+            let sizes = map.shard_sizes(&pin);
+            assert_eq!(sizes.iter().sum::<usize>(), keys.len());
+            assert!(
+                sizes.iter().filter(|s| **s > 0).count() > 1,
+                "keys spread across shards: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn get_or_insert_returns_existing_value() {
+        let gc = EpochGc::new();
+        let map: ShardedMap<Arc<u64>> = ShardedMap::new();
+        let pin = gc.pin();
+        let first = map.get_or_insert("west", &gc, &pin, || Arc::new(1));
+        let second = map.get_or_insert("west", &gc, &pin, || Arc::new(2));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*second, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_vs_swap_storm() {
+        let gc = EpochGc::new();
+        let cell: Arc<Swap<(u64, u64)>> = Arc::new(Swap::empty());
+        cell.store(Arc::new((1, 1)), &gc);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let gc_w = Arc::clone(&gc);
+            let cell_w = Arc::clone(&cell);
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                for v in 2..=2_000u64 {
+                    cell_w.store(Arc::new((v, v)), &gc_w);
+                }
+                stop_ref.store(true, Ordering::Release);
+            });
+            for _ in 0..4 {
+                let gc_r = Arc::clone(&gc);
+                let cell_r = Arc::clone(&cell);
+                let stop_ref = &stop;
+                scope.spawn(move || {
+                    while !stop_ref.load(Ordering::Acquire) {
+                        let pin = gc_r.pin();
+                        let (a, b) = cell_r.read(&pin).copied().unwrap();
+                        assert_eq!(a, b, "torn value observed");
+                    }
+                });
+            }
+        });
+        gc.collect();
+        let pin = gc.pin();
+        assert_eq!(cell.read(&pin), Some(&(2_000, 2_000)));
+        assert_eq!(gc.retired_total(), 1_999);
+    }
+}

@@ -1,132 +1,227 @@
-//! Epoch-swapped snapshot storage: wait-free reads, serialized publishes.
+//! Sharded, lock-free snapshot storage: epoch-GC reads, serialized
+//! publishes.
 //!
-//! Each region owns a private `RegionSlot`: two snapshot slots plus an atomic
-//! epoch counter. The active slot is `epoch & 1`. Readers load the epoch
-//! with `Acquire` ordering, take a read lock on the *active* slot, and
-//! clone the `Arc` — because a publish only ever writes the *standby*
-//! slot before flipping the epoch with `Release` ordering, the read lock
-//! is uncontended in steady state: readers never wait on a deploy.
+//! Regions hash across `crate::shard`'s 16-way `ShardedMap`; each
+//! region owns a `RegionSlot` whose snapshot is a single atomic pointer
+//! (`Swap`). A read is: pin the GC epoch, load the shard's frozen map
+//! node, binary-search the region, load the snapshot pointer — four
+//! uncontended atomic operations and **no lock of any kind**, which is
+//! what lets throughput scale linearly with reader threads. A publish
+//! builds the new snapshot off to the side, swaps the pointer in one
+//! atomic store, and *retires* the old snapshot to the epoch GC, which
+//! frees it only after every in-flight pin has drained. Readers never
+//! wait on a deploy; deploys never wait on readers.
 //!
 //! The asymmetry is deliberate and matches the serving workload (queries
-//! outnumber deploys by orders of magnitude): a *publisher* may block,
-//! first on the per-region publish mutex (deploys are serialized), then
-//! on the standby slot's write lock if a straggling reader still holds a
-//! read guard from two epochs back. Readers clone the `Arc` and drop the
-//! guard immediately, so that window is a few instructions wide.
+//! outnumber deploys by orders of magnitude): publishers pay the epoch
+//! bump, the reader-slot scan, and a per-region mutex that serializes
+//! deploys; readers pay two thread-private atomic stores (pin/unpin) that
+//! no other thread contends.
 //!
-//! Coherence comes from swapping the whole `Arc<ModelSnapshot>`: a reader
+//! Coherence comes from swapping the whole snapshot pointer: a reader
 //! either sees the entire old snapshot or the entire new one, never a
-//! mixture, and a reader that holds an old `Arc` across a deploy keeps a
-//! fully consistent prediction set until it drops the handle.
+//! mixture, and a reader that clones the `Arc` before the swap keeps a
+//! fully consistent prediction set until it drops the handle — the GC
+//! never frees a snapshot whose `Arc` is still held. The full
+//! memory-ordering argument lives in `crate::shard`'s module docs and
+//! `DESIGN.md` §16.
 
+use crate::shard::{EpochGc, PinGuard, ShardedMap, Swap, SHARDS};
 use crate::snapshot::ModelSnapshot;
-use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Per-region double-slot state. Epoch 0 means "nothing published yet";
-/// the first publish moves the region to epoch 1 with slot 1 active.
-struct RegionSlot {
+/// Per-region state: one epoch-GC-protected snapshot pointer plus the
+/// publish-side serialization.
+pub(crate) struct RegionSlot {
+    snap: Swap<ModelSnapshot>,
+    /// 0 before the first publish, then one increment per deploy.
     epoch: AtomicU64,
-    slots: [RwLock<Option<Arc<ModelSnapshot>>>; 2],
     publish_lock: Mutex<()>,
 }
 
 impl RegionSlot {
     fn new() -> RegionSlot {
         RegionSlot {
+            snap: Swap::empty(),
             epoch: AtomicU64::new(0),
-            slots: [RwLock::new(None), RwLock::new(None)],
             publish_lock: Mutex::new(()),
         }
     }
 
-    fn load(&self) -> Option<Arc<ModelSnapshot>> {
-        let epoch = self.epoch.load(Ordering::Acquire);
-        if epoch == 0 {
-            return None;
-        }
-        let guard = self.slots[(epoch & 1) as usize].read();
-        guard.as_ref().map(Arc::clone)
+    /// Borrows the current snapshot under `pin` — the zero-refcount hot
+    /// path.
+    pub(crate) fn read<'p>(&self, pin: &'p PinGuard) -> Option<&'p ModelSnapshot> {
+        self.snap.read(pin)
     }
 
-    fn publish(&self, mut snapshot: ModelSnapshot) -> u64 {
+    /// Clones the current snapshot `Arc` under `pin`, for callers that
+    /// outlive the pin.
+    pub(crate) fn load(&self, pin: &PinGuard) -> Option<Arc<ModelSnapshot>> {
+        self.snap.load(pin)
+    }
+
+    /// The region's deploy epoch (0 = nothing published).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, mut snapshot: ModelSnapshot, gc: &EpochGc) -> u64 {
         let _serialize = self.publish_lock.lock();
-        let epoch = self.epoch.load(Ordering::Relaxed);
-        let next = epoch + 1;
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
         snapshot.stamp_epoch(next);
-        {
-            // Standby slot: no reader targets it under the current epoch.
-            // The write lock only contends with stragglers from epoch-2.
-            let mut standby = self.slots[(next & 1) as usize].write();
-            *standby = Some(Arc::new(snapshot));
-        }
+        self.snap.store(Arc::new(snapshot), gc);
         self.epoch.store(next, Ordering::Release);
         next
     }
 }
 
-/// The serving layer's snapshot registry: one epoch-swapped slot pair per
-/// region.
+/// Deterministic store statistics: stable across thread counts for a
+/// fixed publish schedule (exported as `Stability::Stable` metrics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Publishes accepted per shard (regions hash to a fixed shard).
+    pub publishes_per_shard: Vec<u64>,
+    /// Regions registered per shard.
+    pub regions_per_shard: Vec<usize>,
+    /// Snapshots handed to the GC so far (= publishes − live regions).
+    pub snapshots_retired: u64,
+}
+
+/// Timing-dependent store statistics (exported as `Stability::Volatile`
+/// metrics): reclamation progress depends on reader scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcStats {
+    /// Retired values (snapshots and map nodes) actually freed so far.
+    pub freed_total: u64,
+    /// Retired values (snapshots and map nodes) handed to the GC so far.
+    pub retired_total: u64,
+    /// Reader slots registered (one per thread that ever read).
+    pub reader_slots: usize,
+}
+
+/// The serving layer's snapshot registry: regions sharded 16 ways, each
+/// holding one epoch-GC-swapped snapshot pointer.
 ///
 /// `SnapshotStore` is `Clone`-free by design — share it through `Arc` (as
-/// [`crate::ServeService`] does). The outer region map takes a write lock
-/// only the first time a region is seen; steady-state reads and publishes
-/// touch it with a read lock.
+/// [`crate::ServeService`] does). Reads take no lock at any level; the
+/// per-shard write mutex is touched only the first time a region is seen,
+/// and the per-region publish mutex only by deploys.
 pub struct SnapshotStore {
-    regions: RwLock<BTreeMap<String, Arc<RegionSlot>>>,
+    gc: Arc<EpochGc>,
+    regions: ShardedMap<Arc<RegionSlot>>,
+    /// Regions that have seen a publish — kept separately because slots
+    /// may also be registered by first queries (the service's region
+    /// contexts) before anything is published.
+    published: Mutex<BTreeSet<String>>,
+    publishes: [AtomicU64; SHARDS],
+    snapshots_retired: AtomicU64,
 }
 
 impl SnapshotStore {
     /// Creates an empty store with no regions.
     pub fn new() -> SnapshotStore {
         SnapshotStore {
-            regions: RwLock::new(BTreeMap::new()),
+            gc: EpochGc::new(),
+            regions: ShardedMap::new(),
+            published: Mutex::new(BTreeSet::new()),
+            publishes: std::array::from_fn(|_| AtomicU64::new(0)),
+            snapshots_retired: AtomicU64::new(0),
         }
     }
 
-    fn slot(&self, region: &str) -> Option<Arc<RegionSlot>> {
-        self.regions.read().get(region).map(Arc::clone)
+    /// The store's epoch GC — shared with anything layered on the same
+    /// read path (e.g. the service's region-context map) so one pin
+    /// covers both.
+    pub(crate) fn gc(&self) -> &Arc<EpochGc> {
+        &self.gc
     }
 
-    fn slot_or_insert(&self, region: &str) -> Arc<RegionSlot> {
-        if let Some(slot) = self.slot(region) {
-            return slot;
+    /// Lock-free region-slot lookup under a pin.
+    pub(crate) fn slot<'p>(&self, region: &str, pin: &'p PinGuard) -> Option<&'p Arc<RegionSlot>> {
+        self.regions.get(region, pin)
+    }
+
+    /// The region's slot, registering an empty one if absent — used by
+    /// publishes and by the service's region-context map (a context may
+    /// exist before the first publish; its slot simply reads `None`).
+    pub(crate) fn slot_or_insert(&self, region: &str, pin: &PinGuard) -> Arc<RegionSlot> {
+        if let Some(slot) = self.regions.get(region, pin) {
+            return Arc::clone(slot);
         }
-        let mut map = self.regions.write();
-        Arc::clone(
-            map.entry(region.to_string())
-                .or_insert_with(|| Arc::new(RegionSlot::new())),
-        )
+        self.regions
+            .get_or_insert(region, &self.gc, pin, || Arc::new(RegionSlot::new()))
     }
 
     /// Publishes a snapshot for its region, stamping and returning the new
     /// epoch. Publishes for the same region are serialized; readers are
     /// never blocked by a publish.
     pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
-        let slot = self.slot_or_insert(snapshot.region());
-        slot.publish(snapshot)
+        let pin = self.gc.pin();
+        let region = snapshot.region().to_string();
+        let slot = self.slot_or_insert(&region, &pin);
+        let prior = slot.epoch();
+        let epoch = slot.publish(snapshot, &self.gc);
+        self.publishes[ShardedMap::<Arc<RegionSlot>>::shard_index(&region)]
+            .fetch_add(1, Ordering::Relaxed);
+        if prior > 0 {
+            self.snapshots_retired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.published.lock().insert(region);
+        }
+        epoch
     }
 
     /// The current snapshot for a region, or `None` if nothing has been
     /// published yet. The returned `Arc` stays coherent even if a deploy
     /// swaps the region while the caller holds it.
     pub fn load(&self, region: &str) -> Option<Arc<ModelSnapshot>> {
-        self.slot(region).and_then(|slot| slot.load())
+        let pin = self.gc.pin();
+        self.slot(region, &pin).and_then(|slot| slot.load(&pin))
     }
 
     /// The region's current epoch: 0 before the first publish, then one
     /// increment per successful deploy.
     pub fn epoch(&self, region: &str) -> u64 {
-        self.slot(region)
-            .map(|slot| slot.epoch.load(Ordering::Acquire))
-            .unwrap_or(0)
+        let pin = self.gc.pin();
+        self.slot(region, &pin).map_or(0, |slot| slot.epoch())
     }
 
-    /// Regions that have seen at least one publish attempt, ascending.
+    /// Regions that have seen at least one publish, ascending.
     pub fn regions(&self) -> Vec<String> {
-        self.regions.read().keys().cloned().collect()
+        self.published.lock().iter().cloned().collect()
+    }
+
+    /// Deterministic per-shard statistics (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        let pin = self.gc.pin();
+        StoreStats {
+            publishes_per_shard: self
+                .publishes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            regions_per_shard: self.regions.shard_sizes(&pin),
+            snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Timing-dependent reclamation statistics (see [`GcStats`]).
+    pub fn gc_stats(&self) -> GcStats {
+        GcStats {
+            freed_total: self.gc.freed_total(),
+            retired_total: self.gc.retired_total(),
+            reader_slots: self.gc.reader_slots(),
+        }
+    }
+
+    /// Runs a GC collection cycle, freeing anything no pin still guards.
+    /// Publishes collect automatically; this is for quiescent callers
+    /// (tests, shutdown paths) that want reclamation to converge.
+    pub fn collect(&self) {
+        self.gc.collect();
     }
 }
 
@@ -190,5 +285,35 @@ mod tests {
             store.regions(),
             vec!["east".to_string(), "west".to_string()]
         );
+    }
+
+    #[test]
+    fn stats_track_publishes_and_retirement() {
+        let store = SnapshotStore::new();
+        store.publish(snap("west", 1));
+        store.publish(snap("west", 2));
+        store.publish(snap("east", 1));
+        let stats = store.stats();
+        assert_eq!(stats.publishes_per_shard.iter().sum::<u64>(), 3);
+        assert_eq!(stats.regions_per_shard.iter().sum::<usize>(), 2);
+        assert_eq!(stats.snapshots_retired, 1, "west's first snapshot retired");
+        // Nothing pinned: retirement converges once a collection runs.
+        store.collect();
+        let gc = store.gc_stats();
+        assert!(gc.retired_total >= 1);
+        assert_eq!(gc.freed_total, gc.retired_total);
+    }
+
+    #[test]
+    fn held_snapshot_survives_deploy_storm() {
+        let store = SnapshotStore::new();
+        store.publish(snap("west", 1));
+        let held = store.load("west").unwrap();
+        for v in 2..200 {
+            store.publish(snap("west", v));
+        }
+        assert_eq!(held.version(), 1);
+        assert_eq!(held.server(1).unwrap().prediction().values()[0], 1.0);
+        assert_eq!(store.load("west").unwrap().version(), 199);
     }
 }

@@ -331,7 +331,7 @@ mod tests {
         ScoredPrediction {
             server_id,
             day: 7,
-            class: if server_id % 2 == 0 {
+            class: if server_id.is_multiple_of(2) {
                 "stable"
             } else {
                 "unstable"

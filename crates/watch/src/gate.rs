@@ -1,0 +1,251 @@
+//! SLO-percentile gating: pass/fail verdicts for benches and CI.
+//!
+//! A latency gate like "p99 ≤ 100µs" is exactly an [`SloSpec`] latency
+//! objective: *at least 99% of observations must be under 100µs*. This
+//! module makes that identity executable — a [`PercentileGate`] set is
+//! compiled into `SloSpec::latency_under` objectives, observations stream
+//! through a [`WatchEngine`], and the verdict is the engine's attainment
+//! over the recorded window compared against each objective. Benches
+//! (`serving`, `loadtest`) gate their CI jobs on the resulting
+//! [`GateReport`] instead of re-implementing quantile math, and the same
+//! thresholds can be monitored in production by handing the identical
+//! specs to a long-running engine.
+//!
+//! Determinism: verdicts are a pure function of the observed values (via
+//! the engine's virtual-tick rings), never of wall time — though the
+//! *values* a bench feeds in are usually wall-clock latencies, so gate
+//! outcomes on real runs are as honest as the measurements.
+
+use crate::engine::WatchEngine;
+use crate::slo::SloSpec;
+use seagull_core::IncidentManager;
+use seagull_obs::Obs;
+
+/// One latency-percentile bound, e.g. `p99 ≤ 100µs` as
+/// `PercentileGate { name: "p99_latency_us", percentile: 0.99, threshold: 100.0 }`.
+/// Units are whatever the caller observes in (the benches use
+/// microseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileGate {
+    /// Gate (and SLO) name — lands in metric labels and bench JSON.
+    pub name: String,
+    /// The quantile the bound constrains, as a fraction (`0.99` = p99).
+    pub percentile: f64,
+    /// Upper bound for that quantile, in the caller's latency unit.
+    pub threshold: f64,
+}
+
+impl PercentileGate {
+    /// A named percentile bound.
+    ///
+    /// ```
+    /// use seagull_watch::PercentileGate;
+    ///
+    /// let gate = PercentileGate::new("p99_latency_us", 0.99, 100.0);
+    /// assert_eq!(gate.name, "p99_latency_us");
+    /// ```
+    pub fn new(name: &str, percentile: f64, threshold: f64) -> PercentileGate {
+        assert!(
+            (0.0..1.0).contains(&percentile),
+            "percentile must be in [0, 1)"
+        );
+        PercentileGate {
+            name: name.to_string(),
+            percentile,
+            threshold,
+        }
+    }
+
+    /// The equivalent declarative SLO: `percentile` of observations must
+    /// be `<= threshold`.
+    pub fn to_slo(&self) -> SloSpec {
+        SloSpec::latency_under(&self.name, self.threshold, self.percentile)
+    }
+}
+
+/// One gate's verdict after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateVerdict {
+    /// Gate name.
+    pub name: String,
+    /// The bound's threshold.
+    pub threshold: f64,
+    /// Required good fraction, percent (the percentile × 100).
+    pub required_pct: f64,
+    /// Observed good fraction, percent.
+    pub attained_pct: f64,
+    /// Whether the objective was met.
+    pub pass: bool,
+}
+
+/// Verdicts for a whole gate set; `pass` is the conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-gate verdicts, in gate declaration order.
+    pub verdicts: Vec<GateVerdict>,
+    /// `true` iff every gate passed.
+    pub pass: bool,
+}
+
+impl GateReport {
+    /// The verdict for one gate by name.
+    pub fn verdict(&self, name: &str) -> Option<&GateVerdict> {
+        self.verdicts.iter().find(|v| v.name == name)
+    }
+}
+
+/// A set of percentile bounds compiled into a [`WatchEngine`] — feed it
+/// latencies, ask for a [`GateReport`].
+///
+/// ```
+/// use seagull_watch::SloGate;
+///
+/// let gate = SloGate::latency_us("bench", &[(0.50, 5.0), (0.99, 50.0)]);
+/// for latency in [1.0, 2.0, 3.0, 40.0] {
+///     gate.observe(latency);
+/// }
+/// let report = gate.report();
+/// assert!(report.pass);
+/// assert_eq!(report.verdicts.len(), 2);
+/// ```
+pub struct SloGate {
+    engine: WatchEngine,
+    gates: Vec<PercentileGate>,
+    region: String,
+    tick: u64,
+}
+
+impl SloGate {
+    /// Builds a gate set from explicit [`PercentileGate`]s. `region`
+    /// labels the recorded series (benches use their own name).
+    pub fn new(region: &str, gates: Vec<PercentileGate>) -> SloGate {
+        let mut engine = WatchEngine::new(Obs::new(), IncidentManager::new());
+        for gate in &gates {
+            engine.add_slo(gate.to_slo());
+        }
+        SloGate {
+            engine,
+            gates,
+            region: region.to_string(),
+            tick: 1,
+        }
+    }
+
+    /// Convenience constructor for microsecond latency bounds:
+    /// `(percentile, threshold_us)` pairs named `p{pct}_latency_us`.
+    pub fn latency_us(region: &str, bounds: &[(f64, f64)]) -> SloGate {
+        SloGate::new(
+            region,
+            bounds
+                .iter()
+                .map(|&(pct, threshold)| {
+                    let name = format!("p{:02.0}_latency_us", pct * 100.0);
+                    PercentileGate::new(&name, pct, threshold)
+                })
+                .collect(),
+        )
+    }
+
+    /// The compiled SLO specs, for callers that want to register the same
+    /// objectives with a production engine.
+    pub fn slos(&self) -> Vec<SloSpec> {
+        self.gates.iter().map(PercentileGate::to_slo).collect()
+    }
+
+    /// Records one latency observation against every gate.
+    pub fn observe(&self, value: f64) {
+        for gate in &self.gates {
+            self.engine
+                .observe_latency(&gate.name, &self.region, self.tick, value);
+        }
+    }
+
+    /// Records a batch of observations.
+    pub fn observe_all(&self, values: &[f64]) {
+        for &value in values {
+            self.observe(value);
+        }
+    }
+
+    /// Evaluates every gate over what has been observed so far.
+    pub fn report(&self) -> GateReport {
+        let verdicts: Vec<GateVerdict> = self
+            .gates
+            .iter()
+            .map(|gate| {
+                let attained_pct = self
+                    .engine
+                    .attainment_pct(&gate.name, &self.region, self.tick);
+                let required_pct = gate.percentile * 100.0;
+                GateVerdict {
+                    name: gate.name.clone(),
+                    threshold: gate.threshold,
+                    required_pct,
+                    attained_pct,
+                    // Tiny epsilon: attainment is a ratio of counts and the
+                    // objective a decimal fraction; 990/1000 must pass 0.99.
+                    pass: attained_pct + 1e-9 >= required_pct,
+                }
+            })
+            .collect();
+        GateReport {
+            pass: verdicts.iter().all(|v| v.pass),
+            verdicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_under_threshold_passes() {
+        let gate = SloGate::latency_us("t", &[(0.50, 10.0), (0.99, 100.0)]);
+        gate.observe_all(&[1.0, 2.0, 3.0, 4.0]);
+        let report = gate.report();
+        assert!(report.pass);
+        assert_eq!(report.verdicts[0].attained_pct, 100.0);
+    }
+
+    #[test]
+    fn exact_objective_boundary_passes() {
+        // 99 of 100 under threshold attains exactly 99% — must pass p99.
+        let gate = SloGate::latency_us("t", &[(0.99, 100.0)]);
+        for _ in 0..99 {
+            gate.observe(1.0);
+        }
+        gate.observe(500.0);
+        assert!(gate.report().pass);
+    }
+
+    #[test]
+    fn tail_breach_fails_only_the_tail_gate() {
+        // 10% of observations breach 10µs: p50 tolerates that, p99 not.
+        let gate = SloGate::latency_us("t", &[(0.50, 10.0), (0.99, 10.0)]);
+        for i in 0..100 {
+            gate.observe(if i % 10 == 0 { 50.0 } else { 1.0 });
+        }
+        let report = gate.report();
+        assert!(!report.pass);
+        assert!(report.verdict("p50_latency_us").unwrap().pass);
+        let p99 = report.verdict("p99_latency_us").unwrap();
+        assert!(!p99.pass);
+        assert!((p99.attained_pct - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_observations_passes_vacuously() {
+        let gate = SloGate::latency_us("t", &[(0.99, 1.0)]);
+        assert!(gate.report().pass);
+    }
+
+    #[test]
+    fn slos_compile_to_latency_objectives() {
+        let gate = SloGate::latency_us("t", &[(0.95, 25.0)]);
+        let slos = gate.slos();
+        assert_eq!(slos.len(), 1);
+        assert_eq!(slos[0].name, "p95_latency_us");
+        assert!((slos[0].objective - 0.95).abs() < 1e-12);
+    }
+}

@@ -540,7 +540,7 @@ impl Forecaster for PanicOnMarkedHistory {
 /// batch.
 #[test]
 fn poisoned_server_in_fit_batch_quarantines_alone() {
-    let (store, regions, week_days) = two_region_store(6006, 1);
+    let (store, _regions, week_days) = two_region_store(6006, 1);
 
     // Clean baseline with the real forecaster.
     let clean_config = PipelineConfig {

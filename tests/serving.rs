@@ -15,10 +15,10 @@ use std::sync::Arc;
 
 /// A snapshot whose every server carries the same constant value — torn
 /// reads (mixing servers from two snapshots) become detectable.
-fn uniform_snapshot(version: u64, servers: u64, value: f64) -> ModelSnapshot {
+fn region_snapshot(region: &str, version: u64, servers: u64, value: f64) -> ModelSnapshot {
     let docs: Vec<PredictionDoc> = (0..servers)
         .map(|id| PredictionDoc {
-            region: "west".into(),
+            region: region.into(),
             server_id: id,
             day: 14,
             step_min: 30,
@@ -26,7 +26,11 @@ fn uniform_snapshot(version: u64, servers: u64, value: f64) -> ModelSnapshot {
             duration_min: 60,
         })
         .collect();
-    ModelSnapshot::from_predictions("west", version, 7, "m", &docs)
+    ModelSnapshot::from_predictions(region, version, 7, "m", &docs)
+}
+
+fn uniform_snapshot(version: u64, servers: u64, value: f64) -> ModelSnapshot {
+    region_snapshot("west", version, servers, value)
 }
 
 #[test]
@@ -103,6 +107,157 @@ fn reader_holding_old_epoch_keeps_coherent_prediction_set() {
     // While the store moved on.
     assert_eq!(serve.epoch("west"), 50);
     assert_eq!(serve.snapshot("west").unwrap().version(), 50);
+}
+
+#[test]
+fn multi_region_deploy_storms_stay_isolated_across_shards() {
+    // Enough regions to land on several store shards; each region's values
+    // encode (region index, version) so any cross-region or cross-epoch
+    // leak through the sharded map is detectable.
+    let serve = ServeService::with_defaults();
+    const REGIONS: usize = 12;
+    const DEPLOYS: u64 = 60;
+    let names: Vec<String> = (0..REGIONS).map(|i| format!("region-{i}")).collect();
+    let value_of = |region: usize, version: u64| (region as f64) * 1_000.0 + version as f64;
+    for (i, name) in names.iter().enumerate() {
+        serve.publish(region_snapshot(name, 1, 4, value_of(i, 1)));
+    }
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers: a deploy storm per region, interleaved across shards.
+        scope.spawn(|| {
+            for v in 2..=DEPLOYS {
+                for (i, name) in names.iter().enumerate() {
+                    serve.publish(region_snapshot(name, v, 4, value_of(i, v)));
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        // Readers: responses must be internally uniform and belong to the
+        // queried region's value space, never a neighbor shard's.
+        for t in 0..3 {
+            let (serve, names, stop) = (&serve, &names, &stop);
+            scope.spawn(move || {
+                let mut region = t;
+                while !stop.load(Ordering::Acquire) {
+                    region = (region + 1) % REGIONS;
+                    let series = serve
+                        .predict(&names[region], 2, 48)
+                        .expect("server 2 exists in every region");
+                    let first = series.values()[0];
+                    assert!(series.values().iter().all(|v| *v == first), "torn read");
+                    let version = first - (region as f64) * 1_000.0;
+                    assert!(
+                        (1.0..=DEPLOYS as f64).contains(&version),
+                        "region {region} served a foreign value {first}"
+                    );
+                }
+            });
+        }
+    });
+
+    for (i, name) in names.iter().enumerate() {
+        assert_eq!(serve.epoch(name), DEPLOYS);
+        let last = serve.predict(name, 0, 1).unwrap();
+        assert_eq!(last.values()[0], value_of(i, DEPLOYS));
+    }
+    let mut published = serve.regions();
+    published.sort();
+    let mut expected = names.clone();
+    expected.sort();
+    assert_eq!(published, expected);
+
+    // Publish-time store metrics cover every publish across all shards.
+    let reg = serve.obs().registry();
+    let shard_publishes: f64 = (0..16)
+        .map(|s| {
+            let shard = s.to_string();
+            reg.gauge(
+                "seagull_serve_shard_publishes",
+                &[("shard", shard.as_str())],
+            )
+            .get()
+        })
+        .sum();
+    assert_eq!(shard_publishes as u64, REGIONS as u64 * DEPLOYS);
+    assert_eq!(
+        reg.gauge("seagull_serve_snapshots_retired", &[]).get() as u64,
+        REGIONS as u64 * (DEPLOYS - 1),
+        "every superseded snapshot is retired exactly once"
+    );
+}
+
+#[test]
+fn snapshot_store_gc_frees_retired_snapshots_without_hurting_held_arcs() {
+    use seagull::serve::SnapshotStore;
+
+    let store = SnapshotStore::new();
+    store.publish(uniform_snapshot(1, 8, 1.0));
+    let held = store.load("west").expect("published");
+
+    for v in 2..=40 {
+        store.publish(uniform_snapshot(v, 8, v as f64));
+    }
+    let stats = store.stats();
+    assert_eq!(stats.snapshots_retired, 39);
+    assert_eq!(stats.publishes_per_shard.iter().sum::<u64>(), 40);
+
+    // No reader pins are active on this thread between store calls, so a
+    // collection pass may free every retired snapshot entry. The held Arc
+    // is refcounted independently — freeing the store's reference must not
+    // disturb it.
+    store.collect();
+    let gc = store.gc_stats();
+    assert_eq!(gc.retired_total, 39);
+    assert_eq!(
+        gc.freed_total, gc.retired_total,
+        "with no active pins, collection frees everything retired"
+    );
+    assert_eq!(held.version(), 1);
+    for id in held.server_ids() {
+        let series = held.server(id).unwrap().prediction();
+        assert!(series.values().iter().all(|v| *v == 1.0));
+    }
+    assert_eq!(store.load("west").unwrap().version(), 40);
+}
+
+#[test]
+fn coalesced_responses_are_byte_identical_to_uncoalesced_under_concurrency() {
+    let plain = ServeService::with_defaults();
+    let coalesced = ServeService::with_defaults().with_coalescing();
+    assert!(coalesced.coalescing() && !plain.coalescing());
+    plain.publish(uniform_snapshot(3, 8, 42.0));
+    coalesced.publish(uniform_snapshot(3, 8, 42.0));
+
+    // A small key set fanned out over many threads maximizes in-flight
+    // overlap; every coalesced answer must match the uncoalesced reference
+    // bit for bit (values, grid start, and error classes alike).
+    let keys: Vec<(u64, usize)> = vec![(0, 4), (1, 24), (2, 48), (99, 4)];
+    let reference: Vec<_> = keys
+        .iter()
+        .map(|(s, h)| plain.predict("west", *s, *h))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    for (k, (server, horizon)) in keys.iter().enumerate() {
+                        let got = coalesced.predict("west", *server, *horizon);
+                        let want = &reference[k];
+                        match (&got, want) {
+                            (Ok(a), Ok(b)) => {
+                                assert_eq!(a.start(), b.start());
+                                assert_eq!(a.values(), b.values());
+                            }
+                            (Err(a), Err(b)) => assert_eq!(a, b),
+                            _ => panic!("coalesced/uncoalesced outcomes diverged"),
+                        }
+                    }
+                }
+            });
+        }
+    });
 }
 
 #[test]
